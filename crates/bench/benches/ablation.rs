@@ -1,0 +1,77 @@
+//! E4 — ablations for the design choices DESIGN.md calls out:
+//!
+//! * the element-name index (`//tag` as a lookup vs a full scan), which
+//!   stands in for a repository's structural index;
+//! * parameter instantiation: the simplified check with concrete values
+//!   vs the same check shape with a fresh quantifier (what the optimized
+//!   query would cost without the update-time placeholders).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_bench::{dtd_text, Experiment};
+use xic_workload::{generate, WorkloadConfig};
+use xicheck::Checker;
+
+fn bench_name_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_name_index");
+    group.sample_size(10);
+    for kib in [32usize, 128] {
+        let w = generate(WorkloadConfig::sized_kib(kib, 1));
+        let mut checker = Checker::new(
+            &w.xml,
+            dtd_text(),
+            xic_workload::conflict_constraint(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("full_check_indexed", kib), &kib, |b, _| {
+            b.iter(|| {
+                assert!(checker.check_full().unwrap().is_none());
+            });
+        });
+        checker.doc_mut().disable_name_index();
+        group.bench_with_input(
+            BenchmarkId::new("full_check_unindexed", kib),
+            &kib,
+            |b, _| {
+                b.iter(|| {
+                    assert!(checker.check_full().unwrap().is_none());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_instantiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parameter_instantiation");
+    group.sample_size(10);
+    let kib = 128;
+    let inst = xic_bench::instance(Experiment::ConflictOfInterests, kib, 1);
+    let legal = inst.legal.clone();
+    // Optimized check with instantiated parameters (the real thing).
+    group.bench_function("optimized_with_parameters", |b| {
+        b.iter(|| {
+            assert!(inst.checker.check_optimized(&legal).unwrap().is_none());
+        });
+    });
+    // The same simplified-shape check with the target reviewer left as a
+    // quantified variable (i.e. checked against *every* reviewer instead
+    // of the update's target): measures what instantiation buys (the
+    // paper's "specific values … allow one to filter"). The author name
+    // is the legal statement's fresh author, so the outcome matches the
+    // instantiated check (no violation).
+    let shape = xic_xquery::parse_query(
+        "some $r in //rev, $d in //aut satisfies \
+         $d/name/text() = \"newcomer900001\" and \
+         $d/../aut/name/text() = $r/name/text()",
+    )
+    .unwrap();
+    group.bench_function("optimized_shape_without_parameters", |b| {
+        b.iter(|| {
+            assert!(!xic_xquery::eval_query_bool(&shape, inst.checker.doc()).unwrap());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_name_index, bench_instantiation);
+criterion_main!(benches);

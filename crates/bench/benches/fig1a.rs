@@ -1,0 +1,45 @@
+//! Figure 1(a) — "Conflict of interests": full check vs optimized check
+//! vs update+full-check+undo, across document sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_bench::{instance, Experiment};
+use xic_xml::{apply, undo};
+
+fn bench_fig1a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1a_conflict_of_interests");
+    group.sample_size(10);
+    for kib in [16usize, 32, 64, 128] {
+        let mut inst = instance(Experiment::ConflictOfInterests, kib, 1);
+        let legal = inst.legal.clone();
+
+        group.bench_with_input(BenchmarkId::new("full_check", kib), &kib, |b, _| {
+            b.iter(|| {
+                let v = inst.checker.check_full().unwrap();
+                assert!(v.is_none());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("optimized_check", kib), &kib, |b, _| {
+            b.iter(|| {
+                let v = inst.checker.check_optimized(&legal).unwrap();
+                assert!(v.is_none());
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("update_full_undo", kib),
+            &kib,
+            |b, _| {
+                b.iter(|| {
+                    let applied =
+                        apply(inst.checker.doc_mut(), &legal, &xicheck::xpath_resolver).unwrap();
+                    let v = inst.checker.check_full().unwrap();
+                    assert!(v.is_none());
+                    undo(inst.checker.doc_mut(), applied);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1a);
+criterion_main!(benches);

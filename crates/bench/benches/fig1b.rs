@@ -1,0 +1,45 @@
+//! Figure 1(b) — "Conference workload": the aggregate constraints of
+//! Examples 2 and 7, same three curves as Figure 1(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_bench::{instance, Experiment};
+use xic_xml::{apply, undo};
+
+fn bench_fig1b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b_conference_workload");
+    group.sample_size(10);
+    for kib in [16usize, 32, 64, 128] {
+        let mut inst = instance(Experiment::ConferenceWorkload, kib, 1);
+        let legal = inst.legal.clone();
+
+        group.bench_with_input(BenchmarkId::new("full_check", kib), &kib, |b, _| {
+            b.iter(|| {
+                let v = inst.checker.check_full().unwrap();
+                assert!(v.is_none());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("optimized_check", kib), &kib, |b, _| {
+            b.iter(|| {
+                let v = inst.checker.check_optimized(&legal).unwrap();
+                assert!(v.is_none());
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("update_full_undo", kib),
+            &kib,
+            |b, _| {
+                b.iter(|| {
+                    let applied =
+                        apply(inst.checker.doc_mut(), &legal, &xicheck::xpath_resolver).unwrap();
+                    let v = inst.checker.check_full().unwrap();
+                    assert!(v.is_none());
+                    undo(inst.checker.doc_mut(), applied);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1b);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks for the substrates: XML parsing, shredding, XPath
+//! descendant queries and XUpdate apply/undo throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xic_mapping::{shred, RelSchema};
+use xic_workload::{generate, WorkloadConfig};
+use xic_xml::{apply, parse_document, undo, Dtd, XUpdateDoc};
+
+fn bench_micro(c: &mut Criterion) {
+    let w = generate(WorkloadConfig::sized_kib(128, 1));
+    let dtd = Dtd::parse(xic_bench::dtd_text()).unwrap();
+    let (doc, _) = parse_document(&w.xml).unwrap();
+    let schema = RelSchema::from_dtd(&dtd).unwrap();
+
+    let mut group = c.benchmark_group("micro");
+    group.throughput(Throughput::Bytes(w.xml.len() as u64));
+    group.bench_function("xml_parse_128k", |b| {
+        b.iter(|| {
+            let (d, _) = parse_document(&w.xml).unwrap();
+            assert!(d.node_count() > 100);
+        });
+    });
+    group.bench_function("dtd_validate_128k", |b| {
+        b.iter(|| dtd.validate(&doc).unwrap());
+    });
+    group.bench_function("shred_128k", |b| {
+        b.iter(|| {
+            let db = shred(&doc, &schema);
+            assert!(db.total_tuples() > 100);
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("micro_queries");
+    let q_desc = xic_xpath::parse("//rev/name/text()").unwrap();
+    group.bench_function("xpath_descendant_names", |b| {
+        let ctx = xic_xpath::Context::root(&doc);
+        b.iter(|| {
+            let v = xic_xpath::evaluate(&q_desc, &ctx).unwrap();
+            assert!(matches!(v, xic_xpath::XValue::Nodes(ref ns) if !ns.is_empty()));
+        });
+    });
+    let q_agg = xic_xquery::parse_query(
+        "exists(for $r in //rev let $d := $r/sub where count($d) > 1000 return <idle/>)",
+    )
+    .unwrap();
+    group.bench_function("xquery_flwor_aggregate", |b| {
+        b.iter(|| {
+            assert!(!xic_xquery::eval_query_bool(&q_agg, &doc).unwrap());
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("micro_updates");
+    let stmt = XUpdateDoc::parse(&xic_workload::legal_insert(0, 0, 77)).unwrap();
+    let mut doc2 = doc.clone();
+    group.bench_function("xupdate_apply_undo", |b| {
+        b.iter(|| {
+            let applied = apply(&mut doc2, &stmt, &xicheck::xpath_resolver).unwrap();
+            undo(&mut doc2, applied);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

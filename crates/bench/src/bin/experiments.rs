@@ -1,0 +1,149 @@
+//! Regenerates the paper's evaluation tables on stdout.
+//!
+//! ```text
+//! experiments [fig1a] [fig1b] [illegal] [simp] [all]
+//!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
+//! ```
+//!
+//! Each figure prints one row per document size with the three curves of
+//! Figure 1: full check (diamonds), optimized check (squares), and
+//! update + full check + undo (triangles). `illegal` prints the
+//! early-detection comparison (E5); `simp` reports compile-time
+//! simplification latency (the paper's footnote 4: "generated in less
+//! than 50 ms").
+
+use std::time::Instant;
+use xic_bench::{instance, measure_illegal, measure_row, Experiment};
+use xic_mapping::map_update;
+use xicheck::{compile_pattern, xpath_resolver};
+
+struct Args {
+    what: Vec<String>,
+    sizes: Vec<usize>,
+    iters: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut what = Vec::new();
+    let mut sizes = vec![32, 64, 128, 256, 512];
+    let mut iters = 3;
+    let mut seed = 1;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--sizes=") {
+            sizes = v
+                .split(',')
+                .map(|s| s.trim().parse().expect("size in KiB"))
+                .collect();
+        } else if let Some(v) = a.strip_prefix("--iters=") {
+            iters = v.parse().expect("iteration count");
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = v.parse().expect("seed");
+        } else {
+            what.push(a);
+        }
+    }
+    if what.is_empty() || what.iter().any(|w| w == "all") {
+        what = ["fig1a", "fig1b", "illegal", "simp"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+    }
+    Args {
+        what,
+        sizes,
+        iters,
+        seed,
+    }
+}
+
+fn figure(exp: Experiment, title: &str, args: &Args) {
+    println!("== {title} ==");
+    println!(
+        "{:>9} {:>9} {:>12} {:>14} {:>21}",
+        "size/KiB", "bytes", "full/ms", "optimized/ms", "update+full+undo/ms"
+    );
+    for &kib in &args.sizes {
+        let row = measure_row(exp, kib, args.seed, args.iters);
+        println!(
+            "{:>9} {:>9} {:>12.2} {:>14.3} {:>21.2}",
+            row.kib, row.bytes, row.full_ms, row.optimized_ms, row.update_full_undo_ms
+        );
+    }
+    println!();
+}
+
+fn illegal(args: &Args) {
+    println!("== Illegal updates: early detection vs apply+check+rollback (E5) ==");
+    println!(
+        "{:>12} {:>9} {:>21} {:>21}",
+        "experiment", "size/KiB", "optimized reject/ms", "baseline reject/ms"
+    );
+    for (exp, name) in [
+        (Experiment::ConflictOfInterests, "conflict"),
+        (Experiment::ConferenceWorkload, "workload"),
+    ] {
+        for &kib in &args.sizes {
+            let r = measure_illegal(exp, kib, args.seed, args.iters);
+            println!(
+                "{name:>12} {:>9} {:>21.3} {:>21.2}",
+                r.kib, r.optimized_reject_ms, r.baseline_reject_ms
+            );
+        }
+    }
+    println!();
+}
+
+fn simp_latency(args: &Args) {
+    println!("== Compile-time simplification latency (paper: < 50 ms, E3) ==");
+    let kib = args.sizes.first().copied().unwrap_or(32);
+    for (exp, name) in [
+        (Experiment::ConflictOfInterests, "conflict (Ex. 1/6)"),
+        (Experiment::ConferenceWorkload, "workload (Ex. 2/7)"),
+    ] {
+        let inst = instance(exp, kib, args.seed);
+        let stmt = inst.legal.clone();
+        let mapped = map_update(inst.checker.doc(), inst.checker.schema(), &stmt, &xpath_resolver)
+            .expect("mappable update");
+        let gamma = inst.checker.constraints();
+        let schema = inst.checker.schema();
+        let n = 200u32;
+        let start = Instant::now();
+        for _ in 0..n {
+            let compiled = compile_pattern(&mapped, gamma, schema);
+            assert!(compiled.is_incremental(), "{:?}", compiled.unsupported);
+        }
+        let per = start.elapsed().as_secs_f64() * 1e3 / f64::from(n);
+        println!("  {name:<22} map+simp+translate: {per:.3} ms/pattern");
+    }
+    println!();
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "xicheck experiments — sizes {:?} KiB, {} iterations, seed {}",
+        args.sizes, args.iters, args.seed
+    );
+    println!(
+        "(document sizes are scaled down from the paper's 32–256 MB so the whole\n\
+         sweep runs in minutes; the curves' shape is the reproduction target)\n"
+    );
+    for w in &args.what.clone() {
+        match w.as_str() {
+            "fig1a" => figure(
+                Experiment::ConflictOfInterests,
+                "Figure 1(a): Conflict of interests",
+                &args,
+            ),
+            "fig1b" => figure(
+                Experiment::ConferenceWorkload,
+                "Figure 1(b): Conference workload",
+                &args,
+            ),
+            "illegal" => illegal(&args),
+            "simp" => simp_latency(&args),
+            other => eprintln!("unknown experiment {other}"),
+        }
+    }
+}

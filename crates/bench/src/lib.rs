@@ -1,0 +1,250 @@
+//! Shared harness for the Section 7 experiments.
+//!
+//! Each figure of the paper compares, across document sizes, the time to
+//! (i) verify the original constraint against the whole document, (ii)
+//! verify the optimized (simplified, pre-update) constraint, and (iii)
+//! execute an update, verify the original constraint, and undo the update
+//! — the paper's diamonds, squares and triangles.
+
+use std::time::{Duration, Instant};
+use xic_workload::{generate, Workload, WorkloadConfig};
+use xic_xml::{apply, undo, XUpdateDoc};
+use xicheck::{Checker, UpdateOutcome};
+
+/// Which of the two running examples an experiment exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Figure 1(a): conflict of interests (Examples 1/3/6).
+    ConflictOfInterests,
+    /// Figure 1(b): conference workload (the aggregate constraints of
+    /// Examples 2 and 7).
+    ConferenceWorkload,
+}
+
+/// A prepared experiment instance: checker + one legal and one illegal
+/// statement matching the compiled pattern.
+pub struct Instance {
+    /// The checker, loaded with the sized corpus.
+    pub checker: Checker,
+    /// Corpus size in bytes (serialized).
+    pub corpus_bytes: usize,
+    /// A statement that passes the constraint.
+    pub legal: XUpdateDoc,
+    /// A statement that violates it.
+    pub illegal: XUpdateDoc,
+}
+
+/// The paper's combined DTD.
+pub fn dtd_text() -> &'static str {
+    "<!ELEMENT collection (dblp, review)>\n<!ELEMENT dblp (pub)*>\n\
+     <!ELEMENT pub (title, aut+)>\n<!ELEMENT aut (name)>\n\
+     <!ELEMENT review (track)+>\n<!ELEMENT track (name,rev+)>\n\
+     <!ELEMENT rev (name, sub+)>\n<!ELEMENT sub (title, auts+)>\n\
+     <!ELEMENT title (#PCDATA)>\n<!ELEMENT auts (name)>\n\
+     <!ELEMENT name (#PCDATA)>"
+}
+
+/// A statement appending `n` fresh-author submissions to one reviewer.
+fn multi_insert(track: usize, rev: usize, n: usize, serial: usize) -> String {
+    let mut subs = String::new();
+    for i in 0..n {
+        subs.push_str(&format!(
+            "<sub><title>Batch {serial}-{i}</title>\
+             <auts><name>newcomer{serial:05}x{i}</name></auts></sub>"
+        ));
+    }
+    format!(
+        r#"<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/collection/review/track[{}]/rev[{}]">{subs}</xupdate:append>
+</xupdate:modifications>"#,
+        track + 1,
+        rev + 1
+    )
+}
+
+/// Builds an experiment instance at roughly `kib` KiB.
+///
+/// For the conference-workload experiment the aggregate thresholds are
+/// derived from the corpus so that it starts exactly consistent: the
+/// per-reviewer-node bound sits one above the generated fan-out, making a
+/// single-submission insert legal and a two-submission batch illegal.
+pub fn instance(exp: Experiment, kib: usize, seed: u64) -> Instance {
+    let w: Workload = generate(WorkloadConfig::sized_kib(kib, seed));
+    let corpus_bytes = w.xml.len();
+    let (constraints, legal_text, illegal_text) = match exp {
+        Experiment::ConflictOfInterests => (
+            xic_workload::conflict_constraint().to_string(),
+            xic_workload::legal_insert(0, 0, 900_001),
+            xic_workload::illegal_insert(0, 0, &w.reviewers[0][0]),
+        ),
+        Experiment::ConferenceWorkload => {
+            // Highest per-name submission load in the corpus.
+            let mut counts = std::collections::HashMap::new();
+            for track in &w.reviewers {
+                for r in track {
+                    *counts.entry(r.as_str()).or_insert(0usize) += w.config.subs_per_rev;
+                }
+            }
+            let max_name_subs = counts.values().copied().max().unwrap_or(0);
+            let constraints = format!(
+                "{}. {}",
+                xic_workload::workload_constraint(3, max_name_subs + 1),
+                xic_workload::review_load_constraint(w.config.subs_per_rev + 1),
+            );
+            (
+                constraints,
+                xic_workload::legal_insert(0, 0, 900_001),
+                multi_insert(0, 0, 2, 900_002),
+            )
+        }
+    };
+    let mut checker =
+        Checker::new(&w.xml, dtd_text(), &constraints).expect("generated corpus must load");
+    let legal = XUpdateDoc::parse(&legal_text).expect("legal stmt");
+    let illegal = XUpdateDoc::parse(&illegal_text).expect("illegal stmt");
+    // Schema-design-time compilation: register both patterns once.
+    checker.register_pattern(&legal).expect("pattern registration");
+    checker
+        .register_pattern(&illegal)
+        .expect("pattern registration");
+    Instance {
+        checker,
+        corpus_bytes,
+        legal,
+        illegal,
+    }
+}
+
+/// Times `f` over `iters` runs and returns the mean duration (with one
+/// warm-up run, as in the paper's protocol).
+pub fn time_mean<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / u32::try_from(iters.max(1)).expect("small iter counts")
+}
+
+/// One row of a figure: mean milliseconds for the three curves.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Corpus size in KiB (x axis).
+    pub kib: usize,
+    /// Actual serialized bytes.
+    pub bytes: usize,
+    /// (i) full check of the original constraint (diamonds).
+    pub full_ms: f64,
+    /// (ii) optimized pre-update check (squares).
+    pub optimized_ms: f64,
+    /// (iii) update + full check + undo (triangles).
+    pub update_full_undo_ms: f64,
+}
+
+/// Measures one figure row.
+pub fn measure_row(exp: Experiment, kib: usize, seed: u64, iters: usize) -> Row {
+    let mut inst = instance(exp, kib, seed);
+
+    let full = time_mean(iters, || {
+        let v = inst.checker.check_full().expect("full check");
+        assert!(v.is_none(), "corpus must be consistent");
+    });
+
+    let legal = inst.legal.clone();
+    let optimized = time_mean(iters, || {
+        let v = inst.checker.check_optimized(&legal).expect("optimized");
+        assert!(v.is_none(), "legal update must pass");
+    });
+
+    let update_full_undo = time_mean(iters, || {
+        let doc = inst.checker.doc_mut();
+        let applied = apply(doc, &legal, &xicheck::xpath_resolver).expect("apply");
+        let v = inst.checker.check_full().expect("full check");
+        assert!(v.is_none());
+        undo(inst.checker.doc_mut(), applied);
+    });
+
+    Row {
+        kib,
+        bytes: inst.corpus_bytes,
+        full_ms: full.as_secs_f64() * 1e3,
+        optimized_ms: optimized.as_secs_f64() * 1e3,
+        update_full_undo_ms: update_full_undo.as_secs_f64() * 1e3,
+    }
+}
+
+/// End-to-end handling of an illegal statement under both strategies
+/// (E5): optimized = reject before execution; baseline = apply + full
+/// check + compensating rollback.
+#[derive(Debug, Clone, Copy)]
+pub struct IllegalRow {
+    /// Corpus size in KiB.
+    pub kib: usize,
+    /// Optimized end-to-end rejection time (ms).
+    pub optimized_reject_ms: f64,
+    /// Baseline apply + check + rollback time (ms).
+    pub baseline_reject_ms: f64,
+}
+
+/// Measures the illegal-update scenario.
+pub fn measure_illegal(exp: Experiment, kib: usize, seed: u64, iters: usize) -> IllegalRow {
+    let mut inst = instance(exp, kib, seed);
+    let illegal = inst.illegal.clone();
+
+    let optimized = time_mean(iters, || {
+        let out = inst.checker.try_update(&illegal).expect("try_update");
+        assert!(!out.applied(), "illegal update must be rejected");
+        assert!(matches!(out, UpdateOutcome::Rejected { .. }));
+    });
+
+    // Baseline: apply + full check + undo (the violation fires, so the
+    // compensating action always runs).
+    let baseline = time_mean(iters, || {
+        let doc = inst.checker.doc_mut();
+        let applied = apply(doc, &illegal, &xicheck::xpath_resolver).expect("apply");
+        let v = inst.checker.check_full().expect("full check");
+        assert!(v.is_some(), "violation must be detected post-update");
+        undo(inst.checker.doc_mut(), applied);
+    });
+
+    IllegalRow {
+        kib,
+        optimized_reject_ms: optimized.as_secs_f64() * 1e3,
+        baseline_reject_ms: baseline.as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_builds_and_checks() {
+        for exp in [Experiment::ConflictOfInterests, Experiment::ConferenceWorkload] {
+            let mut inst = instance(exp, 8, 42);
+            assert!(inst.checker.check_full().unwrap().is_none(), "{exp:?}");
+            assert!(
+                inst.checker.check_optimized(&inst.legal).unwrap().is_none(),
+                "{exp:?}"
+            );
+            let out = inst.checker.try_update(&inst.illegal).unwrap();
+            assert!(!out.applied(), "{exp:?}");
+        }
+    }
+
+    #[test]
+    fn rows_have_positive_times() {
+        let row = measure_row(Experiment::ConflictOfInterests, 8, 1, 1);
+        assert!(row.full_ms > 0.0);
+        assert!(row.optimized_ms > 0.0);
+        assert!(row.update_full_undo_ms > 0.0);
+        assert!(row.bytes > 4096);
+    }
+
+    #[test]
+    fn illegal_rows_measure_both_paths() {
+        let r = measure_illegal(Experiment::ConferenceWorkload, 8, 2, 1);
+        assert!(r.optimized_reject_ms > 0.0);
+        assert!(r.baseline_reject_ms > 0.0);
+    }
+}

@@ -1,0 +1,515 @@
+//! The runtime integrity checker.
+
+use crate::compile::{compile_pattern, CompiledPattern};
+use crate::resolver::xpath_resolver;
+use std::collections::HashMap;
+use std::fmt;
+use xic_datalog::Denial;
+use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
+use xic_translate::{translate_denials, QueryTemplate};
+use xic_xml::{apply, parse_document, undo, Document, Dtd, XUpdateDoc};
+use xic_xquery::{eval_query_bool, parse_query};
+
+/// Which strategy handled an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Optimized: the simplified check ran *before* the update; illegal
+    /// statements were never executed.
+    Optimized,
+    /// Baseline: the update was applied, the full constraints checked in
+    /// the new state, and a compensating rollback performed on violation.
+    FullWithRollback,
+}
+
+/// A constraint violation report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The (possibly simplified) denial that fired.
+    pub denial: String,
+    /// The XQuery check that reported it.
+    pub query: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violation of `{}` (query: {})", self.denial, self.query)
+    }
+}
+
+/// The outcome of [`Checker::try_update`].
+#[derive(Debug, Clone)]
+pub enum UpdateOutcome {
+    /// The update passed its checks and is now applied.
+    Applied {
+        /// The strategy used.
+        strategy: Strategy,
+    },
+    /// The update would violate integrity; the document is unchanged.
+    Rejected {
+        /// The strategy used.
+        strategy: Strategy,
+        /// What fired.
+        violation: Violation,
+    },
+}
+
+impl UpdateOutcome {
+    /// True if the document was modified.
+    pub fn applied(&self) -> bool {
+        matches!(self, UpdateOutcome::Applied { .. })
+    }
+
+    /// The strategy that handled the statement.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            UpdateOutcome::Applied { strategy } | UpdateOutcome::Rejected { strategy, .. } => {
+                *strategy
+            }
+        }
+    }
+}
+
+/// Checker failure.
+#[derive(Debug, Clone)]
+pub enum CheckerError {
+    /// Malformed document/DTD/constraints at construction.
+    Setup(String),
+    /// Malformed XUpdate statement.
+    Statement(String),
+    /// Internal query failure (a bug or an unsupported corner).
+    Query(String),
+}
+
+impl fmt::Display for CheckerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckerError::Setup(m) => write!(f, "setup error: {m}"),
+            CheckerError::Statement(m) => write!(f, "bad statement: {m}"),
+            CheckerError::Query(m) => write!(f, "query error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckerError {}
+
+/// Runtime counters, useful for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Updates checked through a compiled pattern.
+    pub optimized_checks: u64,
+    /// Updates checked through apply + full check (+ rollback).
+    pub full_checks: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Statements rejected before execution.
+    pub early_rejections: u64,
+}
+
+/// The integrity checker: document + DTD + compiled constraints.
+pub struct Checker {
+    doc: Document,
+    dtd: Dtd,
+    schema: RelSchema,
+    /// Γ: the full constraint set as Datalog denials.
+    gamma: Vec<Denial>,
+    /// Closed XQuery checks for Γ (the "non-simplified" curve).
+    full_queries: Vec<QueryTemplate>,
+    /// Compiled update patterns, by pattern key.
+    patterns: HashMap<String, CompiledPattern>,
+    stats: Stats,
+}
+
+impl Checker {
+    /// Builds a checker from XML text, DTD text and XPathLog constraints
+    /// (a `.`-separated list).
+    pub fn new(xml: &str, dtd: &str, constraints: &str) -> Result<Checker, CheckerError> {
+        let (doc, inline_dtd) = parse_document(xml).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let dtd = if dtd.trim().is_empty() {
+            inline_dtd.ok_or_else(|| CheckerError::Setup("no DTD provided".to_string()))?
+        } else {
+            Dtd::parse(dtd).map_err(CheckerError::Setup)?
+        };
+        let ldenials = xic_xpathlog::parse_denials(constraints)
+            .map_err(|e| CheckerError::Setup(e.to_string()))?;
+        Checker::from_parts(doc, dtd, &ldenials)
+    }
+
+    /// Builds a checker from parsed parts.
+    pub fn from_parts(
+        doc: Document,
+        dtd: Dtd,
+        constraints: &[xic_xpathlog::LDenial],
+    ) -> Result<Checker, CheckerError> {
+        dtd.validate(&doc)
+            .map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let schema = RelSchema::from_dtd(&dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let gamma =
+            map_denials(constraints, &schema, &dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let full_queries =
+            translate_denials(&gamma, &schema).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        Ok(Checker {
+            doc,
+            dtd,
+            schema,
+            gamma,
+            full_queries,
+            patterns: HashMap::new(),
+            stats: Stats::default(),
+        })
+    }
+
+    /// The document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Mutable document access (for setup code such as workload loading).
+    pub fn doc_mut(&mut self) -> &mut Document {
+        &mut self.doc
+    }
+
+    /// The DTD.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// The relational schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// The mapped constraint set Γ.
+    pub fn constraints(&self) -> &[Denial] {
+        &self.gamma
+    }
+
+    /// The translated full-check queries.
+    pub fn full_queries(&self) -> &[QueryTemplate] {
+        &self.full_queries
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Registered patterns.
+    pub fn patterns(&self) -> impl Iterator<Item = &CompiledPattern> {
+        self.patterns.values()
+    }
+
+    /// Registers (at schema design time) the update pattern exemplified by
+    /// `stmt`, compiling its simplified checks. Returns the pattern key.
+    pub fn register_pattern(&mut self, stmt: &XUpdateDoc) -> Result<String, CheckerError> {
+        let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
+            .map_err(|e| CheckerError::Statement(e.to_string()))?;
+        let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
+        let key = compiled.key.clone();
+        self.patterns.insert(key.clone(), compiled);
+        Ok(key)
+    }
+
+    /// Registers a pattern from XUpdate text.
+    pub fn register_pattern_str(&mut self, stmt: &str) -> Result<String, CheckerError> {
+        let stmt = XUpdateDoc::parse(stmt).map_err(|e| CheckerError::Statement(e.to_string()))?;
+        self.register_pattern(&stmt)
+    }
+
+    /// Runs the full (non-simplified) constraint check against the current
+    /// document state. Returns the first violation, if any.
+    pub fn check_full(&self) -> Result<Option<Violation>, CheckerError> {
+        for (q, d) in self.full_queries.iter().zip(&self.gamma) {
+            let parsed =
+                parse_query(&q.text).map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
+            let violated = eval_query_bool(&parsed, &self.doc)
+                .map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
+            if violated {
+                return Ok(Some(Violation {
+                    denial: d.to_string(),
+                    query: q.text.clone(),
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs only the *optimized* pre-update check for `stmt` (no document
+    /// modification). `Ok(None)`: the update is legal; `Ok(Some(v))`: it
+    /// would violate `v`. Errors when the statement matches no compiled
+    /// incremental pattern.
+    pub fn check_optimized(&self, stmt: &XUpdateDoc) -> Result<Option<Violation>, CheckerError> {
+        let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
+            .map_err(|e| CheckerError::Statement(e.to_string()))?;
+        let key = pattern_key(&mapped.update);
+        let Some(pattern) = self.patterns.get(&key).filter(|p| p.is_incremental()) else {
+            return Err(CheckerError::Statement(format!(
+                "no compiled incremental pattern for key {key}"
+            )));
+        };
+        // The compiled pattern's parameter names are positionally
+        // identical to the freshly mapped ones (the mapping is
+        // deterministic), so the new bindings apply directly.
+        for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
+            let text = q
+                .instantiate(&self.doc, &mapped.bindings)
+                .map_err(|e| CheckerError::Query(e.to_string()))?;
+            let parsed =
+                parse_query(&text).map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+            let violated = eval_query_bool(&parsed, &self.doc)
+                .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+            if violated {
+                return Ok(Some(Violation {
+                    denial: d.to_string(),
+                    query: text,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Applies `stmt` without any integrity check (workload setup).
+    pub fn apply_unchecked(&mut self, stmt: &XUpdateDoc) -> Result<(), CheckerError> {
+        apply(&mut self.doc, stmt, &xpath_resolver)
+            .map(|_| ())
+            .map_err(|(e, partial)| {
+                undo(&mut self.doc, partial);
+                CheckerError::Statement(e.to_string())
+            })
+    }
+
+    /// Checks and (when legal) applies an update statement given as text.
+    pub fn try_update_str(&mut self, stmt: &str) -> Result<UpdateOutcome, CheckerError> {
+        let stmt = XUpdateDoc::parse(stmt).map_err(|e| CheckerError::Statement(e.to_string()))?;
+        self.try_update(&stmt)
+    }
+
+    /// Checks and (when legal) applies an update statement.
+    ///
+    /// * If the statement matches a compiled incremental pattern, the
+    ///   simplified checks run against the **current** state; on violation
+    ///   the statement is rejected without being executed.
+    /// * Otherwise the baseline strategy runs: apply, full check in the
+    ///   new state, compensating rollback on violation.
+    ///
+    /// Statements new to the checker are compiled on first sight (the
+    /// paper generates simplifications at schema design time; compiling
+    /// lazily here only changes *when* the one-off cost is paid — see the
+    /// `simplify_time` benchmark for its magnitude).
+    pub fn try_update(&mut self, stmt: &XUpdateDoc) -> Result<UpdateOutcome, CheckerError> {
+        // Try the optimized path.
+        if stmt.insertions_only() {
+            if let Ok(mapped) = map_update(&self.doc, &self.schema, stmt, &xpath_resolver) {
+                let key = pattern_key(&mapped.update);
+                if !self.patterns.contains_key(&key) {
+                    let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
+                    self.patterns.insert(key.clone(), compiled);
+                }
+                let pattern = &self.patterns[&key];
+                if pattern.is_incremental() {
+                    self.stats.optimized_checks += 1;
+                    let mut violation = None;
+                    for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
+                        let text = q
+                            .instantiate(&self.doc, &mapped.bindings)
+                            .map_err(|e| CheckerError::Query(e.to_string()))?;
+                        let parsed = parse_query(&text)
+                            .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+                        if eval_query_bool(&parsed, &self.doc)
+                            .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?
+                        {
+                            violation = Some(Violation {
+                                denial: d.to_string(),
+                                query: text,
+                            });
+                            break;
+                        }
+                    }
+                    if let Some(violation) = violation {
+                        self.stats.early_rejections += 1;
+                        return Ok(UpdateOutcome::Rejected {
+                            strategy: Strategy::Optimized,
+                            violation,
+                        });
+                    }
+                    // Legal: now (and only now) execute the update.
+                    self.apply_unchecked(stmt)?;
+                    return Ok(UpdateOutcome::Applied {
+                        strategy: Strategy::Optimized,
+                    });
+                }
+            }
+        }
+        // Baseline: apply, check, roll back on violation.
+        self.stats.full_checks += 1;
+        let applied = apply(&mut self.doc, stmt, &xpath_resolver).map_err(|(e, partial)| {
+            undo(&mut self.doc, partial);
+            CheckerError::Statement(e.to_string())
+        })?;
+        match self.check_full()? {
+            None => Ok(UpdateOutcome::Applied {
+                strategy: Strategy::FullWithRollback,
+            }),
+            Some(violation) => {
+                undo(&mut self.doc, applied);
+                self.stats.rollbacks += 1;
+                Ok(UpdateOutcome::Rejected {
+                    strategy: Strategy::FullWithRollback,
+                    violation,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DTD: &str = "<!ELEMENT collection (dblp, review)>\n\
+        <!ELEMENT dblp (pub)*>\n<!ELEMENT pub (title, aut+)>\n\
+        <!ELEMENT aut (name)>\n<!ELEMENT review (track)+>\n\
+        <!ELEMENT track (name,rev+)>\n<!ELEMENT rev (name, sub+)>\n\
+        <!ELEMENT sub (title, auts+)>\n<!ELEMENT title (#PCDATA)>\n\
+        <!ELEMENT auts (name)>\n<!ELEMENT name (#PCDATA)>";
+
+    const CORPUS: &str = "<collection><dblp>\
+        <pub><title>P1</title><aut><name>ann</name></aut><aut><name>bob</name></aut></pub>\
+        </dblp><review><track><name>T</name>\
+        <rev><name>ann</name><sub><title>S1</title><auts><name>cat</name></auts></sub></rev>\
+        <rev><name>dan</name><sub><title>S2</title><auts><name>eve</name></auts></sub></rev>\
+        </track></review></collection>";
+
+    const CONFLICT: &str = "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+        & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])";
+
+    fn insert_sub(rev_sel: &str, author: &str) -> String {
+        format!(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+              <xupdate:append select="{rev_sel}">
+                <sub><title>New</title><auts><name>{author}</name></auts></sub>
+              </xupdate:append>
+            </xupdate:modifications>"#
+        )
+    }
+
+    #[test]
+    fn optimized_path_accepts_legal_update() {
+        let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+        c.register_pattern_str(&insert_sub("//rev[name/text() = 'dan']", "zoe"))
+            .unwrap();
+        let out = c
+            .try_update_str(&insert_sub("//rev[name/text() = 'dan']", "zoe"))
+            .unwrap();
+        assert!(out.applied());
+        assert_eq!(out.strategy(), Strategy::Optimized);
+        assert_eq!(c.stats().optimized_checks, 1);
+        assert_eq!(c.doc().elements_named("sub").len(), 3);
+        assert!(c.check_full().unwrap().is_none());
+    }
+
+    #[test]
+    fn optimized_path_rejects_self_review_before_applying() {
+        let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+        // Ann reviewing Ann's own paper violates the first disjunct.
+        let out = c
+            .try_update_str(&insert_sub("//rev[name/text() = 'ann']", "ann"))
+            .unwrap();
+        let UpdateOutcome::Rejected { strategy, violation } = out else {
+            panic!("must reject");
+        };
+        assert_eq!(strategy, Strategy::Optimized);
+        assert!(violation.denial.contains("rev"), "{violation}");
+        // The document is untouched: early detection.
+        assert_eq!(c.doc().elements_named("sub").len(), 2);
+        assert_eq!(c.stats().early_rejections, 1);
+        assert_eq!(c.stats().rollbacks, 0);
+    }
+
+    #[test]
+    fn optimized_path_rejects_coauthor_conflict() {
+        let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+        // Ann coauthored P1 with Bob: Bob's submission cannot go to Ann.
+        let out = c
+            .try_update_str(&insert_sub("//rev[name/text() = 'ann']", "bob"))
+            .unwrap();
+        assert!(!out.applied());
+        assert_eq!(out.strategy(), Strategy::Optimized);
+        // But Dan can review Bob's work.
+        let ok = c
+            .try_update_str(&insert_sub("//rev[name/text() = 'dan']", "bob"))
+            .unwrap();
+        assert!(ok.applied());
+    }
+
+    #[test]
+    fn fallback_on_non_insertion() {
+        let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+        // A rename is not an insertion: baseline strategy.
+        let out = c
+            .try_update_str(
+                r#"<xupdate:modifications xmlns:xupdate="x">
+                  <xupdate:update select="//rev[name/text() = 'dan']/name">don</xupdate:update>
+                </xupdate:modifications>"#,
+            )
+            .unwrap();
+        assert!(out.applied());
+        assert_eq!(out.strategy(), Strategy::FullWithRollback);
+        assert_eq!(c.stats().full_checks, 1);
+    }
+
+    #[test]
+    fn fallback_rolls_back_illegal_update() {
+        let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+        // Make Ann's self-review arrive via `update` (not an insertion):
+        // rewrite Cat's name to Ann.
+        let before = xic_xml::serialize(c.doc());
+        let out = c
+            .try_update_str(
+                r#"<xupdate:modifications xmlns:xupdate="x">
+                  <xupdate:update select="//rev[name/text() = 'ann']/sub/auts/name">ann</xupdate:update>
+                </xupdate:modifications>"#,
+            )
+            .unwrap();
+        assert!(!out.applied());
+        assert_eq!(out.strategy(), Strategy::FullWithRollback);
+        assert_eq!(c.stats().rollbacks, 1);
+        assert_eq!(xic_xml::serialize(c.doc()), before, "rollback must restore");
+    }
+
+    #[test]
+    fn aggregate_constraint_end_to_end() {
+        let constraint = "<- //rev -> R & cnt{R/sub} > 2";
+        let mut c = Checker::new(CORPUS, DTD, constraint).unwrap();
+        // Dan has 1 sub; a second is fine, the third (count 3 > 2) must be
+        // rejected before execution.
+        let out = c
+            .try_update_str(&insert_sub("//rev[name/text() = 'dan']", "w0"))
+            .unwrap();
+        assert!(out.applied(), "second sub must pass");
+        let out = c
+            .try_update_str(&insert_sub("//rev[name/text() = 'dan']", "w9"))
+            .unwrap();
+        assert!(!out.applied(), "third sub must be rejected");
+        assert_eq!(out.strategy(), Strategy::Optimized);
+        assert_eq!(c.doc().elements_named("sub").len(), 3);
+    }
+
+    #[test]
+    fn check_optimized_errors_without_pattern() {
+        let c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+        let stmt = XUpdateDoc::parse(&insert_sub("//rev[name/text() = 'dan']", "zoe")).unwrap();
+        assert!(matches!(
+            c.check_optimized(&stmt),
+            Err(CheckerError::Statement(_))
+        ));
+    }
+
+    #[test]
+    fn setup_rejects_invalid_document() {
+        let bad = "<collection><dblp/><review><track><name>T</name></track></review></collection>";
+        assert!(matches!(
+            Checker::new(bad, DTD, CONFLICT),
+            Err(CheckerError::Setup(_))
+        ));
+    }
+}

@@ -1,0 +1,141 @@
+//! Schema-design-time compilation of update patterns.
+
+use std::collections::HashMap;
+use xic_datalog::{Denial, Update};
+use xic_mapping::{pattern_key, MappedUpdate, RelSchema};
+use xic_simplify::{freshness_hypotheses, simp, FreshSpec, SimpConfig};
+use xic_translate::{translate_denials_with, QueryTemplate};
+
+/// The compiled artifact for one update pattern: the simplified denials
+/// and their XQuery templates, or the reason simplification was not
+/// possible (in which case the runtime falls back to full checking, as
+/// the paper does for unrecognized updates).
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    /// Canonical pattern key (see [`xic_mapping::pattern_key`]).
+    pub key: String,
+    /// The parameterized update shape.
+    pub update: Update,
+    /// `Simp_Δ^U(Γ)`.
+    pub simplified: Vec<Denial>,
+    /// One pre-update XQuery template per simplified denial.
+    pub queries: Vec<QueryTemplate>,
+    /// Why this pattern cannot be checked incrementally, if so.
+    pub unsupported: Option<String>,
+}
+
+impl CompiledPattern {
+    /// True if the optimized pre-update check is available.
+    pub fn is_incremental(&self) -> bool {
+        self.unsupported.is_none()
+    }
+
+    /// Instantiates every compiled query against concrete parameter
+    /// bindings, yielding runnable XQuery sources paired with the denial
+    /// they check.
+    pub fn instantiate(
+        &self,
+        doc: &xic_xml::Document,
+        bindings: &HashMap<String, xic_datalog::Value>,
+    ) -> Result<Vec<(String, String)>, xic_translate::TemplateError> {
+        self.queries
+            .iter()
+            .zip(&self.simplified)
+            .map(|(q, d)| Ok((q.instantiate(doc, bindings)?, d.to_string())))
+            .collect()
+    }
+}
+
+/// Compiles a mapped update pattern against the constraint set Γ. Never
+/// fails outright: constructs that cannot be simplified or translated are
+/// recorded in `unsupported`.
+pub fn compile_pattern(
+    mapped: &MappedUpdate,
+    gamma: &[Denial],
+    schema: &RelSchema,
+) -> CompiledPattern {
+    let key = pattern_key(&mapped.update);
+    let cfg = SimpConfig {
+        fresh: FreshSpec::Params(mapped.fresh_params.clone()),
+    };
+    let delta = freshness_hypotheses(&mapped.update, &mapped.fresh_params);
+    let (simplified, unsupported) = match simp(gamma, &mapped.update, &delta, &cfg) {
+        Ok(s) => (s, None),
+        Err(e) => (Vec::new(), Some(e.to_string())),
+    };
+    if unsupported.is_some() {
+        return CompiledPattern {
+            key,
+            update: mapped.update.clone(),
+            simplified,
+            queries: Vec::new(),
+            unsupported,
+        };
+    }
+    match translate_denials_with(&simplified, schema, &mapped.node_params) {
+        Ok(queries) => CompiledPattern {
+            key,
+            update: mapped.update.clone(),
+            simplified,
+            queries,
+            unsupported: None,
+        },
+        Err(e) => CompiledPattern {
+            key,
+            update: mapped.update.clone(),
+            simplified,
+            queries: Vec::new(),
+            unsupported: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::xpath_resolver;
+    use xic_mapping::schema::paper_dtd;
+    use xic_mapping::{map_denials, map_update};
+    use xic_xml::{parse_document, XUpdateDoc};
+
+    #[test]
+    fn compile_example_6_pattern() {
+        let dtd = paper_dtd();
+        let schema = RelSchema::from_dtd(&dtd).unwrap();
+        let (doc, _) = parse_document(
+            "<collection><dblp/><review><track><name>T</name>\
+             <rev><name>Ann</name><sub><title>S</title>\
+             <auts><name>Bob</name></auts></sub></rev></track></review></collection>",
+        )
+        .unwrap();
+        let gamma = map_denials(
+            &[xic_xpathlog::parse_denial(
+                "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+                 & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])",
+            )
+            .unwrap()],
+            &schema,
+            &dtd,
+        )
+        .unwrap();
+        let stmt = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+              <xupdate:insert-after select="//sub[1]">
+                <sub><title>New</title><auts><name>Jack</name></auts></sub>
+              </xupdate:insert-after>
+            </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let mapped = map_update(&doc, &schema, &stmt, &xpath_resolver).unwrap();
+        let compiled = compile_pattern(&mapped, &gamma, &schema);
+        assert!(compiled.is_incremental(), "{:?}", compiled.unsupported);
+        // Example 6 yields two simplified denials.
+        assert_eq!(compiled.simplified.len(), 2, "{:?}", compiled.simplified);
+        assert_eq!(compiled.queries.len(), 2);
+        // Instantiation produces runnable queries.
+        let qs = compiled.instantiate(&doc, &mapped.bindings).unwrap();
+        for (q, _) in &qs {
+            xic_xquery::parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

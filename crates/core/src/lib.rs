@@ -1,0 +1,70 @@
+//! `xicheck` — efficient incremental integrity checking over XML
+//! documents, a from-scratch reproduction of Braga, Campi & Martinenghi,
+//! *Efficient Integrity Checking over XML Documents* (EDBT 2006).
+//!
+//! The [`Checker`] owns an XML document (with its DTD) and a set of
+//! declarative XPathLog constraints. At **schema design time** it compiles
+//! constraints through the paper's pipeline:
+//!
+//! ```text
+//! XPathLog ──map──▶ Datalog denials ──Simp^U_Δ──▶ optimized denials ──▶ XQuery templates
+//! ```
+//!
+//! Registering an *update pattern* (an example XUpdate statement)
+//! precomputes the pattern's simplified, parameterized checks. At
+//! **runtime**, [`Checker::try_update`] recognizes the incoming
+//! statement's pattern and evaluates the optimized check *before* touching
+//! the document — illegal updates are rejected without ever being
+//! executed. Unrecognized or unsupported statements fall back to the
+//! baseline strategy: apply, run the full check, roll back on violation
+//! (Section 7's un-optimized curve).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xicheck::Checker;
+//!
+//! let dtd = "<!ELEMENT db (person)*>\
+//!            <!ELEMENT person (name, age)>\
+//!            <!ELEMENT name (#PCDATA)><!ELEMENT age (#PCDATA)>";
+//! let doc = "<db><person><name>ann</name><age>40</age></person></db>";
+//! // No two persons may share a name.
+//! let constraint = "<- //person[name/text() -> N] -> P \
+//!                   & //person[name/text() -> M] -> Q \
+//!                   & N = M & not P = Q";
+//! let mut checker = Checker::new(doc, dtd, constraint).unwrap();
+//!
+//! let ok = checker.try_update_str(
+//!     r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+//!          <xupdate:append select="/db">
+//!            <person><name>bob</name><age>41</age></person>
+//!          </xupdate:append>
+//!        </xupdate:modifications>"#,
+//! ).unwrap();
+//! assert!(ok.applied());
+//!
+//! let dup = checker.try_update_str(
+//!     r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+//!          <xupdate:append select="/db">
+//!            <person><name>ann</name><age>22</age></person>
+//!          </xupdate:append>
+//!        </xupdate:modifications>"#,
+//! ).unwrap();
+//! assert!(!dup.applied());
+//! ```
+
+pub mod checker;
+pub mod compile;
+pub mod resolver;
+
+pub use checker::{Checker, CheckerError, Stats, Strategy, UpdateOutcome, Violation};
+pub use compile::{compile_pattern, CompiledPattern};
+pub use resolver::xpath_resolver;
+
+// Re-exports for downstream users (examples, benches, tests).
+pub use xic_datalog::{Database, Denial, Update, Value};
+pub use xic_mapping::{map_denials, shred, RelSchema};
+pub use xic_simplify::{freshness_hypotheses, simp, FreshSpec, SimpConfig};
+pub use xic_translate::QueryTemplate;
+pub use xic_xml::{parse_document, Document, Dtd, XUpdateDoc};
+pub use xic_xpathlog::LDenial;

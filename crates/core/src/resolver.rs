@@ -1,0 +1,39 @@
+//! XPath-backed resolver for XUpdate `select` expressions.
+
+use xic_xml::{Document, NodeId};
+use xic_xpath::{evaluate_nodes, parse, Context, NodeRef};
+
+/// Resolves an XUpdate `select` expression to element/document node ids in
+/// document order, using the full XPath engine.
+pub fn xpath_resolver(doc: &Document, select: &str) -> Result<Vec<NodeId>, String> {
+    let expr = parse(select).map_err(|e| e.to_string())?;
+    let ctx = Context::root(doc);
+    let nodes = evaluate_nodes(&expr, &ctx).map_err(|e| e.to_string())?;
+    Ok(nodes
+        .into_iter()
+        .filter_map(|n| match n {
+            NodeRef::Node(id) => Some(id),
+            NodeRef::Attr { .. } => None,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_xml::parse_document;
+
+    #[test]
+    fn resolves_positional_paths() {
+        let (doc, _) = parse_document(
+            "<review><track><name>A</name><rev><name>r</name></rev>\
+             <rev><name>s</name></rev></track></review>",
+        )
+        .unwrap();
+        let hits = xpath_resolver(&doc, "/review/track[1]/rev[2]").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.text_content(hits[0]), "s");
+        assert!(xpath_resolver(&doc, "//nothing").unwrap().is_empty());
+        assert!(xpath_resolver(&doc, "///").is_err());
+    }
+}

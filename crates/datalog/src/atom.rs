@@ -1,0 +1,99 @@
+//! Relational atoms.
+
+use crate::term::Term;
+use std::fmt;
+
+/// A relational atom `pred(t1, …, tn)`.
+///
+/// In the XML mapping of Section 4, every predicate's first three columns
+/// are, by convention, the node id, the position among siblings, and the
+/// parent node id; remaining columns hold compacted PCDATA children (e.g.
+/// `rev(Id, Pos, IdParent, Name)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// The arity of this atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Collects the variable names occurring in this atom into `out`,
+    /// preserving first-occurrence order without duplicates.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !out.iter().any(|o| o == v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Returns the variable names of this atom in first-occurrence order.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// True if the atom contains no variables (it may contain parameters).
+    pub fn is_ground_modulo_params(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_in_order_without_dups() {
+        let a = Atom::new(
+            "p",
+            vec![Term::var("X"), Term::int(1), Term::var("Y"), Term::var("X")],
+        );
+        assert_eq!(a.vars(), vec!["X", "Y"]);
+        assert_eq!(a.arity(), 4);
+    }
+
+    #[test]
+    fn groundness() {
+        let g = Atom::new("p", vec![Term::int(1), Term::param("a")]);
+        assert!(g.is_ground_modulo_params());
+        let ng = Atom::new("p", vec![Term::var("X")]);
+        assert!(!ng.is_ground_modulo_params());
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom::new("rev", vec![Term::var("Ir"), Term::param("n"), Term::str("s")]);
+        assert_eq!(a.to_string(), "rev(Ir, $n, \"s\")");
+    }
+}

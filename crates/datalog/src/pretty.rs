@@ -1,0 +1,34 @@
+//! Pretty-printing helpers for sets of denials.
+
+use crate::denial::Denial;
+use std::fmt;
+
+/// Wraps a slice of denials for multi-line display, one denial per line,
+/// `.`-terminated — the same syntax accepted by
+/// [`parse_denials`](crate::parse::parse_denials), so printed constraint
+/// sets round-trip.
+pub struct DenialSet<'a>(pub &'a [Denial]);
+
+impl fmt::Display for DenialSet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in self.0 {
+            writeln!(f, "{d}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_denials;
+
+    #[test]
+    fn denial_set_roundtrips() {
+        let src = "<- p(X, Y) & q(Y). <- r(Z) & Z != 3.";
+        let ds = parse_denials(src).unwrap();
+        let printed = DenialSet(&ds).to_string();
+        let reparsed = parse_denials(&printed).unwrap();
+        assert_eq!(ds, reparsed);
+    }
+}

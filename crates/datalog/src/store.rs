@@ -1,0 +1,280 @@
+//! In-memory relational store with per-column hash indexes.
+
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A relation: a set of same-arity tuples with hash indexes on every
+/// column.
+///
+/// The XML shredding produces relations whose first column (node id) is a
+/// key and whose third column (parent id) is the main join column, so
+/// per-column indexes make conjunctive evaluation effectively index-nested
+/// -loop joins.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: Option<usize>,
+    tuples: Vec<Option<Vec<Value>>>,
+    /// Tuple → slot, for set semantics and O(1) removal.
+    by_tuple: HashMap<Vec<Value>, usize>,
+    /// One index per column: value → slots.
+    indexes: Vec<HashMap<Value, Vec<usize>>>,
+    live: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation; the arity is fixed by the first insert.
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The arity, if any tuple was ever inserted.
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// Inserts a tuple; returns `false` if it was already present
+    /// (relations have set semantics).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch with previously inserted tuples.
+    pub fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        match self.arity {
+            Some(a) => assert_eq!(a, tuple.len(), "arity mismatch"),
+            None => {
+                self.arity = Some(tuple.len());
+                self.indexes = (0..tuple.len()).map(|_| HashMap::new()).collect();
+            }
+        }
+        match self.by_tuple.entry(tuple.clone()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                let slot = self.tuples.len();
+                e.insert(slot);
+                for (col, v) in tuple.iter().enumerate() {
+                    self.indexes[col].entry(v.clone()).or_default().push(slot);
+                }
+                self.tuples.push(Some(tuple));
+                self.live += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        match self.by_tuple.remove(tuple) {
+            Some(slot) => {
+                self.tuples[slot] = None;
+                self.live -= 1;
+                // Index entries are left as tombstoned slots and skipped on
+                // scan; they are compacted when they outnumber live tuples.
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the tuple is present.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.by_tuple.contains_key(tuple)
+    }
+
+    /// Iterates over live tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
+        self.tuples.iter().filter_map(|t| t.as_deref())
+    }
+
+    /// Iterates over live tuples whose column `col` equals `v`, using the
+    /// column index.
+    pub fn iter_where<'a>(
+        &'a self,
+        col: usize,
+        v: &Value,
+    ) -> Box<dyn Iterator<Item = &'a [Value]> + 'a> {
+        match self.indexes.get(col).and_then(|ix| ix.get(v)) {
+            Some(slots) => Box::new(
+                slots
+                    .iter()
+                    .filter_map(move |&s| self.tuples[s].as_deref()),
+            ),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Picks the most selective bound column (fewest candidate slots) and
+    /// returns matching live tuples; with no bound column, scans all.
+    /// `bound` holds `Some(value)` for columns whose value is known.
+    pub fn select<'a>(
+        &'a self,
+        bound: &[Option<Value>],
+    ) -> Box<dyn Iterator<Item = &'a [Value]> + 'a> {
+        let mut best: Option<(usize, usize, Value)> = None;
+        for (col, b) in bound.iter().enumerate() {
+            if let Some(v) = b {
+                let n = self
+                    .indexes
+                    .get(col)
+                    .and_then(|ix| ix.get(v))
+                    .map_or(0, Vec::len);
+                if best.as_ref().is_none_or(|(_, bn, _)| n < *bn) {
+                    best = Some((col, n, v.clone()));
+                }
+            }
+        }
+        match best {
+            Some((col, _, v)) => self.iter_where(col, &v),
+            None => Box::new(self.iter()),
+        }
+    }
+}
+
+/// A database: a map from predicate names to relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The relation for `pred`, if it has any tuples.
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Inserts a tuple into `pred`'s relation (creating it on first use);
+    /// returns `false` if the tuple was already present.
+    pub fn insert(&mut self, pred: &str, tuple: Vec<Value>) -> bool {
+        self.relations
+            .entry(pred.to_string())
+            .or_default()
+            .insert(tuple)
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, pred: &str, tuple: &[Value]) -> bool {
+        self.relations
+            .get_mut(pred)
+            .is_some_and(|r| r.remove(tuple))
+    }
+
+    /// True if `pred` contains the tuple.
+    pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
+        self.relations.get(pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Predicate names present in the database, sorted.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total number of live tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// All distinct values appearing anywhere in the database. Used by the
+    /// property tests to enumerate candidate bindings.
+    pub fn active_domain(&self) -> HashSet<Value> {
+        let mut out = HashSet::new();
+        for r in self.relations.values() {
+            for t in r.iter() {
+                out.extend(t.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn insert_set_semantics() {
+        let mut r = Relation::new();
+        assert!(r.insert(tup(&[1, 2])));
+        assert!(!r.insert(tup(&[1, 2])));
+        assert!(r.insert(tup(&[1, 3])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tup(&[1, 2])));
+    }
+
+    #[test]
+    fn remove_and_iterate() {
+        let mut r = Relation::new();
+        r.insert(tup(&[1, 2]));
+        r.insert(tup(&[3, 4]));
+        assert!(r.remove(&tup(&[1, 2])));
+        assert!(!r.remove(&tup(&[1, 2])));
+        let all: Vec<_> = r.iter().collect();
+        assert_eq!(all, vec![&tup(&[3, 4])[..]]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn indexed_lookup_skips_tombstones() {
+        let mut r = Relation::new();
+        r.insert(tup(&[1, 10]));
+        r.insert(tup(&[1, 20]));
+        r.insert(tup(&[2, 30]));
+        r.remove(&tup(&[1, 10]));
+        let hits: Vec<_> = r.iter_where(0, &Value::Int(1)).collect();
+        assert_eq!(hits, vec![&tup(&[1, 20])[..]]);
+    }
+
+    #[test]
+    fn select_prefers_most_selective_column() {
+        let mut r = Relation::new();
+        for i in 0..100 {
+            r.insert(tup(&[i % 2, i]));
+        }
+        // Column 1 is unique, column 0 has 50 matches; select must return
+        // exactly the single matching tuple either way.
+        let hits: Vec<_> = r
+            .select(&[Some(Value::Int(1)), Some(Value::Int(13))])
+            .collect();
+        assert_eq!(hits, vec![&tup(&[1, 13])[..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        let mut r = Relation::new();
+        r.insert(tup(&[1]));
+        r.insert(tup(&[1, 2]));
+    }
+
+    #[test]
+    fn database_basics() {
+        let mut db = Database::new();
+        db.insert("p", tup(&[1]));
+        db.insert("q", tup(&[2]));
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.contains("p", &tup(&[1])));
+        assert!(db.remove("p", &tup(&[1])));
+        assert!(!db.remove("p", &tup(&[1])));
+        assert!(!db.remove("zzz", &tup(&[1])));
+        let preds: Vec<_> = db.predicates().collect();
+        assert_eq!(preds, vec!["p", "q"]);
+        assert_eq!(db.active_domain().len(), 1);
+    }
+}

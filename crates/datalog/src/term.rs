@@ -1,0 +1,112 @@
+//! Terms: variables, constants and parameters.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A Datalog term.
+///
+/// There are no function symbols: the Herbrand universe is flat, which keeps
+/// unification and θ-subsumption decidable by simple backtracking and makes
+/// the simplification procedure trivially terminating (Section 5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable, implicitly universally quantified in a denial.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+    /// A *parameter*: a placeholder for a constant that becomes known only
+    /// at update time (the boldface symbols of the paper). During
+    /// simplification a parameter behaves like a constant distinct from
+    /// every other constant name-wise, except that its actual value is
+    /// unknown — so `$a = "x"` cannot be decided at compile time.
+    Param(String),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Convenience constructor for a parameter term.
+    pub fn param(name: impl Into<String>) -> Term {
+        Term::Param(name.into())
+    }
+
+    /// Convenience constructor for an integer constant.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Value::Int(i))
+    }
+
+    /// Convenience constructor for a string constant.
+    pub fn str(s: impl Into<String>) -> Term {
+        Term::Const(Value::Str(s.into()))
+    }
+
+    /// True if this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True if this term is a constant or a parameter — i.e. rigid under
+    /// substitution.
+    pub fn is_rigid(&self) -> bool {
+        matches!(self, Term::Const(_) | Term::Param(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn var_name(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The constant value, if this is a constant.
+    pub fn const_value(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Param(p) => write!(f, "${p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert!(Term::var("X").is_var());
+        assert!(!Term::int(1).is_var());
+        assert!(Term::int(1).is_rigid());
+        assert!(Term::param("a").is_rigid());
+        assert!(!Term::var("X").is_rigid());
+        assert_eq!(Term::var("X").var_name(), Some("X"));
+        assert_eq!(Term::str("s").const_value(), Some(&Value::from("s")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::param("ir").to_string(), "$ir");
+        assert_eq!(Term::str("t").to_string(), "\"t\"");
+        assert_eq!(Term::int(7).to_string(), "7");
+    }
+}

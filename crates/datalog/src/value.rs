@@ -1,0 +1,102 @@
+//! Constant values stored in relations.
+
+use std::fmt;
+
+/// A constant value: either a string (PCDATA content, tag names) or an
+/// integer (node identifiers, positions, counts).
+///
+/// Values are totally ordered so that comparison built-ins (`<`, `<=`, …)
+/// have a deterministic semantics: integers sort before strings, integers
+/// numerically, strings lexicographically. Mixed-type comparisons arise
+/// only in degenerate queries but must still be well-defined for the
+/// property tests to be meaningful.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Integer constant (node ids, positions, thresholds).
+    Int(i64),
+    /// String constant.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the integer content, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string content, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_ints_before_strings() {
+        assert!(Value::Int(99) < Value::Str("a".into()));
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Str("a".into()) < Value::Str("b".into()));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(3).as_int(), Some(3));
+        assert_eq!(Value::from(3).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::from("ab").to_string(), "\"ab\"");
+        assert_eq!(Value::from(5).to_string(), "5");
+    }
+}

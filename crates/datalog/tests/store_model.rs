@@ -1,0 +1,78 @@
+//! Model-based property test for the relational store: a `Relation` under
+//! random insert/remove/query sequences behaves exactly like a set of
+//! tuples, and the per-column indexes always agree with full scans.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use xic_datalog::{Relation, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Remove(i64, i64),
+    QueryCol0(i64),
+    QueryCol1(i64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..8i64, 0..4i64).prop_map(|(a, b)| Op::Insert(a, b)),
+            (0..8i64, 0..4i64).prop_map(|(a, b)| Op::Remove(a, b)),
+            (0..8i64).prop_map(Op::QueryCol0),
+            (0..4i64).prop_map(Op::QueryCol1),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn relation_matches_set_model(ops in ops()) {
+        let mut rel = Relation::new();
+        let mut model: BTreeSet<(i64, i64)> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(a, b) => {
+                    let fresh = rel.insert(vec![Value::Int(a), Value::Int(b)]);
+                    prop_assert_eq!(fresh, model.insert((a, b)));
+                }
+                Op::Remove(a, b) => {
+                    let had = rel.remove(&[Value::Int(a), Value::Int(b)]);
+                    prop_assert_eq!(had, model.remove(&(a, b)));
+                }
+                Op::QueryCol0(a) => {
+                    let mut got: Vec<(i64, i64)> = rel
+                        .iter_where(0, &Value::Int(a))
+                        .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap()))
+                        .collect();
+                    got.sort_unstable();
+                    let want: Vec<(i64, i64)> =
+                        model.iter().copied().filter(|(x, _)| *x == a).collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::QueryCol1(b) => {
+                    let mut got: Vec<(i64, i64)> = rel
+                        .iter_where(1, &Value::Int(b))
+                        .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap()))
+                        .collect();
+                    got.sort_unstable();
+                    let want: Vec<(i64, i64)> =
+                        model.iter().copied().filter(|(_, y)| *y == b).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(rel.len(), model.len());
+        }
+        // Final scan agrees with the model.
+        let mut all: Vec<(i64, i64)> = rel
+            .iter()
+            .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap()))
+            .collect();
+        all.sort_unstable();
+        let want: Vec<(i64, i64)> = model.into_iter().collect();
+        prop_assert_eq!(all, want);
+    }
+}

@@ -1,0 +1,480 @@
+//! DTD → relational schema derivation (Section 4.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use xic_xml::{ContentModel, Dtd};
+
+/// Occurrence bound of a child name within a content model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Occ {
+    /// Not present.
+    Zero,
+    /// Optional (0..1).
+    Opt,
+    /// Exactly once.
+    One,
+    /// Possibly repeated.
+    Many,
+}
+
+impl Occ {
+    fn seq(self, other: Occ) -> Occ {
+        match (self, other) {
+            (Occ::Zero, o) | (o, Occ::Zero) => o,
+            _ => Occ::Many,
+        }
+    }
+
+    fn choice(self, other: Occ) -> Occ {
+        match (self, other) {
+            (Occ::Zero, Occ::Zero) => Occ::Zero,
+            (Occ::Many, _) | (_, Occ::Many) => Occ::Many,
+            (Occ::Zero, Occ::One | Occ::Opt) | (Occ::One | Occ::Opt, Occ::Zero) => Occ::Opt,
+            (Occ::One, Occ::One) => Occ::One,
+            _ => Occ::Opt,
+        }
+    }
+
+    fn optional(self) -> Occ {
+        match self {
+            Occ::Zero => Occ::Zero,
+            Occ::Many => Occ::Many,
+            _ => Occ::Opt,
+        }
+    }
+
+    fn star(self) -> Occ {
+        if self == Occ::Zero {
+            Occ::Zero
+        } else {
+            Occ::Many
+        }
+    }
+}
+
+fn occurrence(model: &ContentModel, name: &str) -> Occ {
+    match model {
+        ContentModel::Empty | ContentModel::Any | ContentModel::PcData => Occ::Zero,
+        ContentModel::Mixed(names) if names.iter().any(|n| n == name) => Occ::Many,
+        ContentModel::Mixed(_) => Occ::Zero,
+        ContentModel::Name(n) => {
+            if n == name {
+                Occ::One
+            } else {
+                Occ::Zero
+            }
+        }
+        ContentModel::Seq(parts) => parts
+            .iter()
+            .map(|p| occurrence(p, name))
+            .fold(Occ::Zero, Occ::seq),
+        ContentModel::Choice(parts) => parts
+            .iter()
+            .map(|p| occurrence(p, name))
+            .reduce(Occ::choice)
+            .unwrap_or(Occ::Zero),
+        ContentModel::Optional(p) => occurrence(p, name).optional(),
+        ContentModel::Star(p) => occurrence(p, name).star(),
+        ContentModel::Plus(p) => {
+            let o = occurrence(p, name);
+            if o == Occ::Zero {
+                Occ::Zero
+            } else {
+                Occ::Many
+            }
+        }
+    }
+}
+
+/// Names mentioned by a content model, in first-occurrence order.
+/// Public within the crate for the constraint mapper's parent lookup.
+pub(crate) fn mentioned_names(model: &ContentModel, out: &mut Vec<String>) {
+    match model {
+        ContentModel::Name(n)
+            if !out.iter().any(|o| o == n) => {
+                out.push(n.clone());
+            }
+        ContentModel::Mixed(names) => {
+            for n in names {
+                if !out.iter().any(|o| o == n) {
+                    out.push(n.clone());
+                }
+            }
+        }
+        ContentModel::Seq(parts) | ContentModel::Choice(parts) => {
+            for p in parts {
+                mentioned_names(p, out);
+            }
+        }
+        ContentModel::Optional(p) | ContentModel::Star(p) | ContentModel::Plus(p) => {
+            mentioned_names(p, out);
+        }
+        _ => {}
+    }
+}
+
+/// One relational predicate: element name plus its compacted columns. The
+/// full column list is `(Id, Pos, IdParent, col0, col1, …)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredInfo {
+    /// Names of compacted PCDATA children, in content-model order.
+    pub cols: Vec<String>,
+}
+
+impl PredInfo {
+    /// Total arity of the predicate (3 structural columns + data columns).
+    pub fn arity(&self) -> usize {
+        3 + self.cols.len()
+    }
+
+    /// The argument index of a compacted child's value column.
+    pub fn col_index(&self, child: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c == child).map(|i| i + 3)
+    }
+}
+
+/// The relational schema derived from a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelSchema {
+    /// Predicates by element name.
+    preds: BTreeMap<String, PredInfo>,
+    /// Elements whose PCDATA is stored in their container's predicate.
+    compacted: BTreeSet<String>,
+    /// Container-only singleton elements not represented at all (e.g. the
+    /// `dblp` / `review` roots).
+    dropped: BTreeSet<String>,
+    /// The root element name.
+    root: String,
+}
+
+/// Schema derivation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schema mapping error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl RelSchema {
+    /// Derives the relational schema from a DTD.
+    pub fn from_dtd(dtd: &Dtd) -> Result<RelSchema, SchemaError> {
+        let names: Vec<&str> = dtd.elements().iter().map(|e| e.name.as_str()).collect();
+        if names.is_empty() {
+            return Err(SchemaError("empty DTD".to_string()));
+        }
+        // Root: an element mentioned by no other element's model.
+        let mut referenced: BTreeSet<&str> = BTreeSet::new();
+        for e in dtd.elements() {
+            let mut m = Vec::new();
+            mentioned_names(&e.model, &mut m);
+            for n in m {
+                if let Some(&s) = names.iter().find(|&&x| x == n) {
+                    referenced.insert(s);
+                }
+            }
+        }
+        let roots: Vec<&str> = names
+            .iter()
+            .copied()
+            .filter(|n| !referenced.contains(n))
+            .collect();
+        let root = match roots.as_slice() {
+            [r] => (*r).to_string(),
+            [] => return Err(SchemaError("cyclic DTD: no root element".to_string())),
+            several => {
+                return Err(SchemaError(format!(
+                    "ambiguous root: {}",
+                    several.join(", ")
+                )))
+            }
+        };
+
+        // Parent → children occurrence table.
+        let parents_of = |child: &str| -> Vec<(&str, Occ)> {
+            dtd.elements()
+                .iter()
+                .filter_map(|e| {
+                    let o = occurrence(&e.model, child);
+                    if o == Occ::Zero {
+                        None
+                    } else {
+                        Some((e.name.as_str(), o))
+                    }
+                })
+                .collect()
+        };
+
+        // Compacted: PCDATA-only elements occurring exactly once in every
+        // parent that mentions them.
+        let mut compacted: BTreeSet<String> = BTreeSet::new();
+        for e in dtd.elements() {
+            if e.model != ContentModel::PcData {
+                continue;
+            }
+            let ps = parents_of(&e.name);
+            if !ps.is_empty() && ps.iter().all(|(_, o)| *o == Occ::One) {
+                compacted.insert(e.name.clone());
+            }
+        }
+
+        // Singleton container-only elements (reachable from the root
+        // through exactly-once edges, with no compacted columns) are
+        // dropped.
+        let has_cols = |name: &str| -> bool {
+            dtd.element(name).is_some_and(|decl| {
+                let mut m = Vec::new();
+                mentioned_names(&decl.model, &mut m);
+                m.iter().any(|c| compacted.contains(c))
+            })
+        };
+        let mut dropped: BTreeSet<String> = BTreeSet::new();
+        let mut frontier = vec![root.clone()];
+        while let Some(cand) = frontier.pop() {
+            if compacted.contains(&cand) || has_cols(&cand) || dropped.contains(&cand) {
+                continue;
+            }
+            // Must occur only under already-dropped parents (or be root).
+            let ps = parents_of(&cand);
+            let singleton = ps
+                .iter()
+                .all(|(p, o)| *o == Occ::One && dropped.contains(*p));
+            if cand == root || singleton {
+                dropped.insert(cand.clone());
+                if let Some(decl) = dtd.element(&cand) {
+                    let mut m = Vec::new();
+                    mentioned_names(&decl.model, &mut m);
+                    frontier.extend(m);
+                }
+            }
+        }
+
+        // Everything else is a predicate.
+        let mut preds = BTreeMap::new();
+        for e in dtd.elements() {
+            if compacted.contains(&e.name) || dropped.contains(&e.name) {
+                continue;
+            }
+            let mut m = Vec::new();
+            mentioned_names(&e.model, &mut m);
+            let cols: Vec<String> = m.into_iter().filter(|c| compacted.contains(c)).collect();
+            preds.insert(e.name.clone(), PredInfo { cols });
+        }
+        Ok(RelSchema {
+            preds,
+            compacted,
+            dropped,
+            root,
+        })
+    }
+
+    /// The predicate for an element name, if it is mapped to one.
+    pub fn pred(&self, element: &str) -> Option<&PredInfo> {
+        self.preds.get(element)
+    }
+
+    /// All predicates, sorted by name.
+    pub fn preds(&self) -> impl Iterator<Item = (&str, &PredInfo)> {
+        self.preds.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True if the element's PCDATA is compacted into its container.
+    pub fn is_compacted(&self, element: &str) -> bool {
+        self.compacted.contains(element)
+    }
+
+    /// True if the element is a dropped singleton container.
+    pub fn is_dropped(&self, element: &str) -> bool {
+        self.dropped.contains(element)
+    }
+
+    /// The root element name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// The number of element children guaranteed to precede the first
+    /// `child` inside `parent` (used to map `child[n]` positional
+    /// predicates to the `Pos` column: `Pos = offset + n`). `None` when
+    /// the prefix has no fixed size.
+    pub fn position_offset(&self, dtd: &Dtd, parent: &str, child: &str) -> Option<i64> {
+        let decl = dtd.element(parent)?;
+        fixed_prefix(&decl.model, child).map(|n| n as i64)
+    }
+}
+
+/// Counts the elements guaranteed before the first `child` in `model`,
+/// returning `None` when the prefix size is not fixed or the child is
+/// absent.
+fn fixed_prefix(model: &ContentModel, child: &str) -> Option<usize> {
+    match model {
+        ContentModel::Name(n) => {
+            if n == child {
+                Some(0)
+            } else {
+                None
+            }
+        }
+        ContentModel::Seq(parts) => {
+            let mut before = 0usize;
+            for p in parts {
+                if occurrence(p, child) != Occ::Zero {
+                    return fixed_prefix(p, child).map(|k| before + k);
+                }
+                // The part must have a fixed width to keep counting.
+                before += fixed_width(p)?;
+            }
+            None
+        }
+        ContentModel::Plus(p) | ContentModel::Star(p) | ContentModel::Optional(p) => {
+            // The first iteration starts at offset 0 within the particle.
+            match &**p {
+                ContentModel::Name(n) if n == child => Some(0),
+                inner => fixed_prefix(inner, child),
+            }
+        }
+        ContentModel::Choice(parts) => {
+            // Usable only if every alternative gives the same offset.
+            let offsets: Vec<Option<usize>> =
+                parts.iter().map(|p| fixed_prefix(p, child)).collect();
+            let first = offsets.first().copied().flatten()?;
+            offsets
+                .iter()
+                .all(|o| *o == Some(first))
+                .then_some(first)
+        }
+        _ => None,
+    }
+}
+
+/// The exact number of elements a model always produces, if fixed.
+fn fixed_width(model: &ContentModel) -> Option<usize> {
+    match model {
+        ContentModel::Name(_) => Some(1),
+        ContentModel::Seq(parts) => parts.iter().map(fixed_width).sum(),
+        ContentModel::Choice(parts) => {
+            let ws: Vec<Option<usize>> = parts.iter().map(fixed_width).collect();
+            let first = ws.first().copied().flatten()?;
+            ws.iter().all(|w| *w == Some(first)).then_some(first)
+        }
+        _ => None,
+    }
+}
+
+/// The two DTDs of Section 3.2, combined under a synthetic `collection`
+/// root so that one store can hold both documents (the paper's constraints
+/// join across them).
+pub fn paper_dtd() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT collection (dblp, review)>\n\
+         <!ELEMENT dblp (pub)*>\n\
+         <!ELEMENT pub (title, aut+)>\n\
+         <!ELEMENT aut (name)>\n\
+         <!ELEMENT review (track)+>\n\
+         <!ELEMENT track (name,rev+)>\n\
+         <!ELEMENT rev (name, sub+)>\n\
+         <!ELEMENT sub (title, auts+)>\n\
+         <!ELEMENT title (#PCDATA)>\n\
+         <!ELEMENT auts (name)>\n\
+         <!ELEMENT name (#PCDATA)>",
+    )
+    .expect("paper DTD is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schema_matches_section_4_1() {
+        let schema = RelSchema::from_dtd(&paper_dtd()).unwrap();
+        // Six predicates: pub, aut, track, rev, sub, auts.
+        let preds: Vec<&str> = schema.preds().map(|(n, _)| n).collect();
+        assert_eq!(preds, vec!["aut", "auts", "pub", "rev", "sub", "track"]);
+        assert_eq!(schema.pred("pub").unwrap().cols, vec!["title"]);
+        assert_eq!(schema.pred("aut").unwrap().cols, vec!["name"]);
+        assert_eq!(schema.pred("track").unwrap().cols, vec!["name"]);
+        assert_eq!(schema.pred("rev").unwrap().cols, vec!["name"]);
+        assert_eq!(schema.pred("sub").unwrap().cols, vec!["title"]);
+        assert_eq!(schema.pred("auts").unwrap().cols, vec!["name"]);
+        assert_eq!(schema.pred("sub").unwrap().arity(), 4);
+        // name/title compacted; collection/dblp/review dropped.
+        assert!(schema.is_compacted("name"));
+        assert!(schema.is_compacted("title"));
+        assert!(schema.is_dropped("dblp"));
+        assert!(schema.is_dropped("review"));
+        assert!(schema.is_dropped("collection"));
+        assert_eq!(schema.root(), "collection");
+    }
+
+    #[test]
+    fn repeated_pcdata_child_stays_predicate() {
+        // keywords can repeat: must not be compacted.
+        let dtd = Dtd::parse(
+            "<!ELEMENT doc (item)*>\n<!ELEMENT item (kw+, label)>\n\
+             <!ELEMENT kw (#PCDATA)>\n<!ELEMENT label (#PCDATA)>",
+        )
+        .unwrap();
+        let s = RelSchema::from_dtd(&dtd).unwrap();
+        assert!(s.pred("kw").is_some());
+        assert!(s.is_compacted("label"));
+        assert_eq!(s.pred("item").unwrap().cols, vec!["label"]);
+    }
+
+    #[test]
+    fn optional_pcdata_child_stays_predicate() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT doc (item)*>\n<!ELEMENT item (note?)>\n<!ELEMENT note (#PCDATA)>",
+        )
+        .unwrap();
+        let s = RelSchema::from_dtd(&dtd).unwrap();
+        assert!(s.pred("note").is_some(), "no nullable columns");
+        assert!(s.pred("item").unwrap().cols.is_empty());
+    }
+
+    #[test]
+    fn position_offsets() {
+        let dtd = paper_dtd();
+        let s = RelSchema::from_dtd(&dtd).unwrap();
+        // track = (name, rev+): rev[n] is element child n+1.
+        assert_eq!(s.position_offset(&dtd, "track", "rev"), Some(1));
+        assert_eq!(s.position_offset(&dtd, "review", "track"), Some(0));
+        assert_eq!(s.position_offset(&dtd, "rev", "sub"), Some(1));
+        assert_eq!(s.position_offset(&dtd, "pub", "aut"), Some(1));
+        assert_eq!(s.position_offset(&dtd, "pub", "title"), Some(0));
+        assert_eq!(s.position_offset(&dtd, "track", "zzz"), None);
+    }
+
+    #[test]
+    fn ambiguous_root_rejected() {
+        let dtd = Dtd::parse("<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>").unwrap();
+        assert!(RelSchema::from_dtd(&dtd).is_err());
+    }
+
+    #[test]
+    fn choice_children_not_compacted() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT doc (item)*>\n<!ELEMENT item (a | b)>\n\
+             <!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>",
+        )
+        .unwrap();
+        let s = RelSchema::from_dtd(&dtd).unwrap();
+        assert!(s.pred("a").is_some());
+        assert!(s.pred("b").is_some());
+    }
+
+    #[test]
+    fn nested_singleton_containers_dropped() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT root (wrap)>\n<!ELEMENT wrap (item*)>\n\
+             <!ELEMENT item (label)>\n<!ELEMENT label (#PCDATA)>",
+        )
+        .unwrap();
+        let s = RelSchema::from_dtd(&dtd).unwrap();
+        assert!(s.is_dropped("root"));
+        assert!(s.is_dropped("wrap"));
+        assert!(s.pred("item").is_some());
+    }
+}

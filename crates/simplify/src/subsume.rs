@@ -1,0 +1,405 @@
+//! θ-subsumption between denials, with mild semantic entailment on
+//! comparison and aggregate thresholds.
+//!
+//! A denial φ *subsumes* ψ when there is a substitution θ over φ's
+//! variables such that every literal of φθ is entailed by some literal of
+//! ψ. Since denials are negative clauses, this means ψ's body is at least
+//! as constrained as φ's: whenever φ holds (its body is unsatisfiable), ψ
+//! holds too, so ψ is redundant in any set containing φ. This unit-proof
+//! restriction of the resolution-based redundancy check of \[16\] suffices
+//! for every example in the paper and keeps `Optimize` trivially
+//! terminating.
+
+use std::collections::HashSet;
+use xic_datalog::{Aggregate, Atom, CompOp, Denial, Literal, Subst, Term, Value, VarGen};
+
+/// Returns true if `phi` θ-subsumes `psi`, i.e. some substitution of
+/// `phi`'s variables maps each of its literals to a literal of `psi` (or
+/// one entailed by it).
+///
+/// `phi`'s variables are renamed apart internally, so the two clauses may
+/// share variable names.
+pub fn subsumes(phi: &Denial, psi: &Denial) -> bool {
+    let mut gen = VarGen::new();
+    // Avoid collisions with psi's variables.
+    for v in psi.vars() {
+        gen.fresh(&v);
+    }
+    let phi = phi.rename_apart(&mut gen);
+    let m = Matcher {
+        pattern_vars: phi.vars().into_iter().collect(),
+    };
+    let mut s = Subst::new();
+    m.try_match(&phi.body, 0, &psi.body, &mut s)
+}
+
+/// One-sided matcher: only variables of the pattern clause may be bound.
+/// Target variables are rigid symbols — binding them would wrongly let
+/// `← p(X,X)` subsume `← p(A,B)`.
+struct Matcher {
+    pattern_vars: HashSet<String>,
+}
+
+impl Matcher {
+    fn try_match(&self, pattern: &[Literal], idx: usize, target: &[Literal], s: &mut Subst) -> bool {
+        if idx == pattern.len() {
+            return true;
+        }
+        for t in target {
+            // A comparison literal can entail the pattern under several
+            // distinct substitutions (direct/flipped orientation, with or
+            // without threshold weakening); each is a separate choice
+            // point for the backtracking search.
+            for variant in 0..Self::VARIANTS {
+                let saved = s.clone();
+                if self.literal_entails(t, &pattern[idx], s, variant)
+                    && self.try_match(pattern, idx + 1, target, s)
+                {
+                    return true;
+                }
+                *s = saved;
+                if !matches!(pattern[idx], Literal::Comp(..)) {
+                    break; // non-comparison literals have one variant
+                }
+            }
+        }
+        false
+    }
+
+    fn match_term(&self, pattern: &Term, target: &Term, s: &mut Subst) -> bool {
+        let rp = s.resolve(pattern);
+        match &rp {
+            Term::Var(x) if self.pattern_vars.contains(x) => {
+                s.bind(x, target);
+                true
+            }
+            other => other == target,
+        }
+    }
+
+    fn match_atom(&self, pattern: &Atom, target: &Atom, s: &mut Subst) -> bool {
+        pattern.pred == target.pred
+            && pattern.args.len() == target.args.len()
+            && pattern
+                .args
+                .iter()
+                .zip(&target.args)
+                .all(|(p, t)| self.match_term(p, t, s))
+    }
+
+    /// Number of distinct entailment variants tried per comparison literal.
+    const VARIANTS: usize = 4;
+
+    /// True if target literal `t` entails pattern literal `p·θ` for some
+    /// extension of `s`, using the selected match `variant` for comparison
+    /// literals (0: direct, 1: flipped, 2/3: same with threshold
+    /// weakening). Non-comparison literals ignore the variant beyond 0.
+    fn literal_entails(&self, t: &Literal, p: &Literal, s: &mut Subst, variant: usize) -> bool {
+        match (p, t) {
+            (Literal::Pos(pa), Literal::Pos(ta)) | (Literal::Neg(pa), Literal::Neg(ta)) => {
+                self.match_atom(pa, ta, s)
+            }
+            (Literal::Comp(pl, pop, pr), Literal::Comp(tl, top, tr)) => {
+                let weaken = variant >= 2;
+                if variant % 2 == 0 {
+                    self.comp_entails(*top, tl, tr, *pop, pl, pr, s, weaken)
+                } else {
+                    self.comp_entails(top.flip(), tr, tl, *pop, pl, pr, s, weaken)
+                }
+            }
+            (Literal::Agg(pagg, pop, pt), Literal::Agg(tagg, top, tt)) => {
+                self.agg_entails(tagg, *top, tt, pagg, *pop, pt, s)
+            }
+            _ => false,
+        }
+    }
+
+    /// True if `a top b` entails `(pl pop pr)·θ` where θ extends `s`.
+    #[allow(clippy::too_many_arguments)]
+    fn comp_entails(
+        &self,
+        top: CompOp,
+        a: &Term,
+        b: &Term,
+        pop: CompOp,
+        pl: &Term,
+        pr: &Term,
+        s: &mut Subst,
+        weaken: bool,
+    ) -> bool {
+        if !weaken {
+            // Syntactic matching of both sides.
+            return self.match_term(pl, a, s)
+                && self.match_term(pr, b, s)
+                && op_implies(top, pop, None);
+        }
+        // Threshold weakening on constant right-hand sides:
+        // `x top c'` entails `x pop c` for suitable c, c'.
+        if let (Term::Const(cp), Term::Const(ct)) = (&s.resolve(pr), b) {
+            let (cp, ct) = (cp.clone(), ct.clone());
+            return self.match_term(pl, a, s) && op_implies(top, pop, Some((&ct, &cp)));
+        }
+        false
+    }
+
+    /// True if target aggregate literal entails pattern aggregate literal:
+    /// same function, patterns equal as multisets under θ, threshold
+    /// weakened at most.
+    #[allow(clippy::too_many_arguments)]
+    fn agg_entails(
+        &self,
+        tagg: &Aggregate,
+        top: CompOp,
+        tt: &Term,
+        pagg: &Aggregate,
+        pop: CompOp,
+        pt: &Term,
+        s: &mut Subst,
+    ) -> bool {
+        if pagg.func != tagg.func || pagg.pattern.len() != tagg.pattern.len() {
+            return false;
+        }
+        match (&pagg.term, &tagg.term) {
+            (None, None) => {}
+            (Some(p), Some(t)) => {
+                if !self.match_term(p, t, s) {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+        let mut used = vec![false; tagg.pattern.len()];
+        if !self.match_pattern(&pagg.pattern, 0, &tagg.pattern, &mut used, s) {
+            return false;
+        }
+        // Thresholds: the aggregate values coincide (same pattern), so the
+        // entailment table applies with identical left-hand sides.
+        let rpt = s.resolve(pt);
+        if rpt == *tt {
+            return op_implies(top, pop, None);
+        }
+        if let (Term::Const(cp), Term::Const(ct)) = (&rpt, tt) {
+            return op_implies(top, pop, Some((ct, cp)));
+        }
+        self.match_term(pt, tt, s) && op_implies(top, pop, None)
+    }
+
+    /// Injective multiset matching of pattern atoms onto target atoms.
+    fn match_pattern(
+        &self,
+        pattern: &[Atom],
+        idx: usize,
+        target: &[Atom],
+        used: &mut Vec<bool>,
+        s: &mut Subst,
+    ) -> bool {
+        if idx == pattern.len() {
+            return true;
+        }
+        for i in 0..target.len() {
+            if used[i] {
+                continue;
+            }
+            let saved = s.clone();
+            used[i] = true;
+            if self.match_atom(&pattern[idx], &target[i], s)
+                && self.match_pattern(pattern, idx + 1, target, used, s)
+            {
+                return true;
+            }
+            used[i] = false;
+            *s = saved;
+        }
+        false
+    }
+}
+
+/// Does `x top c'` imply `x pop c`? With `consts = None`, requires the
+/// right-hand sides to be syntactically equal (already matched); with
+/// `Some((c', c))`, applies interval reasoning valid over any totally
+/// ordered domain (no integer-adjacency tricks, so it is sound for strings
+/// too).
+fn op_implies(top: CompOp, pop: CompOp, consts: Option<(&Value, &Value)>) -> bool {
+    use CompOp::{Eq, Ge, Gt, Le, Lt, Ne};
+    match consts {
+        None => {
+            matches!(
+                (top, pop),
+                (Eq, Eq)
+                    | (Ne, Ne)
+                    | (Lt, Lt)
+                    | (Le, Le)
+                    | (Gt, Gt)
+                    | (Ge, Ge)
+                    | (Lt, Le)
+                    | (Gt, Ge)
+                    | (Lt, Ne)
+                    | (Gt, Ne)
+                    | (Eq, Le)
+                    | (Eq, Ge)
+            )
+        }
+        Some((ct, cp)) => match (top, pop) {
+            // x = c' ⟹ x pop c  iff  c' pop c.
+            (Eq, p) => p.eval(ct, cp),
+            // Lower bounds.
+            (Gt, Gt) | (Gt, Ge) | (Ge, Ge) => cp <= ct,
+            (Ge, Gt) => cp < ct,
+            // Upper bounds.
+            (Lt, Lt) | (Lt, Le) | (Le, Le) => cp >= ct,
+            (Le, Lt) => cp > ct,
+            _ => false,
+        },
+    }
+}
+
+/// True if the two denials are variants of each other (mutual
+/// θ-subsumption). Exact, unlike
+/// [`Denial::canonical_key`](xic_datalog::Denial::canonical_key) which can
+/// report false negatives when literal sorting is perturbed by variable
+/// names.
+pub fn variants(a: &Denial, b: &Denial) -> bool {
+    subsumes(a, b) && subsumes(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_datalog::parse_denial;
+
+    fn sub(a: &str, b: &str) -> bool {
+        subsumes(&parse_denial(a).unwrap(), &parse_denial(b).unwrap())
+    }
+
+    #[test]
+    fn identity_and_renaming() {
+        assert!(sub("<- p(X, Y)", "<- p(A, B)"));
+        assert!(sub("<- p(X, Y)", "<- p(X, Y)"));
+    }
+
+    #[test]
+    fn instance_subsumed_by_general() {
+        assert!(sub("<- p(X, Y)", "<- p(1, 2)"));
+        assert!(!sub("<- p(1, 2)", "<- p(X, Y)"));
+    }
+
+    #[test]
+    fn subset_body_subsumes_superset() {
+        assert!(sub("<- p(X)", "<- p(3) & q(3)"));
+        assert!(!sub("<- p(X) & q(X)", "<- p(3)"));
+    }
+
+    #[test]
+    fn shared_variables_constrain() {
+        assert!(sub("<- p(X, X)", "<- p(A, A)"));
+        assert!(!sub("<- p(X, X)", "<- p(A, B)"));
+        assert!(sub("<- p(X, Y)", "<- p(A, A)"));
+    }
+
+    #[test]
+    fn freshness_hypothesis_subsumes_expanded_denial() {
+        // The Example 6 removal: Δ's `<- sub($is,_,_,_)` kills any denial
+        // still touching the database sub relation with the fresh id.
+        assert!(sub(
+            "<- sub($is, _, _, _)",
+            "<- rev(Ir,_,_,$n) & sub($is,_,Ir,_)"
+        ));
+        assert!(!sub(
+            "<- sub($other, _, _, _)",
+            "<- rev(Ir,_,_,$n) & sub($is,_,Ir,_)"
+        ));
+    }
+
+    #[test]
+    fn params_are_rigid() {
+        assert!(!sub("<- p($a)", "<- p($b)"));
+        assert!(!sub("<- p($a)", "<- p(1)"));
+        assert!(sub("<- p(X)", "<- p($b)"));
+    }
+
+    #[test]
+    fn original_does_not_subsume_instantiated_disequality() {
+        // Regression for Example 4/5: the original uniqueness constraint
+        // must NOT subsume the instantiated case `<- p($i,Y) & Y != $t`,
+        // because mapping both p-atoms to the same target atom forces the
+        // disequality into the reflexive (false) form.
+        assert!(!sub(
+            "<- p(X, Y) & p(X, Z) & Y != Z",
+            "<- p($i, Y) & Y != $t"
+        ));
+    }
+
+    #[test]
+    fn comparison_orientation() {
+        assert!(sub("<- X != Y & p(X, Y)", "<- A != B & p(A, B)"));
+        assert!(sub("<- X != Y & p(X, Y)", "<- B != A & p(A, B)"));
+        assert!(sub("<- X < Y & p(X, Y)", "<- B > A & p(A, B)"));
+    }
+
+    #[test]
+    fn comparison_strengthening() {
+        assert!(sub("<- p(X) & X <= 5", "<- p(Y) & Y < 5"));
+        assert!(!sub("<- p(X) & X < 5", "<- p(Y) & Y <= 5"));
+        assert!(sub("<- p(X) & X != 5", "<- p(Y) & Y < 5"));
+        assert!(sub("<- p(X) & X > 3", "<- p(Y) & Y > 7"));
+        assert!(!sub("<- p(X) & X > 7", "<- p(Y) & Y > 3"));
+        assert!(sub("<- p(X) & X >= 4", "<- p(Y) & Y = 9"));
+    }
+
+    #[test]
+    fn negated_atoms_match_only_negated() {
+        assert!(sub("<- not p(X) & q(X)", "<- not p(3) & q(3)"));
+        assert!(!sub("<- not p(X) & q(X)", "<- p(3) & q(3)"));
+    }
+
+    #[test]
+    fn aggregate_threshold_weakening() {
+        // cnt > 3 is implied by cnt > 4: target with > 4 entails pattern > 3.
+        assert!(sub(
+            "<- r(Ir) & cntd(; sub(_, Ir)) > 3",
+            "<- r(J) & cntd(; sub(_, J)) > 4"
+        ));
+        assert!(!sub(
+            "<- r(Ir) & cntd(; sub(_, Ir)) > 4",
+            "<- r(J) & cntd(; sub(_, J)) > 3"
+        ));
+        // Different aggregate functions never match.
+        assert!(!sub(
+            "<- cnt(; s(_, R)) > 3 & r(R)",
+            "<- cntd(; s(_, R)) > 3 & r(R)"
+        ));
+    }
+
+    #[test]
+    fn aggregate_pattern_multiset_matching() {
+        assert!(sub(
+            "<- cntd(S; a(S, R), b(R)) > 2",
+            "<- cntd(T; b(Q), a(T, Q)) > 2"
+        ));
+        assert!(!sub(
+            "<- cntd(S; a(S, R), b(R)) > 2",
+            "<- cntd(T; a(T, Q), c(Q)) > 2"
+        ));
+    }
+
+    #[test]
+    fn empty_body_subsumes_everything() {
+        assert!(sub("<- true", "<- p(X)"));
+        assert!(!sub("<- p(X)", "<- true"));
+    }
+
+    #[test]
+    fn two_pattern_literals_one_target() {
+        // θ-subsumption does not require injectivity on plain literals.
+        assert!(sub("<- p(X, Y) & p(Y, X)", "<- p(A, A)"));
+    }
+
+    #[test]
+    fn variants_detects_renamings_with_different_sort_order() {
+        let a = parse_denial("<- aut(_,_,Ip,$n) & aut(_,_,Ip,R) & rev($ir,_,_,R)").unwrap();
+        let b = parse_denial("<- rev($ir,_,_,Z) & aut(_,_,Q,Z) & aut(_,_,Q,$n)").unwrap();
+        assert!(variants(&a, &b));
+        let c = parse_denial("<- rev($ir,_,_,Z) & aut(_,_,Q,Z) & aut(_,_,Q,Z)").unwrap();
+        assert!(!variants(&a, &c));
+    }
+}

@@ -1,0 +1,294 @@
+//! Property tests for the two central correctness statements:
+//!
+//! * **After-equivalence** (Definition 2): for *every* database state `D`
+//!   satisfying the freshness hypotheses,
+//!   `D ⊨ After^U(Γ)  ⇔  D^U ⊨ Γ` — no consistency precondition needed.
+//! * **Theorem 1**: for every `D` consistent with `Γ ∪ Δ`,
+//!   `D ⊨ Simp_Δ^U(Γ)  ⇔  D^U ⊨ Γ`.
+//!
+//! Databases, constraints and updates are drawn over a two-relation schema
+//! shaped like the XML shredding (`p(Id, Val)`, `q(Id, Ref, Val)`), with
+//! newly allocated identifiers guaranteed fresh — exactly the situation the
+//! XML mapping produces.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use xic_datalog::{
+    denials_hold, Atom, CompOp, Database, Denial, Literal, Term, Update, Value,
+};
+use xic_simplify::{after, freshness_hypotheses, optimize, simp, FreshSpec, SimpConfig};
+
+const DOMAIN: i64 = 4;
+
+fn value() -> impl Strategy<Value = i64> {
+    0..DOMAIN
+}
+
+/// A random database over p/2 and q/3 with ids 0..n.
+fn database() -> impl Strategy<Value = Database> {
+    let p_rows = prop::collection::vec((0..6i64, value()), 0..6);
+    let q_rows = prop::collection::vec((10..16i64, value(), value()), 0..6);
+    (p_rows, q_rows).prop_map(|(ps, qs)| {
+        let mut db = Database::new();
+        for (id, v) in ps {
+            db.insert("p", vec![Value::Int(id), Value::Int(v)]);
+        }
+        for (id, r, v) in qs {
+            db.insert("q", vec![Value::Int(id), Value::Int(r), Value::Int(v)]);
+        }
+        db
+    })
+}
+
+/// A term drawn from a variable pool or the constant domain.
+fn term(vars: &'static [&'static str]) -> impl Strategy<Value = Term> {
+    prop_oneof![
+        3 => prop::sample::select(vars).prop_map(Term::var),
+        1 => value().prop_map(Term::int),
+    ]
+}
+
+const VARS: &[&str] = &["X", "Y", "Z"];
+
+fn comp_op() -> impl Strategy<Value = CompOp> {
+    prop::sample::select(&[
+        CompOp::Eq,
+        CompOp::Ne,
+        CompOp::Lt,
+        CompOp::Le,
+        CompOp::Gt,
+        CompOp::Ge,
+    ][..])
+}
+
+/// A safe random denial: positive atoms first (binding variables), then
+/// optional comparison / negation / aggregate literals over bound
+/// variables.
+fn denial() -> impl Strategy<Value = Denial> {
+    let pos_atom = prop_oneof![
+        (term(VARS), term(VARS)).prop_map(|(a, b)| Atom::new("p", vec![a, b])),
+        (term(VARS), term(VARS), term(VARS)).prop_map(|(a, b, c)| Atom::new("q", vec![a, b, c])),
+    ];
+    let atoms = prop::collection::vec(pos_atom, 1..3);
+    let tail = prop_oneof![
+        // Comparison over (potentially bound) variables.
+        3 => (prop::sample::select(VARS), comp_op(), term(VARS))
+            .prop_map(|(v, op, t)| Some(Literal::Comp(Term::var(v), op, t))),
+        // Count aggregate grouped on a shared variable.
+        2 => (prop::sample::select(VARS), comp_op(), 0..4i64).prop_map(|(v, op, k)| {
+            Some(Literal::Agg(
+                xic_datalog::Aggregate::new(
+                    xic_datalog::AggFunc::Cnt,
+                    None,
+                    vec![Atom::new("p", vec![Term::var("L0"), Term::var(v)])],
+                ),
+                op,
+                Term::int(k),
+            ))
+        }),
+        // Distinct count over a two-atom pattern (join through q.Ref).
+        1 => (prop::sample::select(VARS), 0..3i64).prop_map(|(v, k)| {
+            Some(Literal::Agg(
+                xic_datalog::Aggregate::new(
+                    xic_datalog::AggFunc::CntD,
+                    Some(Term::var("L1")),
+                    vec![
+                        Atom::new("q", vec![Term::var("L1"), Term::var("L2"), Term::var(v)]),
+                    ],
+                ),
+                CompOp::Gt,
+                Term::int(k),
+            ))
+        }),
+        // Safe negated atom over bound variables/constants (exercises the
+        // De Morgan expansion of After).
+        2 => (prop::sample::select(VARS), value()).prop_map(|(v, c)| {
+            Some(Literal::Neg(Atom::new(
+                "p",
+                vec![Term::var(v), Term::int(c)],
+            )))
+        }),
+        2 => Just(None),
+    ];
+    (atoms, tail).prop_map(|(atoms, tail)| {
+        let mut body: Vec<Literal> = atoms.into_iter().map(Literal::Pos).collect();
+        if let Some(t) = tail {
+            // Only keep tails whose variables are bound by the atoms
+            // (aggregate locals excepted).
+            let bound: Vec<String> = Denial::new(body.clone()).vars();
+            let ok = match &t {
+                Literal::Comp(a, _, b) => [a, b].iter().all(|x| match x {
+                    Term::Var(v) => bound.contains(v),
+                    _ => true,
+                }),
+                Literal::Agg(agg, _, _) => agg
+                    .vars()
+                    .iter()
+                    .filter(|v| !v.starts_with('L'))
+                    .all(|v| bound.contains(v)),
+                Literal::Neg(a) => a.vars().iter().all(|v| bound.contains(v)),
+                Literal::Pos(_) => true,
+            };
+            if ok {
+                body.push(t);
+            }
+        }
+        Denial::new(body)
+    })
+}
+
+/// A random update pattern: one or two additions with fresh-id parameters
+/// in the first column and value parameters elsewhere, together with an
+/// instantiation that allocates genuinely fresh identifiers.
+fn update() -> impl Strategy<Value = (Update, HashMap<String, Value>, FreshSpec)> {
+    let addition = prop_oneof![
+        value().prop_map(|v| (Atom::new("p", vec![Term::param("f0"), Term::param("v0")]), v)),
+        value().prop_map(|v| {
+            (
+                Atom::new(
+                    "q",
+                    vec![Term::param("f1"), Term::param("v1"), Term::param("v2")],
+                ),
+                v,
+            )
+        }),
+    ];
+    (prop::collection::vec(addition, 1..3), value(), value()).prop_map(|(adds, va, vb)| {
+        let mut atoms = Vec::new();
+        let mut bindings: HashMap<String, Value> = HashMap::new();
+        let mut fresh_names = Vec::new();
+        for (i, (a, v)) in adds.into_iter().enumerate() {
+            // Rename parameters per addition so two additions do not share
+            // parameters accidentally.
+            let args: Vec<Term> = a
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Param(p) => Term::param(format!("{p}_{i}")),
+                    other => other.clone(),
+                })
+                .collect();
+            let fresh_name = match &args[0] {
+                Term::Param(p) => p.clone(),
+                _ => unreachable!(),
+            };
+            // Fresh ids: far outside the generated domain and unique.
+            bindings.insert(fresh_name.clone(), Value::Int(1000 + i as i64));
+            fresh_names.push(fresh_name);
+            for (j, t) in args.iter().enumerate().skip(1) {
+                if let Term::Param(p) = t {
+                    let val = match j {
+                        1 => v,
+                        _ => {
+                            if j % 2 == 0 {
+                                va
+                            } else {
+                                vb
+                            }
+                        }
+                    };
+                    bindings.insert(p.clone(), Value::Int(val));
+                }
+            }
+            atoms.push(Atom::new(a.pred, args));
+        }
+        let u = Update::new(atoms);
+        let fresh = FreshSpec::params(fresh_names);
+        (u, bindings, fresh)
+    })
+}
+
+/// Evaluates a set of denials after parameter instantiation.
+fn holds(db: &Database, denials: &[Denial], bindings: &HashMap<String, Value>) -> Option<bool> {
+    let inst: Vec<Denial> = denials.iter().map(|d| d.instantiate(bindings)).collect();
+    denials_hold(db, &inst).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 400,
+        max_global_rejects: 40000,
+        ..ProptestConfig::default()
+    })]
+
+    /// Definition 2: `D ⊨ After^U(Γ) ⇔ D^U ⊨ Γ` for every D satisfying the
+    /// freshness hypotheses (no consistency precondition).
+    #[test]
+    fn after_is_equivalent(
+        db in database(),
+        gamma in prop::collection::vec(denial(), 1..3),
+        (u, bindings, fresh) in update(),
+    ) {
+        let cfg = SimpConfig { fresh };
+        let Ok(expanded) = after(&gamma, &u, &cfg) else {
+            // Outside the supported aggregate fragment: nothing to check.
+            return Ok(());
+        };
+        let Some(lhs) = holds(&db, &expanded, &bindings) else { return Ok(()); };
+        let mut db2 = db.clone();
+        u.instantiate(&bindings).unwrap().apply(&mut db2);
+        let Some(rhs) = holds(&db2, &gamma, &bindings) else { return Ok(()); };
+        prop_assert_eq!(
+            lhs, rhs,
+            "After mismatch\n  gamma: {:?}\n  update: {}\n  expanded: {:?}\n  bindings: {:?}",
+            gamma.iter().map(std::string::ToString::to_string).collect::<Vec<_>>(),
+            u,
+            expanded.iter().map(std::string::ToString::to_string).collect::<Vec<_>>(),
+            bindings
+        );
+    }
+
+    /// Theorem 1: `D ⊨ Simp_Δ^U(Γ) ⇔ D^U ⊨ Γ` for every D consistent with
+    /// Γ and the freshness hypotheses Δ.
+    #[test]
+    fn simp_is_equivalent_on_consistent_states(
+        db in database(),
+        gamma in prop::collection::vec(denial(), 1..3),
+        (u, bindings, fresh) in update(),
+    ) {
+        // Precondition: D consistent with Γ (parameters do not occur in Γ,
+        // so instantiation is a no-op there).
+        let Some(consistent) = holds(&db, &gamma, &bindings) else { return Ok(()); };
+        prop_assume!(consistent);
+
+        let fresh_set: std::collections::BTreeSet<String> = match &fresh {
+            FreshSpec::Params(ps) => ps.clone(),
+            _ => unreachable!("update() always yields Params"),
+        };
+        let delta = freshness_hypotheses(&u, &fresh_set);
+        // Sanity: Δ holds in D for this instantiation (ids are fresh).
+        let Some(delta_holds) = holds(&db, &delta, &bindings) else { return Ok(()); };
+        prop_assert!(delta_holds, "freshness hypotheses must hold by construction");
+
+        let cfg = SimpConfig { fresh };
+        let Ok(simplified) = simp(&gamma, &u, &delta, &cfg) else { return Ok(()); };
+        let Some(lhs) = holds(&db, &simplified, &bindings) else { return Ok(()); };
+        let mut db2 = db.clone();
+        u.instantiate(&bindings).unwrap().apply(&mut db2);
+        let Some(rhs) = holds(&db2, &gamma, &bindings) else { return Ok(()); };
+        prop_assert_eq!(
+            lhs, rhs,
+            "Simp mismatch\n  gamma: {:?}\n  update: {}\n  simplified: {:?}\n  bindings: {:?}",
+            gamma.iter().map(std::string::ToString::to_string).collect::<Vec<_>>(),
+            u,
+            simplified.iter().map(std::string::ToString::to_string).collect::<Vec<_>>(),
+            bindings
+        );
+    }
+
+    /// `Optimize` preserves meaning on consistent states even without an
+    /// update: optimizing Γ against itself must keep it equivalent on the
+    /// states where the hypotheses hold (it trivially collapses to ∅ there,
+    /// so both sides hold).
+    #[test]
+    fn optimize_against_self_collapses(
+        gamma in prop::collection::vec(denial(), 1..3),
+    ) {
+        let out = optimize(gamma.clone(), &gamma);
+        prop_assert!(
+            out.is_empty(),
+            "every denial must be subsumed by its own copy in Δ: {:?}",
+            out.iter().map(std::string::ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Translation of Datalog denials into XQuery (Section 6).
+//!
+//! The output is a [`QueryTemplate`]: XQuery source text in which every
+//! parameter of the (simplified) denial appears as a `%{name}` placeholder
+//! — "the placeholders %r, %t and %n will be known at update time and
+//! replaced in the query". Node-id parameters are replaced by the
+//! absolute positional path of the target node
+//! (`/review/track[2]/rev[5]`), value parameters by literals.
+//!
+//! Translation follows the paper's strategy with its optimizations fused
+//! in: every atom contributes a `some $id in <source>` binding (the
+//! existential on the node), value columns are *inlined* as
+//! `$id/tag/text()` wherever used (the paper's dead-definition elimination
+//! and single-use inlining leave exactly this shape), positions become
+//! `count($id/preceding-sibling::*) + 1`, and aggregate literals become
+//! `let`-bound sequences inside an `exists(for … return <idle/>)` wrapper.
+
+pub mod template;
+pub mod translate;
+
+pub use template::{ParamKind, QueryTemplate, TemplateError};
+pub use translate::{
+    translate_denial, translate_denial_with, translate_denials, translate_denials_with,
+    TranslateError,
+};

@@ -1,0 +1,135 @@
+//! Cross-engine agreement: for random corpora conforming to the paper's
+//! DTDs, a Datalog denial evaluated over the shredded relational image
+//! must agree with its XQuery translation evaluated over the XML document.
+//! This validates the whole Section 4 + Section 6 round trip.
+
+use proptest::prelude::*;
+use xic_datalog::{denial_holds, parse_denial, Denial};
+use xic_mapping::schema::paper_dtd;
+use xic_mapping::{map_denials, shred, RelSchema};
+use xic_translate::translate_denial;
+use xic_xml::parse_document;
+use xic_xpathlog::parse_denial as parse_xpl;
+use xic_xquery::{eval_query_bool, parse_query};
+
+const NAMES: &[&str] = &["ann", "bob", "cat", "dan", "eve"];
+
+#[derive(Debug, Clone)]
+struct Corpus {
+    pubs: Vec<Vec<usize>>,             // each pub: author name indexes
+    tracks: Vec<Vec<(usize, Vec<Vec<usize>>)>>, // track -> revs (name, subs: each sub = author idxs)
+}
+
+impl Corpus {
+    fn to_xml(&self) -> String {
+        let mut s = String::from("<collection><dblp>");
+        for (i, authors) in self.pubs.iter().enumerate() {
+            s.push_str(&format!("<pub><title>P{i}</title>"));
+            for &a in authors {
+                s.push_str(&format!("<aut><name>{}</name></aut>", NAMES[a]));
+            }
+            s.push_str("</pub>");
+        }
+        s.push_str("</dblp><review>");
+        for (ti, revs) in self.tracks.iter().enumerate() {
+            s.push_str(&format!("<track><name>T{ti}</name>"));
+            for (ni, subs) in revs {
+                s.push_str(&format!("<rev><name>{}</name>", NAMES[*ni]));
+                for (si, auths) in subs.iter().enumerate() {
+                    s.push_str(&format!("<sub><title>S{ti}{si}</title>"));
+                    for &a in auths {
+                        s.push_str(&format!("<auts><name>{}</name></auts>", NAMES[a]));
+                    }
+                    s.push_str("</sub>");
+                }
+                s.push_str("</rev>");
+            }
+            s.push_str("</track>");
+        }
+        s.push_str("</review></collection>");
+        s
+    }
+}
+
+fn corpus() -> impl Strategy<Value = Corpus> {
+    let authors = prop::collection::vec(0..NAMES.len(), 1..3);
+    let pubs = prop::collection::vec(authors.clone(), 0..3);
+    let sub = prop::collection::vec(0..NAMES.len(), 1..3);
+    let subs = prop::collection::vec(sub, 1..4);
+    let rev = (0..NAMES.len(), subs);
+    let revs = prop::collection::vec(rev, 1..3);
+    let tracks = prop::collection::vec(revs, 1..3);
+    (pubs, tracks).prop_map(|(pubs, tracks)| Corpus { pubs, tracks })
+}
+
+/// The paper's constraints, as Datalog denials over the schema.
+fn paper_constraints(schema: &RelSchema) -> Vec<Denial> {
+    let dtd = paper_dtd();
+    let l1 = parse_xpl(
+        "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+         & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])",
+    )
+    .unwrap();
+    let l2 = parse_xpl(
+        "<- cntd{[R]; //track[rev/name/text() -> R]} >= 2 \
+         & cntd{[R]; //rev[name/text() -> R]/sub} > 3",
+    )
+    .unwrap();
+    let mut out = map_denials(&[l1, l2], schema, &dtd).unwrap();
+    out.push(parse_denial("<- rev(Ir,_,_,_) & cntd(; sub(_,_,Ir,_)) > 2").unwrap());
+    out.push(
+        parse_denial("<- pub(Ip,_,_,T) & pub(Jp,_,_,T) & Ip != Jp").unwrap(),
+    );
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
+
+    #[test]
+    fn datalog_and_xquery_agree(c in corpus()) {
+        let dtd = paper_dtd();
+        let schema = RelSchema::from_dtd(&dtd).unwrap();
+        let (doc, _) = parse_document(&c.to_xml()).unwrap();
+        dtd.validate(&doc).unwrap();
+        let db = shred(&doc, &schema);
+        for denial in paper_constraints(&schema) {
+            let ground = denial_holds(&db, &denial).unwrap();
+            let template = translate_denial(&denial, &schema).unwrap();
+            prop_assert!(template.is_closed(), "full checks must have no params");
+            let q = parse_query(&template.text)
+                .unwrap_or_else(|e| panic!("{}: {e}", template.text));
+            let violated = eval_query_bool(&q, &doc)
+                .unwrap_or_else(|e| panic!("{}: {e}", template.text));
+            prop_assert_eq!(
+                ground,
+                !violated,
+                "disagreement on {}\nquery: {}\ncorpus: {}",
+                denial,
+                template.text,
+                c.to_xml()
+            );
+        }
+    }
+}
+
+#[test]
+fn agreement_on_known_conflict() {
+    // Ann reviews a submission authored by her coauthor Bob.
+    let xml = "<collection><dblp>\
+        <pub><title>P</title><aut><name>ann</name></aut><aut><name>bob</name></aut></pub>\
+        </dblp><review><track><name>T</name>\
+        <rev><name>ann</name><sub><title>S</title><auts><name>bob</name></auts></sub></rev>\
+        </track></review></collection>";
+    let dtd = paper_dtd();
+    let schema = RelSchema::from_dtd(&dtd).unwrap();
+    let (doc, _) = parse_document(xml).unwrap();
+    let db = shred(&doc, &schema);
+    let denials = paper_constraints(&schema);
+    // The co-authorship denial (second disjunct of Example 1) is violated.
+    let coauthor = &denials[1];
+    assert!(!denial_holds(&db, coauthor).unwrap(), "{coauthor}");
+    let t = translate_denial(coauthor, &schema).unwrap();
+    let q = parse_query(&t.text).unwrap();
+    assert!(eval_query_bool(&q, &doc).unwrap(), "{}", t.text);
+}

@@ -1,0 +1,33 @@
+//! In-memory XML store: ordered tree arena, parser, serializer, DTD
+//! validation, XUpdate application and compensating rollback.
+//!
+//! This crate is the "XML repository" substrate of the reproduction (the
+//! paper used eXist). Design points that matter for the experiments:
+//!
+//! * **Stable node identifiers.** Nodes live in an arena and are addressed
+//!   by [`NodeId`]; identifiers are allocated from a monotone counter and
+//!   never reused, which is exactly the freshness property the constraint
+//!   simplifier's Δ hypotheses rely on (Section 5, Example 6).
+//! * **Element-name index.** The document maintains a name → nodes index
+//!   (kept up to date across updates) so `//tag` queries are lookups
+//!   rather than full traversals, mirroring a real repository's structural
+//!   index. It can be disabled for the ablation benchmarks.
+//! * **Ordered children with positions.** The XML data model is ordered;
+//!   positions (1-based, counted over element children) are what the
+//!   relational mapping exposes in each predicate's second column.
+//! * **Compensating rollback.** [`xupdate`] application produces an undo
+//!   log; `undo` restores the pre-update state, which is how the paper
+//!   simulates rollback after a failed post-update check (Section 7).
+
+pub mod dtd;
+pub mod escape;
+pub mod parse;
+pub mod serialize;
+pub mod tree;
+pub mod xupdate;
+
+pub use dtd::{ContentModel, Dtd, ElementDecl, ValidationError};
+pub use parse::{parse_document, XmlError};
+pub use serialize::{serialize, serialize_node};
+pub use tree::{Document, Node, NodeId, NodeKind};
+pub use xupdate::{apply, undo, AppliedUpdate, SelectResolver, XUpdateDoc, XUpdateOp};

@@ -1,0 +1,448 @@
+//! A hand-written XML parser for the subset needed by the system:
+//! elements, attributes, text with entity references, CDATA, comments,
+//! processing instructions, an optional XML declaration, and an optional
+//! DOCTYPE with an internal DTD subset (handed to [`crate::dtd`]).
+//!
+//! Namespaces are not resolved: qualified names are kept verbatim
+//! (`xupdate:insert-after` stays one string), which is all the XUpdate
+//! front-end needs.
+
+use crate::dtd::Dtd;
+use crate::escape::resolve_entity;
+use crate::tree::{Document, NodeId};
+use std::fmt;
+
+/// A parse failure with line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a complete XML document. Returns the document and the DTD
+/// declared in the internal subset, if any.
+pub fn parse_document(input: &str) -> Result<(Document, Option<Dtd>), XmlError> {
+    let mut p = Parser::new(input);
+    let mut doc = Document::new();
+    let mut dtd = None;
+    p.skip_ws();
+    // Optional XML declaration.
+    if p.rest().starts_with("<?xml") {
+        let decl_end = p
+            .rest()
+            .find("?>")
+            .ok_or_else(|| p.error("unterminated XML declaration"))?;
+        p.advance(decl_end + 2);
+        p.skip_ws();
+    }
+    // Misc before root: comments, PIs, DOCTYPE.
+    loop {
+        p.skip_ws();
+        if p.rest().starts_with("<!--") {
+            let c = p.comment()?;
+            let n = doc.create_comment(c);
+            doc.append_child(doc.document_node(), n);
+        } else if p.rest().starts_with("<!DOCTYPE") {
+            dtd = Some(p.doctype()?);
+        } else if p.rest().starts_with("<?") {
+            let (target, data) = p.pi()?;
+            let n = doc.create_pi(target, data);
+            doc.append_child(doc.document_node(), n);
+        } else {
+            break;
+        }
+    }
+    p.skip_ws();
+    if !p.rest().starts_with('<') {
+        return Err(p.error("expected root element"));
+    }
+    let root = p.element(&mut doc)?;
+    doc.append_child(doc.document_node(), root);
+    // Trailing misc.
+    loop {
+        p.skip_ws();
+        if p.rest().starts_with("<!--") {
+            let c = p.comment()?;
+            let n = doc.create_comment(c);
+            doc.append_child(doc.document_node(), n);
+        } else if p.rest().starts_with("<?") {
+            let (target, data) = p.pi()?;
+            let n = doc.create_pi(target, data);
+            doc.append_child(doc.document_node(), n);
+        } else {
+            break;
+        }
+    }
+    p.skip_ws();
+    if !p.at_eof() {
+        return Err(p.error("unexpected content after root element"));
+    }
+    Ok((doc, dtd))
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        let consumed = &self.input[..self.pos];
+        let line = consumed.matches('\n').count() + 1;
+        let col = consumed
+            .rsplit('\n')
+            .next()
+            .map_or(1, |l| l.chars().count() + 1);
+        XmlError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.advance(c.len_utf8());
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+            };
+            if ok {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            return Err(self.error("expected a name"));
+        }
+        let s = rest[..end].to_string();
+        self.advance(end);
+        Ok(s)
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.rest().starts_with(s) {
+            self.advance(s.len());
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {s:?}")))
+        }
+    }
+
+    fn comment(&mut self) -> Result<String, XmlError> {
+        self.expect("<!--")?;
+        let end = self
+            .rest()
+            .find("-->")
+            .ok_or_else(|| self.error("unterminated comment"))?;
+        let body = self.rest()[..end].to_string();
+        self.advance(end + 3);
+        Ok(body)
+    }
+
+    fn pi(&mut self) -> Result<(String, String), XmlError> {
+        self.expect("<?")?;
+        let target = self.name()?;
+        let end = self
+            .rest()
+            .find("?>")
+            .ok_or_else(|| self.error("unterminated processing instruction"))?;
+        let data = self.rest()[..end].trim().to_string();
+        self.advance(end + 2);
+        Ok((target, data))
+    }
+
+    fn doctype(&mut self) -> Result<Dtd, XmlError> {
+        self.expect("<!DOCTYPE")?;
+        self.skip_ws();
+        let _root_name = self.name()?;
+        self.skip_ws();
+        // External id (SYSTEM/PUBLIC) is skipped if present.
+        if self.rest().starts_with("SYSTEM") || self.rest().starts_with("PUBLIC") {
+            while let Some(c) = self.rest().chars().next() {
+                if c == '[' || c == '>' {
+                    break;
+                }
+                self.advance(c.len_utf8());
+            }
+        }
+        self.skip_ws();
+        let dtd = if self.rest().starts_with('[') {
+            self.advance(1);
+            let end = self
+                .rest()
+                .find(']')
+                .ok_or_else(|| self.error("unterminated DTD internal subset"))?;
+            let subset = &self.rest()[..end];
+            let parsed = Dtd::parse(subset).map_err(|e| self.error(e))?;
+            self.advance(end + 1);
+            parsed
+        } else {
+            Dtd::default()
+        };
+        self.skip_ws();
+        self.expect(">")?;
+        Ok(dtd)
+    }
+
+    fn attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = self
+            .rest()
+            .chars()
+            .next()
+            .filter(|c| *c == '"' || *c == '\'')
+            .ok_or_else(|| self.error("expected quoted attribute value"))?;
+        self.advance(1);
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.rest().chars().next() else {
+                return Err(self.error("unterminated attribute value"));
+            };
+            if c == quote {
+                self.advance(1);
+                break;
+            }
+            if c == '&' {
+                out.push(self.entity()?);
+            } else {
+                out.push(c);
+                self.advance(c.len_utf8());
+            }
+        }
+        Ok(out)
+    }
+
+    fn entity(&mut self) -> Result<char, XmlError> {
+        self.expect("&")?;
+        let end = self.rest()[..self.rest().len().min(12)]
+            .find(';')
+            .ok_or_else(|| self.error("unterminated entity reference"))?;
+        let body = &self.rest()[..end];
+        let c = resolve_entity(body)
+            .ok_or_else(|| self.error(format!("unknown entity &{body};")))?;
+        self.advance(end + 1);
+        Ok(c)
+    }
+
+    fn element(&mut self, doc: &mut Document) -> Result<NodeId, XmlError> {
+        self.expect("<")?;
+        let name = self.name()?;
+        let el = doc.create_element(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            if rest.starts_with("/>") {
+                self.advance(2);
+                return Ok(el);
+            }
+            if rest.starts_with('>') {
+                self.advance(1);
+                break;
+            }
+            let attr_name = self.name()?;
+            self.skip_ws();
+            self.expect("=")?;
+            self.skip_ws();
+            let value = self.attr_value()?;
+            doc.set_attr(el, attr_name, value);
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            let rest = self.rest();
+            if rest.is_empty() {
+                return Err(self.error(format!("unterminated element <{name}>")));
+            }
+            if let Some(stripped) = rest.strip_prefix("</") {
+                flush_text(doc, el, &mut text);
+                // Closing tag.
+                self.advance(2);
+                let close = self.name()?;
+                if close != name {
+                    let _ = stripped;
+                    return Err(self.error(format!(
+                        "mismatched closing tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(el);
+            }
+            if rest.starts_with("<!--") {
+                flush_text(doc, el, &mut text);
+                let c = self.comment()?;
+                let n = doc.create_comment(c);
+                doc.append_child(el, n);
+            } else if rest.starts_with("<![CDATA[") {
+                self.advance("<![CDATA[".len());
+                let end = self
+                    .rest()
+                    .find("]]>")
+                    .ok_or_else(|| self.error("unterminated CDATA section"))?;
+                text.push_str(&self.rest()[..end]);
+                self.advance(end + 3);
+            } else if rest.starts_with("<?") {
+                flush_text(doc, el, &mut text);
+                let (target, data) = self.pi()?;
+                let n = doc.create_pi(target, data);
+                doc.append_child(el, n);
+            } else if rest.starts_with('<') {
+                flush_text(doc, el, &mut text);
+                let child = self.element(doc)?;
+                doc.append_child(el, child);
+            } else if rest.starts_with('&') {
+                text.push(self.entity()?);
+            } else {
+                let c = rest.chars().next().expect("non-empty");
+                text.push(c);
+                self.advance(c.len_utf8());
+            }
+        }
+    }
+}
+
+/// Emits accumulated character data as a text node, unless it is entirely
+/// whitespace adjacent to markup (whitespace-only runs between elements
+/// are not significant for the data-centric documents this system
+/// processes, and dropping them keeps the relational mapping clean).
+fn flush_text(doc: &mut Document, parent: NodeId, text: &mut String) {
+    if text.is_empty() {
+        return;
+    }
+    if !text.trim().is_empty() {
+        let t = doc.create_text(std::mem::take(text));
+        doc.append_child(parent, t);
+    } else {
+        text.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::serialize;
+
+    #[test]
+    fn parse_simple() {
+        let (doc, dtd) = parse_document("<pub><title>T</title><aut><name>N</name></aut></pub>")
+            .unwrap();
+        assert!(dtd.is_none());
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), Some("pub"));
+        assert_eq!(doc.element_children(root).len(), 2);
+        assert_eq!(doc.text_content(root), "TN");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "<a x=\"1\"><b>hi &amp; bye</b><c/><!--note--><?p d?></a>";
+        let (doc, _) = parse_document(src).unwrap();
+        assert_eq!(serialize(&doc), src);
+    }
+
+    #[test]
+    fn xml_decl_and_whitespace() {
+        let src = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<r>\n  <x/>\n</r>\n";
+        let (doc, _) = parse_document(src).unwrap();
+        let root = doc.root_element().unwrap();
+        // Whitespace-only runs are dropped.
+        assert_eq!(doc.node(root).children.len(), 1);
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let (doc, _) =
+            parse_document("<r a=\"x&lt;y\">&#65;&amp;&#x42;</r>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.attr(root, "a"), Some("x<y"));
+        assert_eq!(doc.text_content(root), "A&B");
+    }
+
+    #[test]
+    fn cdata() {
+        let (doc, _) = parse_document("<r><![CDATA[a < b & c]]></r>").unwrap();
+        assert_eq!(doc.text_content(doc.root_element().unwrap()), "a < b & c");
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let src = "<!DOCTYPE dblp [\n<!ELEMENT dblp (pub)*>\n<!ELEMENT pub (title, aut+)>\n<!ELEMENT title (#PCDATA)>\n<!ELEMENT aut (name)>\n<!ELEMENT name (#PCDATA)>\n]>\n<dblp/>";
+        let (doc, dtd) = parse_document(src).unwrap();
+        assert!(doc.root_element().is_some());
+        let dtd = dtd.expect("dtd parsed");
+        assert!(dtd.element("pub").is_some());
+        assert!(dtd.element("zzz").is_none());
+    }
+
+    #[test]
+    fn namespaced_names_kept_verbatim() {
+        let src = "<xupdate:modifications xmlns:xupdate=\"http://www.xmldb.org/xupdate\"><xupdate:insert-after select=\"/a/b[1]\"/></xupdate:modifications>";
+        let (doc, _) = parse_document(src).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), Some("xupdate:modifications"));
+        let child = doc.element_children(root)[0];
+        assert_eq!(doc.name(child), Some("xupdate:insert-after"));
+        assert_eq!(doc.attr(child, "select"), Some("/a/b[1]"));
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse_document("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("mismatched"), "{err}");
+        assert!(parse_document("<a>").is_err());
+        assert!(parse_document("<a/><b/>").is_err());
+        assert!(parse_document("plain text").is_err());
+        assert!(parse_document("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn mixed_content_positions() {
+        let (doc, _) = parse_document("<p>one<b>two</b>three</p>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).children.len(), 3);
+        assert_eq!(doc.text_content(root), "onetwothree");
+    }
+}

@@ -1,0 +1,645 @@
+//! The ordered XML tree arena.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A stable node identifier. Identifiers are allocated from a monotone
+/// per-document counter and never reused — detached nodes keep their slot.
+/// This freshness guarantee is load-bearing: the constraint simplifier's
+/// trusted hypotheses assume a newly created node id cannot collide with
+/// any id already in the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Node payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document node (exactly one per document, always `NodeId(0)`).
+    Document,
+    /// An element with a (possibly prefixed) tag name and attributes in
+    /// document order.
+    Element {
+        /// Qualified tag name (`prefix:local` kept verbatim).
+        name: String,
+        /// Attribute name/value pairs.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+/// One node in the arena.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Payload.
+    pub kind: NodeKind,
+    /// Parent node, `None` for the document node and detached nodes.
+    pub parent: Option<NodeId>,
+    /// Children in document order (empty for text/comment/PI nodes).
+    pub children: Vec<NodeId>,
+}
+
+/// An in-memory XML document: an arena of nodes rooted at a document node,
+/// plus an element-name index.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    /// name → element nodes currently attached under the document node.
+    name_index: HashMap<String, Vec<NodeId>>,
+    index_enabled: bool,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::new()
+    }
+}
+
+impl Document {
+    /// Creates an empty document (just the document node).
+    pub fn new() -> Document {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
+            name_index: HashMap::new(),
+            index_enabled: true,
+        }
+    }
+
+    /// Disables the element-name index (ablation experiments). Existing
+    /// entries are cleared; `elements_named` falls back to a full scan.
+    pub fn disable_name_index(&mut self) {
+        self.index_enabled = false;
+        self.name_index.clear();
+    }
+
+    /// True if the name index is maintained.
+    pub fn name_index_enabled(&self) -> bool {
+        self.index_enabled
+    }
+
+    /// The document node.
+    pub fn document_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The root element, if any.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.nodes[0]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| matches!(self.node(c).kind, NodeKind::Element { .. }))
+    }
+
+    /// Total number of allocated nodes (including detached ones).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+        self.nodes.push(Node {
+            kind,
+            parent: None,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Creates a detached element.
+    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Element {
+            name: name.into(),
+            attrs: Vec::new(),
+        })
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Text(text.into()))
+    }
+
+    /// Creates a detached comment node.
+    pub fn create_comment(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Comment(text.into()))
+    }
+
+    /// Creates a detached processing instruction.
+    pub fn create_pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Pi {
+            target: target.into(),
+            data: data.into(),
+        })
+    }
+
+    /// Adds an attribute to an element (appended in order).
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element { attrs, .. } => {
+                let name = name.into();
+                let value = value.into();
+                if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = value;
+                } else {
+                    attrs.push((name, value));
+                }
+            }
+            other => panic!("set_attr on non-element node: {other:?}"),
+        }
+    }
+
+    /// Reads an attribute value.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The element's tag name, if `id` is an element.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Appends `child` (a detached node or subtree) as the last child of
+    /// `parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        let idx = self.node(parent).children.len();
+        self.insert_child(parent, idx, child);
+    }
+
+    /// Inserts `child` at position `idx` (0-based over all children) of
+    /// `parent`.
+    ///
+    /// # Panics
+    /// Panics if `child` is already attached, if `idx` is out of bounds,
+    /// or if attaching would create a cycle.
+    pub fn insert_child(&mut self, parent: NodeId, idx: usize, child: NodeId) {
+        assert!(
+            self.node(child).parent.is_none(),
+            "node {child} is already attached"
+        );
+        assert!(child != self.document_node(), "cannot attach the document node");
+        // Cycle check: parent must not be inside child's subtree.
+        let mut cur = Some(parent);
+        while let Some(c) = cur {
+            assert!(c != child, "attaching {child} under itself");
+            cur = self.node(c).parent;
+        }
+        let siblings = &mut self.node_mut(parent).children;
+        assert!(idx <= siblings.len(), "insert index out of bounds");
+        siblings.insert(idx, child);
+        self.node_mut(child).parent = Some(parent);
+        if self.index_enabled && self.is_attached(parent) {
+            self.index_subtree(child, true);
+        }
+    }
+
+    /// Detaches `child` from its parent, returning its previous index.
+    ///
+    /// # Panics
+    /// Panics if the node is not attached.
+    pub fn detach(&mut self, child: NodeId) -> usize {
+        let parent = self.node(child).parent.expect("node is not attached");
+        if self.index_enabled && self.is_attached(parent) {
+            self.index_subtree(child, false);
+        }
+        let siblings = &mut self.node_mut(parent).children;
+        let idx = siblings
+            .iter()
+            .position(|&c| c == child)
+            .expect("parent/child link out of sync");
+        siblings.remove(idx);
+        self.node_mut(child).parent = None;
+        idx
+    }
+
+    /// True if the node is reachable from the document node.
+    pub fn is_attached(&self, id: NodeId) -> bool {
+        let mut cur = id;
+        loop {
+            if cur == self.document_node() {
+                return true;
+            }
+            match self.node(cur).parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    fn index_subtree(&mut self, id: NodeId, add: bool) {
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if let NodeKind::Element { name, .. } = &self.node(n).kind {
+                let name = name.clone();
+                let entry = self.name_index.entry(name).or_default();
+                if add {
+                    entry.push(n);
+                } else if let Some(pos) = entry.iter().position(|&e| e == n) {
+                    entry.swap_remove(pos);
+                }
+            }
+            stack.extend(self.node(n).children.iter().copied());
+        }
+    }
+
+    /// All attached elements with the given tag name, in document order.
+    pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = if self.index_enabled {
+            self.name_index.get(name).cloned().unwrap_or_default()
+        } else {
+            let mut v = Vec::new();
+            let mut stack = vec![self.document_node()];
+            while let Some(n) = stack.pop() {
+                if self.name(n) == Some(name) {
+                    v.push(n);
+                }
+                stack.extend(self.node(n).children.iter().copied());
+            }
+            v
+        };
+        self.sort_document_order(&mut out);
+        out
+    }
+
+    /// Replaces the text content of a text node, returning the old value.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a text node.
+    pub fn set_text(&mut self, id: NodeId, text: impl Into<String>) -> String {
+        match &mut self.node_mut(id).kind {
+            NodeKind::Text(t) => std::mem::replace(t, text.into()),
+            other => panic!("set_text on non-text node: {other:?}"),
+        }
+    }
+
+    /// Renames an element, returning the old name.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn rename(&mut self, id: NodeId, new_name: impl Into<String>) -> String {
+        let new_name = new_name.into();
+        let attached = self.index_enabled && self.is_attached(id);
+        if attached {
+            self.index_subtree_single(id, false);
+        }
+        let old = match &mut self.node_mut(id).kind {
+            NodeKind::Element { name, .. } => std::mem::replace(name, new_name),
+            other => panic!("rename on non-element node: {other:?}"),
+        };
+        if attached {
+            self.index_subtree_single(id, true);
+        }
+        old
+    }
+
+    fn index_subtree_single(&mut self, id: NodeId, add: bool) {
+        if let NodeKind::Element { name, .. } = &self.node(id).kind {
+            let name = name.clone();
+            let entry = self.name_index.entry(name).or_default();
+            if add {
+                entry.push(id);
+            } else if let Some(pos) = entry.iter().position(|&e| e == id) {
+                entry.swap_remove(pos);
+            }
+        }
+    }
+
+    /// The concatenated text content of the subtree rooted at `id` (the
+    /// XPath `string()` value of an element).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Comment(_) | NodeKind::Pi { .. } => {}
+            _ => {
+                for &c in &self.node(id).children {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Element children of `id`, in order.
+    pub fn element_children(&self, id: NodeId) -> Vec<NodeId> {
+        self.node(id)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| matches!(self.node(c).kind, NodeKind::Element { .. }))
+            .collect()
+    }
+
+    /// 1-based position of an element among its parent's element children —
+    /// the `Pos` column of the relational mapping (Section 4.1; e.g. an
+    /// `auts` following a `title` gets position 2).
+    pub fn element_position(&self, id: NodeId) -> Option<usize> {
+        let parent = self.node(id).parent?;
+        let mut pos = 0;
+        for &c in &self.node(parent).children {
+            if matches!(self.node(c).kind, NodeKind::Element { .. }) {
+                pos += 1;
+                if c == id {
+                    return Some(pos);
+                }
+            }
+        }
+        None
+    }
+
+    /// 1-based position of an element among same-named siblings — the
+    /// XPath `element[n]` predicate semantics.
+    pub fn same_name_position(&self, id: NodeId) -> Option<usize> {
+        let parent = self.node(id).parent?;
+        let name = self.name(id)?;
+        let mut pos = 0;
+        for &c in &self.node(parent).children {
+            if self.name(c) == Some(name) {
+                pos += 1;
+                if c == id {
+                    return Some(pos);
+                }
+            }
+        }
+        None
+    }
+
+    /// The path of 0-based child indexes from the document node to `id`
+    /// (document-order key).
+    pub fn order_key(&self, id: NodeId) -> Vec<u32> {
+        let mut rev = Vec::new();
+        let mut cur = id;
+        while let Some(parent) = self.node(cur).parent {
+            let idx = self.node(parent)
+                .children
+                .iter()
+                .position(|&c| c == cur)
+                .expect("parent/child link out of sync");
+            rev.push(idx as u32);
+            cur = parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Sorts node ids into document order.
+    pub fn sort_document_order(&self, ids: &mut [NodeId]) {
+        let mut keyed: Vec<(Vec<u32>, NodeId)> =
+            ids.iter().map(|&n| (self.order_key(n), n)).collect();
+        keyed.sort();
+        for (slot, (_, n)) in ids.iter_mut().zip(keyed) {
+            *slot = n;
+        }
+    }
+
+    /// Depth-first pre-order traversal of the attached tree.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.node(id).children.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.node(n).children.iter().rev().copied());
+        }
+        out
+    }
+
+    /// The absolute positional path of an element, e.g.
+    /// `/review/track[2]/rev[5]`, using same-name positions — the
+    /// representation Section 6 uses to instantiate node-id parameters in
+    /// translated XQuery.
+    pub fn positional_path(&self, id: NodeId) -> Option<String> {
+        let mut segments = Vec::new();
+        let mut cur = id;
+        loop {
+            let name = self.name(cur)?.to_string();
+            let pos = self.same_name_position(cur)?;
+            let parent = self.node(cur).parent?;
+            if parent == self.document_node() {
+                segments.push(format!("/{name}"));
+                break;
+            }
+            segments.push(format!("/{name}[{pos}]"));
+            cur = parent;
+        }
+        segments.reverse();
+        Some(segments.concat())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_doc() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let root = d.create_element("review");
+        d.append_child(d.document_node(), root);
+        let track = d.create_element("track");
+        d.append_child(root, track);
+        let name = d.create_element("name");
+        let txt = d.create_text("DB track");
+        d.append_child(name, txt);
+        d.append_child(track, name);
+        (d, root, track, name)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (d, root, track, name) = small_doc();
+        assert_eq!(d.root_element(), Some(root));
+        assert_eq!(d.node(track).parent, Some(root));
+        assert_eq!(d.element_children(track), vec![name]);
+        assert_eq!(d.text_content(track), "DB track");
+        assert_eq!(d.name(track), Some("track"));
+    }
+
+    #[test]
+    fn name_index_tracks_attach_and_detach() {
+        let (mut d, root, track, _) = small_doc();
+        assert_eq!(d.elements_named("track"), vec![track]);
+        let t2 = d.create_element("track");
+        assert_eq!(d.elements_named("track").len(), 1, "detached not indexed");
+        d.append_child(root, t2);
+        assert_eq!(d.elements_named("track").len(), 2);
+        d.detach(track);
+        assert_eq!(d.elements_named("track"), vec![t2]);
+        // Detaching unindexes the whole subtree.
+        assert!(d.elements_named("name").is_empty());
+    }
+
+    #[test]
+    fn index_disabled_falls_back_to_scan() {
+        let (mut d, _, track, _) = small_doc();
+        d.disable_name_index();
+        assert_eq!(d.elements_named("track"), vec![track]);
+        let t2 = d.create_element("track");
+        d.append_child(d.root_element().unwrap(), t2);
+        assert_eq!(d.elements_named("track").len(), 2);
+    }
+
+    #[test]
+    fn positions_count_element_children_only() {
+        let mut d = Document::new();
+        let root = d.create_element("pub");
+        d.append_child(d.document_node(), root);
+        let title = d.create_element("title");
+        let gap = d.create_text("  ");
+        let aut = d.create_element("aut");
+        d.append_child(root, title);
+        d.append_child(root, gap);
+        d.append_child(root, aut);
+        assert_eq!(d.element_position(title), Some(1));
+        assert_eq!(d.element_position(aut), Some(2));
+        assert_eq!(d.same_name_position(aut), Some(1));
+    }
+
+    #[test]
+    fn insert_in_middle_and_document_order() {
+        let (mut d, _, track, name) = small_doc();
+        let rev1 = d.create_element("rev");
+        let rev2 = d.create_element("rev");
+        d.append_child(track, rev1);
+        d.append_child(track, rev2);
+        let rev_mid = d.create_element("rev");
+        d.insert_child(track, 2, rev_mid); // between rev1 and rev2
+        let revs = d.elements_named("rev");
+        assert_eq!(revs, vec![rev1, rev_mid, rev2]);
+        assert_eq!(d.same_name_position(rev_mid), Some(2));
+        assert_eq!(d.element_position(rev_mid), Some(3)); // name, rev, rev
+        assert_eq!(d.element_position(name), Some(1));
+    }
+
+    #[test]
+    fn positional_path() {
+        let (mut d, root, track, _) = small_doc();
+        let t2 = d.create_element("track");
+        d.append_child(root, t2);
+        let rev = d.create_element("rev");
+        d.append_child(t2, rev);
+        assert_eq!(d.positional_path(rev).unwrap(), "/review/track[2]/rev[1]");
+        assert_eq!(d.positional_path(track).unwrap(), "/review/track[1]");
+        assert_eq!(d.positional_path(root).unwrap(), "/review");
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let (mut d, root, track, _) = small_doc();
+        d.insert_child(root, 0, track);
+    }
+
+    #[test]
+    #[should_panic(expected = "under itself")]
+    fn cycle_panics() {
+        let (mut d, _, track, name) = small_doc();
+        let n = d.detach(name);
+        assert_eq!(n, 0);
+        // Try to attach track under its own (now detached) child.
+        d.detach(track);
+        d.append_child(track, name);
+        d.append_child(name, track);
+    }
+
+    #[test]
+    fn attrs_set_get_overwrite() {
+        let mut d = Document::new();
+        let e = d.create_element("x");
+        d.set_attr(e, "a", "1");
+        d.set_attr(e, "b", "2");
+        d.set_attr(e, "a", "3");
+        assert_eq!(d.attr(e, "a"), Some("3"));
+        assert_eq!(d.attr(e, "b"), Some("2"));
+        assert_eq!(d.attr(e, "c"), None);
+    }
+
+    #[test]
+    fn rename_updates_index() {
+        let (mut d, _, track, _) = small_doc();
+        let old = d.rename(track, "session");
+        assert_eq!(old, "track");
+        assert!(d.elements_named("track").is_empty());
+        assert_eq!(d.elements_named("session"), vec![track]);
+    }
+
+    #[test]
+    fn set_text_returns_old() {
+        let (mut d, _, _, name) = small_doc();
+        let txt = d.node(name).children[0];
+        let old = d.set_text(txt, "AI track");
+        assert_eq!(old, "DB track");
+        assert_eq!(d.text_content(name), "AI track");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (d, root, track, name) = small_doc();
+        let ds = d.descendants(d.document_node());
+        assert_eq!(ds[0], root);
+        assert_eq!(ds[1], track);
+        assert_eq!(ds[2], name);
+        assert_eq!(ds.len(), 4); // + text node
+    }
+
+    #[test]
+    fn order_keys_sort_in_document_order() {
+        let (mut d, root, track, _) = small_doc();
+        let t0 = d.create_element("track");
+        d.insert_child(root, 0, t0);
+        let mut ids = vec![track, t0];
+        d.sort_document_order(&mut ids);
+        assert_eq!(ids, vec![t0, track]);
+    }
+}

@@ -1,0 +1,646 @@
+//! The XUpdate language \[13\]: parsing `<xupdate:modifications>` documents
+//! and applying them to a [`Document`] with a compensating undo log.
+//!
+//! Target selection uses XPath strings; since the XPath engine lives in a
+//! higher crate, application takes a [`SelectResolver`] callback that maps
+//! a select expression to node ids. `xicheck` wires in the real XPath
+//! evaluator; tests here use a simple positional resolver.
+
+use crate::tree::{Document, NodeId, NodeKind};
+use std::fmt;
+
+/// Resolves an XUpdate `select` expression to target nodes, in document
+/// order.
+pub type SelectResolver<'a> = &'a dyn Fn(&Document, &str) -> Result<Vec<NodeId>, String>;
+
+/// A content fragment to be inserted (already detached from any document).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fragment {
+    /// An element with attributes and child fragments.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes.
+        attrs: Vec<(String, String)>,
+        /// Children.
+        children: Vec<Fragment>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+impl Fragment {
+    /// Materializes the fragment as detached nodes in `doc`, returning the
+    /// root of the new subtree.
+    pub fn build(&self, doc: &mut Document) -> NodeId {
+        match self {
+            Fragment::Text(t) => doc.create_text(t.clone()),
+            Fragment::Element { name, attrs, children } => {
+                let el = doc.create_element(name.clone());
+                for (k, v) in attrs {
+                    doc.set_attr(el, k.clone(), v.clone());
+                }
+                for c in children {
+                    let child = c.build(doc);
+                    doc.append_child(el, child);
+                }
+                el
+            }
+        }
+    }
+}
+
+/// One XUpdate operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XUpdateOp {
+    /// `<xupdate:insert-before select="…">content</…>`
+    InsertBefore {
+        /// Target selection.
+        select: String,
+        /// Content fragments inserted before each target.
+        content: Vec<Fragment>,
+    },
+    /// `<xupdate:insert-after select="…">content</…>`
+    InsertAfter {
+        /// Target selection.
+        select: String,
+        /// Content fragments inserted after each target.
+        content: Vec<Fragment>,
+    },
+    /// `<xupdate:append select="…" [child="n"]>content</…>`
+    Append {
+        /// Target selection (the parent receiving new children).
+        select: String,
+        /// 1-based child position; `None` appends at the end.
+        child: Option<usize>,
+        /// Content fragments.
+        content: Vec<Fragment>,
+    },
+    /// `<xupdate:remove select="…"/>`
+    Remove {
+        /// Target selection.
+        select: String,
+    },
+    /// `<xupdate:update select="…">new text</…>` — replaces the content of
+    /// each target with the given text.
+    Update {
+        /// Target selection.
+        select: String,
+        /// Replacement text.
+        text: String,
+    },
+    /// `<xupdate:rename select="…">new-name</…>`
+    Rename {
+        /// Target selection.
+        select: String,
+        /// New element name.
+        name: String,
+    },
+}
+
+impl XUpdateOp {
+    /// The operation's select expression.
+    pub fn select(&self) -> &str {
+        match self {
+            XUpdateOp::InsertBefore { select, .. }
+            | XUpdateOp::InsertAfter { select, .. }
+            | XUpdateOp::Append { select, .. }
+            | XUpdateOp::Remove { select }
+            | XUpdateOp::Update { select, .. }
+            | XUpdateOp::Rename { select, .. } => select,
+        }
+    }
+
+    /// True if the operation only inserts new content (the fragment the
+    /// paper's simplification focuses on).
+    pub fn is_insertion(&self) -> bool {
+        matches!(
+            self,
+            XUpdateOp::InsertBefore { .. } | XUpdateOp::InsertAfter { .. } | XUpdateOp::Append { .. }
+        )
+    }
+}
+
+/// A parsed `<xupdate:modifications>` document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XUpdateDoc {
+    /// Operations in document order.
+    pub ops: Vec<XUpdateOp>,
+}
+
+/// XUpdate parsing/application failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XUpdateError(pub String);
+
+impl fmt::Display for XUpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XUpdate error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XUpdateError {}
+
+fn local_name(qname: &str) -> &str {
+    qname.rsplit(':').next().unwrap_or(qname)
+}
+
+impl XUpdateDoc {
+    /// Parses an XUpdate statement from XML text.
+    pub fn parse(text: &str) -> Result<XUpdateDoc, XUpdateError> {
+        let (doc, _) = crate::parse::parse_document(text)
+            .map_err(|e| XUpdateError(format!("malformed XUpdate XML: {e}")))?;
+        Self::from_document(&doc)
+    }
+
+    /// Extracts the operations from a parsed XUpdate document.
+    pub fn from_document(doc: &Document) -> Result<XUpdateDoc, XUpdateError> {
+        let root = doc
+            .root_element()
+            .ok_or_else(|| XUpdateError("no root element".to_string()))?;
+        if local_name(doc.name(root).unwrap_or("")) != "modifications" {
+            return Err(XUpdateError(format!(
+                "root element must be xupdate:modifications, found <{}>",
+                doc.name(root).unwrap_or("?")
+            )));
+        }
+        let mut ops = Vec::new();
+        for op_node in doc.element_children(root) {
+            let op_name = local_name(doc.name(op_node).expect("element"));
+            let select = doc
+                .attr(op_node, "select")
+                .ok_or_else(|| XUpdateError(format!("<{op_name}> without select")))?
+                .to_string();
+            let op = match op_name {
+                "insert-before" => XUpdateOp::InsertBefore {
+                    select,
+                    content: parse_content(doc, op_node)?,
+                },
+                "insert-after" => XUpdateOp::InsertAfter {
+                    select,
+                    content: parse_content(doc, op_node)?,
+                },
+                "append" => XUpdateOp::Append {
+                    select,
+                    child: doc
+                        .attr(op_node, "child")
+                        .map(|c| {
+                            c.parse::<usize>()
+                                .map_err(|_| XUpdateError(format!("bad child index {c:?}")))
+                        })
+                        .transpose()?,
+                    content: parse_content(doc, op_node)?,
+                },
+                "remove" => XUpdateOp::Remove { select },
+                "update" => XUpdateOp::Update {
+                    select,
+                    text: doc.text_content(op_node),
+                },
+                "rename" => XUpdateOp::Rename {
+                    select,
+                    name: doc.text_content(op_node).trim().to_string(),
+                },
+                other => {
+                    return Err(XUpdateError(format!(
+                        "unsupported XUpdate operation <{other}>"
+                    )))
+                }
+            };
+            ops.push(op);
+        }
+        Ok(XUpdateDoc { ops })
+    }
+
+    /// True if every operation is an insertion (the class of updates the
+    /// simplification framework targets).
+    pub fn insertions_only(&self) -> bool {
+        self.ops.iter().all(XUpdateOp::is_insertion)
+    }
+}
+
+fn parse_content(doc: &Document, op_node: NodeId) -> Result<Vec<Fragment>, XUpdateError> {
+    let mut out = Vec::new();
+    for &c in &doc.node(c_parent(op_node, doc)).children {
+        if let Some(f) = parse_fragment(doc, c)? {
+            out.push(f);
+        }
+    }
+    Ok(out)
+}
+
+fn c_parent(op_node: NodeId, _doc: &Document) -> NodeId {
+    op_node
+}
+
+fn parse_fragment(doc: &Document, node: NodeId) -> Result<Option<Fragment>, XUpdateError> {
+    match &doc.node(node).kind {
+        NodeKind::Text(t) => Ok(Some(Fragment::Text(t.clone()))),
+        NodeKind::Element { name, attrs } => {
+            let ln = local_name(name);
+            if name.starts_with("xupdate:") {
+                match ln {
+                    "element" => {
+                        let el_name = attrs
+                            .iter()
+                            .find(|(k, _)| k == "name")
+                            .map(|(_, v)| v.clone())
+                            .ok_or_else(|| {
+                                XUpdateError("xupdate:element without name".to_string())
+                            })?;
+                        let mut children = Vec::new();
+                        let mut el_attrs = Vec::new();
+                        for &c in &doc.node(node).children {
+                            if let NodeKind::Element { name: cn, attrs: ca } = &doc.node(c).kind {
+                                if local_name(cn) == "attribute" && cn.starts_with("xupdate:") {
+                                    let an = ca
+                                        .iter()
+                                        .find(|(k, _)| k == "name")
+                                        .map(|(_, v)| v.clone())
+                                        .ok_or_else(|| {
+                                            XUpdateError(
+                                                "xupdate:attribute without name".to_string(),
+                                            )
+                                        })?;
+                                    el_attrs.push((an, doc.text_content(c)));
+                                    continue;
+                                }
+                            }
+                            if let Some(f) = parse_fragment(doc, c)? {
+                                children.push(f);
+                            }
+                        }
+                        Ok(Some(Fragment::Element {
+                            name: el_name,
+                            attrs: el_attrs,
+                            children,
+                        }))
+                    }
+                    "text" => Ok(Some(Fragment::Text(doc.text_content(node)))),
+                    other => Err(XUpdateError(format!(
+                        "unsupported content constructor xupdate:{other}"
+                    ))),
+                }
+            } else {
+                // Literal element content.
+                let mut children = Vec::new();
+                for &c in &doc.node(node).children {
+                    if let Some(f) = parse_fragment(doc, c)? {
+                        children.push(f);
+                    }
+                }
+                Ok(Some(Fragment::Element {
+                    name: name.clone(),
+                    attrs: attrs.clone(),
+                    children,
+                }))
+            }
+        }
+        _ => Ok(None),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Application with undo
+// ---------------------------------------------------------------------
+
+/// One compensating action.
+#[derive(Debug, Clone)]
+enum UndoEntry {
+    /// Detach a node that the update inserted.
+    Detach(NodeId),
+    /// Re-attach a node that the update removed, at its original index.
+    Reattach {
+        parent: NodeId,
+        index: usize,
+        node: NodeId,
+    },
+    /// Restore an element's old name.
+    Rename { node: NodeId, old: String },
+}
+
+/// The record of an applied update: inserted roots (for inspection) and a
+/// compensating log consumed by [`undo`].
+#[derive(Debug, Default)]
+pub struct AppliedUpdate {
+    /// Roots of subtrees the update inserted.
+    pub inserted: Vec<NodeId>,
+    log: Vec<UndoEntry>,
+}
+
+/// Applies `upd` to `doc`. `resolve` maps each operation's select string
+/// to target nodes. Operations are applied in order; an error leaves the
+/// document in a partially updated state — callers that need atomicity
+/// should [`undo`] the returned (partial) record from the error payload…
+/// which is why the error carries it.
+pub fn apply(
+    doc: &mut Document,
+    upd: &XUpdateDoc,
+    resolve: SelectResolver,
+) -> Result<AppliedUpdate, (XUpdateError, AppliedUpdate)> {
+    let mut applied = AppliedUpdate::default();
+    for op in &upd.ops {
+        if let Err(e) = apply_op(doc, op, resolve, &mut applied) {
+            return Err((e, applied));
+        }
+    }
+    Ok(applied)
+}
+
+#[allow(clippy::explicit_counter_loop)]
+fn apply_op(
+    doc: &mut Document,
+    op: &XUpdateOp,
+    resolve: SelectResolver,
+    applied: &mut AppliedUpdate,
+) -> Result<(), XUpdateError> {
+    let targets = resolve(doc, op.select()).map_err(XUpdateError)?;
+    if targets.is_empty() {
+        return Err(XUpdateError(format!(
+            "select {:?} matched no nodes",
+            op.select()
+        )));
+    }
+    for target in targets {
+        match op {
+            XUpdateOp::InsertBefore { content, .. } | XUpdateOp::InsertAfter { content, .. } => {
+                let parent = doc.node(target).parent.ok_or_else(|| {
+                    XUpdateError("insert target has no parent".to_string())
+                })?;
+                let base = doc
+                    .node(parent)
+                    .children
+                    .iter()
+                    .position(|&c| c == target)
+                    .expect("target is a child of its parent");
+                let mut at = if matches!(op, XUpdateOp::InsertAfter { .. }) {
+                    base + 1
+                } else {
+                    base
+                };
+                for f in content {
+                    let n = f.build(doc);
+                    doc.insert_child(parent, at, n);
+                    applied.inserted.push(n);
+                    applied.log.push(UndoEntry::Detach(n));
+                    at += 1;
+                }
+            }
+            XUpdateOp::Append { content, child, .. } => {
+                let mut at = match child {
+                    Some(c) => (*c).min(doc.node(target).children.len()),
+                    None => doc.node(target).children.len(),
+                };
+                for f in content {
+                    let n = f.build(doc);
+                    doc.insert_child(target, at, n);
+                    applied.inserted.push(n);
+                    applied.log.push(UndoEntry::Detach(n));
+                    at += 1;
+                }
+            }
+            XUpdateOp::Remove { .. } => {
+                let parent = doc
+                    .node(target)
+                    .parent
+                    .ok_or_else(|| XUpdateError("remove target has no parent".to_string()))?;
+                let index = doc.detach(target);
+                applied.log.push(UndoEntry::Reattach {
+                    parent,
+                    index,
+                    node: target,
+                });
+            }
+            XUpdateOp::Update { text, .. } => {
+                // Replace the target's content with a single text node.
+                let old_children: Vec<NodeId> = doc.node(target).children.clone();
+                for (i, c) in old_children.into_iter().enumerate().rev() {
+                    let idx = doc.detach(c);
+                    debug_assert_eq!(idx, i);
+                    applied.log.push(UndoEntry::Reattach {
+                        parent: target,
+                        index: i,
+                        node: c,
+                    });
+                }
+                let t = doc.create_text(text.clone());
+                doc.insert_child(target, 0, t);
+                applied.log.push(UndoEntry::Detach(t));
+            }
+            XUpdateOp::Rename { name, .. } => {
+                let old = doc.rename(target, name.clone());
+                applied.log.push(UndoEntry::Rename { node: target, old });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reverses an applied update (the "compensating action to re-construct
+/// the state prior to the update" of Section 7).
+pub fn undo(doc: &mut Document, applied: AppliedUpdate) {
+    for entry in applied.log.into_iter().rev() {
+        match entry {
+            UndoEntry::Detach(n) => {
+                doc.detach(n);
+            }
+            UndoEntry::Reattach { parent, index, node } => {
+                doc.insert_child(parent, index, node);
+            }
+            UndoEntry::Rename { node, old } => {
+                doc.rename(node, old);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+    use crate::serialize::serialize;
+
+    /// A positional path resolver good enough for tests:
+    /// `/name[i]/name[j]/...` with the same-name index semantics.
+    fn resolver(doc: &Document, select: &str) -> Result<Vec<NodeId>, String> {
+        let mut cur = doc.document_node();
+        for seg in select.split('/').filter(|s| !s.is_empty()) {
+            let (name, idx) = match seg.find('[') {
+                Some(b) => {
+                    let n = &seg[..b];
+                    let i: usize = seg[b + 1..seg.len() - 1]
+                        .parse()
+                        .map_err(|_| format!("bad index in {seg}"))?;
+                    (n, i)
+                }
+                None => (seg, 1),
+            };
+            let mut found = None;
+            let mut count = 0;
+            for c in doc.element_children(cur) {
+                if doc.name(c) == Some(name) {
+                    count += 1;
+                    if count == idx {
+                        found = Some(c);
+                        break;
+                    }
+                }
+            }
+            cur = found.ok_or_else(|| format!("{select}: no {name}[{idx}]"))?;
+        }
+        Ok(vec![cur])
+    }
+
+    const REV: &str = "<review><track><name>DB</name><rev><name>Ann</name><sub><title>S1</title><auts><name>Bob</name></auts></sub></rev></track></review>";
+
+    /// The paper's Section 4.1 XUpdate statement, adapted to a small
+    /// document.
+    const PAPER_STMT: &str = r#"<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+    <xupdate:element name="sub">
+      <title> Taming Web Services </title>
+      <auts> <name> Jack </name> </auts>
+    </xupdate:element>
+  </xupdate:insert-after>
+</xupdate:modifications>"#;
+
+    #[test]
+    fn parse_paper_statement() {
+        let u = XUpdateDoc::parse(PAPER_STMT).unwrap();
+        assert_eq!(u.ops.len(), 1);
+        assert!(u.insertions_only());
+        match &u.ops[0] {
+            XUpdateOp::InsertAfter { select, content } => {
+                assert_eq!(select, "/review/track[1]/rev[1]/sub[1]");
+                assert_eq!(content.len(), 1);
+                match &content[0] {
+                    Fragment::Element { name, children, .. } => {
+                        assert_eq!(name, "sub");
+                        assert_eq!(children.len(), 2);
+                    }
+                    other => panic!("unexpected fragment {other:?}"),
+                }
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_insert_after_and_undo() {
+        let (mut doc, _) = parse_document(REV).unwrap();
+        let before = serialize(&doc);
+        let u = XUpdateDoc::parse(PAPER_STMT).unwrap();
+        let applied = apply(&mut doc, &u, &resolver).unwrap();
+        assert_eq!(applied.inserted.len(), 1);
+        let after = serialize(&doc);
+        assert!(after.contains("Taming Web Services"), "{after}");
+        // The new sub is the second sub of the rev.
+        let subs = doc.elements_named("sub");
+        assert_eq!(subs.len(), 2);
+        assert_eq!(doc.same_name_position(subs[1]), Some(2));
+        // Position over all element children: name, sub, sub → 3.
+        assert_eq!(doc.element_position(subs[1]), Some(3));
+        undo(&mut doc, applied);
+        assert_eq!(serialize(&doc), before);
+    }
+
+    #[test]
+    fn insert_before_positions() {
+        let (mut doc, _) = parse_document(REV).unwrap();
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:insert-before select="/review/track[1]/rev[1]/sub[1]">
+                   <sub><title>S0</title><auts><name>Zed</name></auts></sub>
+                 </xupdate:insert-before>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        apply(&mut doc, &u, &resolver).unwrap();
+        let subs = doc.elements_named("sub");
+        assert_eq!(doc.text_content(doc.element_children(subs[0])[0]), "S0");
+    }
+
+    #[test]
+    fn append_with_and_without_child() {
+        let (mut doc, _) = parse_document("<r><a/><b/></r>").unwrap();
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:append select="/r"><c/></xupdate:append>
+                 <xupdate:append select="/r" child="0"><z/></xupdate:append>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        apply(&mut doc, &u, &resolver).unwrap();
+        let names: Vec<&str> = doc
+            .element_children(doc.root_element().unwrap())
+            .iter()
+            .map(|&c| doc.name(c).unwrap())
+            .collect();
+        assert_eq!(names, vec!["z", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn remove_update_rename_roundtrip() {
+        let (mut doc, _) = parse_document("<r><a>old</a><b/><c/></r>").unwrap();
+        let before = serialize(&doc);
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:update select="/r/a">new</xupdate:update>
+                 <xupdate:remove select="/r/b"/>
+                 <xupdate:rename select="/r/c">d</xupdate:rename>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        assert!(!u.insertions_only());
+        let applied = apply(&mut doc, &u, &resolver).unwrap();
+        assert_eq!(serialize(&doc), "<r><a>new</a><d/></r>");
+        undo(&mut doc, applied);
+        assert_eq!(serialize(&doc), before);
+    }
+
+    #[test]
+    fn xupdate_element_with_attribute_constructor() {
+        let (mut doc, _) = parse_document("<r/>").unwrap();
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:append select="/r">
+                   <xupdate:element name="item">
+                     <xupdate:attribute name="id">7</xupdate:attribute>
+                     <xupdate:text>payload</xupdate:text>
+                   </xupdate:element>
+                 </xupdate:append>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        apply(&mut doc, &u, &resolver).unwrap();
+        assert_eq!(serialize(&doc), "<r><item id=\"7\">payload</item></r>");
+    }
+
+    #[test]
+    fn unmatched_select_is_error_with_partial_log() {
+        let (mut doc, _) = parse_document("<r><a/></r>").unwrap();
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:append select="/r"><x/></xupdate:append>
+                 <xupdate:remove select="/r/zzz"/>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let (err, partial) = apply(&mut doc, &u, &resolver).unwrap_err();
+        assert!(err.0.contains("matched no nodes") || err.0.contains("no zzz"), "{err}");
+        // Rolling back the partial application restores the original.
+        undo(&mut doc, partial);
+        assert_eq!(serialize(&doc), "<r><a/></r>");
+    }
+
+    #[test]
+    fn malformed_statements_rejected() {
+        assert!(XUpdateDoc::parse("<not-xupdate/>").is_err());
+        assert!(XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x"><xupdate:insert-after><a/></xupdate:insert-after></xupdate:modifications>"#
+        )
+        .is_err(), "missing select");
+        assert!(XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x"><xupdate:frobnicate select="/a"/></xupdate:modifications>"#
+        )
+        .is_err(), "unknown op");
+    }
+}

@@ -1,0 +1,327 @@
+//! XPath abstract syntax.
+
+use std::fmt;
+
+/// A navigation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `parent::`
+    Parent,
+    /// `ancestor::`
+    Ancestor,
+    /// `ancestor-or-self::`
+    AncestorOrSelf,
+    /// `self::`
+    SelfAxis,
+    /// `attribute::`
+    Attribute,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+    /// `following-sibling::`
+    FollowingSibling,
+}
+
+impl Axis {
+    /// Parses an axis name.
+    pub fn from_name(s: &str) -> Option<Axis> {
+        Some(match s {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "self" => Axis::SelfAxis,
+            "attribute" => Axis::Attribute,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following-sibling" => Axis::FollowingSibling,
+            _ => return None,
+        })
+    }
+
+    /// True for axes that deliver nodes in reverse document order
+    /// (affects `position()` numbering).
+    pub fn is_reverse(self) -> bool {
+        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::FollowingSibling => "following-sibling",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A (qualified) name test.
+    Name(String),
+    /// `*`
+    Wildcard,
+    /// `text()`
+    Text,
+    /// `node()`
+    Node,
+    /// `comment()`
+    Comment,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::Node => f.write_str("node()"),
+            NodeTest::Comment => f.write_str("comment()"),
+        }
+    }
+}
+
+/// One location step: `axis::test[predicate]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicates, applied in order.
+    pub predicates: Vec<Expr>,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.axis, &self.test) {
+            (Axis::Child, t) => write!(f, "{t}")?,
+            (Axis::Attribute, t) => write!(f, "@{t}")?,
+            (Axis::Parent, NodeTest::Node) => write!(f, "..")?,
+            (Axis::SelfAxis, NodeTest::Node) => write!(f, ".")?,
+            (axis, t) => write!(f, "{axis}::{t}")?,
+        }
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// Absolute (`/…`): the document node.
+    Root,
+    /// Relative: the context node.
+    Context,
+    /// A variable reference (`$x/…`), resolved by the dynamic context.
+    Variable(String),
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Starting point.
+    pub start: PathStart,
+    /// Steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            PathStart::Root => {
+                if self.steps.is_empty() {
+                    return f.write_str("/");
+                }
+            }
+            PathStart::Context => {}
+            PathStart::Variable(v) => write!(f, "${v}")?,
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            let skip_slash = i == 0 && matches!(self.start, PathStart::Context);
+            // `//` abbreviation.
+            if s.axis == Axis::DescendantOrSelf
+                && s.test == NodeTest::Node
+                && s.predicates.is_empty()
+            {
+                write!(f, "/")?;
+                continue;
+            }
+            if !skip_slash {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Binary operators (XPath 1.0 set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `|` node-set union
+    Union,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Union => "|",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A location path (possibly starting from a variable).
+    Path(Path),
+    /// A path applied to a filtered primary: `(expr)[pred]/steps`.
+    Filter {
+        /// The primary expression.
+        primary: Box<Expr>,
+        /// Predicates on the primary.
+        predicates: Vec<Expr>,
+        /// Trailing steps (may be empty).
+        steps: Vec<Step>,
+    },
+    /// String literal.
+    Literal(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Binary operation.
+    Binary(Box<Expr>, BinOp, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Filter { primary, predicates, steps } => {
+                write!(f, "({primary})")?;
+                for p in predicates {
+                    write!(f, "[{p}]")?;
+                }
+                for s in steps {
+                    write!(f, "/{s}")?;
+                }
+                Ok(())
+            }
+            Expr::Literal(s) => write!(f, "{s:?}"),
+            Expr::Number(n) => {
+                if n.fract() == 0.0 && n.is_finite() {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::Binary(a, op, b) => write!(f, "{a} {op} {b}"),
+            Expr::Neg(e) => write!(f, "-{e}"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_roundtrip() {
+        for name in [
+            "child",
+            "descendant",
+            "descendant-or-self",
+            "parent",
+            "ancestor",
+            "ancestor-or-self",
+            "self",
+            "attribute",
+            "preceding-sibling",
+            "following-sibling",
+        ] {
+            let a = Axis::from_name(name).unwrap();
+            assert_eq!(a.to_string(), name);
+        }
+        assert!(Axis::from_name("sideways").is_none());
+    }
+
+    #[test]
+    fn reverse_axes() {
+        assert!(Axis::Ancestor.is_reverse());
+        assert!(Axis::PrecedingSibling.is_reverse());
+        assert!(!Axis::Child.is_reverse());
+        assert!(!Axis::FollowingSibling.is_reverse());
+    }
+}

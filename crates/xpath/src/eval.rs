@@ -1,0 +1,879 @@
+//! XPath evaluation over a document.
+
+use crate::ast::{Axis, BinOp, Expr, NodeTest, Path, PathStart, Step};
+use crate::value::{NodeRef, XValue};
+use std::collections::HashMap;
+use std::fmt;
+use xic_xml::{Document, NodeKind};
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Reference to an unbound variable.
+    UndefinedVariable(String),
+    /// Unknown function or wrong arity.
+    BadCall(String),
+    /// An operation received a value of the wrong kind (e.g. union of
+    /// non-node-sets).
+    Type(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UndefinedVariable(v) => write!(f, "undefined variable ${v}"),
+            EvalError::BadCall(m) | EvalError::Type(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluation context: document, context item, position/size, and
+/// variable bindings (populated by the XQuery layer).
+#[derive(Debug, Clone)]
+pub struct Context<'d> {
+    /// The document.
+    pub doc: &'d Document,
+    /// Context item.
+    pub item: NodeRef,
+    /// 1-based context position.
+    pub position: usize,
+    /// Context size.
+    pub size: usize,
+    /// In-scope variables.
+    pub vars: HashMap<String, XValue>,
+}
+
+impl<'d> Context<'d> {
+    /// A context positioned at the document node.
+    pub fn root(doc: &'d Document) -> Context<'d> {
+        Context {
+            doc,
+            item: NodeRef::Node(doc.document_node()),
+            position: 1,
+            size: 1,
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Returns a copy with a variable bound.
+    #[must_use]
+    pub fn bind(&self, name: impl Into<String>, value: XValue) -> Context<'d> {
+        let mut c = self.clone();
+        c.vars.insert(name.into(), value);
+        c
+    }
+
+    fn at(&self, item: NodeRef, position: usize, size: usize) -> Context<'d> {
+        let mut c = self.clone();
+        c.item = item;
+        c.position = position;
+        c.size = size;
+        c
+    }
+}
+
+/// Evaluates an expression.
+pub fn evaluate(expr: &Expr, ctx: &Context) -> Result<XValue, EvalError> {
+    match expr {
+        Expr::Literal(s) => Ok(XValue::Str(s.clone())),
+        Expr::Number(n) => Ok(XValue::Num(*n)),
+        Expr::Neg(e) => Ok(XValue::Num(-evaluate(e, ctx)?.to_num(ctx.doc))),
+        Expr::Path(p) => Ok(XValue::Nodes(eval_path(p, ctx)?)),
+        Expr::Filter {
+            primary,
+            predicates,
+            steps,
+        } => {
+            let v = evaluate(primary, ctx)?;
+            let mut nodes = match v {
+                XValue::Nodes(ns) => ns,
+                other if predicates.is_empty() && steps.is_empty() => return Ok(other),
+                other => {
+                    return Err(EvalError::Type(format!(
+                        "cannot filter non-node-set value {other:?}"
+                    )))
+                }
+            };
+            for pred in predicates {
+                nodes = apply_predicate(&nodes, pred, ctx, false)?;
+            }
+            for step in steps {
+                nodes = eval_step(&nodes, step, ctx)?;
+            }
+            Ok(XValue::Nodes(nodes))
+        }
+        Expr::Binary(a, op, b) => eval_binary(a, *op, b, ctx),
+        Expr::Call(name, args) => eval_call(name, args, ctx),
+    }
+}
+
+/// Evaluates an expression that must produce a node-set.
+pub fn evaluate_nodes(expr: &Expr, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
+    match evaluate(expr, ctx)? {
+        XValue::Nodes(ns) => Ok(ns),
+        other => Err(EvalError::Type(format!(
+            "expected a node-set, got {other:?}"
+        ))),
+    }
+}
+
+fn eval_path(path: &Path, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
+    let start: Vec<NodeRef> = match &path.start {
+        PathStart::Root => vec![NodeRef::Node(ctx.doc.document_node())],
+        PathStart::Context => vec![ctx.item.clone()],
+        PathStart::Variable(v) => match ctx.vars.get(v) {
+            Some(XValue::Nodes(ns)) => ns.clone(),
+            Some(other) => {
+                if path.steps.is_empty() {
+                    return Err(EvalError::Type(format!(
+                        "variable ${v} holds a non-node-set {other:?} (evaluate it as an \
+                         expression instead)"
+                    )));
+                }
+                return Err(EvalError::Type(format!(
+                    "cannot navigate from non-node-set variable ${v}"
+                )));
+            }
+            None => return Err(EvalError::UndefinedVariable(v.clone())),
+        },
+    };
+    // A bare `$x` path returns the variable's nodes.
+    let mut cur = start;
+    for step in &path.steps {
+        cur = eval_step(&cur, step, ctx)?;
+    }
+    Ok(cur)
+}
+
+/// Evaluates `$x` that may hold any value (used by the XQuery layer, which
+/// also stores strings/numbers in variables).
+pub fn eval_variable(path: &Path, ctx: &Context) -> Result<XValue, EvalError> {
+    if let PathStart::Variable(v) = &path.start {
+        if path.steps.is_empty() {
+            return ctx
+                .vars
+                .get(v)
+                .cloned()
+                .ok_or_else(|| EvalError::UndefinedVariable(v.clone()));
+        }
+    }
+    Ok(XValue::Nodes(eval_path(path, ctx)?))
+}
+
+fn eval_step(input: &[NodeRef], step: &Step, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
+    let mut merged: Vec<NodeRef> = Vec::new();
+    for item in input {
+        let axis_nodes = axis_candidates(ctx.doc, item, step.axis);
+        let mut tested: Vec<NodeRef> = axis_nodes
+            .into_iter()
+            .filter(|n| node_test(ctx.doc, n, step.axis, &step.test))
+            .collect();
+        for pred in &step.predicates {
+            tested = apply_predicate(&tested, pred, ctx, step.axis.is_reverse())?;
+        }
+        merged.extend(tested);
+    }
+    // Normalization (document-order sort + dedup) is the dominant cost on
+    // large documents; skip it when the result is ordered and duplicate-
+    // free by construction: a single context node with a forward axis, or
+    // doc-ordered non-nested inputs stepped through child/attribute/self
+    // (disjoint result sets, concatenated in input order). Non-nesting is
+    // guaranteed when all inputs sit at the same tree depth — the common
+    // case for homogeneous steps like `$x/sub/auts`.
+    if input.len() <= 1 {
+        if step.axis.is_reverse() {
+            // Reverse-axis results from one node: flip into document order
+            // (already duplicate-free).
+            merged.reverse();
+        }
+        return Ok(merged);
+    }
+    let sibling_safe = matches!(step.axis, Axis::Child | Axis::Attribute | Axis::SelfAxis)
+        && same_depth(ctx.doc, input);
+    if !sibling_safe {
+        dedupe_doc_order(ctx.doc, &mut merged);
+    }
+    Ok(merged)
+}
+
+/// True if all tree-node inputs share one depth (attribute refs anchor at
+/// their owner).
+fn same_depth(doc: &Document, input: &[NodeRef]) -> bool {
+    let depth = |n: &NodeRef| -> usize {
+        let mut d = 0;
+        let mut cur = n.anchor();
+        while let Some(p) = doc.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    };
+    let first = depth(&input[0]);
+    input[1..].iter().all(|n| depth(n) == first)
+}
+
+fn apply_predicate(
+    nodes: &[NodeRef],
+    pred: &Expr,
+    ctx: &Context,
+    reverse: bool,
+) -> Result<Vec<NodeRef>, EvalError> {
+    let size = nodes.len();
+    let mut out = Vec::with_capacity(size);
+    for (i, n) in nodes.iter().enumerate() {
+        let position = if reverse { size - i } else { i + 1 };
+        let sub = ctx.at(n.clone(), position, size);
+        let v = evaluate(pred, &sub)?;
+        let keep = match v {
+            XValue::Num(k) => (position as f64) == k,
+            other => other.to_bool(),
+        };
+        if keep {
+            out.push(n.clone());
+        }
+    }
+    Ok(out)
+}
+
+fn axis_candidates(doc: &Document, item: &NodeRef, axis: Axis) -> Vec<NodeRef> {
+    match item {
+        NodeRef::Attr { owner, .. } => match axis {
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf => {
+                let mut out = Vec::new();
+                if axis == Axis::AncestorOrSelf {
+                    out.push(item.clone());
+                }
+                let mut cur = Some(*owner);
+                if axis == Axis::Parent {
+                    return cur.into_iter().map(NodeRef::Node).collect();
+                }
+                while let Some(n) = cur {
+                    out.push(NodeRef::Node(n));
+                    cur = doc.node(n).parent;
+                }
+                out
+            }
+            Axis::SelfAxis => vec![item.clone()],
+            _ => Vec::new(),
+        },
+        NodeRef::Node(n) => {
+            let n = *n;
+            match axis {
+                Axis::Child => doc.node(n).children.iter().map(|&c| NodeRef::Node(c)).collect(),
+                Axis::Descendant => doc.descendants(n).into_iter().map(NodeRef::Node).collect(),
+                Axis::DescendantOrSelf => {
+                    let mut out = vec![NodeRef::Node(n)];
+                    out.extend(doc.descendants(n).into_iter().map(NodeRef::Node));
+                    out
+                }
+                Axis::Parent => doc.node(n).parent.into_iter().map(NodeRef::Node).collect(),
+                Axis::Ancestor | Axis::AncestorOrSelf => {
+                    let mut out = Vec::new();
+                    if axis == Axis::AncestorOrSelf {
+                        out.push(NodeRef::Node(n));
+                    }
+                    let mut cur = doc.node(n).parent;
+                    while let Some(p) = cur {
+                        out.push(NodeRef::Node(p));
+                        cur = doc.node(p).parent;
+                    }
+                    out
+                }
+                Axis::SelfAxis => vec![NodeRef::Node(n)],
+                Axis::Attribute => match &doc.node(n).kind {
+                    NodeKind::Element { attrs, .. } => attrs
+                        .iter()
+                        .map(|(name, _)| NodeRef::Attr {
+                            owner: n,
+                            name: name.clone(),
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                },
+                Axis::PrecedingSibling | Axis::FollowingSibling => {
+                    let Some(parent) = doc.node(n).parent else {
+                        return Vec::new();
+                    };
+                    let siblings = &doc.node(parent).children;
+                    let idx = siblings
+                        .iter()
+                        .position(|&c| c == n)
+                        .expect("attached node is among its parent's children");
+                    if axis == Axis::PrecedingSibling {
+                        // Nearest first (reverse document order).
+                        siblings[..idx].iter().rev().map(|&c| NodeRef::Node(c)).collect()
+                    } else {
+                        siblings[idx + 1..].iter().map(|&c| NodeRef::Node(c)).collect()
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn node_test(doc: &Document, item: &NodeRef, axis: Axis, test: &NodeTest) -> bool {
+    match item {
+        NodeRef::Attr { name, .. } => match test {
+            NodeTest::Name(n) => n == name,
+            NodeTest::Wildcard | NodeTest::Node => true,
+            _ => false,
+        },
+        NodeRef::Node(n) => {
+            let kind = &doc.node(*n).kind;
+            match test {
+                NodeTest::Name(name) => doc.name(*n) == Some(name.as_str()),
+                NodeTest::Wildcard => {
+                    // The principal node type of every non-attribute axis
+                    // is element.
+                    let _ = axis;
+                    matches!(kind, NodeKind::Element { .. })
+                }
+                NodeTest::Text => matches!(kind, NodeKind::Text(_)),
+                NodeTest::Node => true,
+                NodeTest::Comment => matches!(kind, NodeKind::Comment(_)),
+            }
+        }
+    }
+}
+
+fn dedupe_doc_order(doc: &Document, nodes: &mut Vec<NodeRef>) {
+    let mut keyed: Vec<(Vec<u32>, u8, String, NodeRef)> = nodes
+        .drain(..)
+        .map(|n| match &n {
+            NodeRef::Node(id) => (doc.order_key(*id), 0u8, String::new(), n),
+            NodeRef::Attr { owner, name } => {
+                (doc.order_key(*owner), 1u8, name.clone(), n)
+            }
+        })
+        .collect();
+    keyed.sort();
+    keyed.dedup_by(|a, b| (&a.0, a.1, &a.2) == (&b.0, b.1, &b.2));
+    nodes.extend(keyed.into_iter().map(|(_, _, _, n)| n));
+}
+
+/// True if the expression mentions variable `name` (used by the XQuery
+/// engine to hoist loop-invariant quantifier sources).
+pub fn expr_mentions_var(e: &Expr, name: &str) -> bool {
+    fn path(p: &Path, name: &str) -> bool {
+        if matches!(&p.start, PathStart::Variable(v) if v == name) {
+            return true;
+        }
+        p.steps
+            .iter()
+            .any(|s| s.predicates.iter().any(|q| expr_mentions_var(q, name)))
+    }
+    match e {
+        Expr::Path(p) => path(p, name),
+        Expr::Filter { primary, predicates, steps } => {
+            expr_mentions_var(primary, name)
+                || predicates.iter().any(|q| expr_mentions_var(q, name))
+                || steps
+                    .iter()
+                    .any(|s| s.predicates.iter().any(|q| expr_mentions_var(q, name)))
+        }
+        Expr::Literal(_) | Expr::Number(_) => false,
+        Expr::Binary(a, _, b) => expr_mentions_var(a, name) || expr_mentions_var(b, name),
+        Expr::Neg(x) => expr_mentions_var(x, name),
+        Expr::Call(_, args) => args.iter().any(|a| expr_mentions_var(a, name)),
+    }
+}
+
+fn eval_binary(a: &Expr, op: BinOp, b: &Expr, ctx: &Context) -> Result<XValue, EvalError> {
+    match op {
+        BinOp::Or => {
+            return Ok(XValue::Bool(
+                evaluate(a, ctx)?.to_bool() || evaluate(b, ctx)?.to_bool(),
+            ))
+        }
+        BinOp::And => {
+            return Ok(XValue::Bool(
+                evaluate(a, ctx)?.to_bool() && evaluate(b, ctx)?.to_bool(),
+            ))
+        }
+        _ => {}
+    }
+    let va = eval_operand(a, ctx)?;
+    let vb = eval_operand(b, ctx)?;
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let x = va.to_num(ctx.doc);
+            let y = vb.to_num(ctx.doc);
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => x % y,
+                _ => unreachable!(),
+            };
+            Ok(XValue::Num(r))
+        }
+        BinOp::Union => match (va, vb) {
+            (XValue::Nodes(mut x), XValue::Nodes(y)) => {
+                x.extend(y);
+                dedupe_doc_order(ctx.doc, &mut x);
+                Ok(XValue::Nodes(x))
+            }
+            _ => Err(EvalError::Type("union of non-node-sets".to_string())),
+        },
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            Ok(XValue::Bool(compare_values(&va, op, &vb, ctx.doc)))
+        }
+        BinOp::Or | BinOp::And => unreachable!("handled above"),
+    }
+}
+
+/// Evaluates an operand, resolving bare variables to their full value (so
+/// `$x = 3` works when `$x` holds a number).
+fn eval_operand(e: &Expr, ctx: &Context) -> Result<XValue, EvalError> {
+    if let Expr::Path(p) = e {
+        return eval_variable(p, ctx);
+    }
+    evaluate(e, ctx)
+}
+
+/// XPath 1.0 comparison semantics: existential over node-sets. Public so
+/// the XQuery layer can reuse the exact same general-comparison rules.
+pub fn compare_values(a: &XValue, op: BinOp, b: &XValue, doc: &Document) -> bool {
+    let cmp_num = |x: f64, y: f64| match op {
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        BinOp::Lt => x < y,
+        BinOp::Le => x <= y,
+        BinOp::Gt => x > y,
+        BinOp::Ge => x >= y,
+        _ => unreachable!(),
+    };
+    let cmp_str = |x: &str, y: &str| match op {
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        // Relational comparisons on strings go through numbers in XPath 1.0.
+        _ => cmp_num(
+            x.trim().parse().unwrap_or(f64::NAN),
+            y.trim().parse().unwrap_or(f64::NAN),
+        ),
+    };
+    match (a, b) {
+        (XValue::Nodes(xs), XValue::Nodes(ys)) => xs.iter().any(|x| {
+            let sx = x.string_value(doc);
+            ys.iter().any(|y| cmp_str(&sx, &y.string_value(doc)))
+        }),
+        (XValue::Nodes(xs), other) | (other, XValue::Nodes(xs)) => {
+            let flipped = !matches!(a, XValue::Nodes(_));
+            let eff_op = if flipped { flip(op) } else { op };
+            match other {
+                XValue::Num(n) => xs.iter().any(|x| {
+                    let v = x.string_value(doc).trim().parse().unwrap_or(f64::NAN);
+                    match eff_op {
+                        BinOp::Eq => v == *n,
+                        BinOp::Ne => v != *n,
+                        BinOp::Lt => v < *n,
+                        BinOp::Le => v <= *n,
+                        BinOp::Gt => v > *n,
+                        BinOp::Ge => v >= *n,
+                        _ => unreachable!(),
+                    }
+                }),
+                XValue::Str(s) => xs.iter().any(|x| {
+                    let sv = x.string_value(doc);
+                    match eff_op {
+                        BinOp::Eq => sv == *s,
+                        BinOp::Ne => sv != *s,
+                        _ => cmp_num(
+                            sv.trim().parse().unwrap_or(f64::NAN),
+                            s.trim().parse().unwrap_or(f64::NAN),
+                        ),
+                    }
+                }),
+                XValue::Bool(bv) => {
+                    let nb = !xs.is_empty();
+                    match eff_op {
+                        BinOp::Eq => nb == *bv,
+                        BinOp::Ne => nb != *bv,
+                        _ => cmp_num(f64::from(u8::from(nb)), f64::from(u8::from(*bv))),
+                    }
+                }
+                XValue::Nodes(_) => unreachable!(),
+            }
+        }
+        _ => {
+            // Neither side is a node-set.
+            if matches!(op, BinOp::Eq | BinOp::Ne) {
+                if matches!(a, XValue::Bool(_)) || matches!(b, XValue::Bool(_)) {
+                    let r = a.to_bool() == b.to_bool();
+                    return if op == BinOp::Eq { r } else { !r };
+                }
+                if matches!(a, XValue::Num(_)) || matches!(b, XValue::Num(_)) {
+                    return cmp_num(a.to_num(doc), b.to_num(doc));
+                }
+                return cmp_str(&a.to_str(doc), &b.to_str(doc));
+            }
+            cmp_num(a.to_num(doc), b.to_num(doc))
+        }
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn eval_call(name: &str, args: &[Expr], ctx: &Context) -> Result<XValue, EvalError> {
+    let arity = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::BadCall(format!(
+                "{name}() expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match name {
+        "position" => {
+            arity(0)?;
+            Ok(XValue::Num(ctx.position as f64))
+        }
+        "last" => {
+            arity(0)?;
+            Ok(XValue::Num(ctx.size as f64))
+        }
+        "true" => {
+            arity(0)?;
+            Ok(XValue::Bool(true))
+        }
+        "false" => {
+            arity(0)?;
+            Ok(XValue::Bool(false))
+        }
+        "count" => {
+            arity(1)?;
+            match eval_operand(&args[0], ctx)? {
+                XValue::Nodes(ns) => Ok(XValue::Num(ns.len() as f64)),
+                other => Err(EvalError::Type(format!("count() of {other:?}"))),
+            }
+        }
+        "sum" => {
+            arity(1)?;
+            match eval_operand(&args[0], ctx)? {
+                XValue::Nodes(ns) => Ok(XValue::Num(
+                    ns.iter()
+                        .map(|n| n.string_value(ctx.doc).trim().parse().unwrap_or(f64::NAN))
+                        .sum(),
+                )),
+                other => Err(EvalError::Type(format!("sum() of {other:?}"))),
+            }
+        }
+        "not" => {
+            arity(1)?;
+            Ok(XValue::Bool(!eval_operand(&args[0], ctx)?.to_bool()))
+        }
+        "boolean" => {
+            arity(1)?;
+            Ok(XValue::Bool(eval_operand(&args[0], ctx)?.to_bool()))
+        }
+        "string" => {
+            if args.is_empty() {
+                return Ok(XValue::Str(ctx.item.string_value(ctx.doc)));
+            }
+            arity(1)?;
+            Ok(XValue::Str(eval_operand(&args[0], ctx)?.to_str(ctx.doc)))
+        }
+        "number" => {
+            if args.is_empty() {
+                return Ok(XValue::Num(
+                    ctx.item
+                        .string_value(ctx.doc)
+                        .trim()
+                        .parse()
+                        .unwrap_or(f64::NAN),
+                ));
+            }
+            arity(1)?;
+            Ok(XValue::Num(eval_operand(&args[0], ctx)?.to_num(ctx.doc)))
+        }
+        "concat" => {
+            if args.len() < 2 {
+                return Err(EvalError::BadCall(
+                    "concat() expects at least 2 arguments".to_string(),
+                ));
+            }
+            let mut out = String::new();
+            for a in args {
+                out.push_str(&eval_operand(a, ctx)?.to_str(ctx.doc));
+            }
+            Ok(XValue::Str(out))
+        }
+        "contains" => {
+            arity(2)?;
+            let h = eval_operand(&args[0], ctx)?.to_str(ctx.doc);
+            let n = eval_operand(&args[1], ctx)?.to_str(ctx.doc);
+            Ok(XValue::Bool(h.contains(&n)))
+        }
+        "starts-with" => {
+            arity(2)?;
+            let h = eval_operand(&args[0], ctx)?.to_str(ctx.doc);
+            let n = eval_operand(&args[1], ctx)?.to_str(ctx.doc);
+            Ok(XValue::Bool(h.starts_with(&n)))
+        }
+        "string-length" => {
+            arity(1)?;
+            Ok(XValue::Num(
+                eval_operand(&args[0], ctx)?.to_str(ctx.doc).chars().count() as f64,
+            ))
+        }
+        "normalize-space" => {
+            let s = if args.is_empty() {
+                ctx.item.string_value(ctx.doc)
+            } else {
+                arity(1)?;
+                eval_operand(&args[0], ctx)?.to_str(ctx.doc)
+            };
+            Ok(XValue::Str(
+                s.split_whitespace().collect::<Vec<_>>().join(" "),
+            ))
+        }
+        "name" | "local-name" => {
+            let target = if args.is_empty() {
+                ctx.item.clone()
+            } else {
+                arity(1)?;
+                match eval_operand(&args[0], ctx)? {
+                    XValue::Nodes(ns) => match ns.first() {
+                        Some(n) => n.clone(),
+                        None => return Ok(XValue::Str(String::new())),
+                    },
+                    other => return Err(EvalError::Type(format!("name() of {other:?}"))),
+                }
+            };
+            let full = match &target {
+                NodeRef::Node(n) => ctx.doc.name(*n).unwrap_or("").to_string(),
+                NodeRef::Attr { name, .. } => name.clone(),
+            };
+            let out = if name == "local-name" {
+                full.rsplit(':').next().unwrap_or("").to_string()
+            } else {
+                full
+            };
+            Ok(XValue::Str(out))
+        }
+        other => Err(EvalError::BadCall(format!("unknown function {other}()"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use xic_xml::parse_document;
+
+    const DOC: &str = "<review>\
+        <track><name>DB</name>\
+          <rev><name>Ann</name>\
+            <sub><title>S1</title><auts><name>Bob</name></auts></sub>\
+            <sub><title>S2</title><auts><name>Cat</name><name>Ann</name></auts></sub>\
+          </rev>\
+          <rev><name>Dan</name>\
+            <sub><title>S3</title><auts><name>Eve</name></auts></sub>\
+          </rev>\
+        </track>\
+        <track><name>AI</name>\
+          <rev><name>Ann</name><sub><title>S4</title><auts><name>Flo</name></auts></sub></rev>\
+        </track>\
+      </review>";
+
+    fn eval_str(doc_src: &str, xpath: &str) -> XValue {
+        let (doc, _) = parse_document(doc_src).unwrap();
+        let e = parse(xpath).unwrap();
+        let ctx = Context::root(&doc);
+        evaluate(&e, &ctx).unwrap()
+    }
+
+    fn count_nodes(doc_src: &str, xpath: &str) -> usize {
+        match eval_str(doc_src, xpath) {
+            XValue::Nodes(ns) => ns.len(),
+            other => panic!("expected node-set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn descendant_queries() {
+        assert_eq!(count_nodes(DOC, "//rev"), 3);
+        assert_eq!(count_nodes(DOC, "//sub"), 4);
+        assert_eq!(count_nodes(DOC, "//rev/name/text()"), 3);
+        assert_eq!(count_nodes(DOC, "/review/track"), 2);
+        assert_eq!(count_nodes(DOC, "/review/track/rev/sub/auts/name"), 5);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        let e = parse("/review/track[2]/rev[1]/name/text()").unwrap();
+        let v = evaluate(&e, &Context::root(&doc)).unwrap();
+        assert_eq!(v.to_str(&doc), "Ann");
+        assert_eq!(count_nodes(DOC, "//sub[1]"), 3, "first sub of each rev");
+        assert_eq!(count_nodes(DOC, "//sub[position() = last()]"), 3);
+        assert_eq!(count_nodes(DOC, "(//sub)[1]"), 1);
+    }
+
+    #[test]
+    fn value_predicates() {
+        assert_eq!(count_nodes(DOC, "//rev[name/text() = 'Ann']"), 2);
+        assert_eq!(count_nodes(DOC, "//rev[name = 'Ann']/sub"), 3);
+        assert_eq!(
+            count_nodes(DOC, "//sub[auts/name/text() = 'Ann']"),
+            1,
+            "existential over multiple auts names"
+        );
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        assert_eq!(count_nodes(DOC, "//name/.."), 9, "every named element");
+        assert_eq!(count_nodes(DOC, "//auts/ancestor::track"), 2);
+        // 4 auts + 4 subs + 3 revs + 2 tracks + review = 14 distinct.
+        assert_eq!(count_nodes(DOC, "//auts/ancestor-or-self::*"), 14);
+        // aut/../aut style used by the paper's translation.
+        assert_eq!(count_nodes(DOC, "//auts/name/../name"), 5);
+    }
+
+    #[test]
+    fn siblings() {
+        assert_eq!(count_nodes(DOC, "//sub[2]/preceding-sibling::sub"), 1);
+        assert_eq!(count_nodes(DOC, "//name/following-sibling::rev"), 3);
+        // Reverse-axis positions count from the nearest.
+        assert_eq!(
+            count_nodes(DOC, "//sub[2]/preceding-sibling::*[1]"),
+            1
+        );
+    }
+
+    #[test]
+    fn attributes() {
+        let src = "<r><a id=\"1\" lang=\"en\"/><a id=\"2\"/></r>";
+        assert_eq!(count_nodes(src, "//a/@id"), 2);
+        assert_eq!(count_nodes(src, "//a[@id = '2']"), 1);
+        assert_eq!(count_nodes(src, "//a[@lang]"), 1);
+        assert_eq!(count_nodes(src, "//a/@*"), 3);
+        let v = eval_str(src, "string(//a/@id)");
+        assert_eq!(v, XValue::Str("1".into()));
+    }
+
+    #[test]
+    fn functions() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        let ctx = Context::root(&doc);
+        let v = evaluate(&parse("count(//sub)").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Num(4.0));
+        let v = evaluate(&parse("not(//zzz)").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Bool(true));
+        let v = evaluate(&parse("concat('a', 'b', 'c')").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Str("abc".into()));
+        let v = evaluate(&parse("contains(//rev[1]/name, 'nn')").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Bool(true));
+        let v = evaluate(&parse("string-length('héllo')").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Num(5.0));
+        let v = evaluate(&parse("normalize-space('  a   b ')").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Str("a b".into()));
+        let v = evaluate(&parse("name(//track[1])").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Str("track".into()));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let (doc, _) = parse_document("<r/>").unwrap();
+        let ctx = Context::root(&doc);
+        let n = |s: &str| evaluate(&parse(s).unwrap(), &ctx).unwrap();
+        assert_eq!(n("1 + 2 * 3"), XValue::Num(7.0));
+        assert_eq!(n("7 mod 3"), XValue::Num(1.0));
+        assert_eq!(n("7 div 2"), XValue::Num(3.5));
+        assert_eq!(n("-(3)"), XValue::Num(-3.0));
+        assert_eq!(n("1 < 2"), XValue::Bool(true));
+        assert_eq!(n("'2' = 2"), XValue::Bool(true));
+        assert_eq!(n("true() = '1'"), XValue::Bool(true), "bool wins coercion");
+        assert_eq!(n("2 >= 3 or 1 = 1"), XValue::Bool(true));
+        assert_eq!(n("2 >= 3 and 1 = 1"), XValue::Bool(false));
+    }
+
+    #[test]
+    fn node_set_comparisons_are_existential() {
+        // Two different subs share no author, but the name sets overlap on
+        // "Ann" between rev names and auts names.
+        let v = eval_str(DOC, "//rev/name/text() = //auts/name/text()");
+        assert_eq!(v, XValue::Bool(true));
+        let v2 = eval_str(DOC, "//track/name/text() = //auts/name/text()");
+        assert_eq!(v2, XValue::Bool(false));
+    }
+
+    #[test]
+    fn variables() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        let revs = evaluate_nodes(&parse("//rev").unwrap(), &Context::root(&doc)).unwrap();
+        let ctx = Context::root(&doc).bind("lr", XValue::Nodes(vec![revs[0].clone()]));
+        let v = evaluate(&parse("$lr/sub").unwrap(), &ctx).unwrap();
+        assert_eq!(v.as_nodes().unwrap().len(), 2);
+        let v = evaluate(&parse("$lr/name/text() = 'Ann'").unwrap(), &ctx).unwrap();
+        assert_eq!(v, XValue::Bool(true));
+        assert!(matches!(
+            evaluate(&parse("$nope").unwrap(), &ctx),
+            Err(EvalError::UndefinedVariable(_))
+        ));
+    }
+
+    #[test]
+    fn union() {
+        assert_eq!(count_nodes(DOC, "//track/name | //rev/name"), 5);
+        // Dedup across operands.
+        assert_eq!(count_nodes(DOC, "//rev | //rev"), 3);
+    }
+
+    #[test]
+    fn document_order_and_dedup() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        // `//name/..` visits parents multiple times but yields unique nodes
+        // in document order.
+        let ns = evaluate_nodes(&parse("//auts/name/..").unwrap(), &Context::root(&doc)).unwrap();
+        assert_eq!(ns.len(), 4);
+        let mut sorted = ns.clone();
+        let mut ids: Vec<_> = sorted
+            .iter()
+            .map(|n| match n {
+                NodeRef::Node(i) => *i,
+                NodeRef::Attr { .. } => panic!(),
+            })
+            .collect();
+        doc.sort_document_order(&mut ids);
+        let resorted: Vec<_> = ids.into_iter().map(NodeRef::Node).collect();
+        sorted.clone_from(&resorted);
+        assert_eq!(ns, resorted);
+    }
+
+    #[test]
+    fn type_errors() {
+        let (doc, _) = parse_document("<r/>").unwrap();
+        let ctx = Context::root(&doc);
+        assert!(matches!(
+            evaluate(&parse("count(1)").unwrap(), &ctx),
+            Err(EvalError::Type(_))
+        ));
+        assert!(matches!(
+            evaluate(&parse("1 | 2").unwrap(), &ctx),
+            Err(EvalError::Type(_))
+        ));
+        assert!(matches!(
+            evaluate(&parse("frob()").unwrap(), &ctx),
+            Err(EvalError::BadCall(_))
+        ));
+        assert!(matches!(
+            evaluate(&parse("position(1)").unwrap(), &ctx),
+            Err(EvalError::BadCall(_))
+        ));
+    }
+}

@@ -1,0 +1,417 @@
+//! Tokenizer shared by the XPath parser (and reused by `xic-xquery`).
+
+use std::fmt;
+
+/// A token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Name or keyword (axis names, `and`, `div`, function names, …).
+    Name(String),
+    /// `$name`
+    Var(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes removed).
+    Literal(String),
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `::`
+    DoubleColon,
+    /// `..`
+    DotDot,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `:=` (XQuery let binding)
+    Assign,
+    /// `{` (XQuery constructors)
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;` (XQuery separators in some dialects)
+    Semi,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Var(v) => write!(f, "${v}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Literal(s) => write!(f, "{s:?}"),
+            Tok::Slash => write!(f, "/"),
+            Tok::DoubleSlash => write!(f, "//"),
+            Tok::DoubleColon => write!(f, "::"),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Dot => write!(f, "."),
+            Tok::At => write!(f, "@"),
+            Tok::Star => write!(f, "*"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Assign => write!(f, ":="),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Semi => write!(f, ";"),
+        }
+    }
+}
+
+/// Tokenizes an XPath/XQuery-core expression. Returns tokens with their
+/// byte offsets.
+pub fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, String> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let tok = match c {
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    i += 2;
+                    Tok::DoubleSlash
+                } else {
+                    i += 1;
+                    Tok::Slash
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    i += 2;
+                    Tok::DoubleColon
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Assign
+                } else {
+                    return Err(format!("stray ':' at byte {i}"));
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    i += 2;
+                    Tok::DotDot
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    // .5 style number
+                    let (n, len) = lex_number(&input[i..])?;
+                    i += len;
+                    Tok::Number(n)
+                } else {
+                    i += 1;
+                    Tok::Dot
+                }
+            }
+            '@' => {
+                i += 1;
+                Tok::At
+            }
+            '*' => {
+                i += 1;
+                Tok::Star
+            }
+            '(' => {
+                // XQuery comment `(: … :)`.
+                if bytes.get(i + 1) == Some(&b':') {
+                    let rest = &input[i + 2..];
+                    let close = rest.find(":)").ok_or("unterminated (: comment")?;
+                    i += 2 + close + 2;
+                    continue;
+                }
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            '[' => {
+                i += 1;
+                Tok::LBracket
+            }
+            ']' => {
+                i += 1;
+                Tok::RBracket
+            }
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            '|' => {
+                i += 1;
+                Tok::Pipe
+            }
+            '{' => {
+                i += 1;
+                Tok::LBrace
+            }
+            '}' => {
+                i += 1;
+                Tok::RBrace
+            }
+            ';' => {
+                i += 1;
+                Tok::Semi
+            }
+            '=' => {
+                i += 1;
+                Tok::Eq
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Ne
+                } else {
+                    return Err(format!("stray '!' at byte {i}"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Le
+                } else {
+                    i += 1;
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Ge
+                } else {
+                    i += 1;
+                    Tok::Gt
+                }
+            }
+            '+' => {
+                i += 1;
+                Tok::Plus
+            }
+            '-' => {
+                i += 1;
+                Tok::Minus
+            }
+            '$' => {
+                i += 1;
+                let (name, len) = lex_name(&input[i..])
+                    .ok_or_else(|| format!("expected variable name at byte {i}"))?;
+                i += len;
+                Tok::Var(name)
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let rest = &input[i + 1..];
+                let end = rest
+                    .find(quote)
+                    .ok_or_else(|| format!("unterminated string literal at byte {i}"))?;
+                let lit = rest[..end].to_string();
+                i += 1 + end + 1;
+                Tok::Literal(lit)
+            }
+            d if d.is_ascii_digit() => {
+                let (n, len) = lex_number(&input[i..])?;
+                i += len;
+                Tok::Number(n)
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let (name, len) = lex_name(&input[i..]).expect("starts with name char");
+                i += len;
+                Tok::Name(name)
+            }
+            other => return Err(format!("unexpected character {other:?} at byte {i}")),
+        };
+        out.push((start, tok));
+    }
+    Ok(out)
+}
+
+fn lex_name(s: &str) -> Option<(String, usize)> {
+    let mut end = 0;
+    for (i, c) in s.char_indices() {
+        let ok = if i == 0 {
+            c.is_alphabetic() || c == '_'
+        } else {
+            c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+        };
+        if ok {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    // Names must not swallow a trailing '.' or '-' followed by non-name
+    // context… XPath names may contain '-' and '.'; a name followed by `..`
+    // is ambiguous but does not occur in our inputs. Trim a trailing dot so
+    // `name.` lexes as name + dot.
+    let mut name = &s[..end];
+    while name.ends_with('.') {
+        name = &name[..name.len() - 1];
+    }
+    if name.is_empty() {
+        None
+    } else {
+        Some((name.to_string(), name.len()))
+    }
+}
+
+fn lex_number(s: &str) -> Result<(f64, usize), String> {
+    let mut end = 0;
+    let mut seen_dot = false;
+    for (i, c) in s.char_indices() {
+        if c.is_ascii_digit() {
+            end = i + 1;
+        } else if c == '.' && !seen_dot && s[i + 1..].starts_with(|d: char| d.is_ascii_digit()) {
+            seen_dot = true;
+            end = i + 1;
+        } else {
+            break;
+        }
+    }
+    s[..end]
+        .parse::<f64>()
+        .map(|n| (n, end))
+        .map_err(|e| format!("bad number: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        tokenize(s).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn basic_path() {
+        assert_eq!(
+            toks("//rev/name/text()"),
+            vec![
+                Tok::DoubleSlash,
+                Tok::Name("rev".into()),
+                Tok::Slash,
+                Tok::Name("name".into()),
+                Tok::Slash,
+                Tok::Name("text".into()),
+                Tok::LParen,
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn predicates_and_ops() {
+        assert_eq!(
+            toks("a[position() >= 2 and @x != 'y']"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::LBracket,
+                Tok::Name("position".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Ge,
+                Tok::Number(2.0),
+                Tok::Name("and".into()),
+                Tok::At,
+                Tok::Name("x".into()),
+                Tok::Ne,
+                Tok::Literal("y".into()),
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_assign() {
+        assert_eq!(
+            toks("$x := $y"),
+            vec![Tok::Var("x".into()), Tok::Assign, Tok::Var("y".into())]
+        );
+    }
+
+    #[test]
+    fn dotdot_and_numbers() {
+        assert_eq!(toks(".."), vec![Tok::DotDot]);
+        assert_eq!(toks("3.25"), vec![Tok::Number(3.25)]);
+        assert_eq!(toks(".5"), vec![Tok::Number(0.5)]);
+        assert_eq!(
+            toks("1..2"),
+            vec![Tok::Number(1.0), Tok::DotDot, Tok::Number(2.0)]
+        );
+    }
+
+    #[test]
+    fn axis_names_with_dashes() {
+        assert_eq!(
+            toks("preceding-sibling::a"),
+            vec![
+                Tok::Name("preceding-sibling".into()),
+                Tok::DoubleColon,
+                Tok::Name("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("a (: hi :) / b"), vec![
+            Tok::Name("a".into()),
+            Tok::Slash,
+            Tok::Name("b".into())
+        ]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("(: unterminated").is_err());
+    }
+}

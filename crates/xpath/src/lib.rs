@@ -1,0 +1,41 @@
+//! An XPath 1.0 subset engine over `xic-xml` documents.
+//!
+//! Supported: all the axes the paper's XPathLog uses (child, attribute,
+//! parent, ancestor, descendant, self, preceding-sibling,
+//! following-sibling, plus the `-or-self` variants), name/wildcard/text()/
+//! node()/comment() node tests, full predicate expressions with
+//! `position()`/`last()`, the abbreviations `//`, `@`, `.` and `..`,
+//! variable references (used by the XQuery layer), the XPath 1.0 value
+//! model (node-set / string / number / boolean) with its coercion and
+//! existential comparison rules, and a core function library.
+//!
+//! # Example
+//!
+//! ```
+//! use xic_xml::parse_document;
+//! use xic_xpath::{evaluate, parse as parse_xpath, Context, XValue};
+//!
+//! let (doc, _) = parse_document(
+//!     "<review><track><name>DB</name><rev><name>Ann</name></rev></track></review>",
+//! ).unwrap();
+//! let path = parse_xpath("//rev/name/text()").unwrap();
+//! let ctx = Context::root(&doc);
+//! match evaluate(&path, &ctx).unwrap() {
+//!     XValue::Nodes(ns) => assert_eq!(ns.len(), 1),
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Axis, BinOp, Expr, NodeTest, Path, PathStart, Step};
+pub use eval::{
+    compare_values, eval_variable, evaluate, evaluate_nodes, expr_mentions_var, Context, EvalError,
+};
+pub use parser::{parse, XPathParseError, P};
+pub use lexer::{tokenize, Tok};
+pub use value::{NodeRef, XValue};

@@ -1,0 +1,531 @@
+//! Recursive-descent parser for the XPath subset.
+
+use crate::ast::{Axis, BinOp, Expr, NodeTest, Path, PathStart, Step};
+use crate::lexer::{tokenize, Tok};
+use std::fmt;
+
+/// XPath parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPathParseError {
+    /// Byte offset (best effort).
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathParseError {}
+
+/// Parses an XPath expression.
+pub fn parse(input: &str) -> Result<Expr, XPathParseError> {
+    let toks = tokenize(input).map_err(|message| XPathParseError { offset: 0, message })?;
+    let mut p = P::new(toks);
+    let e = p.expr()?;
+    if !p.at_eof() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(e)
+}
+
+/// A token-level parser, public so that the XQuery front-end can embed
+/// XPath sub-expressions in a shared token stream.
+pub struct P {
+    pub(crate) toks: Vec<(usize, Tok)>,
+    pub(crate) pos: usize,
+}
+
+impl P {
+    /// Wraps a token stream produced by [`crate::lexer::tokenize`].
+    pub fn new(toks: Vec<(usize, Tok)>) -> P {
+        P { toks, pos: 0 }
+    }
+
+    /// True when every token has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Current position in the token stream.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Rewinds/advances to a saved position.
+    pub fn set_position(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+}
+
+impl P {
+    pub fn err(&self, message: impl Into<String>) -> XPathParseError {
+        let offset = self.toks.get(self.pos).map_or(usize::MAX, |(o, _)| *o);
+        XPathParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    pub fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(_, t)| t)
+    }
+
+    pub fn next_tok(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn eat_name(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Name(n)) if n == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn expect(&mut self, t: &Tok) -> Result<(), XPathParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}")))
+        }
+    }
+
+    pub fn expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.or_expr()
+    }
+
+    fn binary_chain(
+        &mut self,
+        next: fn(&mut Self) -> Result<Expr, XPathParseError>,
+        ops: &[(&Tok, BinOp)],
+        kw_ops: &[(&str, BinOp)],
+    ) -> Result<Expr, XPathParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (t, op) in ops {
+                if self.eat(t) {
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary(Box::new(lhs), *op, Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            for (kw, op) in kw_ops {
+                if self.eat_name(kw) {
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary(Box::new(lhs), *op, Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.binary_chain(Self::and_expr, &[], &[("or", BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.binary_chain(Self::eq_expr, &[], &[("and", BinOp::And)])
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.binary_chain(
+            Self::rel_expr,
+            &[(&Tok::Eq, BinOp::Eq), (&Tok::Ne, BinOp::Ne)],
+            &[],
+        )
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.binary_chain(
+            Self::add_expr,
+            &[
+                (&Tok::Le, BinOp::Le),
+                (&Tok::Ge, BinOp::Ge),
+                (&Tok::Lt, BinOp::Lt),
+                (&Tok::Gt, BinOp::Gt),
+            ],
+            &[],
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.binary_chain(
+            Self::mul_expr,
+            &[(&Tok::Plus, BinOp::Add), (&Tok::Minus, BinOp::Sub)],
+            &[],
+        )
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, XPathParseError> {
+        self.binary_chain(
+            Self::unary_expr,
+            &[(&Tok::Star, BinOp::Mul)],
+            &[("div", BinOp::Div), ("mod", BinOp::Mod)],
+        )
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, XPathParseError> {
+        if self.eat(&Tok::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+        } else {
+            self.union_expr()
+        }
+    }
+
+    fn union_expr(&mut self) -> Result<Expr, XPathParseError> {
+        let mut lhs = self.path_expr()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.path_expr()?;
+            lhs = Expr::Binary(Box::new(lhs), BinOp::Union, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// True if the current token can start a location path step.
+    fn at_step_start(&self) -> bool {
+        match self.peek() {
+            Some(Tok::Dot | Tok::DotDot | Tok::At | Tok::Star) => true,
+            Some(Tok::Name(n)) => {
+                // A name starts a step unless it is a function call — but
+                // node-test "functions" (text/node/comment) are steps.
+                if self.peek2() == Some(&Tok::LParen) {
+                    matches!(n.as_str(), "text" | "node" | "comment")
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
+    pub fn path_expr(&mut self) -> Result<Expr, XPathParseError> {
+        match self.peek() {
+            Some(Tok::Slash) => {
+                self.pos += 1;
+                let steps = if self.at_step_start() {
+                    self.relative_steps()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Expr::Path(Path {
+                    start: PathStart::Root,
+                    steps,
+                }))
+            }
+            Some(Tok::DoubleSlash) => {
+                self.pos += 1;
+                let mut steps = vec![descendant_or_self_node()];
+                steps.extend(self.relative_steps()?);
+                Ok(Expr::Path(Path {
+                    start: PathStart::Root,
+                    steps,
+                }))
+            }
+            Some(Tok::Var(_)) => {
+                let Some(Tok::Var(name)) = self.next_tok() else {
+                    unreachable!()
+                };
+                // $x, $x/steps, $x[pred]…
+                if self.peek() == Some(&Tok::LBracket) {
+                    let predicates = self.predicates()?;
+                    let steps = self.trailing_steps()?;
+                    return Ok(Expr::Filter {
+                        primary: Box::new(Expr::Path(Path {
+                            start: PathStart::Variable(name),
+                            steps: Vec::new(),
+                        })),
+                        predicates,
+                        steps,
+                    });
+                }
+                let steps = self.trailing_steps()?;
+                Ok(Expr::Path(Path {
+                    start: PathStart::Variable(name),
+                    steps,
+                }))
+            }
+            Some(Tok::LParen | Tok::Literal(_) | Tok::Number(_)) => self.filter_expr(),
+            Some(Tok::Name(_)) if !self.at_step_start() => self.filter_expr(),
+            _ if self.at_step_start() => {
+                let steps = self.relative_steps()?;
+                Ok(Expr::Path(Path {
+                    start: PathStart::Context,
+                    steps,
+                }))
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    fn filter_expr(&mut self) -> Result<Expr, XPathParseError> {
+        let primary = match self.next_tok() {
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                e
+            }
+            Some(Tok::Literal(s)) => Expr::Literal(s),
+            Some(Tok::Number(n)) => Expr::Number(n),
+            Some(Tok::Name(name)) => {
+                // Function call.
+                self.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                Expr::Call(name, args)
+            }
+            other => {
+                return Err(self.err(format!(
+                    "unexpected token {} in expression",
+                    other.map_or_else(|| "<eof>".to_string(), |t| t.to_string())
+                )))
+            }
+        };
+        let predicates = self.predicates()?;
+        let steps = self.trailing_steps()?;
+        if predicates.is_empty() && steps.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(Expr::Filter {
+                primary: Box::new(primary),
+                predicates,
+                steps,
+            })
+        }
+    }
+
+    /// Steps following a primary/variable: `/a/b`, `//c`, or nothing.
+    fn trailing_steps(&mut self) -> Result<Vec<Step>, XPathParseError> {
+        let mut steps = Vec::new();
+        loop {
+            if self.eat(&Tok::Slash) {
+                steps.push(self.step()?);
+            } else if self.eat(&Tok::DoubleSlash) {
+                steps.push(descendant_or_self_node());
+                steps.push(self.step()?);
+            } else {
+                return Ok(steps);
+            }
+        }
+    }
+
+    fn relative_steps(&mut self) -> Result<Vec<Step>, XPathParseError> {
+        let mut steps = vec![self.step()?];
+        steps.extend(self.trailing_steps()?);
+        Ok(steps)
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Expr>, XPathParseError> {
+        let mut out = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            out.push(self.expr()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(out)
+    }
+
+    fn step(&mut self) -> Result<Step, XPathParseError> {
+        // Abbreviations.
+        if self.eat(&Tok::Dot) {
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::Node,
+                predicates: self.predicates()?,
+            });
+        }
+        if self.eat(&Tok::DotDot) {
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::Node,
+                predicates: self.predicates()?,
+            });
+        }
+        let axis = if self.eat(&Tok::At) {
+            Axis::Attribute
+        } else if let (Some(Tok::Name(n)), Some(Tok::DoubleColon)) = (self.peek(), self.peek2()) {
+            let axis = Axis::from_name(n).ok_or_else(|| self.err(format!("unknown axis {n}")))?;
+            self.pos += 2;
+            axis
+        } else {
+            Axis::Child
+        };
+        let test = match self.next_tok() {
+            Some(Tok::Star) => NodeTest::Wildcard,
+            Some(Tok::Name(n)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    let t = match n.as_str() {
+                        "text" => NodeTest::Text,
+                        "node" => NodeTest::Node,
+                        "comment" => NodeTest::Comment,
+                        other => return Err(self.err(format!("unknown node test {other}()"))),
+                    };
+                    self.pos += 1;
+                    self.expect(&Tok::RParen)?;
+                    t
+                } else {
+                    NodeTest::Name(n)
+                }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected a node test, found {}",
+                    other.map_or_else(|| "<eof>".to_string(), |t| t.to_string())
+                )))
+            }
+        };
+        Ok(Step {
+            axis,
+            test,
+            predicates: self.predicates()?,
+        })
+    }
+}
+
+/// The `descendant-or-self::node()` step inserted by the `//` abbreviation.
+pub(crate) fn descendant_or_self_node() -> Step {
+    Step {
+        axis: Axis::DescendantOrSelf,
+        test: NodeTest::Node,
+        predicates: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+    }
+
+    #[test]
+    fn absolute_and_abbreviated() {
+        assert_eq!(p("/").to_string(), "/");
+        assert_eq!(p("/review/track").to_string(), "/review/track");
+        assert_eq!(p("//rev/name/text()").to_string(), "//rev/name/text()");
+        assert_eq!(p("a//b").to_string(), "a//b");
+    }
+
+    #[test]
+    fn predicates_positions() {
+        assert_eq!(
+            p("/review/track[2]/rev[5]").to_string(),
+            "/review/track[2]/rev[5]"
+        );
+        match p("a[position() = last()]") {
+            Expr::Path(path) => {
+                assert_eq!(path.steps[0].predicates.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn axes() {
+        assert_eq!(p("..").to_string(), "..");
+        assert_eq!(p("a/..").to_string(), "a/..");
+        assert_eq!(p("@id").to_string(), "@id");
+        assert_eq!(
+            p("ancestor::track/preceding-sibling::*").to_string(),
+            "ancestor::track/preceding-sibling::*"
+        );
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(p("$x").to_string(), "$x");
+        assert_eq!(p("$lr/sub/auts").to_string(), "$lr/sub/auts");
+        assert_eq!(p("$x[1]/a").to_string(), "($x)[1]/a");
+        assert_eq!(p("$H/../aut").to_string(), "$H/../aut");
+    }
+
+    #[test]
+    fn functions_and_operators() {
+        assert_eq!(p("count($D) > 4").to_string(), "count($D) > 4");
+        assert_eq!(
+            p("not(a = 'x') and b != 2").to_string(),
+            "not(a = \"x\") and b != 2"
+        );
+        assert_eq!(p("1 + 2 * 3").to_string(), "1 + 2 * 3");
+        match p("1 + 2 * 3") {
+            Expr::Binary(_, BinOp::Add, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(_, BinOp::Mul, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p("-a").to_string(), "-a");
+        assert_eq!(p("a | b").to_string(), "a | b");
+        assert_eq!(p("6 div 2 mod 2").to_string(), "6 div 2 mod 2");
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // Wildcard in step position, multiplication in operator position.
+        assert_eq!(p("a/*").to_string(), "a/*");
+        match p("2 * 3") {
+            Expr::Binary(_, BinOp::Mul, _) => {}
+            other => panic!("{other:?}"),
+        }
+        match p("a[b * 2]") {
+            Expr::Path(path) => {
+                assert!(matches!(
+                    path.steps[0].predicates[0],
+                    Expr::Binary(_, BinOp::Mul, _)
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_paths_in_predicates() {
+        let e = p("//rev[name/text() = 'Ann']/sub");
+        assert_eq!(e.to_string(), "//rev[name/text() = \"Ann\"]/sub");
+    }
+
+    #[test]
+    fn parenthesized_filter() {
+        assert_eq!(p("(//a)[1]").to_string(), "(//a)[1]");
+        assert_eq!(p("(1 + 2)").to_string(), "1 + 2");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("/a[").is_err());
+        assert!(parse("/a]").is_err());
+        assert!(parse("sideways::a").is_err());
+        assert!(parse("f(,)").is_err());
+        assert!(parse("a/frob()").is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the XPath engine's structural invariants.
+//!
+//! Every node-set result must be in document order without duplicates —
+//! this guards the normalization fast paths in `eval_step` (single-input
+//! forward axes, equal-depth child steps), which skip the explicit
+//! sort-and-dedup when the result is ordered by construction.
+
+use proptest::prelude::*;
+use xic_xpath::{evaluate, parse, Context, NodeRef, XValue};
+use xic_xml::{Document, NodeId};
+
+const TAGS: &[&str] = &["a", "b", "c"];
+
+/// Builds a random tree: a sequence of (depth-delta, tag) instructions.
+fn build_doc(instr: &[(i8, usize)]) -> Document {
+    let mut doc = Document::new();
+    let root = doc.create_element("root");
+    doc.append_child(doc.document_node(), root);
+    let mut stack: Vec<NodeId> = vec![root];
+    for &(delta, tag) in instr {
+        if delta < 0 {
+            for _ in 0..(-delta) {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+            }
+        }
+        let el = doc.create_element(TAGS[tag % TAGS.len()]);
+        let parent = *stack.last().expect("root always present");
+        doc.append_child(parent, el);
+        if delta > 0 && stack.len() < 6 {
+            stack.push(el);
+        }
+        // Sprinkle text so string-values are non-trivial.
+        if tag % 2 == 0 {
+            let t = doc.create_text(format!("t{tag}"));
+            doc.append_child(el, t);
+        }
+    }
+    doc
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        prop::sample::select(TAGS).prop_map(|t| t.to_string()),
+        Just("*".to_string()),
+        Just("..".to_string()),
+        Just("node()".to_string()),
+        Just("text()".to_string()),
+        prop::sample::select(TAGS).prop_map(|t| format!("{t}[1]")),
+        prop::sample::select(TAGS).prop_map(|t| format!("ancestor::{t}")),
+        prop::sample::select(TAGS).prop_map(|t| format!("preceding-sibling::{t}")),
+        prop::sample::select(TAGS).prop_map(|t| format!("following-sibling::{t}")),
+        prop::sample::select(TAGS).prop_map(|t| format!("descendant-or-self::{t}")),
+    ];
+    (
+        prop::sample::select(&["//", "/", "//root/"][..]),
+        prop::collection::vec((step, prop::bool::ANY), 1..4),
+    )
+        .prop_map(|(start, steps)| {
+            let mut s = start.to_string();
+            for (i, (st, dbl)) in steps.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(if *dbl { "//" } else { "/" });
+                }
+                s.push_str(st);
+            }
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, ..ProptestConfig::default() })]
+
+    #[test]
+    fn node_sets_are_ordered_and_duplicate_free(
+        instr in prop::collection::vec((-3i8..3, 0usize..6), 1..40),
+        path in path_strategy(),
+    ) {
+        let doc = build_doc(&instr);
+        let Ok(expr) = parse(&path) else { return Ok(()); };
+        let ctx = Context::root(&doc);
+        let Ok(XValue::Nodes(ns)) = evaluate(&expr, &ctx) else { return Ok(()); };
+        // Document-order keys must be strictly increasing.
+        let keys: Vec<(Vec<u32>, u8, String)> = ns
+            .iter()
+            .map(|n| match n {
+                NodeRef::Node(id) => (doc.order_key(*id), 0, String::new()),
+                NodeRef::Attr { owner, name } => (doc.order_key(*owner), 1, name.clone()),
+            })
+            .collect();
+        for w in keys.windows(2) {
+            prop_assert!(
+                w[0] < w[1],
+                "result of {} not strictly document-ordered: {:?}",
+                path,
+                ns
+            );
+        }
+    }
+
+    #[test]
+    fn count_matches_nodeset_length(
+        instr in prop::collection::vec((-3i8..3, 0usize..6), 1..30),
+    ) {
+        let doc = build_doc(&instr);
+        let ctx = Context::root(&doc);
+        for tag in TAGS {
+            let ns = evaluate(&parse(&format!("//{tag}")).unwrap(), &ctx).unwrap();
+            let cnt = evaluate(&parse(&format!("count(//{tag})")).unwrap(), &ctx).unwrap();
+            let n = match ns {
+                XValue::Nodes(v) => v.len() as f64,
+                other => panic!("{other:?}"),
+            };
+            prop_assert_eq!(cnt, XValue::Num(n));
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_on_nodesets(
+        instr in prop::collection::vec((-3i8..3, 0usize..6), 1..30),
+    ) {
+        let doc = build_doc(&instr);
+        let ctx = Context::root(&doc);
+        let ab = evaluate(&parse("//a | //b").unwrap(), &ctx).unwrap();
+        let ba = evaluate(&parse("//b | //a").unwrap(), &ctx).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,246 @@
+//! XPathLog abstract syntax.
+
+use std::fmt;
+use xic_datalog::{AggFunc, CompOp};
+
+/// A node test in an XPathLog step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LTest {
+    /// Element name.
+    Elem(String),
+    /// `text()` — selects the text content of the enclosing element.
+    Text,
+    /// `@name` — attribute.
+    Attr(String),
+}
+
+impl fmt::Display for LTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LTest::Elem(n) => f.write_str(n),
+            LTest::Text => f.write_str("text()"),
+            LTest::Attr(n) => write!(f, "@{n}"),
+        }
+    }
+}
+
+/// One step: node test, optional variable binding (`-> V`), qualifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LStep {
+    /// True when this step was reached via `//` (descendant), false for
+    /// `/` (child).
+    pub descendant: bool,
+    /// The node test.
+    pub test: LTest,
+    /// `-> Var` binding of the selected node/value.
+    pub binding: Option<String>,
+    /// Qualifiers (`[…]`), conjunctively.
+    pub qualifiers: Vec<LFormula>,
+}
+
+impl fmt::Display for LStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.test)?;
+        if let Some(b) = &self.binding {
+            write!(f, " -> {b}")?;
+        }
+        for q in &self.qualifiers {
+            write!(f, "[{q}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LStart {
+    /// Document root (`/…` or `//…`).
+    Root,
+    /// A previously bound node variable.
+    Var(String),
+    /// The enclosing step's node (relative paths inside qualifiers).
+    Rel,
+}
+
+/// An XPathLog path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LPath {
+    /// Starting point.
+    pub start: LStart,
+    /// Steps in order.
+    pub steps: Vec<LStep>,
+}
+
+impl fmt::Display for LPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            LStart::Root | LStart::Rel => {}
+            LStart::Var(v) => write!(f, "{v}")?,
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            let sep = if s.descendant { "//" } else { "/" };
+            // A relative path's first step needs no leading slash.
+            if i == 0 && self.start == LStart::Rel && !s.descendant {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "{sep}{s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LOperand {
+    /// Variable.
+    Var(String),
+    /// String constant.
+    Str(String),
+    /// Integer constant.
+    Int(i64),
+}
+
+impl fmt::Display for LOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LOperand::Var(v) => f.write_str(v),
+            LOperand::Str(s) => write!(f, "{s:?}"),
+            LOperand::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// An aggregate expression `func{[G1,…]; path}` (Section 3.1: the group-by
+/// variables are listed explicitly; the aggregated value, when present, is
+/// the binding of the path's last step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LAgg {
+    /// The aggregate function (`Cnt`, `Cnt_D`, `Sum`, …).
+    pub func: AggFunc,
+    /// Group-by variables.
+    pub group: Vec<String>,
+    /// The counted/aggregated path.
+    pub path: LPath,
+}
+
+impl fmt::Display for LAgg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.func)?;
+        if !self.group.is_empty() {
+            write!(f, "[{}]; ", self.group.join(", "))?;
+        }
+        write!(f, "{}}}", self.path)
+    }
+}
+
+/// An XPathLog formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LFormula {
+    /// An existential path condition (with bindings).
+    Path(LPath),
+    /// A comparison.
+    Comp(LOperand, CompOp, LOperand),
+    /// Conjunction.
+    And(Vec<LFormula>),
+    /// Disjunction.
+    Or(Vec<LFormula>),
+    /// Negation.
+    Not(Box<LFormula>),
+    /// Aggregate comparison.
+    Agg(LAgg, CompOp, LOperand),
+    /// A positional qualifier `[n]` or `[position() -> P]` binding/fixing
+    /// the step's position; only meaningful inside step qualifiers.
+    Position(LOperand),
+}
+
+impl fmt::Display for LFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LFormula::Path(p) => write!(f, "{p}"),
+            LFormula::Comp(a, op, b) => write!(f, "{a} {op} {b}"),
+            LFormula::And(fs) => {
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write_atomic(f, x)?;
+                }
+                Ok(())
+            }
+            LFormula::Or(fs) => {
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write_atomic(f, x)?;
+                }
+                Ok(())
+            }
+            LFormula::Not(x) => {
+                write!(f, "not ")?;
+                write_atomic(f, x)
+            }
+            LFormula::Agg(agg, op, t) => write!(f, "{agg} {op} {t}"),
+            LFormula::Position(p) => write!(f, "position() = {p}"),
+        }
+    }
+}
+
+fn write_atomic(f: &mut fmt::Formatter<'_>, x: &LFormula) -> fmt::Result {
+    if matches!(x, LFormula::And(_) | LFormula::Or(_)) {
+        write!(f, "({x})")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+/// An XPathLog denial: `<- body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LDenial {
+    /// The body formula; the constraint holds iff it is unsatisfiable.
+    pub body: LFormula,
+}
+
+impl fmt::Display for LDenial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<- {}", self.body)
+    }
+}
+
+impl LDenial {
+    /// All variables bound by path bindings in the body, in first-binding
+    /// order.
+    pub fn bound_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        collect_bound(&self.body, &mut out);
+        out
+    }
+}
+
+fn collect_bound(f: &LFormula, out: &mut Vec<String>) {
+    match f {
+        LFormula::Path(p) => collect_path(p, out),
+        LFormula::And(fs) | LFormula::Or(fs) => {
+            for x in fs {
+                collect_bound(x, out);
+            }
+        }
+        LFormula::Not(x) => collect_bound(x, out),
+        LFormula::Agg(a, _, _) => collect_path(&a.path, out),
+        LFormula::Comp(..) | LFormula::Position(_) => {}
+    }
+}
+
+fn collect_path(p: &LPath, out: &mut Vec<String>) {
+    for s in &p.steps {
+        if let Some(b) = &s.binding {
+            if !out.iter().any(|o| o == b) {
+                out.push(b.clone());
+            }
+        }
+        for q in &s.qualifiers {
+            collect_bound(q, out);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! XPathLog: the declarative constraint language of Section 3.
+//!
+//! XPathLog \[18\] extends XPath with variable bindings (`→ Var`, written
+//! `-> Var` in this ASCII syntax) and embeds it in first-order logic;
+//! integrity constraints are *denials* — headless clauses whose body must
+//! never be satisfiable.
+//!
+//! The concrete syntax accepted here mirrors the paper's examples:
+//!
+//! ```text
+//! <- //rev[name/text() -> R]/sub/auts/name/text() -> A
+//!    & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])
+//! ```
+//!
+//! and for aggregates (Example 2):
+//!
+//! ```text
+//! <- cntd{[R]; //track[rev/name/text() -> R]} >= 3
+//!  & cntd{[R]; //rev[name/text() -> R]/sub} > 10
+//! ```
+//!
+//! [`normalize`](normalize()) rewrites a denial into disjunction-free normal form (one
+//! denial per disjunct, negation pushed to the leaves) — the form the
+//! relational mapping of Section 4 consumes (see `xic-mapping`).
+
+pub mod ast;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{LAgg, LDenial, LFormula, LOperand, LPath, LStart, LStep, LTest};
+pub use normalize::{normalize, NormalDenial};
+pub use parser::{parse_denial, parse_denials, XPathLogError};
+
+pub use xic_datalog::{AggFunc, CompOp};

@@ -1,0 +1,184 @@
+//! Normalization to disjunction-free form.
+//!
+//! "A default rewriting allows one to reduce to such normal form any denial
+//! expressed with disjunctions" (Section 4.2, footnote 3): negation is
+//! pushed to the leaves and the body is distributed into disjunctive
+//! normal form; each disjunct becomes its own denial, since
+//! `← A ∨ B ≡ (← A) ∧ (← B)`.
+
+use crate::ast::{LDenial, LFormula};
+
+/// A disjunction-free denial: a flat conjunction of leaf formulas (paths,
+/// comparisons, aggregates, and negated leaves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalDenial {
+    /// Conjuncts; never `And`/`Or`, and `Not` only wraps leaves.
+    pub conjuncts: Vec<LFormula>,
+}
+
+impl std::fmt::Display for NormalDenial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<-")?;
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " &")?;
+            }
+            write!(f, " {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites an XPathLog denial into a set of disjunction-free denials.
+pub fn normalize(denial: &LDenial) -> Vec<NormalDenial> {
+    let nnf = push_not(&denial.body, false);
+    dnf(&nnf)
+        .into_iter()
+        .map(|conjuncts| NormalDenial { conjuncts })
+        .collect()
+}
+
+/// Negation normal form: pushes `not` down to leaves, flipping
+/// comparisons into their complements on the way.
+fn push_not(f: &LFormula, negated: bool) -> LFormula {
+    match f {
+        LFormula::Not(inner) => push_not(inner, !negated),
+        LFormula::And(parts) => {
+            let rewritten: Vec<LFormula> = parts.iter().map(|p| push_not(p, negated)).collect();
+            if negated {
+                LFormula::Or(rewritten)
+            } else {
+                LFormula::And(rewritten)
+            }
+        }
+        LFormula::Or(parts) => {
+            let rewritten: Vec<LFormula> = parts.iter().map(|p| push_not(p, negated)).collect();
+            if negated {
+                LFormula::And(rewritten)
+            } else {
+                LFormula::Or(rewritten)
+            }
+        }
+        LFormula::Comp(a, op, b) if negated => {
+            LFormula::Comp(a.clone(), op.negate(), b.clone())
+        }
+        LFormula::Agg(agg, op, t) if negated => {
+            LFormula::Agg(agg.clone(), op.negate(), t.clone())
+        }
+        leaf => {
+            if negated {
+                LFormula::Not(Box::new(leaf.clone()))
+            } else {
+                leaf.clone()
+            }
+        }
+    }
+}
+
+/// Distributes an NNF formula into a list of conjunct lists.
+fn dnf(f: &LFormula) -> Vec<Vec<LFormula>> {
+    match f {
+        LFormula::And(parts) => {
+            let mut acc: Vec<Vec<LFormula>> = vec![Vec::new()];
+            for p in parts {
+                let branches = dnf(p);
+                let mut next = Vec::with_capacity(acc.len() * branches.len());
+                for a in &acc {
+                    for b in &branches {
+                        let mut merged = a.clone();
+                        merged.extend(b.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        LFormula::Or(parts) => parts.iter().flat_map(dnf).collect(),
+        leaf => vec![vec![leaf.clone()]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_denial;
+
+    fn norm(src: &str) -> Vec<String> {
+        normalize(&parse_denial(src).unwrap())
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn example_1_splits_into_two() {
+        // The paper: "the XPathLog constraint of example 1 is translated
+        // into a couple of Datalog denials (due to the presence of a
+        // disjunction)".
+        let out = norm(
+            "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+             & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])",
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].contains("A = R"), "{out:?}");
+        assert!(out[1].contains("//pub"), "{out:?}");
+    }
+
+    #[test]
+    fn no_disjunction_stays_single() {
+        let out = norm("<- //a -> X & X = \"1\"");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], "<- //a -> X & X = \"1\"");
+    }
+
+    #[test]
+    fn nested_distribution() {
+        let out = norm("<- (//a -> X | //b -> X) & (X = \"1\" | X = \"2\")");
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn negated_comparison_flips() {
+        let out = norm("<- //a -> X & not X = \"1\"");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("X != \"1\""), "{out:?}");
+    }
+
+    #[test]
+    fn negated_disjunction_de_morgan() {
+        let out = norm("<- //a -> X & not (X = \"1\" | X = \"2\")");
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].contains("X != \"1\"") && out[0].contains("X != \"2\""),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn negated_conjunction_splits() {
+        let out = norm("<- //a -> X & not (X = \"1\" & X = \"2\")");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn negated_path_stays_negated_leaf() {
+        let out = norm("<- //a -> X & not //b");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("not //b"), "{out:?}");
+    }
+
+    #[test]
+    fn negated_aggregate_flips_comparison() {
+        let out = norm("<- //a -> X & not cnt{//b} > 3");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("cnt{//b} <= 3"), "{out:?}");
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let out = norm("<- not not //a -> X & X = \"1\"");
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].contains("not"), "{out:?}");
+    }
+}

@@ -1,0 +1,701 @@
+//! Parser for the ASCII XPathLog syntax.
+
+use crate::ast::{LAgg, LDenial, LFormula, LOperand, LPath, LStart, LStep, LTest};
+use std::fmt;
+use xic_datalog::{AggFunc, CompOp};
+
+/// XPathLog parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathLogError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XPathLog parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for XPathLogError {}
+
+/// Parses one denial.
+pub fn parse_denial(input: &str) -> Result<LDenial, XPathLogError> {
+    let mut p = P::new(input);
+    let d = p.denial()?;
+    p.skip_ws();
+    p.eat(".");
+    p.expect_eof()?;
+    Ok(d)
+}
+
+/// Parses a `.`-separated list of denials.
+pub fn parse_denials(input: &str) -> Result<Vec<LDenial>, XPathLogError> {
+    let mut p = P::new(input);
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.denial()?);
+        p.skip_ws();
+        if !p.eat(".") {
+            break;
+        }
+    }
+    p.expect_eof()?;
+    Ok(out)
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(input: &'a str) -> Self {
+        P { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, XPathLogError> {
+        Err(XPathLogError {
+            offset: self.pos,
+            message: m.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XPathLogError> {
+        self.skip_ws();
+        if self.eat(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected {s:?}"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), XPathLogError> {
+        self.skip_ws();
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '-')
+            };
+            if ok {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            None
+        } else {
+            let s = rest[..end].to_string();
+            self.pos += end;
+            Some(s)
+        }
+    }
+
+    fn denial(&mut self) -> Result<LDenial, XPathLogError> {
+        self.expect("<-")?;
+        let body = self.disjunction()?;
+        Ok(LDenial { body })
+    }
+
+    fn disjunction(&mut self) -> Result<LFormula, XPathLogError> {
+        let mut parts = vec![self.conjunction()?];
+        loop {
+            self.skip_ws();
+            if self.eat("|") {
+                parts.push(self.conjunction()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            LFormula::Or(parts)
+        })
+    }
+
+    fn conjunction(&mut self) -> Result<LFormula, XPathLogError> {
+        let mut parts = vec![self.unary()?];
+        loop {
+            self.skip_ws();
+            if self.eat("&") {
+                parts.push(self.unary()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            LFormula::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<LFormula, XPathLogError> {
+        self.skip_ws();
+        if self.rest().starts_with("not")
+            && !self
+                .rest()["not".len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += 3;
+            let inner = self.unary()?;
+            return Ok(LFormula::Not(Box::new(inner)));
+        }
+        if self.eat("(") {
+            let inner = self.disjunction()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        self.atom()
+    }
+
+    /// An atomic formula: aggregate, comparison, or path.
+    fn atom(&mut self) -> Result<LFormula, XPathLogError> {
+        self.skip_ws();
+        // Aggregate: func '{' …
+        let save = self.pos;
+        if let Some(id) = self.ident() {
+            let func = match id.to_ascii_lowercase().as_str() {
+                "cnt" => Some(AggFunc::Cnt),
+                "cntd" | "cnt_d" => Some(AggFunc::CntD),
+                "sum" | "sumd" | "sum_d" => Some(AggFunc::Sum),
+                "max" => Some(AggFunc::Max),
+                "min" => Some(AggFunc::Min),
+                _ => None,
+            };
+            if let Some(func) = func {
+                self.skip_ws();
+                if self.eat("{") {
+                    return self.aggregate(func);
+                }
+            }
+            self.pos = save;
+        }
+        // Path or comparison. Paths start with '/', '//', or a variable
+        // (uppercase ident); comparisons start with a variable or literal.
+        if self.rest().starts_with('/') {
+            let path = self.path(LStart::Root)?;
+            return Ok(LFormula::Path(path));
+        }
+        let lhs = self.operand()?;
+        self.skip_ws();
+        // Variable followed by '/': a path rooted at the variable.
+        if let LOperand::Var(v) = &lhs {
+            if self.rest().starts_with('/') {
+                let path = self.path(LStart::Var(v.clone()))?;
+                return Ok(LFormula::Path(path));
+            }
+        }
+        let op = self
+            .comp_op()
+            .ok_or(())
+            .or_else(|()| self.err("expected a comparison operator"))?;
+        let rhs = self.operand()?;
+        Ok(LFormula::Comp(lhs, op, rhs))
+    }
+
+    fn aggregate(&mut self, func: AggFunc) -> Result<LFormula, XPathLogError> {
+        self.skip_ws();
+        let mut group = Vec::new();
+        if self.eat("[") {
+            loop {
+                self.skip_ws();
+                let Some(v) = self.ident() else {
+                    return self.err("expected a group-by variable");
+                };
+                group.push(v);
+                self.skip_ws();
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("]")?;
+            self.expect(";")?;
+        }
+        self.skip_ws();
+        let path = if self.rest().starts_with('/') {
+            self.path(LStart::Root)?
+        } else {
+            let Some(v) = self.ident() else {
+                return self.err("expected a path in aggregate");
+            };
+            self.path(LStart::Var(v))?
+        };
+        self.expect("}")?;
+        self.skip_ws();
+        let Some(op) = self.comp_op() else {
+            return self.err("expected comparison after aggregate");
+        };
+        let rhs = self.operand()?;
+        Ok(LFormula::Agg(LAgg { func, group, path }, op, rhs))
+    }
+
+    fn comp_op(&mut self) -> Option<CompOp> {
+        self.skip_ws();
+        for (tok, op) in [
+            ("!=", CompOp::Ne),
+            ("<=", CompOp::Le),
+            (">=", CompOp::Ge),
+            ("=", CompOp::Eq),
+            ("<", CompOp::Lt),
+            (">", CompOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn operand(&mut self) -> Result<LOperand, XPathLogError> {
+        self.skip_ws();
+        let Some(c) = self.rest().chars().next() else {
+            return self.err("expected an operand");
+        };
+        match c {
+            '"' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    let Some(c) = self.rest().chars().next() else {
+                        return self.err("unterminated string literal");
+                    };
+                    self.pos += c.len_utf8();
+                    match c {
+                        '"' => break,
+                        '\\' => {
+                            let Some(e) = self.rest().chars().next() else {
+                                return self.err("dangling escape");
+                            };
+                            self.pos += e.len_utf8();
+                            s.push(e);
+                        }
+                        other => s.push(other),
+                    }
+                }
+                Ok(LOperand::Str(s))
+            }
+            '-' | '0'..='9' => {
+                let neg = c == '-';
+                if neg {
+                    self.pos += 1;
+                }
+                let start = self.pos;
+                while self
+                    .rest()
+                    .chars()
+                    .next()
+                    .is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+                if start == self.pos {
+                    return self.err("expected digits");
+                }
+                let n: i64 = self.input[start..self.pos]
+                    .parse()
+                    .map_err(|_| XPathLogError {
+                        offset: start,
+                        message: "integer out of range".into(),
+                    })?;
+                Ok(LOperand::Int(if neg { -n } else { n }))
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let id = self.ident().expect("checked");
+                Ok(LOperand::Var(id))
+            }
+            other => self.err(format!("unexpected {other:?} in operand")),
+        }
+    }
+
+    /// Parses `(/|//)step…` (the leading separator must be present when
+    /// `start` is `Root` or `Var`).
+    fn path(&mut self, start: LStart) -> Result<LPath, XPathLogError> {
+        let mut steps = Vec::new();
+        loop {
+            self.skip_ws();
+            let descendant = if self.eat("//") {
+                true
+            } else if self.eat("/") {
+                false
+            } else {
+                break;
+            };
+            steps.push(self.step(descendant)?);
+        }
+        if steps.is_empty() {
+            return self.err("expected at least one path step");
+        }
+        Ok(LPath { start, steps })
+    }
+
+    /// A relative path inside a qualifier (no leading slash on the first
+    /// step).
+    fn rel_path(&mut self) -> Result<LPath, XPathLogError> {
+        let descendant = self.eat("//");
+        if !descendant {
+            let _ = self.eat("/");
+        }
+        let first = self.step(descendant)?;
+        let mut steps = vec![first];
+        loop {
+            self.skip_ws();
+            let descendant = if self.eat("//") {
+                true
+            } else if self.eat("/") {
+                false
+            } else {
+                break;
+            };
+            steps.push(self.step(descendant)?);
+        }
+        Ok(LPath {
+            start: LStart::Rel,
+            steps,
+        })
+    }
+
+    fn step(&mut self, descendant: bool) -> Result<LStep, XPathLogError> {
+        self.skip_ws();
+        let test = if self.eat("@") {
+            let Some(n) = self.ident() else {
+                return self.err("expected attribute name after @");
+            };
+            LTest::Attr(n)
+        } else {
+            let Some(n) = self.ident() else {
+                return self.err("expected a step name");
+            };
+            if n == "text" && self.rest().starts_with("()") {
+                self.pos += 2;
+                LTest::Text
+            } else {
+                LTest::Elem(n)
+            }
+        };
+        let mut step = LStep {
+            descendant,
+            test,
+            binding: None,
+            qualifiers: Vec::new(),
+        };
+        // `[qualifier]*` and `-> Var` in either order (the paper allows
+        // qualifiers on both sides of the binding).
+        loop {
+            self.skip_ws();
+            if self.eat("->") {
+                self.skip_ws();
+                let Some(v) = self.ident() else {
+                    return self.err("expected a variable after ->");
+                };
+                if step.binding.is_some() {
+                    return self.err("duplicate binding on step");
+                }
+                step.binding = Some(v);
+            } else if self.eat("[") {
+                step.qualifiers.push(self.qualifier()?);
+                self.expect("]")?;
+            } else {
+                break;
+            }
+        }
+        Ok(step)
+    }
+
+    /// The content of a `[…]` qualifier: a number (positional), or a
+    /// formula whose paths are relative to the current step.
+    fn qualifier(&mut self) -> Result<LFormula, XPathLogError> {
+        self.skip_ws();
+        // Pure positional: [2]
+        if self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())
+        {
+            let op = self.operand()?;
+            return Ok(LFormula::Position(op));
+        }
+        if self.rest().starts_with("position()") {
+            self.pos += "position()".len();
+            self.expect("=")?;
+            let op = self.operand()?;
+            return Ok(LFormula::Position(op));
+        }
+        self.qual_disjunction()
+    }
+
+    fn qual_disjunction(&mut self) -> Result<LFormula, XPathLogError> {
+        let mut parts = vec![self.qual_conjunction()?];
+        loop {
+            self.skip_ws();
+            if self.eat("|") {
+                parts.push(self.qual_conjunction()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            LFormula::Or(parts)
+        })
+    }
+
+    fn qual_conjunction(&mut self) -> Result<LFormula, XPathLogError> {
+        let mut parts = vec![self.qual_unary()?];
+        loop {
+            self.skip_ws();
+            if self.eat("&") {
+                parts.push(self.qual_unary()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            LFormula::And(parts)
+        })
+    }
+
+    fn qual_unary(&mut self) -> Result<LFormula, XPathLogError> {
+        self.skip_ws();
+        if self.rest().starts_with("not")
+            && !self.rest()["not".len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += 3;
+            return Ok(LFormula::Not(Box::new(self.qual_unary()?)));
+        }
+        if self.eat("(") {
+            let inner = self.qual_disjunction()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        // Absolute path inside a qualifier.
+        if self.rest().starts_with('/') {
+            return Ok(LFormula::Path(self.path(LStart::Root)?));
+        }
+        // Relative path vs comparison: look ahead. An identifier followed
+        // by '/', '->', '[' or end-of-qualifier is a relative path;
+        // otherwise a comparison operand.
+        let save = self.pos;
+        if self.rest().starts_with('@') {
+            return Ok(LFormula::Path(self.rel_path()?));
+        }
+        if let Some(_id) = self.ident() {
+            self.skip_ws();
+            let next_is_pathish = self.rest().starts_with('/')
+                || self.rest().starts_with("->")
+                || self.rest().starts_with('[')
+                || self.rest().starts_with(']')
+                || self.rest().starts_with("()");
+            self.pos = save;
+            if next_is_pathish {
+                return Ok(LFormula::Path(self.rel_path()?));
+            }
+        } else {
+            self.pos = save;
+        }
+        let lhs = self.operand()?;
+        let Some(op) = self.comp_op() else {
+            return self.err("expected comparison in qualifier");
+        };
+        let rhs = self.operand()?;
+        Ok(LFormula::Comp(lhs, op, rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_1() {
+        let d = parse_denial(
+            "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+             & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])",
+        )
+        .unwrap();
+        match &d.body {
+            LFormula::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], LFormula::Path(_)));
+                assert!(matches!(parts[1], LFormula::Or(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.bound_vars(), vec!["R", "A"]);
+    }
+
+    #[test]
+    fn paper_example_2_aggregates() {
+        let d = parse_denial(
+            "<- cntd{[R]; //track[rev/name/text() -> R]} >= 3 \
+             & cntd{[R]; //rev[name/text() -> R]/sub} > 10",
+        )
+        .unwrap();
+        match &d.body {
+            LFormula::And(parts) => {
+                let LFormula::Agg(a1, CompOp::Ge, LOperand::Int(3)) = &parts[0] else {
+                    panic!("{:?}", parts[0]);
+                };
+                assert_eq!(a1.func, AggFunc::CntD);
+                assert_eq!(a1.group, vec!["R"]);
+                let LFormula::Agg(a2, CompOp::Gt, LOperand::Int(10)) = &parts[1] else {
+                    panic!("{:?}", parts[1]);
+                };
+                assert_eq!(a2.path.steps.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duckburg_example() {
+        let d = parse_denial(
+            "<- //pub[title/text() -> T & T = \"Duckburg tales\"]/aut/name/text() -> N \
+             & N = \"Goofy\"",
+        )
+        .unwrap();
+        let s = d.to_string();
+        assert!(s.contains("Duckburg tales"), "{s}");
+    }
+
+    #[test]
+    fn positional_qualifiers() {
+        let d = parse_denial("<- /review/track[2]/rev[5]/name/text() -> N & N = \"x\"").unwrap();
+        match &d.body {
+            LFormula::And(parts) => match &parts[0] {
+                LFormula::Path(p) => {
+                    assert_eq!(p.steps[1].qualifiers.len(), 1);
+                    assert!(matches!(
+                        p.steps[1].qualifiers[0],
+                        LFormula::Position(LOperand::Int(2))
+                    ));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        let d2 = parse_denial("<- //rev[position() = 3] -> R & R = R").unwrap();
+        let _ = d2;
+    }
+
+    #[test]
+    fn variable_rooted_paths() {
+        let d = parse_denial("<- //rev -> R & R/sub/title/text() -> T & T = \"x\"").unwrap();
+        match &d.body {
+            LFormula::And(parts) => {
+                assert!(matches!(&parts[1], LFormula::Path(p) if p.start == LStart::Var("R".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_and_parens() {
+        let d = parse_denial("<- //a -> X & not (X = \"1\" | X = \"2\")").unwrap();
+        match &d.body {
+            LFormula::And(parts) => assert!(matches!(&parts[1], LFormula::Not(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attributes() {
+        let d = parse_denial("<- //pub/@year -> Y & Y = \"2006\"").unwrap();
+        match &d.body {
+            LFormula::And(parts) => match &parts[0] {
+                LFormula::Path(p) => {
+                    assert!(matches!(p.steps[1].test, LTest::Attr(ref a) if a == "year"));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_denials() {
+        let ds = parse_denials(
+            "<- //a -> X & X = \"1\". <- //b -> Y & Y = \"2\".",
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let src = "<- //rev[name/text() -> R]/sub/auts/name/text() -> A & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])";
+        let d = parse_denial(src).unwrap();
+        let d2 = parse_denial(&d.to_string()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_denial("//a").is_err(), "missing <-");
+        assert!(parse_denial("<- //a ->").is_err());
+        assert!(parse_denial("<- cntd{[R]; //a} ").is_err(), "missing comparison");
+        assert!(parse_denial("<- //a[").is_err());
+        assert!(parse_denial("<- X").is_err(), "bare operand");
+        assert!(parse_denial("<- \"unterminated").is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! XQuery abstract syntax. XPath sub-expressions are embedded verbatim as
+//! leaves, sharing `xic-xpath`'s AST.
+
+use std::fmt;
+use xic_xpath::{BinOp, Expr as XPathExpr};
+
+/// A FLWOR clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `for $var in expr`
+    For {
+        /// Bound variable.
+        var: String,
+        /// The sequence iterated over.
+        source: XQuery,
+    },
+    /// `let $var := expr`
+    Let {
+        /// Bound variable.
+        var: String,
+        /// The bound value.
+        value: XQuery,
+    },
+    /// `where expr`
+    Where(XQuery),
+}
+
+/// An XQuery expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XQuery {
+    /// An embedded XPath expression (paths, literals, arithmetic,
+    /// comparisons, core function calls over simple operands).
+    XPath(XPathExpr),
+    /// `(e1, e2, …)` — sequence construction; `()` is the empty sequence.
+    Sequence(Vec<XQuery>),
+    /// FLWOR expression: clauses then `return`.
+    Flwor {
+        /// `for`/`let`/`where` clauses, in order.
+        clauses: Vec<Clause>,
+        /// The `return` expression.
+        ret: Box<XQuery>,
+    },
+    /// `some/every $x in …, … satisfies …`
+    Quantified {
+        /// True for `some`, false for `every`.
+        some: bool,
+        /// Variable bindings.
+        binds: Vec<(String, XQuery)>,
+        /// The test.
+        satisfies: Box<XQuery>,
+    },
+    /// `if (cond) then e1 else e2`
+    If {
+        /// Condition (effective boolean value).
+        cond: Box<XQuery>,
+        /// Then branch.
+        then: Box<XQuery>,
+        /// Else branch.
+        els: Box<XQuery>,
+    },
+    /// Element constructor: `<name/>` or `element name { content }`.
+    Construct {
+        /// Element name.
+        name: String,
+        /// Content expressions (concatenated).
+        content: Vec<XQuery>,
+    },
+    /// An XQuery-level function call whose arguments may be full XQuery
+    /// expressions (`exists`, `empty`, `count`, `not`, …).
+    Call(String, Vec<XQuery>),
+    /// Binary operation between XQuery operands (needed when either side
+    /// is a FLWOR/quantified/constructed expression).
+    Binary(Box<XQuery>, BinOp, Box<XQuery>),
+}
+
+impl fmt::Display for XQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XQuery::XPath(e) => write!(f, "{e}"),
+            XQuery::Sequence(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            XQuery::Flwor { clauses, ret } => {
+                for (i, c) in clauses.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    match c {
+                        Clause::For { var, source } => write!(f, "for ${var} in {source}")?,
+                        Clause::Let { var, value } => write!(f, "let ${var} := {value}")?,
+                        Clause::Where(e) => write!(f, "where {e}")?,
+                    }
+                }
+                write!(f, " return {ret}")
+            }
+            XQuery::Quantified {
+                some,
+                binds,
+                satisfies,
+            } => {
+                write!(f, "{}", if *some { "some" } else { "every" })?;
+                for (i, (v, e)) in binds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, " ${v} in {e}")?;
+                }
+                write!(f, " satisfies {satisfies}")
+            }
+            XQuery::If { cond, then, els } => {
+                write!(f, "if ({cond}) then {then} else {els}")
+            }
+            XQuery::Construct { name, content } => {
+                if content.is_empty() {
+                    write!(f, "<{name}/>")
+                } else {
+                    write!(f, "element {name} {{ ")?;
+                    for (i, c) in content.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, " }}")
+                }
+            }
+            XQuery::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            XQuery::Binary(a, op, b) => write!(f, "{a} {op} {b}"),
+        }
+    }
+}

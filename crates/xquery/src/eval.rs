@@ -1,0 +1,594 @@
+//! XQuery evaluation.
+
+use crate::ast::{Clause, XQuery};
+use crate::item::{
+    effective_boolean, sequence_to_xvalue, xvalue_to_sequence, Constructed, ConstructedChild,
+    Item, Sequence,
+};
+use std::collections::HashMap;
+use std::fmt;
+use xic_xml::{Document, NodeKind};
+use xic_xpath::{compare_values, BinOp, Context, NodeRef, XValue};
+
+/// XQuery evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XQueryError {
+    /// Error from an embedded XPath expression.
+    XPath(xic_xpath::EvalError),
+    /// A value crossed a boundary it cannot cross (e.g. a multi-atomic
+    /// sequence used as an XPath variable).
+    Type(String),
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XQueryError::XPath(e) => write!(f, "{e}"),
+            XQueryError::Type(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+impl From<xic_xpath::EvalError> for XQueryError {
+    fn from(e: xic_xpath::EvalError) -> Self {
+        XQueryError::XPath(e)
+    }
+}
+
+/// Evaluates a query against a document with no initial bindings.
+pub fn eval_query(q: &XQuery, doc: &Document) -> Result<Sequence, XQueryError> {
+    let env = Env::new();
+    eval(q, doc, &env)
+}
+
+/// Evaluates a query and reduces the result to its effective boolean
+/// value (the form the integrity checker consumes: `true` = violation).
+pub fn eval_query_bool(q: &XQuery, doc: &Document) -> Result<bool, XQueryError> {
+    Ok(effective_boolean(&eval_query(q, doc)?))
+}
+
+/// The dynamic environment: variable → sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: HashMap<String, Sequence>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Returns a copy with one more binding.
+    #[must_use]
+    pub fn bind(&self, var: &str, seq: Sequence) -> Env {
+        let mut e = self.clone();
+        e.vars.insert(var.to_string(), seq);
+        e
+    }
+
+    /// Builds the XPath context equivalent of this environment.
+    fn xpath_context<'d>(&self, doc: &'d Document) -> Result<Context<'d>, XQueryError> {
+        let mut ctx = Context::root(doc);
+        for (name, seq) in &self.vars {
+            let v = sequence_to_xvalue(seq)
+                .map_err(|m| XQueryError::Type(format!("variable ${name}: {m}")))?;
+            ctx.vars.insert(name.clone(), v);
+        }
+        Ok(ctx)
+    }
+}
+
+fn eval(q: &XQuery, doc: &Document, env: &Env) -> Result<Sequence, XQueryError> {
+    match q {
+        XQuery::XPath(e) => {
+            let ctx = env.xpath_context(doc)?;
+            let v = if let xic_xpath::Expr::Path(p) = e {
+                xic_xpath::eval_variable(p, &ctx)?
+            } else {
+                xic_xpath::evaluate(e, &ctx)?
+            };
+            Ok(xvalue_to_sequence(v))
+        }
+        XQuery::Sequence(items) => {
+            let mut out = Vec::new();
+            for i in items {
+                out.extend(eval(i, doc, env)?);
+            }
+            Ok(out)
+        }
+        XQuery::Flwor { clauses, ret } => {
+            let mut out = Vec::new();
+            eval_flwor(clauses, 0, ret, doc, env, &mut out)?;
+            Ok(out)
+        }
+        XQuery::Quantified {
+            some,
+            binds,
+            satisfies,
+        } => {
+            let r = eval_quantified(binds, 0, satisfies, doc, env, *some)?;
+            Ok(vec![Item::Bool(r)])
+        }
+        XQuery::If { cond, then, els } => {
+            if effective_boolean(&eval(cond, doc, env)?) {
+                eval(then, doc, env)
+            } else {
+                eval(els, doc, env)
+            }
+        }
+        XQuery::Construct { name, content } => {
+            let mut children = Vec::new();
+            for c in content {
+                for item in eval(c, doc, env)? {
+                    children.push(match item {
+                        Item::Node(n) => node_to_constructed(doc, &n),
+                        Item::Elem(e) => ConstructedChild::Elem(*e),
+                        atomic => ConstructedChild::Text(atomic.string_value(doc)),
+                    });
+                }
+            }
+            Ok(vec![Item::Elem(Box::new(Constructed {
+                name: name.clone(),
+                attrs: Vec::new(),
+                children,
+            }))])
+        }
+        XQuery::Call(name, args) => eval_call(name, args, doc, env),
+        XQuery::Binary(a, op, b) => eval_binary(a, *op, b, doc, env),
+    }
+}
+
+fn eval_flwor(
+    clauses: &[Clause],
+    idx: usize,
+    ret: &XQuery,
+    doc: &Document,
+    env: &Env,
+    out: &mut Sequence,
+) -> Result<(), XQueryError> {
+    let Some(clause) = clauses.get(idx) else {
+        out.extend(eval(ret, doc, env)?);
+        return Ok(());
+    };
+    match clause {
+        Clause::For { var, source } => {
+            for item in eval(source, doc, env)? {
+                let env2 = env.bind(var, vec![item]);
+                eval_flwor(clauses, idx + 1, ret, doc, &env2, out)?;
+            }
+            Ok(())
+        }
+        Clause::Let { var, value } => {
+            let seq = eval(value, doc, env)?;
+            let env2 = env.bind(var, seq);
+            eval_flwor(clauses, idx + 1, ret, doc, &env2, out)
+        }
+        Clause::Where(cond) => {
+            if effective_boolean(&eval(cond, doc, env)?) {
+                eval_flwor(clauses, idx + 1, ret, doc, env, out)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+fn eval_quantified(
+    binds: &[(String, XQuery)],
+    idx: usize,
+    satisfies: &XQuery,
+    doc: &Document,
+    env: &Env,
+    some: bool,
+) -> Result<bool, XQueryError> {
+    // Hoist loop-invariant sources: a binding whose source mentions none
+    // of the earlier binder names has the same value in every iteration
+    // of the enclosing loops, so evaluate it once up front. This turns
+    // `some $a in //x, $b in //y satisfies …` from O(|x|·eval(//y)) into
+    // two sequence scans plus the pair loop.
+    let hoisted: Vec<Option<Sequence>> = binds
+        .iter()
+        .enumerate()
+        .map(|(i, (_, src))| {
+            let depends = binds[..i].iter().any(|(v, _)| mentions_var(src, v));
+            if depends || i == 0 {
+                Ok(None) // index 0 is evaluated exactly once anyway
+            } else {
+                eval(src, doc, env).map(Some)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    eval_quantified_rec(binds, &hoisted, idx, satisfies, doc, env, some)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_quantified_rec(
+    binds: &[(String, XQuery)],
+    hoisted: &[Option<Sequence>],
+    idx: usize,
+    satisfies: &XQuery,
+    doc: &Document,
+    env: &Env,
+    some: bool,
+) -> Result<bool, XQueryError> {
+    let Some((var, source)) = binds.get(idx) else {
+        return Ok(effective_boolean(&eval(satisfies, doc, env)?));
+    };
+    let items = match &hoisted[idx] {
+        Some(seq) => seq.clone(),
+        None => eval(source, doc, env)?,
+    };
+    for item in items {
+        let env2 = env.bind(var, vec![item]);
+        let r = eval_quantified_rec(binds, hoisted, idx + 1, satisfies, doc, &env2, some)?;
+        if r == some {
+            // `some`: a witness suffices; `every`: a counterexample kills.
+            return Ok(some);
+        }
+    }
+    Ok(!some)
+}
+
+/// True if `q` mentions variable `name`. Over-approximates under
+/// shadowing (an inner rebinding of the same name still counts), which
+/// only costs a missed hoist, never correctness.
+fn mentions_var(q: &XQuery, name: &str) -> bool {
+    match q {
+        XQuery::XPath(e) => xic_xpath::expr_mentions_var(e, name),
+        XQuery::Sequence(items) => items.iter().any(|i| mentions_var(i, name)),
+        XQuery::Flwor { clauses, ret } => {
+            clauses.iter().any(|c| match c {
+                Clause::For { source, .. } => mentions_var(source, name),
+                Clause::Let { value, .. } => mentions_var(value, name),
+                Clause::Where(e) => mentions_var(e, name),
+            }) || mentions_var(ret, name)
+        }
+        XQuery::Quantified { binds, satisfies, .. } => {
+            binds.iter().any(|(_, s)| mentions_var(s, name)) || mentions_var(satisfies, name)
+        }
+        XQuery::If { cond, then, els } => {
+            mentions_var(cond, name) || mentions_var(then, name) || mentions_var(els, name)
+        }
+        XQuery::Construct { content, .. } => content.iter().any(|c| mentions_var(c, name)),
+        XQuery::Call(_, args) => args.iter().any(|a| mentions_var(a, name)),
+        XQuery::Binary(a, _, b) => mentions_var(a, name) || mentions_var(b, name),
+    }
+}
+
+fn node_to_constructed(doc: &Document, n: &NodeRef) -> ConstructedChild {
+    match n {
+        NodeRef::Attr { .. } => ConstructedChild::Text(n.string_value(doc)),
+        NodeRef::Node(id) => match &doc.node(*id).kind {
+            NodeKind::Element { name, attrs } => {
+                let children = doc
+                    .node(*id)
+                    .children
+                    .iter()
+                    .map(|&c| node_to_constructed(doc, &NodeRef::Node(c)))
+                    .collect();
+                ConstructedChild::Elem(Constructed {
+                    name: name.clone(),
+                    attrs: attrs.clone(),
+                    children,
+                })
+            }
+            _ => ConstructedChild::Text(n.string_value(doc)),
+        },
+    }
+}
+
+fn eval_call(
+    name: &str,
+    args: &[XQuery],
+    doc: &Document,
+    env: &Env,
+) -> Result<Sequence, XQueryError> {
+    let one = |args: &[XQuery]| -> Result<Sequence, XQueryError> {
+        if args.len() == 1 {
+            eval(&args[0], doc, env)
+        } else {
+            Err(XQueryError::Type(format!(
+                "{name}() expects 1 argument, got {}",
+                args.len()
+            )))
+        }
+    };
+    match name {
+        "exists" => Ok(vec![Item::Bool(!one(args)?.is_empty())]),
+        "distinct-values" => {
+            let seq = one(args)?;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for item in seq {
+                let s = item.string_value(doc);
+                if seen.insert(s.clone()) {
+                    out.push(Item::Str(s));
+                }
+            }
+            Ok(out)
+        }
+        "max" | "min" => {
+            let seq = one(args)?;
+            let mut best: Option<f64> = None;
+            for item in seq {
+                let v = item
+                    .string_value(doc)
+                    .trim()
+                    .parse::<f64>()
+                    .unwrap_or(f64::NAN);
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        if (name == "max") == (v > b) {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.map(Item::Num).into_iter().collect())
+        }
+        "empty" => Ok(vec![Item::Bool(one(args)?.is_empty())]),
+        "count" => Ok(vec![Item::Num(one(args)?.len() as f64)]),
+        "not" => Ok(vec![Item::Bool(!effective_boolean(&one(args)?))]),
+        "boolean" => Ok(vec![Item::Bool(effective_boolean(&one(args)?))]),
+        "string" => {
+            let seq = one(args)?;
+            Ok(vec![Item::Str(
+                seq.first().map(|i| i.string_value(doc)).unwrap_or_default(),
+            )])
+        }
+        other => Err(XQueryError::Type(format!(
+            "unsupported XQuery-level function {other}()"
+        ))),
+    }
+}
+
+fn eval_binary(
+    a: &XQuery,
+    op: BinOp,
+    b: &XQuery,
+    doc: &Document,
+    env: &Env,
+) -> Result<Sequence, XQueryError> {
+    match op {
+        BinOp::Or => {
+            let l = effective_boolean(&eval(a, doc, env)?);
+            if l {
+                return Ok(vec![Item::Bool(true)]);
+            }
+            let r = effective_boolean(&eval(b, doc, env)?);
+            return Ok(vec![Item::Bool(r)]);
+        }
+        BinOp::And => {
+            let l = effective_boolean(&eval(a, doc, env)?);
+            if !l {
+                return Ok(vec![Item::Bool(false)]);
+            }
+            let r = effective_boolean(&eval(b, doc, env)?);
+            return Ok(vec![Item::Bool(r)]);
+        }
+        _ => {}
+    }
+    let va = to_xvalue(&eval(a, doc, env)?)?;
+    let vb = to_xvalue(&eval(b, doc, env)?)?;
+    match op {
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            Ok(vec![Item::Bool(compare_values(&va, op, &vb, doc))])
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let x = va.to_num(doc);
+            let y = vb.to_num(doc);
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => x % y,
+                _ => unreachable!(),
+            };
+            Ok(vec![Item::Num(r)])
+        }
+        BinOp::Union => match (va, vb) {
+            (XValue::Nodes(mut x), XValue::Nodes(y)) => {
+                x.extend(y);
+                // Document order + dedupe.
+                let mut keyed: Vec<(Vec<u32>, u8, String, NodeRef)> = x
+                    .into_iter()
+                    .map(|n| match &n {
+                        NodeRef::Node(id) => (doc.order_key(*id), 0u8, String::new(), n),
+                        NodeRef::Attr { owner, name } => {
+                            (doc.order_key(*owner), 1u8, name.clone(), n)
+                        }
+                    })
+                    .collect();
+                keyed.sort();
+                keyed.dedup_by(|p, q| (&p.0, p.1, &p.2) == (&q.0, q.1, &q.2));
+                Ok(keyed.into_iter().map(|(_, _, _, n)| Item::Node(n)).collect())
+            }
+            _ => Err(XQueryError::Type("union of non-node-sets".to_string())),
+        },
+        BinOp::Or | BinOp::And => unreachable!("handled above"),
+    }
+}
+
+fn to_xvalue(seq: &Sequence) -> Result<XValue, XQueryError> {
+    sequence_to_xvalue(seq).map_err(XQueryError::Type)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use xic_xml::parse_document;
+
+    const DOC: &str = "<review>\
+        <track><name>DB</name>\
+          <rev><name>Ann</name>\
+            <sub><title>S1</title><auts><name>Bob</name></auts></sub>\
+            <sub><title>S2</title><auts><name>Ann</name></auts></sub>\
+          </rev>\
+          <rev><name>Dan</name>\
+            <sub><title>S3</title><auts><name>Eve</name></auts></sub>\
+            <sub><title>S4</title><auts><name>Flo</name></auts></sub>\
+            <sub><title>S5</title><auts><name>Gus</name></auts></sub>\
+            <sub><title>S6</title><auts><name>Hal</name></auts></sub>\
+            <sub><title>S7</title><auts><name>Ivy</name></auts></sub>\
+          </rev>\
+        </track>\
+      </review>";
+
+    fn run_bool(doc_src: &str, query: &str) -> bool {
+        let (doc, _) = parse_document(doc_src).unwrap();
+        let q = parse_query(query).unwrap_or_else(|e| panic!("{query}: {e}"));
+        eval_query_bool(&q, &doc).unwrap_or_else(|e| panic!("{query}: {e}"))
+    }
+
+    fn run_seq(doc_src: &str, query: &str) -> Sequence {
+        let (doc, _) = parse_document(doc_src).unwrap();
+        let q = parse_query(query).unwrap();
+        eval_query(&q, &doc).unwrap()
+    }
+
+    #[test]
+    fn some_satisfies_self_review() {
+        // Ann reviews a submission she authored (S2): conflict.
+        assert!(run_bool(
+            DOC,
+            "some $lr in //rev satisfies \
+             $lr/sub/auts/name/text() = $lr/name/text()"
+        ));
+        // Dan does not.
+        assert!(!run_bool(
+            DOC,
+            "some $lr in //rev[name/text() = 'Dan'] satisfies \
+             $lr/sub/auts/name/text() = $lr/name/text()"
+        ));
+    }
+
+    #[test]
+    fn flwor_aggregate_threshold() {
+        // Dan has 5 subs: violated for > 4.
+        assert!(run_bool(
+            DOC,
+            "exists(for $lr in //rev let $d := $lr/sub where count($d) > 4 return <idle/>)"
+        ));
+        assert!(!run_bool(
+            DOC,
+            "exists(for $lr in //rev let $d := $lr/sub where count($d) > 5 return <idle/>)"
+        ));
+    }
+
+    #[test]
+    fn flwor_returns_items_per_binding() {
+        let seq = run_seq(DOC, "for $s in //sub return $s/title/text()");
+        assert_eq!(seq.len(), 7);
+        let seq2 = run_seq(DOC, "for $s in //sub where $s/auts/name = 'Eve' return $s");
+        assert_eq!(seq2.len(), 1);
+    }
+
+    #[test]
+    fn every_quantifier() {
+        assert!(run_bool(DOC, "every $s in //sub satisfies count($s/auts) = 1"));
+        assert!(!run_bool(DOC, "every $r in //rev satisfies count($r/sub) > 3"));
+    }
+
+    #[test]
+    fn nested_for_cross_product() {
+        let seq = run_seq(DOC, "for $a in //rev, $b in //rev return <idle/>");
+        assert_eq!(seq.len(), 4);
+    }
+
+    #[test]
+    fn if_then_else() {
+        let seq = run_seq(DOC, "if (count(//rev) = 2) then 'yes' else 'no'");
+        assert_eq!(seq, vec![Item::Str("yes".into())]);
+    }
+
+    #[test]
+    fn construction_copies_content() {
+        let seq = run_seq(DOC, "element wrap { //track/name }");
+        assert_eq!(seq.len(), 1);
+        match &seq[0] {
+            Item::Elem(e) => assert_eq!(e.to_xml(), "<wrap><name>DB</name></wrap>"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequences_and_arithmetic() {
+        let seq = run_seq(DOC, "(1, 2, 3)");
+        assert_eq!(seq.len(), 3);
+        let seq = run_seq(DOC, "count((1, 2, 3)) + 1");
+        assert_eq!(seq, vec![Item::Num(4.0)]);
+        assert!(run_bool(DOC, "2 * 3 = 6"));
+        assert!(run_bool(DOC, "empty(())"));
+        assert!(!run_bool(DOC, "exists(())"));
+    }
+
+    #[test]
+    fn let_binds_full_sequence() {
+        let seq = run_seq(
+            DOC,
+            "for $r in //rev let $titles := $r/sub/title return count($titles)",
+        );
+        assert_eq!(seq, vec![Item::Num(2.0), Item::Num(5.0)]);
+    }
+
+    #[test]
+    fn general_comparison_through_variables() {
+        assert!(run_bool(
+            DOC,
+            "some $h in //auts, $r in //rev satisfies \
+             $h/name/text() = $r/name/text()"
+        ));
+    }
+
+    #[test]
+    fn union_at_query_level() {
+        let seq = run_seq(DOC, "(for $x in //track return $x/name) | //rev/name");
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn paper_full_translation_runs() {
+        // Section 6's translated second denial of Example 3 (conflict of
+        // interests via coauthorship). DOC has no aut elements, so no
+        // violation.
+        assert!(!run_bool(
+            DOC,
+            "some $Ir in //rev, $H in //aut \
+             satisfies $H/name/text() = $Ir/name/text() \
+             and $H/../aut/name/text() = $Ir/sub/auts/name/text()"
+        ));
+        // With a pub catalog where Ann coauthored with Bob — and Ann
+        // reviews Bob's submission S1 — it fires.
+        let both = format!(
+            "<all>{}<dblp><pub><title>P</title><aut><name>Ann</name></aut>\
+             <aut><name>Bob</name></aut></pub></dblp></all>",
+            &DOC
+        );
+        assert!(run_bool(
+            &both,
+            "some $Ir in //rev, $H in //aut \
+             satisfies $H/name/text() = $Ir/name/text() \
+             and $H/../aut/name/text() = $Ir/sub/auts/name/text()"
+        ));
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let (doc, _) = parse_document("<r/>").unwrap();
+        let q = parse_query("('a', 'b') = 'a'").unwrap();
+        assert!(matches!(
+            eval_query(&q, &doc),
+            Err(XQueryError::Type(_))
+        ));
+        let q2 = parse_query("1 | 2").unwrap();
+        assert!(eval_query(&q2, &doc).is_err());
+    }
+}

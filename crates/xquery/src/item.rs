@@ -1,0 +1,196 @@
+//! The XQuery item/sequence model and conversions to the XPath value
+//! model.
+
+use xic_xml::Document;
+use xic_xpath::{NodeRef, XValue};
+
+/// A constructed element (output of an element constructor). Constructed
+/// nodes live outside the queried document: they are results, never query
+/// targets, so a simple owned tree suffices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constructed {
+    /// Element name.
+    pub name: String,
+    /// Attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Children: either nested constructed elements or text runs.
+    pub children: Vec<ConstructedChild>,
+}
+
+/// A child of a constructed element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstructedChild {
+    /// Nested element.
+    Elem(Constructed),
+    /// Text content.
+    Text(String),
+}
+
+impl Constructed {
+    /// Serializes the constructed tree (for display/tests).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&xic_xml::escape::escape_attr(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            match c {
+                ConstructedChild::Elem(e) => e.write(out),
+                ConstructedChild::Text(t) => out.push_str(&xic_xml::escape::escape_text(t)),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+/// One item of an XQuery sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A node of the queried document.
+    Node(NodeRef),
+    /// A string.
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A constructed element.
+    Elem(Box<Constructed>),
+}
+
+impl Item {
+    /// String value of the item.
+    pub fn string_value(&self, doc: &Document) -> String {
+        match self {
+            Item::Node(n) => n.string_value(doc),
+            Item::Str(s) => s.clone(),
+            Item::Num(n) => xic_xpath::value::format_number(*n),
+            Item::Bool(b) => b.to_string(),
+            Item::Elem(e) => e.to_xml(),
+        }
+    }
+}
+
+/// An XQuery sequence.
+pub type Sequence = Vec<Item>;
+
+/// Converts a sequence to an XPath value so it can be bound as an XPath
+/// variable. Node sequences become node-sets; singleton atomics become the
+/// atomic; the empty sequence becomes the empty node-set. Sequences that
+/// have no XPath 1.0 counterpart (mixed, multi-atomic, constructed) are
+/// rejected.
+pub fn sequence_to_xvalue(seq: &Sequence) -> Result<XValue, String> {
+    if seq.is_empty() {
+        return Ok(XValue::Nodes(Vec::new()));
+    }
+    if seq.iter().all(|i| matches!(i, Item::Node(_))) {
+        return Ok(XValue::Nodes(
+            seq.iter()
+                .map(|i| match i {
+                    Item::Node(n) => n.clone(),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        ));
+    }
+    if seq.len() == 1 {
+        return Ok(match &seq[0] {
+            Item::Str(s) => XValue::Str(s.clone()),
+            Item::Num(n) => XValue::Num(*n),
+            Item::Bool(b) => XValue::Bool(*b),
+            Item::Elem(_) => {
+                return Err("constructed elements cannot cross into XPath".to_string())
+            }
+            Item::Node(_) => unreachable!("handled above"),
+        });
+    }
+    Err("sequence has no XPath 1.0 value equivalent".to_string())
+}
+
+/// Converts an XPath value into a sequence.
+pub fn xvalue_to_sequence(v: XValue) -> Sequence {
+    match v {
+        XValue::Nodes(ns) => ns.into_iter().map(Item::Node).collect(),
+        XValue::Str(s) => vec![Item::Str(s)],
+        XValue::Num(n) => vec![Item::Num(n)],
+        XValue::Bool(b) => vec![Item::Bool(b)],
+    }
+}
+
+/// The XQuery effective boolean value of a sequence.
+pub fn effective_boolean(seq: &Sequence) -> bool {
+    match seq.as_slice() {
+        [] => false,
+        [Item::Bool(b)] => *b,
+        [Item::Num(n)] => *n != 0.0 && !n.is_nan(),
+        [Item::Str(s)] => !s.is_empty(),
+        _ => true, // non-empty sequence starting with a node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructed_serialization() {
+        let c = Constructed {
+            name: "idle".into(),
+            attrs: vec![],
+            children: vec![],
+        };
+        assert_eq!(c.to_xml(), "<idle/>");
+        let c2 = Constructed {
+            name: "r".into(),
+            attrs: vec![("a".into(), "x\"y".into())],
+            children: vec![
+                ConstructedChild::Text("t<".into()),
+                ConstructedChild::Elem(c),
+            ],
+        };
+        assert_eq!(c2.to_xml(), "<r a=\"x&quot;y\">t&lt;<idle/></r>");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(
+            sequence_to_xvalue(&vec![Item::Num(3.0)]).unwrap(),
+            XValue::Num(3.0)
+        );
+        assert_eq!(
+            sequence_to_xvalue(&Vec::new()).unwrap(),
+            XValue::Nodes(vec![])
+        );
+        assert!(sequence_to_xvalue(&vec![Item::Num(1.0), Item::Num(2.0)]).is_err());
+        assert_eq!(xvalue_to_sequence(XValue::Str("x".into())), vec![Item::Str("x".into())]);
+    }
+
+    #[test]
+    fn effective_boolean_rules() {
+        assert!(!effective_boolean(&vec![]));
+        assert!(!effective_boolean(&vec![Item::Bool(false)]));
+        assert!(effective_boolean(&vec![Item::Bool(true)]));
+        assert!(!effective_boolean(&vec![Item::Num(0.0)]));
+        assert!(effective_boolean(&vec![Item::Num(2.0)]));
+        assert!(!effective_boolean(&vec![Item::Str(String::new())]));
+        assert!(effective_boolean(&vec![Item::Str("x".into())]));
+    }
+}

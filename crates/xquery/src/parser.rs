@@ -1,0 +1,491 @@
+//! XQuery parser: an operator-precedence chain at the XQuery level whose
+//! operands are either XQuery special forms (FLWOR, quantified, `if`,
+//! constructors, sequence expressions) or XPath path expressions delegated
+//! to the shared `xic-xpath` token parser.
+
+use crate::ast::{Clause, XQuery};
+use std::fmt;
+use xic_xpath::lexer::{tokenize, Tok};
+use xic_xpath::{BinOp, P};
+
+/// XQuery parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XQueryParseError {
+    /// Byte offset (best effort).
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XQueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XQuery parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for XQueryParseError {}
+
+impl From<xic_xpath::XPathParseError> for XQueryParseError {
+    fn from(e: xic_xpath::XPathParseError) -> Self {
+        XQueryParseError {
+            offset: e.offset,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses an XQuery expression.
+pub fn parse_query(input: &str) -> Result<XQuery, XQueryParseError> {
+    let toks = tokenize(input).map_err(|message| XQueryParseError { offset: 0, message })?;
+    let mut p = P::new(toks);
+    let q = expr_single(&mut p)?;
+    if !p.at_eof() {
+        return Err(p.err("unexpected trailing tokens").into());
+    }
+    Ok(q)
+}
+
+/// XQuery functions whose arguments are parsed as full XQuery expressions.
+const XQ_FUNCTIONS: &[&str] = &[
+    "exists",
+    "empty",
+    "count",
+    "not",
+    "boolean",
+    "string",
+    "distinct-values",
+    "max",
+    "min",
+];
+
+fn expr_single(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    // Special forms recognizable at statement start.
+    match p.peek() {
+        Some(Tok::Name(n)) if (n == "for" || n == "let") && matches!(p.peek2(), Some(Tok::Var(_))) => {
+            return flwor(p);
+        }
+        Some(Tok::Name(n))
+            if (n == "some" || n == "every") && matches!(p.peek2(), Some(Tok::Var(_))) =>
+        {
+            return quantified(p);
+        }
+        Some(Tok::Name(n)) if n == "if" && p.peek2() == Some(&Tok::LParen) => {
+            return if_expr(p);
+        }
+        _ => {}
+    }
+    or_expr(p)
+}
+
+fn or_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let mut lhs = and_expr(p)?;
+    while p.eat_name("or") {
+        let rhs = and_expr(p)?;
+        lhs = XQuery::Binary(Box::new(lhs), BinOp::Or, Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn and_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let mut lhs = cmp_expr(p)?;
+    while p.eat_name("and") {
+        let rhs = cmp_expr(p)?;
+        lhs = XQuery::Binary(Box::new(lhs), BinOp::And, Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn cmp_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let lhs = add_expr(p)?;
+    for (t, op) in [
+        (Tok::Ne, BinOp::Ne),
+        (Tok::Le, BinOp::Le),
+        (Tok::Ge, BinOp::Ge),
+        (Tok::Eq, BinOp::Eq),
+        (Tok::Lt, BinOp::Lt),
+        (Tok::Gt, BinOp::Gt),
+    ] {
+        if p.eat(&t) {
+            let rhs = add_expr(p)?;
+            return Ok(XQuery::Binary(Box::new(lhs), op, Box::new(rhs)));
+        }
+    }
+    Ok(lhs)
+}
+
+fn add_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let mut lhs = mul_expr(p)?;
+    loop {
+        if p.eat(&Tok::Plus) {
+            let rhs = mul_expr(p)?;
+            lhs = XQuery::Binary(Box::new(lhs), BinOp::Add, Box::new(rhs));
+        } else if p.eat(&Tok::Minus) {
+            let rhs = mul_expr(p)?;
+            lhs = XQuery::Binary(Box::new(lhs), BinOp::Sub, Box::new(rhs));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn mul_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let mut lhs = unary_expr(p)?;
+    loop {
+        if p.eat(&Tok::Star) {
+            let rhs = unary_expr(p)?;
+            lhs = XQuery::Binary(Box::new(lhs), BinOp::Mul, Box::new(rhs));
+        } else if p.eat_name("div") {
+            let rhs = unary_expr(p)?;
+            lhs = XQuery::Binary(Box::new(lhs), BinOp::Div, Box::new(rhs));
+        } else if p.eat_name("mod") {
+            let rhs = unary_expr(p)?;
+            lhs = XQuery::Binary(Box::new(lhs), BinOp::Mod, Box::new(rhs));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn unary_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    if p.eat(&Tok::Minus) {
+        let inner = unary_expr(p)?;
+        return Ok(XQuery::Binary(
+            Box::new(XQuery::XPath(xic_xpath::Expr::Number(0.0))),
+            BinOp::Sub,
+            Box::new(inner),
+        ));
+    }
+    union_expr(p)
+}
+
+fn union_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let mut lhs = primary(p)?;
+    while p.eat(&Tok::Pipe) {
+        let rhs = primary(p)?;
+        lhs = XQuery::Binary(Box::new(lhs), BinOp::Union, Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn primary(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    // Literal element constructor: `<name/>`.
+    if p.peek() == Some(&Tok::Lt) {
+        if let Some(Tok::Name(_)) = p.peek2() {
+            p.next_tok(); // <
+            let Some(Tok::Name(name)) = p.next_tok() else {
+                unreachable!()
+            };
+            p.expect(&Tok::Slash)?;
+            p.expect(&Tok::Gt)?;
+            return Ok(XQuery::Construct {
+                name,
+                content: Vec::new(),
+            });
+        }
+    }
+    // Computed element constructor: `element name { content }`.
+    if matches!(p.peek(), Some(Tok::Name(n)) if n == "element")
+        && matches!(p.peek2(), Some(Tok::Name(_)))
+    {
+        p.next_tok();
+        let Some(Tok::Name(name)) = p.next_tok() else {
+            unreachable!()
+        };
+        p.expect(&Tok::LBrace)?;
+        let mut content = Vec::new();
+        if p.peek() != Some(&Tok::RBrace) {
+            loop {
+                content.push(expr_single(p)?);
+                if !p.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        p.expect(&Tok::RBrace)?;
+        return Ok(XQuery::Construct { name, content });
+    }
+    // XQuery-level function calls whose arguments may be special forms.
+    if let (Some(Tok::Name(n)), Some(Tok::LParen)) = (p.peek(), p.peek2()) {
+        if XQ_FUNCTIONS.contains(&n.as_str()) {
+            let name = n.clone();
+            let save = p.position();
+            // For functions that also exist in XPath, prefer the plain
+            // XPath reading when the arguments are simple (so `count($d)`
+            // stays a single XPath leaf); fall back to the XQuery-level
+            // call when the XPath parser rejects the content. `exists` and
+            // `empty` are XQuery-only and always parse here.
+            let xpath_native =
+                !matches!(name.as_str(), "exists" | "empty" | "distinct-values" | "max" | "min");
+            if xpath_native {
+                if let Ok(e) = p.path_expr() {
+                    return Ok(XQuery::XPath(e));
+                }
+                p.set_position(save);
+            }
+            let _ = save;
+            p.next_tok(); // name
+            p.next_tok(); // (
+            let mut args = Vec::new();
+            if p.peek() != Some(&Tok::RParen) {
+                loop {
+                    args.push(expr_single(p)?);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            p.expect(&Tok::RParen)?;
+            return Ok(XQuery::Call(name, args));
+        }
+    }
+    // Parenthesized expression or sequence: try the XPath reading first
+    // (it covers `(expr)[pred]/steps`), fall back to XQuery sequences and
+    // nested special forms.
+    if p.peek() == Some(&Tok::LParen) {
+        let save = p.position();
+        if let Ok(e) = p.path_expr() {
+            return Ok(XQuery::XPath(e));
+        }
+        p.set_position(save);
+        p.next_tok(); // (
+        if p.eat(&Tok::RParen) {
+            return Ok(XQuery::Sequence(Vec::new()));
+        }
+        let mut items = vec![expr_single(p)?];
+        while p.eat(&Tok::Comma) {
+            items.push(expr_single(p)?);
+        }
+        p.expect(&Tok::RParen)?;
+        if items.len() == 1 {
+            return Ok(items.pop().expect("one item"));
+        }
+        return Ok(XQuery::Sequence(items));
+    }
+    // Everything else: an XPath path expression.
+    Ok(XQuery::XPath(p.path_expr()?))
+}
+
+fn bindings(p: &mut P) -> Result<Vec<(String, XQuery)>, XQueryParseError> {
+    let mut out = Vec::new();
+    loop {
+        let Some(Tok::Var(var)) = p.next_tok() else {
+            return Err(p.err("expected $variable").into());
+        };
+        if !p.eat_name("in") {
+            return Err(p.err("expected 'in'").into());
+        }
+        let source = expr_single(p)?;
+        out.push((var, source));
+        if !p.eat(&Tok::Comma) {
+            return Ok(out);
+        }
+    }
+}
+
+fn flwor(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let mut clauses = Vec::new();
+    loop {
+        if p.eat_name("for") {
+            for (var, source) in bindings(p)? {
+                clauses.push(Clause::For { var, source });
+            }
+        } else if p.eat_name("let") {
+            loop {
+                let Some(Tok::Var(var)) = p.next_tok() else {
+                    return Err(p.err("expected $variable after let").into());
+                };
+                p.expect(&Tok::Assign)?;
+                let value = expr_single(p)?;
+                clauses.push(Clause::Let { var, value });
+                if !p.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        } else if p.eat_name("where") {
+            clauses.push(Clause::Where(expr_single(p)?));
+        } else if p.eat_name("return") {
+            let ret = expr_single(p)?;
+            return Ok(XQuery::Flwor {
+                clauses,
+                ret: Box::new(ret),
+            });
+        } else {
+            return Err(p.err("expected for/let/where/return clause").into());
+        }
+    }
+}
+
+fn quantified(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    let some = if p.eat_name("some") {
+        true
+    } else if p.eat_name("every") {
+        false
+    } else {
+        return Err(p.err("expected some/every").into());
+    };
+    let binds = bindings(p)?;
+    if !p.eat_name("satisfies") {
+        return Err(p.err("expected 'satisfies'").into());
+    }
+    let satisfies = expr_single(p)?;
+    Ok(XQuery::Quantified {
+        some,
+        binds,
+        satisfies: Box::new(satisfies),
+    })
+}
+
+fn if_expr(p: &mut P) -> Result<XQuery, XQueryParseError> {
+    assert!(p.eat_name("if"));
+    p.expect(&Tok::LParen)?;
+    let cond = expr_single(p)?;
+    p.expect(&Tok::RParen)?;
+    if !p.eat_name("then") {
+        return Err(p.err("expected 'then'").into());
+    }
+    let then = expr_single(p)?;
+    if !p.eat_name("else") {
+        return Err(p.err("expected 'else'").into());
+    }
+    let els = expr_single(p)?;
+    Ok(XQuery::If {
+        cond: Box::new(cond),
+        then: Box::new(then),
+        els: Box::new(els),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> XQuery {
+        parse_query(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+    }
+
+    #[test]
+    fn plain_xpath_passthrough() {
+        assert!(matches!(q("//rev/name/text()"), XQuery::XPath(_)));
+        assert!(matches!(q("count($d) > 4"), XQuery::Binary(..)));
+    }
+
+    #[test]
+    fn some_satisfies() {
+        let e = q("some $lr in //rev, $h in //aut satisfies \
+                   $h/name/text() = $lr/name/text()");
+        match &e {
+            XQuery::Quantified { some, binds, .. } => {
+                assert!(*some);
+                assert_eq!(binds.len(), 2);
+                assert_eq!(binds[0].0, "lr");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The satisfies body with `and` parses fully.
+        let e2 = q("some $a in //x satisfies $a = 1 and $a != 2");
+        assert!(matches!(e2, XQuery::Quantified { .. }));
+    }
+
+    #[test]
+    fn flwor_with_let_where_return() {
+        let e = q("exists(for $lr in //rev let $d := $lr/sub where count($d) > 4 return <idle/>)");
+        match &e {
+            XQuery::Call(name, args) => {
+                assert_eq!(name, "exists");
+                match &args[0] {
+                    XQuery::Flwor { clauses, ret } => {
+                        assert_eq!(clauses.len(), 3);
+                        assert!(matches!(**ret, XQuery::Construct { .. }));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_for_bindings() {
+        let e = q("for $a in //x, $b in //y return ($a, $b)");
+        match e {
+            XQuery::Flwor { clauses, ret } => {
+                assert_eq!(clauses.len(), 2);
+                assert!(matches!(*ret, XQuery::Sequence(ref s) if s.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(
+            q("<idle/>"),
+            XQuery::Construct {
+                name: "idle".into(),
+                content: vec![]
+            }
+        );
+        let e = q("element res { 1, 'x' }");
+        match e {
+            XQuery::Construct { name, content } => {
+                assert_eq!(name, "res");
+                assert_eq!(content.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_then_else() {
+        let e = q("if (//a) then 1 else 2");
+        assert!(matches!(e, XQuery::If { .. }));
+    }
+
+    #[test]
+    fn empty_sequence_and_sequences() {
+        assert_eq!(q("()"), XQuery::Sequence(vec![]));
+        assert!(matches!(q("(1, 2, 3)"), XQuery::Sequence(ref s) if s.len() == 3));
+        // Single parenthesized expression unwraps.
+        assert!(matches!(q("(1 + 2)"), XQuery::XPath(_) | XQuery::Binary(..)));
+    }
+
+    #[test]
+    fn every_quantifier() {
+        let e = q("every $x in //a satisfies $x/@id > 0");
+        assert!(matches!(e, XQuery::Quantified { some: false, .. }));
+    }
+
+    #[test]
+    fn nested_flwor_in_count() {
+        let e = q("count(for $x in //a return $x) > 2");
+        match e {
+            XQuery::Binary(lhs, BinOp::Gt, _) => {
+                assert!(matches!(*lhs, XQuery::Call(ref n, _) if n == "count"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("for $x //a return $x").is_err());
+        assert!(parse_query("some $x in //a").is_err());
+        assert!(parse_query("if (//a) then 1").is_err());
+        assert!(parse_query("for $x in //a").is_err());
+        assert!(parse_query("element x {").is_err());
+        assert!(parse_query("1 2").is_err());
+    }
+
+    #[test]
+    fn paper_translation_shape() {
+        // The full translated denial from Section 6.
+        let e = q("some $Ir in //rev, $H in //aut \
+                   satisfies $H/name/text() = $Ir/name/text() \
+                   and $H/../aut/name/text() = $Ir/sub/auts/name/text()");
+        assert!(matches!(e, XQuery::Quantified { .. }));
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the workspace: re-exports the public API and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! Start with [`xicheck::Checker`]; see the `quickstart` example.
+
+pub use xic_datalog as datalog;
+pub use xic_mapping as mapping;
+pub use xic_simplify as simplify;
+pub use xic_translate as translate;
+pub use xic_workload as workload;
+pub use xic_xml as xml;
+pub use xic_xpath as xpath;
+pub use xic_xpathlog as xpathlog;
+pub use xic_xquery as xquery;
+pub use xicheck;
+pub use xicheck::Checker;

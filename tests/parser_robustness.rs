@@ -1,0 +1,66 @@
+//! Fuzz-style robustness: every parser in the workspace must return an
+//! error — never panic — on arbitrary input, including inputs mutated
+//! from valid ones (the nastier case, since they get deep into the
+//! grammar).
+
+use proptest::prelude::*;
+
+const SEEDS: &[&str] = &[
+    "<pub><title>T</title><aut><name>N</name></aut></pub>",
+    "<- //rev[name/text() -> R]/sub/auts/name/text() -> A & (A = R | //pub)",
+    "<- rev(Ir,_,_,R) & cntd(; sub(_,_,Ir,_)) > 4",
+    "some $lr in //rev satisfies $lr/sub/auts/name/text() = $lr/name/text()",
+    "exists(for $r in //rev let $d := $r/sub where count($d) > 4 return <idle/>)",
+    "/review/track[2]/rev[5]/name/text()",
+    "<!ELEMENT track (name,rev+)><!ELEMENT name (#PCDATA)>",
+    "{sub($is, $ps, $ir, $t), auts($ia, 2, $is, $n)}",
+    "<xupdate:modifications xmlns:xupdate=\"x\"><xupdate:append select=\"/a\"><b/></xupdate:append></xupdate:modifications>",
+];
+
+/// Inputs: random garbage, or a seed with a random splice.
+fn inputs() -> impl Strategy<Value = String> {
+    prop_oneof![
+        2 => "[ -~]{0,60}",
+        3 => (prop::sample::select(SEEDS), 0usize..60, "[ -~<>&$%{}()\\[\\]]{0,8}").prop_map(
+            |(seed, pos, splice)| {
+                let mut s = seed.to_string();
+                let at = pos.min(s.len());
+                // Splice at a char boundary.
+                let at = (0..=at).rev().find(|&i| s.is_char_boundary(i)).unwrap_or(0);
+                s.insert_str(at, &splice);
+                s
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2000, ..ProptestConfig::default() })]
+
+    #[test]
+    fn no_parser_panics(input in inputs()) {
+        let _ = xic_xml::parse_document(&input);
+        let _ = xic_xml::Dtd::parse(&input);
+        let _ = xic_xml::XUpdateDoc::parse(&input);
+        let _ = xic_xpath::parse(&input);
+        let _ = xic_xquery::parse_query(&input);
+        let _ = xic_xpathlog::parse_denial(&input);
+        let _ = xic_datalog::parse_denial(&input);
+        let _ = xic_datalog::parse_update(&input);
+    }
+
+    #[test]
+    fn valid_outputs_reparse(input in prop::sample::select(SEEDS)) {
+        // Displays of successfully parsed artifacts parse again.
+        if let Ok(d) = xic_datalog::parse_denial(input) {
+            xic_datalog::parse_denial(&d.to_string()).expect("denial display reparses");
+        }
+        if let Ok(d) = xic_xpathlog::parse_denial(input) {
+            xic_xpathlog::parse_denial(&d.to_string()).expect("xpathlog display reparses");
+        }
+        if let Ok((doc, _)) = xic_xml::parse_document(input) {
+            let ser = xic_xml::serialize(&doc);
+            xic_xml::parse_document(&ser).expect("serialized XML reparses");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! System-level property: for every insertion statement, the optimized
+//! strategy (simplified pre-update check) and the baseline strategy
+//! (apply + full check + rollback) must take the same accept/reject
+//! decision and leave equivalent documents behind.
+
+use proptest::prelude::*;
+use xic_workload::{generate, WorkloadConfig};
+use xic_xml::{serialize, XUpdateDoc};
+use xicheck::Checker;
+
+const DTD: &str = "<!ELEMENT collection (dblp, review)>\n<!ELEMENT dblp (pub)*>\n\
+    <!ELEMENT pub (title, aut+)>\n<!ELEMENT aut (name)>\n\
+    <!ELEMENT review (track)+>\n<!ELEMENT track (name,rev+)>\n\
+    <!ELEMENT rev (name, sub+)>\n<!ELEMENT sub (title, auts+)>\n\
+    <!ELEMENT title (#PCDATA)>\n<!ELEMENT auts (name)>\n\
+    <!ELEMENT name (#PCDATA)>";
+
+/// Applies the baseline strategy directly: apply, full-check, undo on
+/// violation. Returns whether the statement was accepted.
+fn baseline_decide(checker: &mut Checker, stmt: &XUpdateDoc) -> bool {
+    let applied = xic_xml::apply(checker.doc_mut(), stmt, &xicheck::xpath_resolver)
+        .map_err(|(e, _)| e)
+        .expect("statement applies");
+    let violated = checker.check_full().expect("full check").is_some();
+    if violated {
+        xic_xml::undo(checker.doc_mut(), applied);
+    }
+    !violated
+}
+
+fn submission_stmt(track: usize, rev: usize, authors: &[String]) -> String {
+    let auts: String = authors
+        .iter()
+        .map(|a| format!("<auts><name>{a}</name></auts>"))
+        .collect();
+    format!(
+        r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/collection/review/track[{}]/rev[{}]">
+    <sub><title>prop</title>{auts}</sub>
+  </xupdate:append>
+</xupdate:modifications>"#,
+        track + 1,
+        rev + 1
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimized_equals_baseline(
+        seed in 0u64..500,
+        track_pick in 0usize..8,
+        rev_pick in 0usize..8,
+        // Author selection: indexes into the name pool (biased low, like
+        // the generator) plus sometimes the reviewer's own name.
+        author_kind in 0usize..4,
+        author_idx in 0usize..80,
+    ) {
+        let w = generate(WorkloadConfig::sized_kib(8, seed));
+        let track = track_pick % w.config.tracks;
+        let rev = rev_pick % w.config.revs_per_track;
+        let reviewer = w.reviewers[track][rev].clone();
+        let author = match author_kind {
+            0 => reviewer.clone(),                    // guaranteed conflict
+            1 => format!("newcomer{author_idx:05}"),  // guaranteed fresh
+            _ => format!("author{author_idx:05}"),    // pool member: maybe a coauthor
+        };
+        let stmt_text = submission_stmt(track, rev, &[author]);
+        let stmt = XUpdateDoc::parse(&stmt_text).unwrap();
+
+        let mut optimized = Checker::new(&w.xml, DTD, xic_workload::conflict_constraint()).unwrap();
+        let mut baseline = Checker::new(&w.xml, DTD, xic_workload::conflict_constraint()).unwrap();
+
+        let out = optimized.try_update(&stmt).unwrap();
+        prop_assert_eq!(
+            out.strategy(),
+            xicheck::Strategy::Optimized,
+            "insertions must use the optimized path"
+        );
+        let accepted_baseline = baseline_decide(&mut baseline, &stmt);
+        prop_assert_eq!(
+            out.applied(),
+            accepted_baseline,
+            "strategies disagree on {}",
+            stmt_text
+        );
+        // When both accept, the resulting documents are identical.
+        if accepted_baseline {
+            prop_assert_eq!(serialize(optimized.doc()), serialize(baseline.doc()));
+        } else {
+            // When both reject, the optimized document is untouched and
+            // the baseline rolled back to the original.
+            prop_assert_eq!(serialize(optimized.doc()), w.xml.clone());
+            prop_assert_eq!(serialize(baseline.doc()), w.xml.clone());
+        }
+    }
+
+    #[test]
+    fn aggregate_strategy_agreement(
+        seed in 0u64..200,
+        extra in 1usize..4,
+    ) {
+        // Review-load constraint: inserting `extra` submissions at once is
+        // legal iff subs_per_rev + extra <= bound.
+        let w = generate(WorkloadConfig::sized_kib(8, seed));
+        let bound = w.config.subs_per_rev + 2;
+        let constraint = xic_workload::review_load_constraint(bound);
+        let authors: Vec<String> = (0..extra).map(|i| format!("fresh{i:03}")).collect();
+        let stmt = XUpdateDoc::parse(&submission_stmt(0, 0, &[authors[0].clone()])).unwrap();
+        // Build a multi-sub statement by appending each author separately
+        // in one modifications document.
+        let subs: String = authors
+            .iter()
+            .map(|a| format!(
+                "<xupdate:append select=\"/collection/review/track[1]/rev[1]\">\
+                 <sub><title>b</title><auts><name>{a}</name></auts></sub></xupdate:append>"
+            ))
+            .collect();
+        let multi = XUpdateDoc::parse(&format!(
+            "<xupdate:modifications xmlns:xupdate=\"x\">{subs}</xupdate:modifications>"
+        ))
+        .unwrap();
+        let _ = stmt;
+
+        let mut optimized = Checker::new(&w.xml, DTD, &constraint).unwrap();
+        let mut baseline = Checker::new(&w.xml, DTD, &constraint).unwrap();
+        let out = optimized.try_update(&multi).unwrap();
+        let accepted_baseline = baseline_decide(&mut baseline, &multi);
+        prop_assert_eq!(out.applied(), accepted_baseline);
+        let expect_legal = w.config.subs_per_rev + extra <= bound;
+        prop_assert_eq!(out.applied(), expect_legal, "bound {}, extra {}", bound, extra);
+    }
+}
