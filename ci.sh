@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== rustdoc (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

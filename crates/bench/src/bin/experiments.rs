@@ -1,8 +1,10 @@
-//! Regenerates the paper's evaluation tables on stdout.
+//! Regenerates the paper's evaluation tables on stdout and emits a
+//! machine-readable report (`BENCH_PR1.json`).
 //!
 //! ```text
 //! experiments [fig1a] [fig1b] [illegal] [simp] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
+//!             [--out=BENCH_PR1.json]
 //! ```
 //!
 //! Each figure prints one row per document size with the three curves of
@@ -11,10 +13,17 @@
 //! early-detection comparison (E5); `simp` reports compile-time
 //! simplification latency (the paper's footnote 4: "generated in less
 //! than 50 ms").
+//!
+//! Every run also rewrites the JSON report: the sections just measured
+//! replace their previous versions, sections from earlier invocations are
+//! preserved. Each figure section carries the per-size timings of the
+//! three curves plus an observability snapshot (phase timings and event
+//! counters, see `xic-obs`) captured across that figure's measurement.
 
 use std::time::Instant;
 use xic_bench::{instance, measure_illegal, measure_row, Experiment};
 use xic_mapping::map_update;
+use xicheck::obs::{self, json};
 use xicheck::{compile_pattern, xpath_resolver};
 
 struct Args {
@@ -22,6 +31,7 @@ struct Args {
     sizes: Vec<usize>,
     iters: usize,
     seed: u64,
+    out: String,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +39,7 @@ fn parse_args() -> Args {
     let mut sizes = vec![32, 64, 128, 256, 512];
     let mut iters = 3;
     let mut seed = 1;
+    let mut out = "BENCH_PR1.json".to_string();
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--sizes=") {
             sizes = v
@@ -39,6 +50,8 @@ fn parse_args() -> Args {
             iters = v.parse().expect("iteration count");
         } else if let Some(v) = a.strip_prefix("--seed=") {
             seed = v.parse().expect("seed");
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out = v.to_string();
         } else {
             what.push(a);
         }
@@ -54,31 +67,57 @@ fn parse_args() -> Args {
         sizes,
         iters,
         seed,
+        out,
     }
 }
 
-fn figure(exp: Experiment, title: &str, args: &Args) {
+fn num(v: f64) -> json::Value {
+    json::Value::Number(v)
+}
+
+fn figure(exp: Experiment, title: &str, args: &Args) -> json::Value {
     println!("== {title} ==");
     println!(
         "{:>9} {:>9} {:>12} {:>14} {:>21}",
         "size/KiB", "bytes", "full/ms", "optimized/ms", "update+full+undo/ms"
     );
+    obs::reset();
+    let mut rows = Vec::new();
     for &kib in &args.sizes {
         let row = measure_row(exp, kib, args.seed, args.iters);
         println!(
             "{:>9} {:>9} {:>12.2} {:>14.3} {:>21.2}",
             row.kib, row.bytes, row.full_ms, row.optimized_ms, row.update_full_undo_ms
         );
+        rows.push(json::Value::Object(vec![
+            ("kib".to_string(), num(row.kib as f64)),
+            ("bytes".to_string(), num(row.bytes as f64)),
+            ("full_ms".to_string(), num(row.full_ms)),
+            ("optimized_ms".to_string(), num(row.optimized_ms)),
+            (
+                "update_full_undo_ms".to_string(),
+                num(row.update_full_undo_ms),
+            ),
+        ]));
     }
     println!();
+    json::Value::Object(vec![
+        ("title".to_string(), json::Value::String(title.to_string())),
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
 }
 
-fn illegal(args: &Args) {
+fn illegal(args: &Args) -> json::Value {
     println!("== Illegal updates: early detection vs apply+check+rollback (E5) ==");
     println!(
         "{:>12} {:>9} {:>21} {:>21}",
         "experiment", "size/KiB", "optimized reject/ms", "baseline reject/ms"
     );
+    obs::reset();
+    let mut rows = Vec::new();
     for (exp, name) in [
         (Experiment::ConflictOfInterests, "conflict"),
         (Experiment::ConferenceWorkload, "workload"),
@@ -89,14 +128,34 @@ fn illegal(args: &Args) {
                 "{name:>12} {:>9} {:>21.3} {:>21.2}",
                 r.kib, r.optimized_reject_ms, r.baseline_reject_ms
             );
+            rows.push(json::Value::Object(vec![
+                (
+                    "experiment".to_string(),
+                    json::Value::String(name.to_string()),
+                ),
+                ("kib".to_string(), num(r.kib as f64)),
+                (
+                    "optimized_reject_ms".to_string(),
+                    num(r.optimized_reject_ms),
+                ),
+                ("baseline_reject_ms".to_string(), num(r.baseline_reject_ms)),
+            ]));
         }
     }
     println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
 }
 
-fn simp_latency(args: &Args) {
+fn simp_latency(args: &Args) -> json::Value {
     println!("== Compile-time simplification latency (paper: < 50 ms, E3) ==");
     let kib = args.sizes.first().copied().unwrap_or(32);
+    obs::reset();
+    let mut rows = Vec::new();
     for (exp, name) in [
         (Experiment::ConflictOfInterests, "conflict (Ex. 1/6)"),
         (Experiment::ConferenceWorkload, "workload (Ex. 2/7)"),
@@ -115,8 +174,55 @@ fn simp_latency(args: &Args) {
         }
         let per = start.elapsed().as_secs_f64() * 1e3 / f64::from(n);
         println!("  {name:<22} map+simp+translate: {per:.3} ms/pattern");
+        rows.push(json::Value::Object(vec![
+            (
+                "experiment".to_string(),
+                json::Value::String(name.to_string()),
+            ),
+            ("ms_per_pattern".to_string(), num(per)),
+        ]));
     }
     println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
+/// Rewrites `path`, replacing the sections in `fresh` and keeping every
+/// other section from a previous run, so `experiments fig1a` followed by
+/// `experiments fig1b` accumulates both figures in one report.
+fn write_report(path: &str, fresh: Vec<(String, json::Value)>) -> bool {
+    let mut sections: Vec<(String, json::Value)> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|v| v.get("sections").and_then(|s| s.as_object().map(<[_]>::to_vec)))
+        .unwrap_or_default();
+    for (name, value) in fresh {
+        match sections.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => sections.push((name, value)),
+        }
+    }
+    let report = json::Value::Object(vec![
+        ("schema_version".to_string(), num(1.0)),
+        (
+            "generator".to_string(),
+            json::Value::String("xic-bench experiments".to_string()),
+        ),
+        ("sections".to_string(), json::Value::Object(sections)),
+    ]);
+    match std::fs::write(path, report.render_pretty(2) + "\n") {
+        Ok(()) => {
+            println!("report written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            false
+        }
+    }
 }
 
 fn main() {
@@ -129,8 +235,10 @@ fn main() {
         "(document sizes are scaled down from the paper's 32–256 MB so the whole\n\
          sweep runs in minutes; the curves' shape is the reproduction target)\n"
     );
+    let mut sections = Vec::new();
+    let mut failed = false;
     for w in &args.what.clone() {
-        match w.as_str() {
+        let section = match w.as_str() {
             "fig1a" => figure(
                 Experiment::ConflictOfInterests,
                 "Figure 1(a): Conflict of interests",
@@ -143,7 +251,18 @@ fn main() {
             ),
             "illegal" => illegal(&args),
             "simp" => simp_latency(&args),
-            other => eprintln!("unknown experiment {other}"),
-        }
+            other => {
+                eprintln!("unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp)");
+                failed = true;
+                continue;
+            }
+        };
+        sections.push((w.clone(), section));
+    }
+    if !write_report(&args.out, sections) {
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

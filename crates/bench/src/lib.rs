@@ -5,6 +5,8 @@
 //! verify the optimized (simplified, pre-update) constraint, and (iii)
 //! execute an update, verify the original constraint, and undo the update
 //! — the paper's diamonds, squares and triangles.
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 13 (benchmark harness).
 
 use std::time::{Duration, Instant};
 use xic_workload::{generate, Workload, WorkloadConfig};

@@ -93,6 +93,10 @@ impl fmt::Display for CheckerError {
 impl std::error::Error for CheckerError {}
 
 /// Runtime counters, useful for the experiments.
+///
+/// These are per-[`Checker`] totals. For system-wide instrumentation —
+/// phase timings and counters contributed by the XPath/XQuery engines and
+/// the simplifier — see [`Checker::obs_snapshot`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Updates checked through a compiled pattern.
@@ -103,6 +107,10 @@ pub struct Stats {
     pub rollbacks: u64,
     /// Statements rejected before execution.
     pub early_rejections: u64,
+    /// Updates whose pattern was already compiled when they arrived.
+    pub pattern_cache_hits: u64,
+    /// Updates whose pattern had to be compiled on first sight.
+    pub pattern_cache_misses: u64,
 }
 
 /// The integrity checker: document + DTD + compiled constraints.
@@ -193,6 +201,24 @@ impl Checker {
         self.stats
     }
 
+    /// A JSON-serializable snapshot of the system-wide observability
+    /// state: phase timings (`compile/after`, `check/full`, `update/apply`,
+    /// …) and event counters contributed by every layer this thread drove
+    /// (pattern cache, name index, XPath/XQuery node visits, simplifier
+    /// clause counts). See [`xic_obs`] for the underlying machinery.
+    ///
+    /// The sink is thread-local and shared by all checkers on the thread;
+    /// pair with [`Checker::obs_reset`] to scope a measurement.
+    pub fn obs_snapshot(&self) -> xic_obs::Snapshot {
+        xic_obs::snapshot()
+    }
+
+    /// Clears this thread's observability counters and phase accumulators
+    /// (the per-checker [`Stats`] are unaffected).
+    pub fn obs_reset(&self) {
+        xic_obs::reset();
+    }
+
     /// Registered patterns.
     pub fn patterns(&self) -> impl Iterator<Item = &CompiledPattern> {
         self.patterns.values()
@@ -218,6 +244,8 @@ impl Checker {
     /// Runs the full (non-simplified) constraint check against the current
     /// document state. Returns the first violation, if any.
     pub fn check_full(&self) -> Result<Option<Violation>, CheckerError> {
+        let _check = xic_obs::phase("check");
+        let _full = xic_obs::phase("full");
         for (q, d) in self.full_queries.iter().zip(&self.gamma) {
             let parsed =
                 parse_query(&q.text).map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
@@ -249,6 +277,8 @@ impl Checker {
         // The compiled pattern's parameter names are positionally
         // identical to the freshly mapped ones (the mapping is
         // deterministic), so the new bindings apply directly.
+        let _check = xic_obs::phase("check");
+        let _optimized = xic_obs::phase("optimized");
         for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
             let text = q
                 .instantiate(&self.doc, &mapped.bindings)
@@ -300,13 +330,20 @@ impl Checker {
         if stmt.insertions_only() {
             if let Ok(mapped) = map_update(&self.doc, &self.schema, stmt, &xpath_resolver) {
                 let key = pattern_key(&mapped.update);
-                if !self.patterns.contains_key(&key) {
+                if self.patterns.contains_key(&key) {
+                    self.stats.pattern_cache_hits += 1;
+                    xic_obs::incr(xic_obs::Counter::PatternCacheHit);
+                } else {
+                    self.stats.pattern_cache_misses += 1;
+                    xic_obs::incr(xic_obs::Counter::PatternCacheMiss);
                     let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
                     self.patterns.insert(key.clone(), compiled);
                 }
                 let pattern = &self.patterns[&key];
                 if pattern.is_incremental() {
                     self.stats.optimized_checks += 1;
+                    let _check = xic_obs::phase("check");
+                    let _optimized = xic_obs::phase("optimized");
                     let mut violation = None;
                     for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
                         let text = q
@@ -324,6 +361,8 @@ impl Checker {
                             break;
                         }
                     }
+                    drop(_optimized);
+                    drop(_check);
                     if let Some(violation) = violation {
                         self.stats.early_rejections += 1;
                         return Ok(UpdateOutcome::Rejected {
@@ -332,7 +371,11 @@ impl Checker {
                         });
                     }
                     // Legal: now (and only now) execute the update.
-                    self.apply_unchecked(stmt)?;
+                    {
+                        let _update = xic_obs::phase("update");
+                        let _apply = xic_obs::phase("apply");
+                        self.apply_unchecked(stmt)?;
+                    }
                     return Ok(UpdateOutcome::Applied {
                         strategy: Strategy::Optimized,
                     });
@@ -341,16 +384,24 @@ impl Checker {
         }
         // Baseline: apply, check, roll back on violation.
         self.stats.full_checks += 1;
-        let applied = apply(&mut self.doc, stmt, &xpath_resolver).map_err(|(e, partial)| {
-            undo(&mut self.doc, partial);
-            CheckerError::Statement(e.to_string())
-        })?;
+        let applied = {
+            let _update = xic_obs::phase("update");
+            let _apply = xic_obs::phase("apply");
+            apply(&mut self.doc, stmt, &xpath_resolver).map_err(|(e, partial)| {
+                undo(&mut self.doc, partial);
+                CheckerError::Statement(e.to_string())
+            })?
+        };
         match self.check_full()? {
             None => Ok(UpdateOutcome::Applied {
                 strategy: Strategy::FullWithRollback,
             }),
             Some(violation) => {
-                undo(&mut self.doc, applied);
+                {
+                    let _update = xic_obs::phase("update");
+                    let _rollback = xic_obs::phase("rollback");
+                    undo(&mut self.doc, applied);
+                }
                 self.stats.rollbacks += 1;
                 Ok(UpdateOutcome::Rejected {
                     strategy: Strategy::FullWithRollback,

@@ -54,6 +54,9 @@ pub fn compile_pattern(
     gamma: &[Denial],
     schema: &RelSchema,
 ) -> CompiledPattern {
+    // Everything below is recorded as the `compile` phase; the simplifier
+    // contributes the nested `compile/after` and `compile/optimize` spans.
+    let _span = xic_obs::phase("compile");
     let key = pattern_key(&mapped.update);
     let cfg = SimpConfig {
         fresh: FreshSpec::Params(mapped.fresh_params.clone()),
@@ -72,7 +75,11 @@ pub fn compile_pattern(
             unsupported,
         };
     }
-    match translate_denials_with(&simplified, schema, &mapped.node_params) {
+    let translated = {
+        let _span = xic_obs::phase("translate");
+        translate_denials_with(&simplified, schema, &mapped.node_params)
+    };
+    match translated {
         Ok(queries) => CompiledPattern {
             key,
             update: mapped.update.clone(),

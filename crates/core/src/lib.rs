@@ -52,6 +52,8 @@
 //! ).unwrap();
 //! assert!(!dup.applied());
 //! ```
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 11 (integrity-checking façade).
 
 pub mod checker;
 pub mod compile;
@@ -62,6 +64,8 @@ pub use compile::{compile_pattern, CompiledPattern};
 pub use resolver::xpath_resolver;
 
 // Re-exports for downstream users (examples, benches, tests).
+pub use xic_obs as obs;
+
 pub use xic_datalog::{Database, Denial, Update, Value};
 pub use xic_mapping::{map_denials, shred, RelSchema};
 pub use xic_simplify::{freshness_hypotheses, simp, FreshSpec, SimpConfig};

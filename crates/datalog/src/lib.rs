@@ -18,6 +18,8 @@
 //!   against it);
 //! * [`parse`]: a compact text syntax for denials, used pervasively in
 //!   tests, examples and documentation.
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 6 (Datalog substrate).
 
 pub mod atom;
 pub mod denial;

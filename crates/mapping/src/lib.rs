@@ -29,6 +29,8 @@
 //!   rather than 8; we resolve the inconsistency in favour of the
 //!   all-element-children reading and derive positional-path offsets from
 //!   the content model).
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 8 (XML↔relational mapping).
 
 pub mod constraint_map;
 pub mod schema;

@@ -1,0 +1,636 @@
+//! Offline API-compatible stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this vendored crate re-implements the subset of the `proptest 1.x`
+//! API that the workspace's property tests use, with **zero** external
+//! dependencies:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`, plus
+//!   [`BoxedStrategy`] and [`Just`];
+//! * strategies for integer ranges, tuples (arity ≤ 6), `&'static str`
+//!   character-class patterns (`"[a-z]{1,4}"`-style), and the
+//!   [`prop::collection::vec`], [`prop::sample::select`],
+//!   [`prop::option::of`] and [`prop::bool::ANY`] combinators;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assume!`] macros and
+//!   [`ProptestConfig`].
+//!
+//! Differences from the real crate, chosen for simplicity: cases are
+//! generated from a deterministic per-test seed (derived from the test's
+//! module path and name), there is **no shrinking** — a failing case
+//! reports its message and panics as-is — and `.proptest-regressions`
+//! files are not read. Every test body still runs against hundreds of
+//! freshly generated inputs per `ProptestConfig::cases`.
+//!
+//! [`proptest`]: https://docs.rs/proptest/1
+
+use std::ops::Range;
+
+/// Deterministic test-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded directly.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// A generator seeded from a test name (FNV-1a hash), so distinct
+    /// tests explore distinct streams but each test is reproducible.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// How a generated case ended, other than by succeeding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject,
+}
+
+/// Result type the generated test closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before the test errors.
+    pub max_global_rejects: u32,
+    /// Accepted for API compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A generator of random values (stand-in for `proptest::strategy::Strategy`).
+///
+/// Unlike the real crate there is no value tree / shrinking: `generate`
+/// directly yields a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy over empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A `&'static str` is a character-class pattern strategy generating
+/// `String`s: a sequence of literal characters and `[...]` classes (with
+/// `a-z` ranges and `\`-escapes), each optionally followed by an
+/// `{n}`/`{n,m}` repetition — the fragment of proptest's regex strategies
+/// this workspace uses (e.g. `"[a-z]{1,4}"`, `"[ -~<>&$%{}()\\[\\]]{0,8}"`).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, lo, hi) in &atoms {
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(choices[rng.below(choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses a pattern into `(choices, min_reps, max_reps)` atoms.
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let mut class = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (a literal '-' appears first or last, or
+                    // escaped).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        for code in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                class.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        class.push(c);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                assert!(!class.is_empty(), "empty character class in {pat:?}");
+                class
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional {n} / {n,m} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed quantifier in {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("quantifier lower bound"),
+                    b.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((choices, lo, hi));
+    }
+    atoms
+}
+
+/// Weighted union of boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % u64::from(self.total)) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Combinator namespace (stand-in for `proptest::prelude::prop`).
+pub mod prop {
+    /// Sampling from fixed sets.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniformly selects one element (cloned) from `items`.
+        pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+            assert!(!items.is_empty(), "select over an empty slice");
+            Select(items.to_vec())
+        }
+
+        /// See [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len())].clone()
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A `Vec` of values from `element`, with a length drawn from
+        /// `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "vec over an empty size range");
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec()`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.end - self.size.start;
+                let n = self.size.start + rng.below(span);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// `Some` of the inner strategy's value three times out of four,
+        /// `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        /// See [`of`].
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// `bool` strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// The fair-coin strategy type.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// A fair coin.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.coin()
+            }
+        }
+    }
+}
+
+/// Everything tests need in scope (stand-in for `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Weighted choice between strategies: `prop_oneof![2 => a, 1 => b]` or
+/// unweighted `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(( $weight as u32, $crate::Strategy::boxed($strategy) )),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Asserts inside a property; failure reports the message and fails the
+/// case (without aborting the whole process mid-panic-unwind machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: left == right\n  left: {left:?}\n right: {right:?}"
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {left:?}\n right: {right:?}",
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (not counted toward `cases`) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run $config; $($rest)* }
+    };
+    (@run $config:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "too many prop_assume! rejections ({rejected}) in {}",
+                            stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed after {accepted} passing case(s): {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_bounds() {
+        let mut rng = crate::TestRng::new(5);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        // Escapes and the space-to-tilde range both parse.
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~<>&$%{}()\\[\\]]{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_honors_weights_roughly() {
+        let s = prop_oneof![9 => Just(1u8), 1 => Just(0u8)];
+        let mut rng = crate::TestRng::new(11);
+        let ones: u32 = (0..1000).map(|_| u32::from(s.generate(&mut rng))).sum();
+        assert!((800..1000).contains(&ones), "got {ones} ones from 9:1 mix");
+    }
+
+    #[test]
+    fn vec_and_tuple_and_select_compose() {
+        let s = prop::collection::vec((0usize..3, prop::sample::select(&["x", "y"])), 1..4);
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            for (n, tag) in v {
+                assert!(n < 3);
+                assert!(tag == "x" || tag == "y");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_and_assumes(x in 0i64..100, flip in prop::bool::ANY) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100, "x out of range: {}", x);
+            prop_assert_eq!(x == x, true);
+            let _ = flip;
+        }
+    }
+}

@@ -31,6 +31,8 @@
 //! assert_eq!(out.len(), 1);
 //! assert_eq!(out[0].to_string(), "<- p($i, Y) & Y != $t");
 //! ```
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 9 (simplification engine — the paper's core contribution).
 
 pub mod after;
 pub mod hypotheses;
@@ -110,11 +112,20 @@ pub fn simp(
     extra_delta: &[Denial],
     config: &SimpConfig,
 ) -> Result<Vec<Denial>, AfterError> {
-    let expanded = after(gamma, update, config)?;
+    let expanded = {
+        let _span = xic_obs::phase("after");
+        after(gamma, update, config)?
+    };
+    xic_obs::add(xic_obs::Counter::ClausesExpanded, expanded.len() as u64);
     let mut delta: Vec<Denial> = gamma.to_vec();
     delta.extend_from_slice(extra_delta);
-    let optimized = optimize(expanded, &delta);
-    Ok(eliminate_fresh_comparisons(optimized, &config.fresh))
+    let simplified = {
+        let _span = xic_obs::phase("optimize");
+        let optimized = optimize(expanded, &delta);
+        eliminate_fresh_comparisons(optimized, &config.fresh)
+    };
+    xic_obs::add(xic_obs::Counter::ClausesSurviving, simplified.len() as u64);
+    Ok(simplified)
 }
 
 /// Decides (dis)equalities against globally fresh node-id parameters: a

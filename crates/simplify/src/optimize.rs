@@ -38,6 +38,7 @@ pub fn optimize(denials: Vec<Denial>, delta: &[Denial]) -> Vec<Denial> {
 
     // Phase 3: hypothesis subsumption. Hypotheses are reduced first so
     // that, e.g., `← q(X,X,Y) ∧ X=X` still subsumes its own normal form.
+    let before_subsumption = list.len();
     let delta: Vec<Denial> = delta
         .iter()
         .filter_map(|h| reduce(h).into_denial())
@@ -54,6 +55,10 @@ pub fn optimize(denials: Vec<Denial>, delta: &[Denial]) -> Vec<Denial> {
             kept.push(d);
         }
     }
+    xic_obs::add(
+        xic_obs::Counter::DenialsSubsumed,
+        (before_subsumption - kept.len()) as u64,
+    );
     kept
 }
 

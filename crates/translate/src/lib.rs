@@ -14,6 +14,8 @@
 //! and single-use inlining leave exactly this shape), positions become
 //! `count($id/preceding-sibling::*) + 1`, and aggregate literals become
 //! `let`-bound sequences inside an `exists(for … return <idle/>)` wrapper.
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 10 (Datalog→XQuery translator).
 
 pub mod template;
 pub mod translate;

@@ -13,6 +13,8 @@
 //!
 //! Everything is deterministic under a seed, and documents validate
 //! against the paper's combined DTD (`xic_mapping::schema::paper_dtd`).
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 12 (workload generator).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

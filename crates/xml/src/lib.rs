@@ -18,6 +18,8 @@
 //! * **Compensating rollback.** [`xupdate`] application produces an undo
 //!   log; `undo` restores the pre-update state, which is how the paper
 //!   simulates rollback after a failed post-update check (Section 7).
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is items 1–3 (XML store, DTD validator, XUpdate/rollback).
 
 pub mod dtd;
 pub mod escape;

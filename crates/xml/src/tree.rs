@@ -294,8 +294,10 @@ impl Document {
     /// All attached elements with the given tag name, in document order.
     pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = if self.index_enabled {
+            xic_obs::incr(xic_obs::Counter::NameIndexHit);
             self.name_index.get(name).cloned().unwrap_or_default()
         } else {
+            xic_obs::incr(xic_obs::Counter::NameIndexMiss);
             let mut v = Vec::new();
             let mut stack = vec![self.document_node()];
             while let Some(n) = stack.pop() {

@@ -65,9 +65,8 @@ proptest! {
                 0 => format!(
                     "<xupdate:append select=\"/root\"><{tag}>x</{tag}></xupdate:append>"
                 ),
-                1 => format!(
-                    "<xupdate:insert-before select=\"/root\"><!-- skip --></xupdate:insert-before>"
-                ),
+                1 => "<xupdate:insert-before select=\"/root\"><!-- skip --></xupdate:insert-before>"
+                    .to_string(),
                 _ => format!("<xupdate:update select=\"/root\">{tag}</xupdate:update>"),
             })
             .collect();

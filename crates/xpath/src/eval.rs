@@ -166,6 +166,7 @@ fn eval_step(input: &[NodeRef], step: &Step, ctx: &Context) -> Result<Vec<NodeRe
     let mut merged: Vec<NodeRef> = Vec::new();
     for item in input {
         let axis_nodes = axis_candidates(ctx.doc, item, step.axis);
+        xic_obs::add(xic_obs::Counter::XpathNodesVisited, axis_nodes.len() as u64);
         let mut tested: Vec<NodeRef> = axis_nodes
             .into_iter()
             .filter(|n| node_test(ctx.doc, n, step.axis, &step.test))

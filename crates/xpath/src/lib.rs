@@ -25,6 +25,8 @@
 //!     other => panic!("{other:?}"),
 //! }
 //! ```
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 4 (XPath engine).
 
 pub mod ast;
 pub mod eval;

@@ -22,6 +22,8 @@
 //! [`normalize`](normalize()) rewrites a denial into disjunction-free normal form (one
 //! denial per disjunct, negation pushed to the leaves) — the form the
 //! relational mapping of Section 4 consumes (see `xic-mapping`).
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 7 (XPathLog front-end).
 
 pub mod ast;
 pub mod normalize;

@@ -156,6 +156,7 @@ fn eval_flwor(
     match clause {
         Clause::For { var, source } => {
             for item in eval(source, doc, env)? {
+                xic_obs::incr(xic_obs::Counter::XqueryBindingsVisited);
                 let env2 = env.bind(var, vec![item]);
                 eval_flwor(clauses, idx + 1, ret, doc, &env2, out)?;
             }
@@ -222,6 +223,7 @@ fn eval_quantified_rec(
         None => eval(source, doc, env)?,
     };
     for item in items {
+        xic_obs::incr(xic_obs::Counter::XqueryBindingsVisited);
         let env2 = env.bind(var, vec![item]);
         let r = eval_quantified_rec(binds, hoisted, idx + 1, satisfies, doc, &env2, some)?;
         if r == some {

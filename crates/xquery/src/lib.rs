@@ -34,6 +34,8 @@
 //! ).unwrap();
 //! assert!(!eval_query_bool(&q, &doc).unwrap()); // only 2 subs: no violation
 //! ```
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 5 (XQuery engine).
 
 pub mod ast;
 pub mod eval;
