@@ -9,6 +9,12 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== differential fuzz smoke =="
+# Bounded campaign: exits nonzero on any oracle discrepancy or if an
+# XUpdate operation kind was never generated. The corpus replay in
+# `cargo test` covers known-regression seeds; this sweeps fresh ones.
+cargo run --release -q -p xic-difftest -- --cases 200 --seed 1 --out /tmp/BENCH_DIFFTEST_CI.json
+
 echo "== rustdoc (-D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

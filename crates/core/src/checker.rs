@@ -297,6 +297,59 @@ impl Checker {
         Ok(None)
     }
 
+    /// Decides whether `stmt` would be accepted under the given strategy
+    /// **without leaving any modification behind** — the hook the
+    /// differential-fuzzing oracles compare strategies through.
+    ///
+    /// * [`Strategy::Optimized`] compiles the statement's pattern on first
+    ///   sight (like [`Checker::try_update`]) and runs the simplified
+    ///   pre-update checks; the document is never touched. Errors when the
+    ///   pattern is not incrementally checkable.
+    /// * [`Strategy::FullWithRollback`] applies the statement, runs the
+    ///   full constraint check in the new state, and **always** rolls
+    ///   back, whatever the verdict. A statement that fails to apply is
+    ///   rolled back from its partial state and reported as a
+    ///   [`CheckerError::Statement`].
+    ///
+    /// Returns `Ok(None)` when the update would be accepted and
+    /// `Ok(Some(v))` when it would be rejected with violation `v`. The
+    /// per-checker [`Stats`] are not affected.
+    pub fn decide_only(
+        &mut self,
+        stmt: &XUpdateDoc,
+        strategy: Strategy,
+    ) -> Result<Option<Violation>, CheckerError> {
+        match strategy {
+            Strategy::Optimized => {
+                let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
+                    .map_err(|e| CheckerError::Statement(e.to_string()))?;
+                let key = pattern_key(&mapped.update);
+                if !self.patterns.contains_key(&key) {
+                    let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
+                    self.patterns.insert(key, compiled);
+                }
+                self.check_optimized(stmt)
+            }
+            Strategy::FullWithRollback => {
+                let applied = {
+                    let _update = xic_obs::phase("update");
+                    let _apply = xic_obs::phase("apply");
+                    apply(&mut self.doc, stmt, &xpath_resolver).map_err(|(e, partial)| {
+                        undo(&mut self.doc, partial);
+                        CheckerError::Statement(e.to_string())
+                    })?
+                };
+                let verdict = self.check_full();
+                {
+                    let _update = xic_obs::phase("update");
+                    let _rollback = xic_obs::phase("rollback");
+                    undo(&mut self.doc, applied);
+                }
+                verdict
+            }
+        }
+    }
+
     /// Applies `stmt` without any integrity check (workload setup).
     pub fn apply_unchecked(&mut self, stmt: &XUpdateDoc) -> Result<(), CheckerError> {
         apply(&mut self.doc, stmt, &xpath_resolver)

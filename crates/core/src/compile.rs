@@ -80,13 +80,37 @@ pub fn compile_pattern(
         translate_denials_with(&simplified, schema, &mapped.node_params)
     };
     match translated {
-        Ok(queries) => CompiledPattern {
-            key,
-            update: mapped.update.clone(),
-            simplified,
-            queries,
-            unsupported: None,
-        },
+        Ok(queries) => {
+            // A template may only address nodes that exist *before* the
+            // update: a `NodePath` parameter bound to a fresh
+            // (hypothetical) node id cannot be rendered as a positional
+            // path. Such residuals need Δ-side evaluation the translator
+            // does not provide, so the pattern falls back to the baseline.
+            let refers_to_fresh = queries.iter().any(|q| {
+                q.params.iter().any(|(name, kind)| {
+                    matches!(kind, xic_translate::ParamKind::NodePath)
+                        && mapped.fresh_params.contains(name)
+                })
+            });
+            if refers_to_fresh {
+                return CompiledPattern {
+                    key,
+                    update: mapped.update.clone(),
+                    simplified,
+                    queries: Vec::new(),
+                    unsupported: Some(
+                        "simplified check references a fresh node id as a path".to_string(),
+                    ),
+                };
+            }
+            CompiledPattern {
+                key,
+                update: mapped.update.clone(),
+                simplified,
+                queries,
+                unsupported: None,
+            }
+        }
         Err(e) => CompiledPattern {
             key,
             update: mapped.update.clone(),

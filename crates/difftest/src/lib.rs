@@ -1,0 +1,466 @@
+//! `xic-difftest` — a seed-deterministic differential-fuzzing subsystem
+//! that checks **optimized ≡ baseline** across the whole update language.
+//!
+//! Every case is a pure function of a single `u64` seed: a schema (the
+//! paper's conference DTD or a freshly generated random one), a DTD-valid
+//! document, a set of XPathLog denial constraints the initial document
+//! satisfies (the paper's standing Σ-consistency assumption), and an
+//! XUpdate statement drawn from generators that cover **all six**
+//! operation kinds — insert-before, insert-after, append, remove, update,
+//! rename — including multi-operation batches.
+//!
+//! Four oracles run per case:
+//!
+//! 1. **Decision equivalence** — the optimized pre-update check
+//!    ([`Checker::try_update`] / [`Strategy::Optimized`]) and the baseline
+//!    (apply + full check + rollback, [`Strategy::FullWithRollback`]) must
+//!    accept/reject/fail identically, and agree with a plain
+//!    apply-then-serialize reference on the final document state.
+//! 2. **Rollback fidelity** — applying a statement and undoing it must
+//!    restore a byte-identical serialization *and* an intact element-name
+//!    index ([`xic_xml::Document::audit_name_index`]), for both complete
+//!    and mid-batch-failed applications.
+//! 3. **DTD-validity preservation** — when an accepted update's post-state
+//!    conforms to the DTD under plain application, the checker's final
+//!    state must validate too.
+//! 4. **XPath/XQuery differential** — random queries from a small
+//!    generated subset are evaluated by the real engine and by the naive
+//!    reference evaluator in [`mod@reference`]; node-sets and `count()` values
+//!    must agree.
+//!
+//! Discrepancies are greedily minimized ([`shrink`]) and reported with a
+//! one-line replay command (`cargo run -p xic-difftest -- --seed N`).
+//! Progress is observable through `xic-obs` counters
+//! (`difftest_case`, `difftest_discrepancy`, `difftest_shrink_step`, and
+//! one `difftest_op_*` counter per operation kind).
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 15 (differential fuzzer).
+
+pub mod gen;
+pub mod reference;
+pub mod shrink;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xic_obs as obs;
+use xic_workload::{
+    conflict_constraint, generate, random_batch, review_load_constraint, workload_constraint,
+    WorkloadConfig,
+};
+use xic_xml::{apply, parse_document, serialize, undo, Dtd, XUpdateDoc, XUpdateOp};
+use xicheck::{xpath_resolver, Checker, CheckerError, Strategy, UpdateOutcome};
+
+/// The paper's combined DTD (publication catalog + review tree), the
+/// schema of "paper"-mode cases.
+pub const PAPER_DTD: &str = "<!ELEMENT collection (dblp, review)>\n\
+    <!ELEMENT dblp (pub)*>\n<!ELEMENT pub (title, aut+)>\n\
+    <!ELEMENT aut (name)>\n<!ELEMENT review (track)+>\n\
+    <!ELEMENT track (name,rev+)>\n<!ELEMENT rev (name, sub+)>\n\
+    <!ELEMENT sub (title, auts+)>\n<!ELEMENT title (#PCDATA)>\n\
+    <!ELEMENT auts (name)>\n<!ELEMENT name (#PCDATA)>";
+
+/// Fuzzing-run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Base seed; case `i` uses seed `seed + i`.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub cases: u64,
+}
+
+/// One fully materialized differential case. Every field is a pure
+/// function of [`Case::seed`], so printing the seed is a complete
+/// reproducer.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The generating seed.
+    pub seed: u64,
+    /// `"paper"` (conference schema + workload corpus) or `"random"`
+    /// (generated DTD + Glushkov-guided document).
+    pub mode: &'static str,
+    /// DTD text.
+    pub dtd: String,
+    /// Serialized initial document (valid against [`Case::dtd`]).
+    pub doc_xml: String,
+    /// `.`-separated XPathLog denials the initial document satisfies.
+    pub constraints: String,
+    /// The statement's operation elements (kept separate so the shrinker
+    /// can drop them one at a time).
+    pub ops: Vec<String>,
+}
+
+impl Case {
+    /// The full `<xupdate:modifications>` statement text.
+    pub fn stmt_text(&self) -> String {
+        format!(
+            "<xupdate:modifications version=\"1.0\" \
+             xmlns:xupdate=\"http://www.xmldb.org/xupdate\">{}</xupdate:modifications>",
+            self.ops.concat()
+        )
+    }
+}
+
+/// A confirmed oracle failure, with its greedily minimized reproducer.
+#[derive(Debug, Clone)]
+pub struct Discrepancy {
+    /// Seed of the failing case.
+    pub seed: u64,
+    /// Which oracle tripped (`"decision"`, `"rollback"`,
+    /// `"dtd-preservation"`, `"xpath-differential"`, `"setup"`,
+    /// `"generator"`).
+    pub oracle: &'static str,
+    /// Human-readable mismatch description from the first failure.
+    pub detail: String,
+    /// The minimized case (same oracle still fails on it).
+    pub minimized: Case,
+}
+
+impl Discrepancy {
+    /// A multi-line report ending in the one-line replay command.
+    pub fn report(&self) -> String {
+        format!(
+            "DISCREPANCY oracle={} seed={} mode={}\n  {}\n  minimized dtd: {}\n  \
+             minimized document: {}\n  constraints: {}\n  minimized statement: {}\n  \
+             replay: cargo run -p xic-difftest -- --seed {} --cases 1",
+            self.oracle,
+            self.seed,
+            self.minimized.mode,
+            self.detail,
+            self.minimized.dtd.replace('\n', " "),
+            self.minimized.doc_xml,
+            self.minimized.constraints,
+            self.minimized.stmt_text(),
+            self.seed,
+        )
+    }
+}
+
+/// Outcome of a fuzzing run.
+#[derive(Debug)]
+pub struct Report {
+    /// The configuration that produced it.
+    pub config: Config,
+    /// All confirmed discrepancies, in seed order.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+/// Materializes the case for `seed`. Roughly half the seeds draw a
+/// paper-schema case (workload corpus, paper constraints, statements from
+/// `xic_workload::random_batch`), the other half a random-schema case
+/// (everything from [`gen`]).
+pub fn generate_case(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if rng.gen_bool(0.5) {
+        paper_case(seed, &mut rng)
+    } else {
+        random_case(seed, &mut rng)
+    }
+}
+
+fn strip_wrapper(stmt: &str) -> String {
+    let open_end = stmt.find('>').expect("wrapper open tag") + 1;
+    let close = stmt.rfind("</xupdate:modifications>").expect("wrapper close tag");
+    stmt[open_end..close].trim().to_string()
+}
+
+fn paper_case(seed: u64, rng: &mut StdRng) -> Case {
+    let config = WorkloadConfig {
+        seed: rng.gen::<u64>(),
+        pubs: 4 + rng.gen_range(0..8),
+        tracks: 1 + rng.gen_range(0..2),
+        revs_per_track: 1 + rng.gen_range(0..3),
+        subs_per_rev: 1 + rng.gen_range(0..3),
+        name_pool: 12,
+    };
+    let w = generate(config);
+    let constraint = match rng.gen_range(0..3) {
+        0 => conflict_constraint().to_string(),
+        1 => review_load_constraint(config.subs_per_rev + rng.gen_range(0..2)),
+        _ => workload_constraint(2, config.subs_per_rev * config.tracks + 1),
+    };
+    // The paper assumes the database is Σ-consistent before any update;
+    // keep only a constraint the generated corpus actually satisfies.
+    let consistent = Checker::new(&w.xml, PAPER_DTD, &constraint)
+        .map(|c| matches!(c.check_full(), Ok(None)))
+        .unwrap_or(false);
+    let constraints = if consistent {
+        constraint
+    } else {
+        conflict_constraint().to_string()
+    };
+    let nops = 1 + rng.gen_range(0..3);
+    let ops = (0..nops)
+        .map(|_| strip_wrapper(&random_batch(rng, &w, 1)))
+        .collect();
+    Case {
+        seed,
+        mode: "paper",
+        dtd: PAPER_DTD.to_string(),
+        doc_xml: w.xml,
+        constraints,
+        ops,
+    }
+}
+
+fn random_case(seed: u64, rng: &mut StdRng) -> Case {
+    let schema = gen::random_schema(rng);
+    let doc_xml = gen::random_document(rng, &schema);
+    let constraints = gen::random_constraints(rng, &schema, &doc_xml);
+    let (doc, _) = parse_document(&doc_xml).expect("generated document parses");
+    let ops = gen::random_ops(rng, &schema, &doc);
+    Case {
+        seed,
+        mode: "random",
+        dtd: schema.dtd_text,
+        doc_xml,
+        constraints,
+        ops,
+    }
+}
+
+fn op_counter(op: &XUpdateOp) -> obs::Counter {
+    match op {
+        XUpdateOp::InsertBefore { .. } => obs::Counter::DifftestOpInsertBefore,
+        XUpdateOp::InsertAfter { .. } => obs::Counter::DifftestOpInsertAfter,
+        XUpdateOp::Append { .. } => obs::Counter::DifftestOpAppend,
+        XUpdateOp::Remove { .. } => obs::Counter::DifftestOpRemove,
+        XUpdateOp::Update { .. } => obs::Counter::DifftestOpUpdate,
+        XUpdateOp::Rename { .. } => obs::Counter::DifftestOpRename,
+    }
+}
+
+/// Runs the four oracles against one case. `Err((oracle, detail))` names
+/// the first oracle that tripped. Does not touch the case counters (the
+/// shrinker re-enters this function), except for the per-operation-kind
+/// coverage counters.
+pub fn check_case(case: &Case) -> Result<(), (&'static str, String)> {
+    let gen_err = |what: &str, e: &dyn std::fmt::Display| {
+        ("generator", format!("{what}: {e}"))
+    };
+    let (mut doc, _) =
+        parse_document(&case.doc_xml).map_err(|e| gen_err("document does not parse", &e))?;
+    let dtd = Dtd::parse(&case.dtd).map_err(|e| gen_err("dtd does not parse", &e))?;
+    let stmt = XUpdateDoc::parse(&case.stmt_text())
+        .map_err(|e| gen_err("statement does not parse", &e))?;
+    for op in &stmt.ops {
+        obs::incr(op_counter(op));
+    }
+    let original = serialize(&doc);
+
+    // Oracle 4: XPath/XQuery vs the naive reference evaluator (pre-state).
+    reference::differential(case.seed, &dtd, &doc).map_err(|d| ("xpath-differential", d))?;
+
+    // Oracle 2: rollback fidelity of plain apply + undo — and, along the
+    // way, the plain-application post-state the decision oracle compares
+    // final documents against.
+    let (post_xml, post_conforming) = match apply(&mut doc, &stmt, &xpath_resolver) {
+        Ok(applied) => {
+            let post = serialize(&doc);
+            let conforming = dtd.validate(&doc).is_ok();
+            undo(&mut doc, applied);
+            (Some(post), conforming)
+        }
+        Err((_, partial)) => {
+            undo(&mut doc, partial);
+            (None, false)
+        }
+    };
+    if serialize(&doc) != original {
+        return Err((
+            "rollback",
+            "apply + undo did not restore a byte-identical document".to_string(),
+        ));
+    }
+    doc.audit_name_index()
+        .map_err(|e| ("rollback", format!("name index corrupt after undo: {e}")))?;
+
+    // Oracle 1: decision equivalence. The baseline decides via apply +
+    // full check + rollback; the optimized engine decides however
+    // `try_update` sees fit (simplified pre-check for insertion patterns,
+    // baseline otherwise). They must agree — and the accepted final state
+    // must equal plain application's.
+    let mut base = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| ("setup", format!("baseline checker setup failed: {e}")))?;
+    let baseline = base.decide_only(&stmt, Strategy::FullWithRollback);
+    if serialize(base.doc()) != original {
+        return Err((
+            "rollback",
+            "decide_only(FullWithRollback) left the document modified".to_string(),
+        ));
+    }
+    let mut opt = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| ("setup", format!("optimized checker setup failed: {e}")))?;
+    let outcome = opt.try_update(&stmt);
+    match (&baseline, &outcome) {
+        (Err(CheckerError::Statement(_)), Err(CheckerError::Statement(_))) => {
+            // Both report the statement unapplicable; the plain reference
+            // must have failed to apply too.
+            if post_xml.is_some() {
+                return Err((
+                    "decision",
+                    "both strategies error on a statement plain apply accepts".to_string(),
+                ));
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            return Err((
+                "decision",
+                format!(
+                    "strategy disagreement on failure: baseline {:?}, optimized {:?} ({e})",
+                    baseline.as_ref().map(|v| v.is_none()).map_err(|e| e.to_string()),
+                    outcome.as_ref().map(|o| o.applied()).map_err(|e| e.to_string()),
+                ),
+            ));
+        }
+        (Ok(verdict), Ok(out)) => {
+            let accepted = verdict.is_none();
+            if accepted != out.applied() {
+                let violation = match (verdict, out) {
+                    (Some(v), _) => format!("baseline: {}", v.denial),
+                    (None, UpdateOutcome::Rejected { violation, .. }) => {
+                        format!("optimized: {} via {}", violation.denial, violation.query)
+                    }
+                    (None, _) => "-".to_string(),
+                };
+                return Err((
+                    "decision",
+                    format!(
+                        "baseline {} but optimized {} ({violation})",
+                        if accepted { "accepts" } else { "rejects" },
+                        if out.applied() { "applies" } else { "rejects" },
+                    ),
+                ));
+            }
+            let final_xml = serialize(opt.doc());
+            if out.applied() {
+                match &post_xml {
+                    Some(post) if *post == final_xml => {}
+                    Some(_) => {
+                        return Err((
+                            "decision",
+                            "accepted update's final state differs from plain application"
+                                .to_string(),
+                        ));
+                    }
+                    None => {
+                        return Err((
+                            "decision",
+                            "strategies accept a statement plain apply fails on".to_string(),
+                        ));
+                    }
+                }
+                // Oracle 3: DTD-validity preservation.
+                if post_conforming {
+                    dtd.validate(opt.doc()).map_err(|e| {
+                        (
+                            "dtd-preservation",
+                            format!("accepted conforming update left an invalid document: {e}"),
+                        )
+                    })?;
+                }
+            } else if final_xml != original {
+                return Err((
+                    "rollback",
+                    "rejected update left the document modified".to_string(),
+                ));
+            }
+            opt.doc()
+                .audit_name_index()
+                .map_err(|e| ("rollback", format!("checker name index corrupt: {e}")))?;
+
+            // Cross-check the pure optimized decision path where it is
+            // defined (insertion-only statements with an incremental
+            // pattern); `Err` just means the pattern is not incrementally
+            // checkable, which is the documented fallback, not a bug.
+            if stmt.insertions_only() {
+                if let Ok(v) = base.decide_only(&stmt, Strategy::Optimized) {
+                    if v.is_none() != accepted {
+                        return Err((
+                            "decision",
+                            format!(
+                                "decide_only(Optimized) {} but baseline {}",
+                                if v.is_none() { "accepts" } else { "rejects" },
+                                if accepted { "accepts" } else { "rejects" },
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Generates and checks the case for `seed`; `None` means all oracles
+/// passed. Increments the `difftest_case` counter.
+pub fn run_case(seed: u64) -> Option<(&'static str, String)> {
+    obs::incr(obs::Counter::DifftestCase);
+    check_case(&generate_case(seed)).err()
+}
+
+/// Runs `config.cases` seeds starting at `config.seed`, minimizing every
+/// discrepancy found.
+pub fn run(config: Config) -> Report {
+    let _phase = obs::phase("difftest");
+    let mut discrepancies = Vec::new();
+    for i in 0..config.cases {
+        let seed = config.seed.wrapping_add(i);
+        obs::incr(obs::Counter::DifftestCase);
+        let case = generate_case(seed);
+        if let Err((oracle, detail)) = check_case(&case) {
+            obs::incr(obs::Counter::DifftestDiscrepancy);
+            let minimized = shrink::minimize(&case, oracle);
+            discrepancies.push(Discrepancy {
+                seed,
+                oracle,
+                detail,
+                minimized,
+            });
+        }
+    }
+    Report {
+        config,
+        discrepancies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_under_seed() {
+        let a = generate_case(42);
+        let b = generate_case(42);
+        assert_eq!(a.dtd, b.dtd);
+        assert_eq!(a.doc_xml, b.doc_xml);
+        assert_eq!(a.constraints, b.constraints);
+        assert_eq!(a.ops, b.ops);
+        let c = generate_case(43);
+        assert!(a.doc_xml != c.doc_xml || a.ops != c.ops);
+    }
+
+    #[test]
+    fn generated_cases_are_well_formed_and_consistent() {
+        for seed in 0..24 {
+            let case = generate_case(seed);
+            let (doc, _) = parse_document(&case.doc_xml).expect("doc parses");
+            let dtd = Dtd::parse(&case.dtd).expect("dtd parses");
+            dtd.validate(&doc).expect("initial document is DTD-valid");
+            XUpdateDoc::parse(&case.stmt_text()).expect("statement parses");
+            let checker =
+                Checker::new(&case.doc_xml, &case.dtd, &case.constraints).expect("setup");
+            assert!(
+                matches!(checker.check_full(), Ok(None)),
+                "seed {seed}: initial document violates its constraints"
+            );
+        }
+    }
+
+    #[test]
+    fn strip_wrapper_extracts_op() {
+        let stmt = "<xupdate:modifications version=\"1.0\" xmlns:xupdate=\"x\">\
+                    <xupdate:remove select=\"/a\"/></xupdate:modifications>";
+        assert_eq!(strip_wrapper(stmt), "<xupdate:remove select=\"/a\"/>");
+    }
+}

@@ -1,0 +1,179 @@
+//! `difftest` — differential-fuzzing CLI.
+//!
+//! ```text
+//! cargo run --release -p xic-difftest -- --cases 2000 --seed 1
+//! cargo run -p xic-difftest -- --seed 4242        # replay one case
+//! ```
+//!
+//! Exit code 0 means every case passed all four oracles (and, for runs of
+//! ≥ 100 cases, that all six XUpdate operation kinds were exercised);
+//! 1 means discrepancies (each printed with its minimized reproducer and
+//! replay command); 2 means a usage error. A machine-readable summary —
+//! case/discrepancy/shrink counters plus the full `xic-obs` snapshot — is
+//! written as JSON (default `BENCH_DIFFTEST.json`).
+
+use std::process::ExitCode;
+use xic_difftest::{run, Config};
+use xic_obs as obs;
+use xic_obs::json::Value;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    out: String,
+    dump: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cases = 1;
+    let mut seed = 1;
+    let mut out = "BENCH_DIFFTEST.json".to_string();
+    let mut dump = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    // Accept both `--key=value` and `--key value`.
+    let next_value = |i: &mut usize, inline: Option<&str>| -> Result<String, String> {
+        if let Some(v) = inline {
+            return Ok(v.to_string());
+        }
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        let (key, inline) = match arg.split_once('=') {
+            Some((k, v)) => (k.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        match key.as_str() {
+            "--cases" => {
+                cases = next_value(&mut i, inline.as_deref())?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--seed" => {
+                seed = next_value(&mut i, inline.as_deref())?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => {
+                out = next_value(&mut i, inline.as_deref())?;
+            }
+            "--dump" => dump = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        cases,
+        seed,
+        out,
+        dump,
+    })
+}
+
+const OP_COUNTERS: [obs::Counter; 6] = [
+    obs::Counter::DifftestOpInsertBefore,
+    obs::Counter::DifftestOpInsertAfter,
+    obs::Counter::DifftestOpAppend,
+    obs::Counter::DifftestOpRemove,
+    obs::Counter::DifftestOpUpdate,
+    obs::Counter::DifftestOpRename,
+];
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("difftest: {e}");
+            eprintln!("usage: difftest [--cases N] [--seed N] [--out FILE]");
+            return ExitCode::from(2);
+        }
+    };
+    if args.dump {
+        // Print the generated artifacts for `--seed` without running any
+        // oracle — the raw material behind a replayed discrepancy.
+        let case = xic_difftest::generate_case(args.seed);
+        println!(
+            "seed {} mode {}\n-- dtd --\n{}\n-- document --\n{}\n-- constraints --\n{}\n-- statement --\n{}",
+            case.seed,
+            case.mode,
+            case.dtd,
+            case.doc_xml,
+            case.constraints,
+            case.stmt_text()
+        );
+        return ExitCode::SUCCESS;
+    }
+    obs::reset();
+    let report = run(Config {
+        seed: args.seed,
+        cases: args.cases,
+    });
+    let snapshot = obs::snapshot();
+    for d in &report.discrepancies {
+        eprintln!("{}", d.report());
+    }
+    println!(
+        "difftest: {} cases from seed {} — {} discrepancies, {} shrink steps",
+        args.cases,
+        args.seed,
+        report.discrepancies.len(),
+        snapshot.counter(obs::Counter::DifftestShrinkStep),
+    );
+    let mix: Vec<String> = OP_COUNTERS
+        .iter()
+        .map(|&c| format!("{}={}", c.name(), snapshot.counter(c)))
+        .collect();
+    println!("op mix: {}", mix.join(" "));
+
+    let json = Value::Object(vec![
+        ("bench".to_string(), Value::String("difftest".to_string())),
+        ("seed".to_string(), Value::Number(args.seed as f64)),
+        ("cases".to_string(), Value::Number(args.cases as f64)),
+        (
+            "discrepancies".to_string(),
+            Value::Number(report.discrepancies.len() as f64),
+        ),
+        (
+            "failing_seeds".to_string(),
+            Value::Array(
+                report
+                    .discrepancies
+                    .iter()
+                    .map(|d| Value::Number(d.seed as f64))
+                    .collect(),
+            ),
+        ),
+        ("obs".to_string(), snapshot.to_json_value()),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, json.render_pretty(2) + "\n") {
+        eprintln!("difftest: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", args.out);
+
+    if !report.discrepancies.is_empty() {
+        return ExitCode::from(1);
+    }
+    // Coverage gate: a run long enough to be statistically meaningful must
+    // have exercised every operation kind.
+    if args.cases >= 100 {
+        let missing: Vec<&str> = OP_COUNTERS
+            .iter()
+            .filter(|&&c| snapshot.counter(c) == 0)
+            .map(|&c| c.name())
+            .collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "difftest: operation kinds never generated in {} cases: {}",
+                args.cases,
+                missing.join(", ")
+            );
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,234 @@
+//! A naive reference evaluator for a small XPath subset, plus the query
+//! generator that drives the XPath/XQuery differential oracle.
+//!
+//! The subset — absolute child/descendant name steps, positional
+//! predicates on child steps, and a trailing `text()` — is evaluated here
+//! by brute-force tree walking (sets are re-sorted into document order
+//! after every step), and independently by the real `xic-xpath` engine
+//! and, for cardinalities, by `xic-xquery`'s `count()`. Any disagreement
+//! is an engine bug by construction: the two implementations share no
+//! code beyond the document arena.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use xic_xml::{Document, Dtd, NodeId, NodeKind};
+use xic_xpath::{evaluate_nodes, parse, Context, NodeRef};
+use xic_xquery::{eval_query_bool, parse_query};
+
+/// One step of a reference query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefStep {
+    /// `/name` or `/name[k]` (1-based position among same-name children of
+    /// each context node).
+    Child(String, Option<usize>),
+    /// `//name` — all element descendants named `name`.
+    Desc(String),
+    /// `/text()` — child text nodes.
+    Text,
+}
+
+/// An absolute reference query (steps applied from the document node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefQuery {
+    /// The steps, outermost first.
+    pub steps: Vec<RefStep>,
+}
+
+impl std::fmt::Display for RefQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for step in &self.steps {
+            match step {
+                RefStep::Child(name, None) => write!(f, "/{name}")?,
+                RefStep::Child(name, Some(k)) => write!(f, "/{name}[{k}]")?,
+                RefStep::Desc(name) => write!(f, "//{name}")?,
+                RefStep::Text => write!(f, "/text()")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates `q` by brute force; returns matching nodes in document order.
+pub fn eval_reference(doc: &Document, q: &RefQuery) -> Vec<NodeId> {
+    let mut cur = vec![doc.document_node()];
+    for step in &q.steps {
+        let mut next: Vec<NodeId> = Vec::new();
+        match step {
+            RefStep::Child(name, pos) => {
+                for &n in &cur {
+                    let kids: Vec<NodeId> = doc
+                        .node(n)
+                        .children
+                        .iter()
+                        .copied()
+                        .filter(|&c| doc.name(c) == Some(name.as_str()))
+                        .collect();
+                    match pos {
+                        Some(k) => next.extend(kids.get(*k - 1).copied()),
+                        None => next.extend(kids),
+                    }
+                }
+            }
+            RefStep::Desc(name) => {
+                for &n in &cur {
+                    next.extend(
+                        doc.descendants(n)
+                            .into_iter()
+                            .filter(|&c| doc.name(c) == Some(name.as_str())),
+                    );
+                }
+            }
+            RefStep::Text => {
+                for &n in &cur {
+                    next.extend(
+                        doc.node(n)
+                            .children
+                            .iter()
+                            .copied()
+                            .filter(|&c| matches!(doc.node(c).kind, NodeKind::Text(_))),
+                    );
+                }
+            }
+        }
+        // Nested descendant contexts can produce out-of-order duplicates.
+        doc.sort_document_order(&mut next);
+        next.dedup();
+        cur = next;
+    }
+    cur
+}
+
+/// Draws a random query over the schema's element names. The first step
+/// anchors at the root element or at an arbitrary descendant name; later
+/// steps descend by name, occasionally with a positional predicate or a
+/// `//` hop; a trailing `text()` appears some of the time.
+pub fn random_query(rng: &mut StdRng, names: &[&str]) -> RefQuery {
+    let mut steps = Vec::new();
+    let pick = |rng: &mut StdRng| names[rng.gen_range(0..names.len())].to_string();
+    if rng.gen_bool(0.5) {
+        // Anchor on the root element name (names[0] by convention).
+        steps.push(RefStep::Child(names[0].to_string(), None));
+    } else {
+        steps.push(RefStep::Desc(pick(rng)));
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        if rng.gen_bool(0.25) {
+            steps.push(RefStep::Desc(pick(rng)));
+        } else {
+            let pos = if rng.gen_bool(0.3) {
+                Some(1 + rng.gen_range(0..2))
+            } else {
+                None
+            };
+            steps.push(RefStep::Child(pick(rng), pos));
+        }
+    }
+    if rng.gen_bool(0.3) {
+        steps.push(RefStep::Text);
+    }
+    RefQuery { steps }
+}
+
+/// The differential oracle: draws 6 queries (deterministically from
+/// `seed`), evaluates each with the engine and the reference, and
+/// cross-checks the cardinality through `xic-xquery`'s `count()`.
+pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let names: Vec<&str> = dtd.elements().iter().map(|e| e.name.as_str()).collect();
+    if names.is_empty() {
+        return Ok(());
+    }
+    for _ in 0..6 {
+        let q = random_query(&mut rng, &names);
+        let text = q.to_string();
+        let expected = eval_reference(doc, &q);
+        let expr =
+            parse(&text).map_err(|e| format!("engine failed to parse query {text}: {e}"))?;
+        let got = evaluate_nodes(&expr, &Context::root(doc))
+            .map_err(|e| format!("engine failed to evaluate {text}: {e}"))?;
+        let mut got_ids = Vec::with_capacity(got.len());
+        for r in got {
+            match r {
+                NodeRef::Node(id) => got_ids.push(id),
+                NodeRef::Attr { .. } => {
+                    return Err(format!("query {text}: engine returned an attribute node"))
+                }
+            }
+        }
+        if got_ids != expected {
+            let mut detail = String::new();
+            let _ = write!(
+                detail,
+                "query {text}: engine {:?} vs reference {:?}",
+                got_ids, expected
+            );
+            return Err(detail);
+        }
+        let count_q = format!("count({text}) = {}", expected.len());
+        let parsed = parse_query(&count_q)
+            .map_err(|e| format!("xquery failed to parse {count_q}: {e}"))?;
+        let agree = eval_query_bool(&parsed, doc)
+            .map_err(|e| format!("xquery failed to evaluate {count_q}: {e}"))?;
+        if !agree {
+            return Err(format!(
+                "xquery count({text}) disagrees with reference cardinality {}",
+                expected.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_xml::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<r><a><b>one</b><b>two</b></a><a><b>three</b></a><c><a><b>four</b></a></c></r>",
+        )
+        .expect("parses")
+        .0
+    }
+
+    #[test]
+    fn reference_child_and_positional() {
+        let d = doc();
+        let q = RefQuery {
+            steps: vec![
+                RefStep::Child("r".into(), None),
+                RefStep::Child("a".into(), Some(2)),
+                RefStep::Child("b".into(), None),
+            ],
+        };
+        let hits = eval_reference(&d, &q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "three");
+        assert_eq!(q.to_string(), "/r/a[2]/b");
+    }
+
+    #[test]
+    fn reference_descendants_are_in_document_order() {
+        let d = doc();
+        let q = RefQuery {
+            steps: vec![RefStep::Desc("b".into())],
+        };
+        let hits = eval_reference(&d, &q);
+        let texts: Vec<String> = hits.iter().map(|&n| d.text_content(n)).collect();
+        assert_eq!(texts, ["one", "two", "three", "four"]);
+    }
+
+    #[test]
+    fn differential_agrees_on_a_known_document() {
+        let d = doc();
+        let dtd = Dtd::parse(
+            "<!ELEMENT r (a*, c?)>\n<!ELEMENT a (b+)>\n<!ELEMENT c (a)>\n<!ELEMENT b (#PCDATA)>",
+        )
+        .expect("dtd");
+        for seed in 0..40 {
+            differential(seed, &dtd, &d).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

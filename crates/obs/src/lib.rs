@@ -76,10 +76,28 @@ pub enum Counter {
     ClausesSurviving,
     /// Denials pruned by θ-subsumption during `Optimize`.
     DenialsSubsumed,
+    /// Differential-fuzzing cases executed by `xic-difftest`.
+    DifftestCase,
+    /// Oracle discrepancies detected by `xic-difftest`.
+    DifftestDiscrepancy,
+    /// Successful greedy shrink steps taken while minimizing a reproducer.
+    DifftestShrinkStep,
+    /// `insert-before` operations in the generated statement mix.
+    DifftestOpInsertBefore,
+    /// `insert-after` operations in the generated statement mix.
+    DifftestOpInsertAfter,
+    /// `append` operations in the generated statement mix.
+    DifftestOpAppend,
+    /// `remove` operations in the generated statement mix.
+    DifftestOpRemove,
+    /// `update` operations in the generated statement mix.
+    DifftestOpUpdate,
+    /// `rename` operations in the generated statement mix.
+    DifftestOpRename,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 9] = [
+pub const ALL_COUNTERS: [Counter; 18] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -89,6 +107,15 @@ pub const ALL_COUNTERS: [Counter; 9] = [
     Counter::ClausesExpanded,
     Counter::ClausesSurviving,
     Counter::DenialsSubsumed,
+    Counter::DifftestCase,
+    Counter::DifftestDiscrepancy,
+    Counter::DifftestShrinkStep,
+    Counter::DifftestOpInsertBefore,
+    Counter::DifftestOpInsertAfter,
+    Counter::DifftestOpAppend,
+    Counter::DifftestOpRemove,
+    Counter::DifftestOpUpdate,
+    Counter::DifftestOpRename,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -106,6 +133,15 @@ impl Counter {
             Counter::ClausesExpanded => "clauses_expanded",
             Counter::ClausesSurviving => "clauses_surviving",
             Counter::DenialsSubsumed => "denials_subsumed",
+            Counter::DifftestCase => "difftest_case",
+            Counter::DifftestDiscrepancy => "difftest_discrepancy",
+            Counter::DifftestShrinkStep => "difftest_shrink_step",
+            Counter::DifftestOpInsertBefore => "difftest_op_insert_before",
+            Counter::DifftestOpInsertAfter => "difftest_op_insert_after",
+            Counter::DifftestOpAppend => "difftest_op_append",
+            Counter::DifftestOpRemove => "difftest_op_remove",
+            Counter::DifftestOpUpdate => "difftest_op_update",
+            Counter::DifftestOpRename => "difftest_op_rename",
         }
     }
 

@@ -275,7 +275,16 @@ impl Tr<'_> {
         }
         // Node expression for this atom.
         let self_expr = match &a.args[0] {
-            Term::Param(p) => self.param(p, ParamKind::NodePath),
+            Term::Param(p) => {
+                let ph = self.param(p, ParamKind::NodePath);
+                // A variable id gets its name test from the `//pred` (or
+                // `$parent/pred`) binding source; a parameter id is pure
+                // navigation, so the membership `pred(%{p}, …)` must be
+                // asserted explicitly or the residual check fires on nodes
+                // of the wrong element kind.
+                self.conds.push(format!("exists({ph}/self::{})", a.pred));
+                ph
+            }
             Term::Var(v) => {
                 let var = format!("${v}");
                 let (source, deferred_parent) = self.atom_source(a)?;
@@ -911,7 +920,12 @@ mod tests {
         // Simp output of Example 6: `<- rev($ir,_,_,$n)` and the coauthor
         // variant.
         let t1 = tr("<- rev($ir,_,_,$n)");
-        assert_eq!(t1.text, "%{ir}/name/text() = %{n}");
+        // The membership guard keeps the residual from firing when the
+        // bound node is not actually a `rev` element.
+        assert_eq!(
+            t1.text,
+            "exists(%{ir}/self::rev) and %{ir}/name/text() = %{n}"
+        );
         assert_eq!(t1.params["ir"], ParamKind::NodePath);
         assert_eq!(t1.params["n"], ParamKind::Value);
 

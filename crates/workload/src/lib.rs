@@ -188,6 +188,91 @@ pub fn illegal_insert(track: usize, rev: usize, reviewer_name: &str) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// Random statement generation (all six XUpdate operation kinds)
+// ---------------------------------------------------------------------
+
+/// Draws a single random XUpdate statement (a 1–3 operation batch) over
+/// the workload's review tree. The mix covers **all six** `XUpdateOp`
+/// kinds — insert-before, insert-after, append, remove, update, rename —
+/// so differential tests exercise the baseline (apply + full check +
+/// rollback) paths as well as the optimized insertion path. Deterministic
+/// under the caller's RNG.
+pub fn random_statement(rng: &mut StdRng, w: &Workload) -> String {
+    let ops = 1 + rng.gen_range(0..3);
+    random_batch(rng, w, ops)
+}
+
+/// A random `<xupdate:modifications>` batch of exactly `ops` operations.
+///
+/// Selects use positional paths the [`WorkloadConfig`] guarantees to
+/// exist in the *initial* document; within a multi-op batch, an earlier
+/// `remove` can invalidate a later select, which deliberately exercises
+/// the partial-failure rollback path (§7).
+pub fn random_batch(rng: &mut StdRng, w: &Workload, ops: usize) -> String {
+    let body: String = (0..ops).map(|_| random_op(rng, w)).collect();
+    format!(
+        "<xupdate:modifications version=\"1.0\" \
+         xmlns:xupdate=\"http://www.xmldb.org/xupdate\">{body}</xupdate:modifications>"
+    )
+}
+
+/// Picks a submission author: the reviewer (guaranteed conflict), a fresh
+/// newcomer (guaranteed legal for the conflict constraint), or a pool
+/// member (maybe a coauthor — the interesting join case).
+fn random_author(rng: &mut StdRng, w: &Workload, track: usize, rev: usize) -> String {
+    match rng.gen_range(0..4) {
+        0 => w.reviewers[track][rev].clone(),
+        1 => format!("newcomer{:05}", rng.gen_range(0..100)),
+        _ => name(skewed(rng, w.config.name_pool)),
+    }
+}
+
+fn random_op(rng: &mut StdRng, w: &Workload) -> String {
+    let t = rng.gen_range(0..w.config.tracks);
+    let r = rng.gen_range(0..w.config.revs_per_track);
+    let s = rng.gen_range(0..w.config.subs_per_rev);
+    let rev_sel = format!("/collection/review/track[{}]/rev[{}]", t + 1, r + 1);
+    let sub_sel = format!("{rev_sel}/sub[{}]", s + 1);
+    let author = random_author(rng, w, t, r);
+    let serial = rng.gen_range(0..1000);
+    let sub = format!(
+        "<sub><title>Generated {serial}</title><auts><name>{author}</name></auts></sub>"
+    );
+    match rng.gen_range(0..6) {
+        0 => format!("<xupdate:append select=\"{rev_sel}\">{sub}</xupdate:append>"),
+        1 => format!(
+            "<xupdate:insert-before select=\"{sub_sel}\">{sub}</xupdate:insert-before>"
+        ),
+        2 => format!(
+            "<xupdate:insert-after select=\"{sub_sel}\">{sub}</xupdate:insert-after>"
+        ),
+        3 => {
+            // Remove a whole submission, or just one of its author slots.
+            if rng.gen_bool(0.5) {
+                format!("<xupdate:remove select=\"{sub_sel}\"/>")
+            } else {
+                format!("<xupdate:remove select=\"{sub_sel}/auts[1]\"/>")
+            }
+        }
+        4 => {
+            // Rewriting an author (or reviewer) name can *create* a
+            // conflict in place — the mutation class only the baseline
+            // strategy handles.
+            let (sel, text) = match rng.gen_range(0..3) {
+                0 => (format!("{sub_sel}/auts[1]/name"), author),
+                1 => (format!("{sub_sel}/title"), format!("Retitled {serial}")),
+                _ => (format!("{rev_sel}/name"), author),
+            };
+            format!("<xupdate:update select=\"{sel}\">{text}</xupdate:update>")
+        }
+        _ => {
+            let new_name = if rng.gen_bool(0.5) { "title" } else { "heading" };
+            format!("<xupdate:rename select=\"{sub_sel}/title\">{new_name}</xupdate:rename>")
+        }
+    }
+}
+
 /// The paper's two running constraints in XPathLog, thresholds
 /// parameterized so the workload can sit just under them.
 pub fn conflict_constraint() -> &'static str {
@@ -283,6 +368,47 @@ mod tests {
         let ill = illegal_insert(1, 2, "author00001");
         let stmt2 = xic_xml::XUpdateDoc::parse(&ill).unwrap();
         assert!(stmt2.insertions_only());
+    }
+
+    #[test]
+    fn random_statements_parse_and_cover_all_op_kinds() {
+        use xic_xml::XUpdateOp;
+        let w = generate(WorkloadConfig::sized_kib(8, 11));
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut seen = [false; 6];
+        for _ in 0..300 {
+            let text = random_statement(&mut rng, &w);
+            let stmt = xic_xml::XUpdateDoc::parse(&text).unwrap_or_else(|e| {
+                panic!("generated statement must parse: {e}\n{text}")
+            });
+            assert!(!stmt.ops.is_empty() && stmt.ops.len() <= 3);
+            for op in &stmt.ops {
+                let k = match op {
+                    XUpdateOp::InsertBefore { .. } => 0,
+                    XUpdateOp::InsertAfter { .. } => 1,
+                    XUpdateOp::Append { .. } => 2,
+                    XUpdateOp::Remove { .. } => 3,
+                    XUpdateOp::Update { .. } => 4,
+                    XUpdateOp::Rename { .. } => 5,
+                };
+                seen[k] = true;
+            }
+        }
+        assert_eq!(seen, [true; 6], "all six op kinds must appear in the mix");
+    }
+
+    #[test]
+    fn random_statements_deterministic_under_seed() {
+        let w = generate(WorkloadConfig::sized_kib(8, 11));
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| random_statement(&mut rng, &w)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| random_statement(&mut rng, &w)).collect()
+        };
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod xupdate;
 
 pub use dtd::{ContentModel, Dtd, ElementDecl, ValidationError};
 pub use parse::{parse_document, XmlError};
-pub use serialize::{serialize, serialize_node};
+pub use serialize::{serialize, serialize_equal, serialize_node};
 pub use tree::{Document, Node, NodeId, NodeKind};
 pub use xupdate::{apply, undo, AppliedUpdate, SelectResolver, XUpdateDoc, XUpdateOp};

@@ -13,6 +13,13 @@ pub fn serialize(doc: &Document) -> String {
     out
 }
 
+/// True if the two documents serialize to byte-identical XML text — the
+/// document-equality relation the differential oracles use (node ids and
+/// detached arena slots are deliberately ignored).
+pub fn serialize_equal(a: &Document, b: &Document) -> bool {
+    serialize(a) == serialize(b)
+}
+
 /// Serializes a single node (and its subtree).
 pub fn serialize_node(doc: &Document, id: NodeId) -> String {
     let mut out = String::new();

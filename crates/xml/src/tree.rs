@@ -355,6 +355,47 @@ impl Document {
         }
     }
 
+    /// Audits the element-name index against a full scan of the attached
+    /// tree: every attached element must be indexed exactly once under its
+    /// current name, and the index must hold nothing else. A trivially
+    /// `Ok` no-op when the index is disabled.
+    ///
+    /// This is the invariant the rollback-fidelity oracle of
+    /// `xic-difftest` checks after every apply/undo round trip — an update
+    /// path that forgets to (un)index a subtree corrupts `//tag` query
+    /// results long before it corrupts the serialized tree.
+    pub fn audit_name_index(&self) -> Result<(), String> {
+        if !self.index_enabled {
+            return Ok(());
+        }
+        let mut expected: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        let mut stack = vec![self.document_node()];
+        while let Some(n) = stack.pop() {
+            if let NodeKind::Element { name, .. } = &self.node(n).kind {
+                expected.entry(name.as_str()).or_default().push(n);
+            }
+            stack.extend(self.node(n).children.iter().copied());
+        }
+        for (name, want) in &mut expected {
+            let mut got = self.name_index.get(*name).cloned().unwrap_or_default();
+            got.sort();
+            want.sort();
+            if &got != want {
+                return Err(format!(
+                    "name index for {name:?} holds {got:?}, attached tree has {want:?}"
+                ));
+            }
+        }
+        for (name, ids) in &self.name_index {
+            if !ids.is_empty() && !expected.contains_key(name.as_str()) {
+                return Err(format!(
+                    "name index has stale entries {ids:?} under {name:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The concatenated text content of the subtree rooted at `id` (the
     /// XPath `string()` value of an element).
     pub fn text_content(&self, id: NodeId) -> String {
@@ -463,6 +504,9 @@ impl Document {
     /// representation Section 6 uses to instantiate node-id parameters in
     /// translated XQuery.
     pub fn positional_path(&self, id: NodeId) -> Option<String> {
+        if id.index() >= self.nodes.len() {
+            return None;
+        }
         let mut segments = Vec::new();
         let mut cur = id;
         loop {

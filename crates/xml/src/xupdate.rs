@@ -632,6 +632,60 @@ mod tests {
     }
 
     #[test]
+    fn partial_failure_mid_batch_restores_pre_batch_state() {
+        // The §7 rollback path beyond single ops: when op k of n fails,
+        // the preceding k-1 ops (of every kind) have already mutated the
+        // document, and undoing the partial record must restore the exact
+        // pre-batch serialization and name index.
+        let (mut doc, _) = parse_document(
+            "<r><a>old</a><b><x/></b><c/><d>keep</d></r>",
+        )
+        .unwrap();
+        let before = serialize(&doc);
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:update select="/r/a">new</xupdate:update>
+                 <xupdate:rename select="/r/c">cc</xupdate:rename>
+                 <xupdate:insert-before select="/r/b"><p>inserted</p></xupdate:insert-before>
+                 <xupdate:remove select="/r/b"/>
+                 <xupdate:append select="/r/missing"><q/></xupdate:append>
+                 <xupdate:update select="/r/d">never reached</xupdate:update>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let (err, partial) = apply(&mut doc, &u, &resolver).unwrap_err();
+        assert!(
+            err.0.contains("matched no nodes") || err.0.contains("no missing"),
+            "{err}"
+        );
+        // Ops 1-4 really did run before op 5 failed.
+        assert!(serialize(&doc).contains("inserted"));
+        assert!(!serialize(&doc).contains("never reached"));
+        undo(&mut doc, partial);
+        assert_eq!(serialize(&doc), before, "partial undo must restore");
+        doc.audit_name_index().expect("index intact after partial undo");
+    }
+
+    #[test]
+    fn full_batch_undo_restores_index_and_text() {
+        let (mut doc, _) = parse_document("<r><a>old</a><b/><c/></r>").unwrap();
+        let before = serialize(&doc);
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:rename select="/r/b">bb</xupdate:rename>
+                 <xupdate:remove select="/r/c"/>
+                 <xupdate:insert-after select="/r/a"><n>t</n></xupdate:insert-after>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let applied = apply(&mut doc, &u, &resolver).unwrap();
+        doc.audit_name_index().expect("index intact after batch");
+        undo(&mut doc, applied);
+        assert_eq!(serialize(&doc), before);
+        doc.audit_name_index().expect("index intact after undo");
+    }
+
+    #[test]
     fn malformed_statements_rejected() {
         assert!(XUpdateDoc::parse("<not-xupdate/>").is_err());
         assert!(XUpdateDoc::parse(

@@ -4,9 +4,11 @@
 //! decision and leave equivalent documents behind.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use xic_workload::{generate, WorkloadConfig};
-use xic_xml::{serialize, XUpdateDoc};
-use xicheck::Checker;
+use xic_xml::{serialize, XUpdateDoc, XUpdateOp};
+use xicheck::{Checker, CheckerError, Strategy};
 
 const DTD: &str = "<!ELEMENT collection (dblp, review)>\n<!ELEMENT dblp (pub)*>\n\
     <!ELEMENT pub (title, aut+)>\n<!ELEMENT aut (name)>\n\
@@ -42,6 +44,92 @@ fn submission_stmt(track: usize, rev: usize, authors: &[String]) -> String {
         track + 1,
         rev + 1
     )
+}
+
+fn op_kind(op: &XUpdateOp) -> &'static str {
+    match op {
+        XUpdateOp::InsertBefore { .. } => "insert-before",
+        XUpdateOp::InsertAfter { .. } => "insert-after",
+        XUpdateOp::Append { .. } => "append",
+        XUpdateOp::Remove { .. } => "remove",
+        XUpdateOp::Update { .. } => "update",
+        XUpdateOp::Rename { .. } => "rename",
+    }
+}
+
+/// The whole update language, not just insertions: statements drawn from
+/// the workload's random generator (all six operation kinds, including
+/// multi-op batches) must get the same verdict from `try_update` — which
+/// picks the optimized path when it can and the baseline otherwise — as
+/// from the explicit baseline `decide_only(FullWithRollback)`, with
+/// agreement extending to statement errors and final document states.
+#[test]
+fn all_op_kinds_agree_with_rollback_decision() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let w = generate(WorkloadConfig::sized_kib(8, 7));
+    let constraint = xic_workload::conflict_constraint();
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for i in 0..120 {
+        let stmt_text = if i % 4 == 0 {
+            xic_workload::random_batch(&mut rng, &w, 2)
+        } else {
+            xic_workload::random_statement(&mut rng, &w)
+        };
+        let stmt = XUpdateDoc::parse(&stmt_text).unwrap();
+        for op in &stmt.ops {
+            kinds_seen.insert(op_kind(op));
+        }
+
+        let mut opt = Checker::new(&w.xml, DTD, constraint).unwrap();
+        let mut base = Checker::new(&w.xml, DTD, constraint).unwrap();
+        let decision = base.decide_only(&stmt, Strategy::FullWithRollback);
+        assert_eq!(
+            serialize(base.doc()),
+            w.xml,
+            "decide_only must leave the document untouched (case {i})"
+        );
+        let outcome = opt.try_update(&stmt);
+        match (&decision, &outcome) {
+            (Err(CheckerError::Statement(_)), Err(CheckerError::Statement(_))) => {
+                assert_eq!(
+                    serialize(opt.doc()),
+                    w.xml,
+                    "failed statement must be rolled back (case {i}: {stmt_text})"
+                );
+            }
+            (Ok(verdict), Ok(out)) => {
+                assert_eq!(
+                    verdict.is_none(),
+                    out.applied(),
+                    "strategies disagree (case {i}: {stmt_text})"
+                );
+                if out.applied() {
+                    // The accepted final state must equal plain application.
+                    let (mut plain, _) = xic_xml::parse_document(&w.xml).unwrap();
+                    xic_xml::apply(&mut plain, &stmt, &xicheck::xpath_resolver)
+                        .map_err(|(e, _)| e)
+                        .expect("accepted statement applies plainly");
+                    assert_eq!(
+                        serialize(opt.doc()),
+                        serialize(&plain),
+                        "final state diverges from plain application (case {i})"
+                    );
+                } else {
+                    assert_eq!(
+                        serialize(opt.doc()),
+                        w.xml,
+                        "rejected statement must leave the document untouched (case {i})"
+                    );
+                }
+            }
+            (d, o) => panic!("divergent failure modes (case {i}: {stmt_text}): {d:?} vs {o:?}"),
+        }
+    }
+    assert_eq!(
+        kinds_seen.len(),
+        6,
+        "all six operation kinds must occur; saw {kinds_seen:?}"
+    );
 }
 
 proptest! {
