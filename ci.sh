@@ -15,6 +15,22 @@ echo "== differential fuzz smoke =="
 # `cargo test` covers known-regression seeds; this sweeps fresh ones.
 cargo run --release -q -p xic-difftest -- --cases 200 --seed 1 --out /tmp/BENCH_DIFFTEST_CI.json
 
+echo "== difftest corpus replay =="
+# Every checked-in regression seed replays against the current oracles
+# (tests/corpus.rs covers these in-process too; this exercises the CLI
+# path end to end).
+grep -v '^[[:space:]]*#' crates/difftest/corpus/regressions.txt \
+  | grep -v '^[[:space:]]*$' \
+  | while read -r seed; do
+      cargo run --release -q -p xic-difftest -- \
+        --cases 1 --seed "$seed" --out /tmp/BENCH_DIFFTEST_CORPUS.json
+    done
+
+echo "== bench smoke (order/exists fast paths) =="
+# The criterion harness runs each benchmark a handful of times; this is a
+# does-it-run gate, not a performance assertion.
+cargo bench -q -p xic-bench --bench order_exists
+
 echo "== rustdoc (-D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -1,10 +1,10 @@
 //! Regenerates the paper's evaluation tables on stdout and emits a
-//! machine-readable report (`BENCH_PR1.json`).
+//! machine-readable report (`BENCH_PR3.json`).
 //!
 //! ```text
-//! experiments [fig1a] [fig1b] [illegal] [simp] [all]
+//! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
-//!             [--out=BENCH_PR1.json]
+//!             [--out=BENCH_PR3.json]
 //! ```
 //!
 //! Each figure prints one row per document size with the three curves of
@@ -12,7 +12,10 @@
 //! update + full check + undo (triangles). `illegal` prints the
 //! early-detection comparison (E5); `simp` reports compile-time
 //! simplification latency (the paper's footnote 4: "generated in less
-//! than 50 ms").
+//! than 50 ms"); `exists` compares the short-circuiting existential full
+//! check (sequential and parallel) against the materializing baseline on
+//! a violating state; `ordercache` compares a dedupe-heavy query with and
+//! without the cached document-order ranks.
 //!
 //! Every run also rewrites the JSON report: the sections just measured
 //! replace their previous versions, sections from earlier invocations are
@@ -21,7 +24,9 @@
 //! counters, see `xic-obs`) captured across that figure's measurement.
 
 use std::time::Instant;
-use xic_bench::{instance, measure_illegal, measure_row, Experiment};
+use xic_bench::{
+    instance, measure_exists, measure_illegal, measure_order_cache, measure_row, Experiment,
+};
 use xic_mapping::map_update;
 use xicheck::obs::{self, json};
 use xicheck::{compile_pattern, xpath_resolver};
@@ -39,7 +44,7 @@ fn parse_args() -> Args {
     let mut sizes = vec![32, 64, 128, 256, 512];
     let mut iters = 3;
     let mut seed = 1;
-    let mut out = "BENCH_PR1.json".to_string();
+    let mut out = "BENCH_PR3.json".to_string();
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--sizes=") {
             sizes = v
@@ -57,7 +62,7 @@ fn parse_args() -> Args {
         }
     }
     if what.is_empty() || what.iter().any(|w| w == "all") {
-        what = ["fig1a", "fig1b", "illegal", "simp"]
+        what = ["fig1a", "fig1b", "illegal", "simp", "exists", "ordercache"]
             .iter()
             .map(std::string::ToString::to_string)
             .collect();
@@ -190,6 +195,99 @@ fn simp_latency(args: &Args) -> json::Value {
     ])
 }
 
+fn exists_section(args: &Args) -> json::Value {
+    println!("== Existential short-circuit: check_full vs materialized baseline (PR3) ==");
+    println!(
+        "{:>12} {:>9} {:>10} {:>8} {:>12} {:>13} {:>13}",
+        "experiment", "size/KiB", "exists/ms", "mat/ms", "parallel/ms", "nodes e/m", "binds e/m"
+    );
+    obs::reset();
+    let mut rows = Vec::new();
+    for (exp, name) in [
+        (Experiment::ConflictOfInterests, "conflict"),
+        (Experiment::ConferenceWorkload, "workload"),
+    ] {
+        for &kib in &args.sizes {
+            let r = measure_exists(exp, kib, args.seed, args.iters);
+            println!(
+                "{name:>12} {:>9} {:>10.3} {:>8.2} {:>12.3} {:>6}/{:<6} {:>6}/{:<6}",
+                r.kib,
+                r.exists_ms,
+                r.materialized_ms,
+                r.parallel_ms,
+                r.exists_nodes_visited,
+                r.materialized_nodes_visited,
+                r.exists_bindings_visited,
+                r.materialized_bindings_visited,
+            );
+            rows.push(json::Value::Object(vec![
+                (
+                    "experiment".to_string(),
+                    json::Value::String(name.to_string()),
+                ),
+                ("kib".to_string(), num(r.kib as f64)),
+                ("exists_ms".to_string(), num(r.exists_ms)),
+                ("materialized_ms".to_string(), num(r.materialized_ms)),
+                ("parallel_ms".to_string(), num(r.parallel_ms)),
+                (
+                    "exists_nodes_visited".to_string(),
+                    num(r.exists_nodes_visited as f64),
+                ),
+                (
+                    "materialized_nodes_visited".to_string(),
+                    num(r.materialized_nodes_visited as f64),
+                ),
+                (
+                    "exists_bindings_visited".to_string(),
+                    num(r.exists_bindings_visited as f64),
+                ),
+                (
+                    "materialized_bindings_visited".to_string(),
+                    num(r.materialized_bindings_visited as f64),
+                ),
+            ]));
+        }
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
+fn order_cache_section(args: &Args) -> json::Value {
+    println!("== Document-order rank cache: dedupe-heavy query `//name/..` (PR3) ==");
+    println!(
+        "{:>9} {:>10} {:>12} {:>11} {:>11}",
+        "size/KiB", "cached/ms", "uncached/ms", "fast sorts", "path sorts"
+    );
+    obs::reset();
+    let mut rows = Vec::new();
+    for &kib in &args.sizes {
+        let r = measure_order_cache(kib, args.seed, args.iters);
+        println!(
+            "{:>9} {:>10.3} {:>12.3} {:>11} {:>11}",
+            r.kib, r.cached_ms, r.uncached_ms, r.fast_sorts, r.path_sorts
+        );
+        rows.push(json::Value::Object(vec![
+            ("kib".to_string(), num(r.kib as f64)),
+            ("cached_ms".to_string(), num(r.cached_ms)),
+            ("uncached_ms".to_string(), num(r.uncached_ms)),
+            ("fast_sorts".to_string(), num(r.fast_sorts as f64)),
+            ("path_sorts".to_string(), num(r.path_sorts as f64)),
+        ]));
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
 /// Rewrites `path`, replacing the sections in `fresh` and keeping every
 /// other section from a previous run, so `experiments fig1a` followed by
 /// `experiments fig1b` accumulates both figures in one report.
@@ -251,13 +349,24 @@ fn main() {
             ),
             "illegal" => illegal(&args),
             "simp" => simp_latency(&args),
+            "exists" => exists_section(&args),
+            "ordercache" => order_cache_section(&args),
             other => {
-                eprintln!("unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp)");
+                eprintln!(
+                    "unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp, \
+                     exists, ordercache)"
+                );
                 failed = true;
                 continue;
             }
         };
-        sections.push((w.clone(), section));
+        // Report-facing section names for the PR3 additions.
+        let key = match w.as_str() {
+            "exists" => "exists-short-circuit",
+            "ordercache" => "order-key-cache",
+            other => other,
+        };
+        sections.push((key.to_string(), section));
     }
     if !write_report(&args.out, sections) {
         failed = true;

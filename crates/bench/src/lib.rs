@@ -216,6 +216,124 @@ pub fn measure_illegal(exp: Experiment, kib: usize, seed: u64, iters: usize) -> 
     }
 }
 
+fn counter_value(snap: &xic_obs::Snapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// Existential short-circuiting vs the materializing baseline: one full
+/// check on a *violating* document state (so a witness exists for the
+/// short-circuit to stop at), measured in wall time and engine visit
+/// counters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExistsRow {
+    /// Corpus size in KiB.
+    pub kib: usize,
+    /// `check_full` (existential, sequential) mean time (ms).
+    pub exists_ms: f64,
+    /// `check_full_materialized` mean time (ms).
+    pub materialized_ms: f64,
+    /// `check_full` with the parallel fan-out forced on (ms).
+    pub parallel_ms: f64,
+    /// XPath nodes visited by one existential check.
+    pub exists_nodes_visited: u64,
+    /// XPath nodes visited by one materializing check.
+    pub materialized_nodes_visited: u64,
+    /// XQuery FLWOR bindings visited by one existential check.
+    pub exists_bindings_visited: u64,
+    /// XQuery FLWOR bindings visited by one materializing check.
+    pub materialized_bindings_visited: u64,
+}
+
+/// Measures the exists-short-circuit scenario: the instance's illegal
+/// statement is applied *unchecked*, so the constraint has a witness and
+/// the full check must detect it under both evaluation modes.
+pub fn measure_exists(exp: Experiment, kib: usize, seed: u64, iters: usize) -> ExistsRow {
+    let mut inst = instance(exp, kib, seed);
+    let illegal = inst.illegal.clone();
+    inst.checker.apply_unchecked(&illegal).expect("illegal statement applies");
+
+    inst.checker.set_parallel_full(Some(false));
+    xic_obs::reset();
+    assert!(inst.checker.check_full().expect("check").is_some());
+    let exists_snap = inst.checker.obs_snapshot();
+    xic_obs::reset();
+    assert!(inst.checker.check_full_materialized().expect("check").is_some());
+    let mat_snap = inst.checker.obs_snapshot();
+
+    let exists = time_mean(iters, || {
+        assert!(inst.checker.check_full().expect("check").is_some());
+    });
+    let materialized = time_mean(iters, || {
+        assert!(inst.checker.check_full_materialized().expect("check").is_some());
+    });
+    inst.checker.set_parallel_full(Some(true));
+    let parallel = time_mean(iters, || {
+        assert!(inst.checker.check_full().expect("check").is_some());
+    });
+
+    ExistsRow {
+        kib,
+        exists_ms: exists.as_secs_f64() * 1e3,
+        materialized_ms: materialized.as_secs_f64() * 1e3,
+        parallel_ms: parallel.as_secs_f64() * 1e3,
+        exists_nodes_visited: counter_value(&exists_snap, "xpath_nodes_visited"),
+        materialized_nodes_visited: counter_value(&mat_snap, "xpath_nodes_visited"),
+        exists_bindings_visited: counter_value(&exists_snap, "xquery_bindings_visited"),
+        materialized_bindings_visited: counter_value(&mat_snap, "xquery_bindings_visited"),
+    }
+}
+
+/// Cached document-order ranks vs from-scratch path keys on a
+/// deduplication-heavy query.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderCacheRow {
+    /// Corpus size in KiB.
+    pub kib: usize,
+    /// Query time with the order cache enabled (ms).
+    pub cached_ms: f64,
+    /// Same query on a cache-disabled clone (ms).
+    pub uncached_ms: f64,
+    /// Rank-based sorts taken by one cached evaluation.
+    pub fast_sorts: u64,
+    /// Path-key sorts taken by one uncached evaluation.
+    pub path_sorts: u64,
+}
+
+/// Measures a dedupe-heavy parent-step query (`//name/..` — every hit is
+/// produced once per `name` child, so the sort/dedupe pass dominates)
+/// with and without the document-order rank cache.
+pub fn measure_order_cache(kib: usize, seed: u64, iters: usize) -> OrderCacheRow {
+    let w: Workload = generate(WorkloadConfig::sized_kib(kib, seed));
+    let (doc, _) = xic_xml::parse_document(&w.xml).expect("corpus parses");
+    let mut plain = doc.clone();
+    plain.disable_order_cache();
+    let expr = xic_xpath::parse("//name/..").expect("query parses");
+
+    let run = |d: &xic_xml::Document| {
+        let hits = xic_xpath::evaluate_nodes(&expr, &xic_xpath::Context::root(d)).expect("eval");
+        assert!(!hits.is_empty());
+    };
+    xic_obs::reset();
+    run(&doc);
+    let fast_sorts = counter_value(&xic_obs::snapshot(), "doc_order_fast_sort");
+    xic_obs::reset();
+    run(&plain);
+    let path_sorts = counter_value(&xic_obs::snapshot(), "doc_order_path_sort");
+
+    let cached = time_mean(iters, || run(&doc));
+    let uncached = time_mean(iters, || run(&plain));
+    OrderCacheRow {
+        kib,
+        cached_ms: cached.as_secs_f64() * 1e3,
+        uncached_ms: uncached.as_secs_f64() * 1e3,
+        fast_sorts,
+        path_sorts,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +366,25 @@ mod tests {
         let r = measure_illegal(Experiment::ConferenceWorkload, 8, 2, 1);
         assert!(r.optimized_reject_ms > 0.0);
         assert!(r.baseline_reject_ms > 0.0);
+    }
+
+    #[test]
+    fn exists_rows_short_circuit() {
+        let r = measure_exists(Experiment::ConflictOfInterests, 8, 3, 1);
+        assert!(r.exists_ms > 0.0 && r.materialized_ms > 0.0 && r.parallel_ms > 0.0);
+        assert!(
+            r.exists_nodes_visited <= r.materialized_nodes_visited,
+            "existential mode must not visit more nodes ({} vs {})",
+            r.exists_nodes_visited,
+            r.materialized_nodes_visited,
+        );
+    }
+
+    #[test]
+    fn order_cache_rows_take_the_fast_path() {
+        let r = measure_order_cache(8, 4, 1);
+        assert!(r.cached_ms > 0.0 && r.uncached_ms > 0.0);
+        assert!(r.fast_sorts > 0, "cached run must use rank sorts");
+        assert!(r.path_sorts > 0, "uncached run must fall back to path keys");
     }
 }

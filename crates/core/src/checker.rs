@@ -8,7 +8,11 @@ use xic_datalog::Denial;
 use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
 use xic_translate::{translate_denials, QueryTemplate};
 use xic_xml::{apply, parse_document, undo, Document, Dtd, XUpdateDoc};
-use xic_xquery::{eval_query_bool, parse_query};
+use xic_xquery::{eval_query_bool, eval_query_exists, parse_query, XQuery};
+
+/// Documents below this node count are always checked sequentially: the
+/// per-thread spawn/merge overhead dominates the §7 small-document regime.
+const PARALLEL_FULL_MIN_NODES: usize = 8192;
 
 /// Which strategy handled an update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,8 +126,15 @@ pub struct Checker {
     gamma: Vec<Denial>,
     /// Closed XQuery checks for Γ (the "non-simplified" curve).
     full_queries: Vec<QueryTemplate>,
+    /// `full_queries` pre-parsed at construction (they are closed, so the
+    /// ASTs never change): [`Checker::check_full`] no longer re-parses the
+    /// constraint set on every statement.
+    full_parsed: Vec<XQuery>,
     /// Compiled update patterns, by pattern key.
     patterns: HashMap<String, CompiledPattern>,
+    /// `Some(b)` forces the full check to run parallel (`true`) or
+    /// sequential (`false`); `None` picks by document size and core count.
+    parallel_full: Option<bool>,
     stats: Stats,
 }
 
@@ -155,13 +166,19 @@ impl Checker {
             map_denials(constraints, &schema, &dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
         let full_queries =
             translate_denials(&gamma, &schema).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let full_parsed = full_queries
+            .iter()
+            .map(|q| parse_query(&q.text).map_err(|e| CheckerError::Setup(format!("{}: {e}", q.text))))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Checker {
             doc,
             dtd,
             schema,
             gamma,
             full_queries,
+            full_parsed,
             patterns: HashMap::new(),
+            parallel_full: None,
             stats: Stats::default(),
         })
     }
@@ -241,15 +258,125 @@ impl Checker {
         self.register_pattern(&stmt)
     }
 
+    /// Overrides the parallel-dispatch heuristic of [`Checker::check_full`]:
+    /// `Some(true)` always fans constraints out across threads, `Some(false)`
+    /// always checks sequentially, `None` (the default) decides by document
+    /// size and available cores.
+    pub fn set_parallel_full(&mut self, force: Option<bool>) {
+        self.parallel_full = force;
+    }
+
     /// Runs the full (non-simplified) constraint check against the current
     /// document state. Returns the first violation, if any.
+    ///
+    /// Constraints are evaluated *existentially* — each check stops at the
+    /// first witness binding instead of materializing every violation. With
+    /// more than one constraint, a large document and more than one core,
+    /// the constraints are fanned out over scoped threads (the verdict —
+    /// first violation in constraint order — is identical to the
+    /// sequential pass; see [`Checker::set_parallel_full`]).
     pub fn check_full(&self) -> Result<Option<Violation>, CheckerError> {
         let _check = xic_obs::phase("check");
         let _full = xic_obs::phase("full");
-        for (q, d) in self.full_queries.iter().zip(&self.gamma) {
-            let parsed =
-                parse_query(&q.text).map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
-            let violated = eval_query_bool(&parsed, &self.doc)
+        let parallel = self.parallel_full.unwrap_or_else(|| {
+            self.full_parsed.len() > 1
+                && self.doc.node_count() >= PARALLEL_FULL_MIN_NODES
+                && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+        });
+        if parallel {
+            self.check_full_parallel()
+        } else {
+            self.check_full_seq()
+        }
+    }
+
+    fn check_full_seq(&self) -> Result<Option<Violation>, CheckerError> {
+        for ((q, parsed), d) in self.full_queries.iter().zip(&self.full_parsed).zip(&self.gamma) {
+            let violated = eval_query_exists(parsed, &self.doc)
+                .map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
+            if violated {
+                return Ok(Some(Violation {
+                    denial: d.to_string(),
+                    query: q.text.clone(),
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Fans the constraint set out over scoped threads reading the shared
+    /// `&Document`. Each worker evaluates a contiguous chunk existentially
+    /// and ships its thread-local observability snapshot back; the parent
+    /// merges the snapshots and resolves verdicts at the minimal constraint
+    /// index, so the outcome is bit-identical to [`Checker::check_full_seq`].
+    fn check_full_parallel(&self) -> Result<Option<Violation>, CheckerError> {
+        /// Per-worker result: indexed verdicts for the worker's chunk,
+        /// plus its thread-local observability snapshot.
+        type WorkerResult = (Vec<(usize, Result<bool, String>)>, xic_obs::Snapshot);
+        xic_obs::incr(xic_obs::Counter::CheckFullParallel);
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(self.full_parsed.len())
+            .max(1);
+        let chunk = self.full_parsed.len().div_ceil(workers);
+        let doc = &self.doc;
+        let per_worker: Vec<WorkerResult> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .full_parsed
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, queries)| {
+                        s.spawn(move || {
+                            let verdicts = queries
+                                .iter()
+                                .enumerate()
+                                .map(|(i, q)| {
+                                    let verdict = eval_query_exists(q, doc)
+                                        .map_err(|e| e.to_string());
+                                    (ci * chunk + i, verdict)
+                                })
+                                .collect();
+                            (verdicts, xic_obs::snapshot())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("full-check worker panicked"))
+                    .collect()
+            });
+        let mut verdicts = Vec::with_capacity(self.full_parsed.len());
+        for (vs, snapshot) in per_worker {
+            xic_obs::merge(&snapshot);
+            verdicts.extend(vs);
+        }
+        verdicts.sort_unstable_by_key(|(i, _)| *i);
+        for (i, verdict) in verdicts {
+            match verdict {
+                Err(e) => {
+                    return Err(CheckerError::Query(format!("{}: {e}", self.full_queries[i].text)))
+                }
+                Ok(true) => {
+                    return Ok(Some(Violation {
+                        denial: self.gamma[i].to_string(),
+                        query: self.full_queries[i].text.clone(),
+                    }))
+                }
+                Ok(false) => {}
+            }
+        }
+        Ok(None)
+    }
+
+    /// The pre-PR3 baseline: runs the full constraint check with the
+    /// *materializing* evaluator (every violation witness is enumerated
+    /// before the boolean verdict is taken). Kept for the benchmarks and
+    /// the differential oracles; production paths use [`Checker::check_full`].
+    pub fn check_full_materialized(&self) -> Result<Option<Violation>, CheckerError> {
+        let _check = xic_obs::phase("check");
+        let _full = xic_obs::phase("full_materialized");
+        for ((q, parsed), d) in self.full_queries.iter().zip(&self.full_parsed).zip(&self.gamma) {
+            let violated = eval_query_bool(parsed, &self.doc)
                 .map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
             if violated {
                 return Ok(Some(Violation {
@@ -285,7 +412,7 @@ impl Checker {
                 .map_err(|e| CheckerError::Query(e.to_string()))?;
             let parsed =
                 parse_query(&text).map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-            let violated = eval_query_bool(&parsed, &self.doc)
+            let violated = eval_query_exists(&parsed, &self.doc)
                 .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
             if violated {
                 return Ok(Some(Violation {
@@ -404,7 +531,7 @@ impl Checker {
                             .map_err(|e| CheckerError::Query(e.to_string()))?;
                         let parsed = parse_query(&text)
                             .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-                        if eval_query_bool(&parsed, &self.doc)
+                        if eval_query_exists(&parsed, &self.doc)
                             .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?
                         {
                             violation = Some(Violation {
@@ -606,6 +733,34 @@ mod tests {
             c.check_optimized(&stmt),
             Err(CheckerError::Statement(_))
         ));
+    }
+
+    #[test]
+    fn parallel_full_check_matches_sequential() {
+        // Two constraints; the document is driven into a state violating
+        // only the *second*, so verdict order matters.
+        let constraints = "<- //rev -> R & cnt{R/sub} > 5 . \
+            <- //rev[name/text() -> R]/sub/auts/name/text() -> A & A = R";
+        let mut c = Checker::new(CORPUS, DTD, constraints).unwrap();
+        let stmt = XUpdateDoc::parse(&insert_sub("//rev[name/text() = 'ann']", "ann")).unwrap();
+        c.apply_unchecked(&stmt).unwrap();
+
+        c.set_parallel_full(Some(false));
+        let seq = c.check_full().unwrap().expect("self-review must violate");
+        c.set_parallel_full(Some(true));
+        c.obs_reset();
+        let par = c.check_full().unwrap().expect("self-review must violate");
+        assert_eq!(seq, par, "parallel verdict must match sequential");
+        assert!(par.denial.contains("rev"), "{par}");
+        let snap = c.obs_snapshot();
+        let count = |n: &str| snap.counters.iter().find(|(k, _)| k == n).map_or(0, |(_, v)| *v);
+        assert_eq!(count("check_full_parallel"), 1);
+        // The workers' engine counters were merged back into this thread.
+        assert!(count("xquery_bindings_visited") > 0, "{:?}", snap.counters);
+
+        // And both agree with the materializing baseline.
+        let base = c.check_full_materialized().unwrap().expect("baseline must agree");
+        assert_eq!(base, par);
     }
 
     #[test]

@@ -137,6 +137,58 @@ fn snapshot_round_trips_through_json_with_live_data() {
 }
 
 #[test]
+fn exists_short_circuit_reduces_nodes_visited() {
+    // One overloaded reviewer (3 subs) followed by three compliant ones:
+    // the existential check must stop at the first witness, the
+    // materializing baseline enumerates every reviewer binding.
+    fn sub(t: &str, a: &str) -> String {
+        format!("<sub><title>{t}</title><auts><name>{a}</name></auts></sub>")
+    }
+    let corpus = format!(
+        "<collection><dblp><pub><title>P1</title><aut><name>ann</name></aut></pub></dblp>\
+         <review><track><name>T</name>\
+         <rev><name>r1</name>{}{}{}</rev>\
+         <rev><name>r2</name>{}</rev>\
+         <rev><name>r3</name>{}</rev>\
+         <rev><name>r4</name>{}</rev>\
+         </track></review></collection>",
+        sub("a", "u1"),
+        sub("b", "u2"),
+        sub("c", "u3"),
+        sub("d", "u4"),
+        sub("e", "u5"),
+        sub("f", "u6"),
+    );
+    let mut c = Checker::new(&corpus, DTD, "<- //rev -> R & cnt{R/sub} > 2").unwrap();
+    c.set_parallel_full(Some(false));
+
+    c.obs_reset();
+    assert!(c.check_full().unwrap().is_some(), "r1 is overloaded");
+    let lazy = c.obs_snapshot();
+
+    c.obs_reset();
+    assert!(c.check_full_materialized().unwrap().is_some());
+    let eager = c.obs_snapshot();
+
+    assert!(
+        lazy.counter(Counter::XqueryBindingsVisited)
+            < eager.counter(Counter::XqueryBindingsVisited),
+        "short-circuit must visit fewer reviewer bindings ({} vs {})",
+        lazy.counter(Counter::XqueryBindingsVisited),
+        eager.counter(Counter::XqueryBindingsVisited),
+    );
+    assert!(
+        lazy.counter(Counter::XpathNodesVisited) <= eager.counter(Counter::XpathNodesVisited),
+        "short-circuit must not visit more nodes ({} vs {})",
+        lazy.counter(Counter::XpathNodesVisited),
+        eager.counter(Counter::XpathNodesVisited),
+    );
+    // Both verdicts ran under the check phase, in their own sub-phases.
+    assert!(lazy.phase("check/full").is_some());
+    assert!(eager.phase("check/full_materialized").is_some());
+}
+
+#[test]
 fn name_index_counters_follow_index_toggle() {
     let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
     c.obs_reset();

@@ -462,7 +462,6 @@ fn random_op(rng: &mut StdRng, schema: &Schema, doc: &Document) -> String {
     let mut elems: Vec<NodeId> = vec![root];
     elems.extend(
         doc.descendants(root)
-            .into_iter()
             .filter(|&n| doc.name(n).is_some()),
     );
     let path = |n: NodeId| doc.positional_path(n).expect("attached element");

@@ -9,7 +9,7 @@
 //! operation kinds — insert-before, insert-after, append, remove, update,
 //! rename — including multi-operation batches.
 //!
-//! Four oracles run per case:
+//! Five oracles run per case:
 //!
 //! 1. **Decision equivalence** — the optimized pre-update check
 //!    ([`Checker::try_update`] / [`Strategy::Optimized`]) and the baseline
@@ -25,8 +25,13 @@
 //!    state must validate too.
 //! 4. **XPath/XQuery differential** — random queries from a small
 //!    generated subset are evaluated by the real engine and by the naive
-//!    reference evaluator in [`mod@reference`]; node-sets and `count()` values
-//!    must agree.
+//!    reference evaluator in [`mod@reference`]; node-sets, `count()` values
+//!    and the short-circuiting existential evaluators
+//!    (`evaluate_exists` / `eval_query_exists`) must agree.
+//! 5. **Order-cache coherence** — sorting and deduplicating an adversarial
+//!    node multiset through the cached document-order ranks must agree
+//!    with a from-scratch path-key recomputation, on the pre-state, after
+//!    the statement mutates the tree, and after the compensating undo.
 //!
 //! Discrepancies are greedily minimized ([`shrink`]) and reported with a
 //! one-line replay command (`cargo run -p xic-difftest -- --seed N`).
@@ -47,7 +52,7 @@ use xic_workload::{
     conflict_constraint, generate, random_batch, review_load_constraint, workload_constraint,
     WorkloadConfig,
 };
-use xic_xml::{apply, parse_document, serialize, undo, Dtd, XUpdateDoc, XUpdateOp};
+use xic_xml::{apply, parse_document, serialize, undo, Document, Dtd, NodeId, XUpdateDoc, XUpdateOp};
 use xicheck::{xpath_resolver, Checker, CheckerError, Strategy, UpdateOutcome};
 
 /// The paper's combined DTD (publication catalog + review tree), the
@@ -106,8 +111,8 @@ pub struct Discrepancy {
     /// Seed of the failing case.
     pub seed: u64,
     /// Which oracle tripped (`"decision"`, `"rollback"`,
-    /// `"dtd-preservation"`, `"xpath-differential"`, `"setup"`,
-    /// `"generator"`).
+    /// `"dtd-preservation"`, `"xpath-differential"`, `"order-cache"`,
+    /// `"setup"`, `"generator"`).
     pub oracle: &'static str,
     /// Human-readable mismatch description from the first failure.
     pub detail: String,
@@ -218,6 +223,44 @@ fn random_case(seed: u64, rng: &mut StdRng) -> Case {
     }
 }
 
+/// The order-cache oracle: sorting an adversarial node multiset (reversed
+/// preorder plus duplicates) through the cached-rank fast path must agree
+/// with the from-scratch path-key sort of a cache-disabled clone, and so
+/// must the engine's `dedupe_doc_order`.
+fn order_cache_oracle(doc: &Document) -> Result<(), String> {
+    let mut nodes: Vec<NodeId> = doc.descendants(doc.document_node()).collect();
+    nodes.reverse();
+    let dups: Vec<NodeId> = nodes.iter().copied().step_by(3).collect();
+    nodes.extend(dups);
+
+    let mut plain = doc.clone();
+    plain.disable_order_cache();
+
+    let mut fast = nodes.clone();
+    doc.sort_document_order(&mut fast);
+    let mut slow = nodes.clone();
+    plain.sort_document_order(&mut slow);
+    if fast != slow {
+        return Err(format!(
+            "rank-cached sort disagrees with path-key sort over {} nodes",
+            nodes.len()
+        ));
+    }
+
+    let mut fast_refs: Vec<xic_xpath::NodeRef> =
+        nodes.iter().map(|&n| xic_xpath::NodeRef::Node(n)).collect();
+    let mut slow_refs = fast_refs.clone();
+    xic_xpath::dedupe_doc_order(doc, &mut fast_refs);
+    xic_xpath::dedupe_doc_order(&plain, &mut slow_refs);
+    if fast_refs != slow_refs {
+        return Err(format!(
+            "rank-cached dedupe disagrees with path-key dedupe over {} refs",
+            nodes.len()
+        ));
+    }
+    Ok(())
+}
+
 fn op_counter(op: &XUpdateOp) -> obs::Counter {
     match op {
         XUpdateOp::InsertBefore { .. } => obs::Counter::DifftestOpInsertBefore,
@@ -229,7 +272,7 @@ fn op_counter(op: &XUpdateOp) -> obs::Counter {
     }
 }
 
-/// Runs the four oracles against one case. `Err((oracle, detail))` names
+/// Runs the five oracles against one case. `Err((oracle, detail))` names
 /// the first oracle that tripped. Does not touch the case counters (the
 /// shrinker re-enters this function), except for the per-operation-kind
 /// coverage counters.
@@ -250,6 +293,10 @@ pub fn check_case(case: &Case) -> Result<(), (&'static str, String)> {
     // Oracle 4: XPath/XQuery vs the naive reference evaluator (pre-state).
     reference::differential(case.seed, &dtd, &doc).map_err(|d| ("xpath-differential", d))?;
 
+    // Oracle 5: cached document-order keys vs from-scratch recomputation,
+    // on the pristine pre-state…
+    order_cache_oracle(&doc).map_err(|d| ("order-cache", d))?;
+
     // Oracle 2: rollback fidelity of plain apply + undo — and, along the
     // way, the plain-application post-state the decision oracle compares
     // final documents against.
@@ -257,6 +304,8 @@ pub fn check_case(case: &Case) -> Result<(), (&'static str, String)> {
         Ok(applied) => {
             let post = serialize(&doc);
             let conforming = dtd.validate(&doc).is_ok();
+            // …after the statement mutated the tree (cache invalidation)…
+            order_cache_oracle(&doc).map_err(|d| ("order-cache", d))?;
             undo(&mut doc, applied);
             (Some(post), conforming)
         }
@@ -265,6 +314,8 @@ pub fn check_case(case: &Case) -> Result<(), (&'static str, String)> {
             (None, false)
         }
     };
+    // …and after the compensating undo.
+    order_cache_oracle(&doc).map_err(|d| ("order-cache", d))?;
     if serialize(&doc) != original {
         return Err((
             "rollback",

@@ -13,8 +13,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 use xic_xml::{Document, Dtd, NodeId, NodeKind};
-use xic_xpath::{evaluate_nodes, parse, Context, NodeRef};
-use xic_xquery::{eval_query_bool, parse_query};
+use xic_xpath::{evaluate_exists, evaluate_nodes, parse, Context, NodeRef};
+use xic_xquery::{eval_query_bool, eval_query_exists, parse_query};
 
 /// One step of a reference query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +74,6 @@ pub fn eval_reference(doc: &Document, q: &RefQuery) -> Vec<NodeId> {
                 for &n in &cur {
                     next.extend(
                         doc.descendants(n)
-                            .into_iter()
                             .filter(|&c| doc.name(c) == Some(name.as_str())),
                     );
                 }
@@ -164,6 +163,29 @@ pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> 
                 got_ids, expected
             );
             return Err(detail);
+        }
+        // Existential agreement: the short-circuiting evaluators must
+        // reach the same emptiness verdict as full materialization.
+        let exists = evaluate_exists(&expr, &Context::root(doc))
+            .map_err(|e| format!("engine failed existential evaluation of {text}: {e}"))?;
+        if exists == expected.is_empty() {
+            return Err(format!(
+                "evaluate_exists({text}) = {exists} but reference found {} nodes",
+                expected.len()
+            ));
+        }
+        let exists_q = format!("exists({text})");
+        let parsed_exists = parse_query(&exists_q)
+            .map_err(|e| format!("xquery failed to parse {exists_q}: {e}"))?;
+        let lazy = eval_query_exists(&parsed_exists, doc)
+            .map_err(|e| format!("xquery failed existential evaluation of {exists_q}: {e}"))?;
+        let eager = eval_query_bool(&parsed_exists, doc)
+            .map_err(|e| format!("xquery failed to evaluate {exists_q}: {e}"))?;
+        if lazy != eager || lazy == expected.is_empty() {
+            return Err(format!(
+                "{exists_q}: lazy {lazy}, eager {eager}, reference cardinality {}",
+                expected.len()
+            ));
         }
         let count_q = format!("count({text}) = {}", expected.len());
         let parsed = parse_query(&count_q)

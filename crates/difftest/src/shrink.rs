@@ -46,10 +46,9 @@ pub fn minimize(case: &Case, oracle: &'static str) -> Case {
         // text reproduces identical NodeIds, so indices stay meaningful.
         let mut candidates: Vec<NodeId> = doc
             .descendants(root)
-            .into_iter()
             .filter(|&n| doc.name(n).is_some())
             .collect();
-        candidates.sort_by_key(|&n| std::cmp::Reverse(doc.descendants(n).len()));
+        candidates.sort_by_key(|&n| std::cmp::Reverse(doc.descendants(n).count()));
         for target in candidates {
             attempts += 1;
             if attempts >= MAX_PRUNE_ATTEMPTS {

@@ -94,10 +94,19 @@ pub enum Counter {
     DifftestOpUpdate,
     /// `rename` operations in the generated statement mix.
     DifftestOpRename,
+    /// The document-order rank cache was (re)built from scratch.
+    OrderCacheRebuild,
+    /// A document-order sort/dedup answered from cached preorder ranks.
+    DocOrderFastSort,
+    /// A document-order sort/dedup fell back to path-key recomputation
+    /// (cache disabled, or the set contained detached nodes).
+    DocOrderPathSort,
+    /// `Checker::check_full` fanned constraints out across threads.
+    CheckFullParallel,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 18] = [
+pub const ALL_COUNTERS: [Counter; 22] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -116,6 +125,10 @@ pub const ALL_COUNTERS: [Counter; 18] = [
     Counter::DifftestOpRemove,
     Counter::DifftestOpUpdate,
     Counter::DifftestOpRename,
+    Counter::OrderCacheRebuild,
+    Counter::DocOrderFastSort,
+    Counter::DocOrderPathSort,
+    Counter::CheckFullParallel,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -142,6 +155,10 @@ impl Counter {
             Counter::DifftestOpRemove => "difftest_op_remove",
             Counter::DifftestOpUpdate => "difftest_op_update",
             Counter::DifftestOpRename => "difftest_op_rename",
+            Counter::OrderCacheRebuild => "order_cache_rebuild",
+            Counter::DocOrderFastSort => "doc_order_fast_sort",
+            Counter::DocOrderPathSort => "doc_order_path_sort",
+            Counter::CheckFullParallel => "check_full_parallel",
         }
     }
 
@@ -258,6 +275,32 @@ pub fn reset() {
             c.set(0);
         }
         s.phases.borrow_mut().clear();
+    });
+}
+
+/// Folds a snapshot's counters and phase accumulators into *this*
+/// thread's sink — the aggregation primitive for fan-out work. The
+/// parallel full check uses it to merge each worker thread's counters
+/// back into the coordinating thread, so a subsequent [`snapshot`] sees
+/// the whole fan-out as if it had run locally. Counter names unknown to
+/// this build (snapshots from a newer binary) are ignored.
+pub fn merge(snap: &Snapshot) {
+    for (name, v) in &snap.counters {
+        if let Some(c) = Counter::from_name(name) {
+            add(c, *v);
+        }
+    }
+    SINK.with(|s| {
+        let mut phases = s.phases.borrow_mut();
+        for p in &snap.phases {
+            match phases.iter_mut().find(|q| q.path == p.path) {
+                Some(q) => {
+                    q.calls += p.calls;
+                    q.total_ns += p.total_ns;
+                }
+                None => phases.push(p.clone()),
+            }
+        }
     });
 }
 
@@ -456,6 +499,32 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.counter(Counter::ClausesExpanded), 12);
         assert_eq!(back.phase("check/full").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn merge_folds_worker_snapshots_into_local_sink() {
+        reset();
+        incr(Counter::XpathNodesVisited);
+        {
+            let _check = phase("check");
+        }
+        let worker = thread::spawn(|| {
+            add(Counter::XpathNodesVisited, 9);
+            {
+                let _check = phase("check");
+            }
+            {
+                let _other = phase("worker_only");
+            }
+            snapshot()
+        })
+        .join()
+        .unwrap();
+        merge(&worker);
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::XpathNodesVisited), 10);
+        assert_eq!(snap.phase("check").unwrap().calls, 2);
+        assert_eq!(snap.phase("worker_only").unwrap().calls, 1);
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod xupdate;
 pub use dtd::{ContentModel, Dtd, ElementDecl, ValidationError};
 pub use parse::{parse_document, XmlError};
 pub use serialize::{serialize, serialize_equal, serialize_node};
-pub use tree::{Document, Node, NodeId, NodeKind};
+pub use tree::{Descendants, Document, Node, NodeId, NodeKind, OrderRanks};
 pub use xupdate::{apply, undo, AppliedUpdate, SelectResolver, XUpdateDoc, XUpdateOp};

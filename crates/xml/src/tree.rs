@@ -1,7 +1,9 @@
 //! The ordered XML tree arena.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{RwLock, RwLockReadGuard};
 
 /// A stable node identifier. Identifiers are allocated from a monotone
 /// per-document counter and never reused — detached nodes keep their slot.
@@ -61,19 +63,113 @@ pub struct Node {
     pub children: Vec<NodeId>,
 }
 
+/// Sentinel rank for nodes that were detached when the order cache was
+/// built (`u32::MAX` can never be a real preorder rank: ids are `u32`
+/// and the document node always occupies rank 0).
+const RANK_DETACHED: u32 = u32::MAX;
+
+/// Lazily rebuilt preorder numbering of the attached tree. `built_at`
+/// records the [`Document::version`] the ranks were computed under;
+/// a structural mutation bumps the version, implicitly invalidating the
+/// cache without touching it.
+#[derive(Debug, Default)]
+struct OrderCache {
+    built_at: Option<u64>,
+    /// `ranks[id.index()]`: preorder rank if attached, else
+    /// [`RANK_DETACHED`].
+    ranks: Vec<u32>,
+}
+
 /// An in-memory XML document: an arena of nodes rooted at a document node,
-/// plus an element-name index.
-#[derive(Debug, Clone)]
+/// plus an element-name index and a document-order rank cache.
+#[derive(Debug)]
 pub struct Document {
     nodes: Vec<Node>,
-    /// name → element nodes currently attached under the document node.
+    /// name → element nodes currently attached under the document node,
+    /// kept sorted in document order (see [`doc_order_cmp`]).
     name_index: HashMap<String, Vec<NodeId>>,
     index_enabled: bool,
+    /// Structural version, bumped by every attach/detach. Content edits
+    /// (`set_text`, `set_attr`, `rename`) do not move nodes and leave it
+    /// alone.
+    version: u64,
+    /// Version-stamped preorder ranks; interior-mutable so `&Document`
+    /// reads can rebuild it lazily, `RwLock`ed (not `RefCell`ed) so the
+    /// document stays `Sync` for the parallel full check.
+    order_cache: RwLock<OrderCache>,
+    order_cache_enabled: bool,
 }
 
 impl Default for Document {
     fn default() -> Self {
         Document::new()
+    }
+}
+
+impl Clone for Document {
+    fn clone(&self) -> Document {
+        Document {
+            nodes: self.nodes.clone(),
+            name_index: self.name_index.clone(),
+            index_enabled: self.index_enabled,
+            version: self.version,
+            // The clone starts with a cold cache; it is rebuilt on first use.
+            order_cache: RwLock::new(OrderCache::default()),
+            order_cache_enabled: self.order_cache_enabled,
+        }
+    }
+}
+
+/// Compares two *attached* nodes of the same document in document order
+/// without allocating: walk both to their lowest common ancestor and
+/// compare the child indexes of the diverging children (an ancestor
+/// precedes its descendants).
+///
+/// # Panics
+/// Panics if the nodes do not share a root (e.g. one of them is
+/// detached) — callers guarantee attachment.
+fn doc_order_cmp(nodes: &[Node], a: NodeId, b: NodeId) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    let depth = |mut n: NodeId| {
+        let mut d = 0usize;
+        while let Some(p) = nodes[n.index()].parent {
+            d += 1;
+            n = p;
+        }
+        d
+    };
+    let (mut x, mut y) = (a, b);
+    let (mut dx, mut dy) = (depth(a), depth(b));
+    let (mut last_x, mut last_y) = (None, None);
+    let up = |n: NodeId| nodes[n.index()].parent.expect("nodes share a root");
+    while dx > dy {
+        last_x = Some(x);
+        x = up(x);
+        dx -= 1;
+    }
+    while dy > dx {
+        last_y = Some(y);
+        y = up(y);
+        dy -= 1;
+    }
+    while x != y {
+        last_x = Some(x);
+        last_y = Some(y);
+        x = up(x);
+        y = up(y);
+    }
+    match (last_x, last_y) {
+        // One node is an ancestor of the other; the ancestor comes first.
+        (None, _) => Ordering::Less,
+        (_, None) => Ordering::Greater,
+        (Some(cx), Some(cy)) => {
+            let siblings = &nodes[x.index()].children;
+            let px = siblings.iter().position(|&c| c == cx);
+            let py = siblings.iter().position(|&c| c == cy);
+            px.cmp(&py)
+        }
     }
 }
 
@@ -88,6 +184,9 @@ impl Document {
             }],
             name_index: HashMap::new(),
             index_enabled: true,
+            version: 0,
+            order_cache: RwLock::new(OrderCache::default()),
+            order_cache_enabled: true,
         }
     }
 
@@ -101,6 +200,25 @@ impl Document {
     /// True if the name index is maintained.
     pub fn name_index_enabled(&self) -> bool {
         self.index_enabled
+    }
+
+    /// Disables the document-order rank cache (ablation experiments):
+    /// `sort_document_order` and friends recompute path keys from scratch
+    /// on every call, as they did before the cache existed.
+    pub fn disable_order_cache(&mut self) {
+        self.order_cache_enabled = false;
+        *self.order_cache.get_mut().expect("order cache lock poisoned") = OrderCache::default();
+    }
+
+    /// True if the document-order rank cache is maintained.
+    pub fn order_cache_enabled(&self) -> bool {
+        self.order_cache_enabled
+    }
+
+    /// The structural version: bumped by every attach/detach, stable
+    /// across content edits. Cached order ranks are tagged with it.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The document node.
@@ -237,6 +355,7 @@ impl Document {
         assert!(idx <= siblings.len(), "insert index out of bounds");
         siblings.insert(idx, child);
         self.node_mut(child).parent = Some(parent);
+        self.version += 1;
         if self.index_enabled && self.is_attached(parent) {
             self.index_subtree(child, true);
         }
@@ -258,6 +377,7 @@ impl Document {
             .expect("parent/child link out of sync");
         siblings.remove(idx);
         self.node_mut(child).parent = None;
+        self.version += 1;
         idx
     }
 
@@ -275,17 +395,19 @@ impl Document {
         }
     }
 
+    /// (Un)indexes every element in the subtree rooted at `id`, keeping
+    /// each name bucket sorted in document order. Both directions rely on
+    /// the subtree being linked into the attached tree at call time
+    /// (insert indexes *after* linking, detach unindexes *before*
+    /// unlinking), so [`doc_order_cmp`] can navigate parent chains.
+    /// Attaching or detaching a subtree never reorders the *surviving*
+    /// bucket entries relative to each other, so sorted insertion /
+    /// binary-search removal preserves the invariant.
     fn index_subtree(&mut self, id: NodeId, add: bool) {
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
-            if let NodeKind::Element { name, .. } = &self.node(n).kind {
-                let name = name.clone();
-                let entry = self.name_index.entry(name).or_default();
-                if add {
-                    entry.push(n);
-                } else if let Some(pos) = entry.iter().position(|&e| e == n) {
-                    entry.swap_remove(pos);
-                }
+            if matches!(self.node(n).kind, NodeKind::Element { .. }) {
+                self.index_subtree_single(n, add);
             }
             stack.extend(self.node(n).children.iter().copied());
         }
@@ -293,23 +415,23 @@ impl Document {
 
     /// All attached elements with the given tag name, in document order.
     pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = if self.index_enabled {
+        if self.index_enabled {
             xic_obs::incr(xic_obs::Counter::NameIndexHit);
+            // Buckets are maintained in document order — no re-sort.
             self.name_index.get(name).cloned().unwrap_or_default()
         } else {
             xic_obs::incr(xic_obs::Counter::NameIndexMiss);
+            // Preorder scan yields document order directly.
             let mut v = Vec::new();
             let mut stack = vec![self.document_node()];
             while let Some(n) = stack.pop() {
                 if self.name(n) == Some(name) {
                     v.push(n);
                 }
-                stack.extend(self.node(n).children.iter().copied());
+                stack.extend(self.node(n).children.iter().rev().copied());
             }
             v
-        };
-        self.sort_document_order(&mut out);
-        out
+        }
     }
 
     /// Replaces the text content of a text node, returning the old value.
@@ -346,43 +468,52 @@ impl Document {
     fn index_subtree_single(&mut self, id: NodeId, add: bool) {
         if let NodeKind::Element { name, .. } = &self.node(id).kind {
             let name = name.clone();
-            let entry = self.name_index.entry(name).or_default();
+            // Split borrows: the comparator walks `nodes` while the bucket
+            // lives in `name_index`.
+            let Document {
+                nodes, name_index, ..
+            } = self;
+            let entry = name_index.entry(name).or_default();
             if add {
-                entry.push(id);
-            } else if let Some(pos) = entry.iter().position(|&e| e == id) {
-                entry.swap_remove(pos);
+                let pos = entry.partition_point(|&e| doc_order_cmp(nodes, e, id) == Ordering::Less);
+                entry.insert(pos, id);
+            } else if let Ok(pos) = entry.binary_search_by(|&e| doc_order_cmp(nodes, e, id)) {
+                entry.remove(pos);
             }
         }
     }
 
     /// Audits the element-name index against a full scan of the attached
     /// tree: every attached element must be indexed exactly once under its
-    /// current name, and the index must hold nothing else. A trivially
-    /// `Ok` no-op when the index is disabled.
+    /// current name, every bucket must be sorted in document order, and
+    /// the index must hold nothing else. A trivially `Ok` no-op when the
+    /// index is disabled.
     ///
     /// This is the invariant the rollback-fidelity oracle of
     /// `xic-difftest` checks after every apply/undo round trip — an update
     /// path that forgets to (un)index a subtree corrupts `//tag` query
-    /// results long before it corrupts the serialized tree.
+    /// results long before it corrupts the serialized tree, and a bucket
+    /// that loses sortedness silently breaks `elements_named` (which no
+    /// longer re-sorts).
     pub fn audit_name_index(&self) -> Result<(), String> {
         if !self.index_enabled {
             return Ok(());
         }
         let mut expected: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        // Preorder scan — `expected` buckets come out in document order.
         let mut stack = vec![self.document_node()];
         while let Some(n) = stack.pop() {
             if let NodeKind::Element { name, .. } = &self.node(n).kind {
                 expected.entry(name.as_str()).or_default().push(n);
             }
-            stack.extend(self.node(n).children.iter().copied());
+            stack.extend(self.node(n).children.iter().rev().copied());
         }
-        for (name, want) in &mut expected {
-            let mut got = self.name_index.get(*name).cloned().unwrap_or_default();
-            got.sort();
-            want.sort();
-            if &got != want {
+        for (name, want) in &expected {
+            let got = self.name_index.get(*name).map_or(&[][..], Vec::as_slice);
+            if got != want.as_slice() {
                 return Err(format!(
-                    "name index for {name:?} holds {got:?}, attached tree has {want:?}"
+                    "name index for {name:?} holds {got:?}, attached tree in document \
+                     order has {want:?} (membership or sortedness violation)"
                 ));
             }
         }
@@ -478,8 +609,80 @@ impl Document {
         rev
     }
 
-    /// Sorts node ids into document order.
+    /// A read guard over the current document-order rank table, rebuilding
+    /// it first if a structural mutation invalidated it. Returns `None`
+    /// when the cache is disabled ([`Document::disable_order_cache`]).
+    ///
+    /// Holding the guard pins the table for a whole sort/dedup pass — one
+    /// lock acquisition per operation, not per comparison. Concurrent
+    /// readers (e.g. the parallel full check) share the read lock; the
+    /// write lock is only ever taken for a rebuild, which at most one
+    /// thread performs per version.
+    pub fn order_ranks(&self) -> Option<OrderRanks<'_>> {
+        if !self.order_cache_enabled {
+            return None;
+        }
+        {
+            let guard = self.order_cache.read().expect("order cache lock poisoned");
+            if guard.built_at == Some(self.version) {
+                return Some(OrderRanks { guard });
+            }
+        }
+        {
+            let mut guard = self.order_cache.write().expect("order cache lock poisoned");
+            // Another thread may have rebuilt while we waited for the lock.
+            if guard.built_at != Some(self.version) {
+                self.rebuild_order_cache(&mut guard);
+            }
+        }
+        let guard = self.order_cache.read().expect("order cache lock poisoned");
+        debug_assert_eq!(guard.built_at, Some(self.version));
+        Some(OrderRanks { guard })
+    }
+
+    fn rebuild_order_cache(&self, cache: &mut OrderCache) {
+        xic_obs::incr(xic_obs::Counter::OrderCacheRebuild);
+        cache.ranks.clear();
+        cache.ranks.resize(self.nodes.len(), RANK_DETACHED);
+        let mut next = 0u32;
+        let mut stack = vec![self.document_node()];
+        while let Some(n) = stack.pop() {
+            cache.ranks[n.index()] = next;
+            next += 1;
+            stack.extend(self.node(n).children.iter().rev().copied());
+        }
+        cache.built_at = Some(self.version);
+    }
+
+    /// Compares two nodes in document order: O(1) via cached preorder
+    /// ranks when both are attached, otherwise by comparing path keys —
+    /// detached nodes are ordered relative to their own detached roots,
+    /// matching the historical [`Document::order_key`] ordering.
+    pub fn cmp_document_order(&self, a: NodeId, b: NodeId) -> Ordering {
+        if let Some(ranks) = self.order_ranks() {
+            if let (Some(ra), Some(rb)) = (ranks.rank(a), ranks.rank(b)) {
+                return ra.cmp(&rb);
+            }
+        }
+        self.order_key(a).cmp(&self.order_key(b))
+    }
+
+    /// Sorts node ids into document order. Uses the cached preorder ranks
+    /// (O(1) comparisons, no per-node key allocation) when every id is
+    /// attached; mixed or detached sets fall back to the path-key sort,
+    /// which orders detached nodes relative to their own subtree roots.
     pub fn sort_document_order(&self, ids: &mut [NodeId]) {
+        if ids.len() <= 1 {
+            return;
+        }
+        if let Some(ranks) = self.order_ranks() {
+            if ids.iter().all(|&n| ranks.rank(n).is_some()) {
+                xic_obs::incr(xic_obs::Counter::DocOrderFastSort);
+                ids.sort_unstable_by_key(|&n| ranks.rank(n).expect("all ids checked attached"));
+                return;
+            }
+        }
+        xic_obs::incr(xic_obs::Counter::DocOrderPathSort);
         let mut keyed: Vec<(Vec<u32>, NodeId)> =
             ids.iter().map(|&n| (self.order_key(n), n)).collect();
         keyed.sort();
@@ -488,15 +691,14 @@ impl Document {
         }
     }
 
-    /// Depth-first pre-order traversal of the attached tree.
-    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack: Vec<NodeId> = self.node(id).children.iter().rev().copied().collect();
-        while let Some(n) = stack.pop() {
-            out.push(n);
-            stack.extend(self.node(n).children.iter().rev().copied());
+    /// Depth-first pre-order traversal of the subtree below `id` (not
+    /// including `id` itself), yielded lazily — axis evaluation can stop
+    /// at the first witness without materializing the whole subtree.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: self.node(id).children.iter().rev().copied().collect(),
         }
-        out
     }
 
     /// The absolute positional path of an element, e.g.
@@ -522,6 +724,41 @@ impl Document {
         }
         segments.reverse();
         Some(segments.concat())
+    }
+}
+
+/// A read guard over a document's preorder rank table; created by
+/// [`Document::order_ranks`]. Rank lookups are a single array read.
+pub struct OrderRanks<'d> {
+    guard: RwLockReadGuard<'d, OrderCache>,
+}
+
+impl OrderRanks<'_> {
+    /// The preorder rank of `id`, or `None` if `id` was detached when the
+    /// table was built (the document node itself has rank 0).
+    pub fn rank(&self, id: NodeId) -> Option<u32> {
+        match self.guard.ranks.get(id.index()) {
+            Some(&r) if r != RANK_DETACHED => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Lazy depth-first pre-order iterator over a subtree; created by
+/// [`Document::descendants`].
+pub struct Descendants<'d> {
+    doc: &'d Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        self.stack
+            .extend(self.doc.node(n).children.iter().rev().copied());
+        Some(n)
     }
 }
 
@@ -672,7 +909,7 @@ mod tests {
     #[test]
     fn descendants_preorder() {
         let (d, root, track, name) = small_doc();
-        let ds = d.descendants(d.document_node());
+        let ds: Vec<NodeId> = d.descendants(d.document_node()).collect();
         assert_eq!(ds[0], root);
         assert_eq!(ds[1], track);
         assert_eq!(ds[2], name);
@@ -687,5 +924,108 @@ mod tests {
         let mut ids = vec![track, t0];
         d.sort_document_order(&mut ids);
         assert_eq!(ids, vec![t0, track]);
+    }
+
+    #[test]
+    fn order_ranks_match_preorder_and_invalidate_on_mutation() {
+        let (mut d, root, track, name) = small_doc();
+        {
+            let ranks = d.order_ranks().expect("cache enabled");
+            assert_eq!(ranks.rank(d.document_node()), Some(0));
+            assert_eq!(ranks.rank(root), Some(1));
+            assert_eq!(ranks.rank(track), Some(2));
+            assert_eq!(ranks.rank(name), Some(3));
+        }
+        // A structural mutation invalidates the numbering; the next read
+        // rebuilds it to reflect the new order.
+        let t0 = d.create_element("track");
+        d.insert_child(root, 0, t0);
+        {
+            let ranks = d.order_ranks().expect("cache enabled");
+            assert_eq!(ranks.rank(t0), Some(2));
+            assert_eq!(ranks.rank(track), Some(3));
+        }
+        // Detached nodes have no rank.
+        let detached = d.create_element("x");
+        assert_eq!(d.order_ranks().unwrap().rank(detached), None);
+    }
+
+    #[test]
+    fn cmp_document_order_agrees_with_order_keys() {
+        let (mut d, root, track, name) = small_doc();
+        let t0 = d.create_element("track");
+        d.insert_child(root, 0, t0);
+        let all: Vec<NodeId> = d.descendants(d.document_node()).collect();
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(
+                    d.cmp_document_order(a, b),
+                    d.order_key(a).cmp(&d.order_key(b)),
+                    "cmp_document_order({a}, {b})"
+                );
+            }
+        }
+        // An ancestor precedes its descendants; siblings order by index.
+        assert_eq!(d.cmp_document_order(root, name), Ordering::Less);
+        assert_eq!(d.cmp_document_order(track, t0), Ordering::Greater);
+        assert_eq!(d.cmp_document_order(track, track), Ordering::Equal);
+    }
+
+    #[test]
+    fn disabled_order_cache_still_sorts_correctly() {
+        let (mut d, root, track, _) = small_doc();
+        d.disable_order_cache();
+        assert!(d.order_ranks().is_none());
+        let t0 = d.create_element("track");
+        d.insert_child(root, 0, t0);
+        let mut ids = vec![track, t0];
+        d.sort_document_order(&mut ids);
+        assert_eq!(ids, vec![t0, track]);
+    }
+
+    #[test]
+    fn sort_with_detached_nodes_falls_back_to_path_keys() {
+        let (mut d, _, track, name) = small_doc();
+        // Detach a subtree: its nodes keep path keys relative to the
+        // detached root and must still sort deterministically.
+        d.detach(track);
+        let mut ids = vec![name, track];
+        d.sort_document_order(&mut ids);
+        assert_eq!(ids, vec![track, name]);
+    }
+
+    #[test]
+    fn name_index_buckets_stay_sorted() {
+        let (mut d, root, track, _) = small_doc();
+        let t2 = d.create_element("track");
+        d.append_child(root, t2);
+        let t0 = d.create_element("track");
+        d.insert_child(root, 0, t0);
+        assert_eq!(d.elements_named("track"), vec![t0, track, t2]);
+        d.audit_name_index().expect("sorted and complete");
+        d.detach(track);
+        assert_eq!(d.elements_named("track"), vec![t0, t2]);
+        d.audit_name_index().expect("sorted after removal");
+    }
+
+    #[test]
+    fn audit_rejects_unsorted_bucket() {
+        let (mut d, root, track, _) = small_doc();
+        let t2 = d.create_element("track");
+        d.append_child(root, t2);
+        // Corrupt the bucket order behind the API's back.
+        d.name_index.get_mut("track").unwrap().swap(0, 1);
+        let err = d.audit_name_index().expect_err("audit catches disorder");
+        assert!(err.contains("sortedness"), "unexpected message: {err}");
+        assert_eq!(d.name_index["track"], vec![t2, track]);
+    }
+
+    #[test]
+    fn clone_starts_with_cold_cache_and_same_version() {
+        let (d, root, ..) = small_doc();
+        let _ = d.order_ranks();
+        let d2 = d.clone();
+        assert_eq!(d2.version(), d.version());
+        assert_eq!(d2.order_ranks().unwrap().rank(root), Some(1));
     }
 }

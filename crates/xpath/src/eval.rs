@@ -119,12 +119,136 @@ pub fn evaluate_nodes(expr: &Expr, ctx: &Context) -> Result<Vec<NodeRef>, EvalEr
     }
 }
 
-fn eval_path(path: &Path, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
-    let start: Vec<NodeRef> = match &path.start {
-        PathStart::Root => vec![NodeRef::Node(ctx.doc.document_node())],
-        PathStart::Context => vec![ctx.item.clone()],
+/// Existential evaluation: the expression's boolean value, computed with
+/// first-witness short-circuit wherever the answer cannot depend on the
+/// rest of the node-set. Equivalent to `evaluate(expr, ctx)?.to_bool()`
+/// (the difftest oracle enforces this), but a path stops descending at
+/// the first node it reaches, `or`/`and`/`not`/`boolean` recurse lazily,
+/// and no document-order normalization ever happens — a constraint check
+/// asking "is there a violation witness?" touches only the nodes up to
+/// that witness.
+pub fn evaluate_exists(expr: &Expr, ctx: &Context) -> Result<bool, EvalError> {
+    match expr {
+        Expr::Literal(s) => Ok(!s.is_empty()),
+        Expr::Number(n) => Ok(*n != 0.0 && !n.is_nan()),
+        Expr::Path(p) => {
+            // A bare `$x` has the truth value of whatever it holds.
+            if let PathStart::Variable(v) = &p.start {
+                if p.steps.is_empty() {
+                    return ctx
+                        .vars
+                        .get(v)
+                        .map(XValue::to_bool)
+                        .ok_or_else(|| EvalError::UndefinedVariable(v.clone()));
+                }
+            }
+            let start = path_start_nodes(p, ctx)?;
+            path_exists_from(&start, &p.steps, ctx)
+        }
+        Expr::Filter {
+            primary,
+            predicates,
+            steps,
+        } if predicates.is_empty() => match evaluate(primary, ctx)? {
+            XValue::Nodes(ns) => path_exists_from(&ns, steps, ctx),
+            other if steps.is_empty() => Ok(other.to_bool()),
+            other => Err(EvalError::Type(format!(
+                "cannot filter non-node-set value {other:?}"
+            ))),
+        },
+        Expr::Binary(a, BinOp::Or, b) => {
+            Ok(evaluate_exists(a, ctx)? || evaluate_exists(b, ctx)?)
+        }
+        Expr::Binary(a, BinOp::And, b) => {
+            Ok(evaluate_exists(a, ctx)? && evaluate_exists(b, ctx)?)
+        }
+        Expr::Call(name, args) => match (name.as_str(), args.len()) {
+            ("true", 0) => Ok(true),
+            ("false", 0) => Ok(false),
+            ("not", 1) => Ok(!evaluate_exists(&args[0], ctx)?),
+            ("boolean", 1) => evaluate_exists(&args[0], ctx),
+            _ => Ok(evaluate(expr, ctx)?.to_bool()),
+        },
+        _ => Ok(evaluate(expr, ctx)?.to_bool()),
+    }
+}
+
+/// Sequence-nonemptiness counterpart of [`evaluate_exists`], for the
+/// XQuery `exists()`/`empty()` functions: `[""]` is non-empty even though
+/// its effective boolean value is false. Equivalent to
+/// `!evaluate_nodes(expr, ctx)?.is_empty()` for node-set expressions;
+/// atomic values count as one-item sequences.
+pub fn evaluate_nonempty(expr: &Expr, ctx: &Context) -> Result<bool, EvalError> {
+    match expr {
+        Expr::Path(p) => {
+            if let PathStart::Variable(v) = &p.start {
+                if p.steps.is_empty() {
+                    return match ctx.vars.get(v) {
+                        Some(XValue::Nodes(ns)) => Ok(!ns.is_empty()),
+                        Some(_) => Ok(true),
+                        None => Err(EvalError::UndefinedVariable(v.clone())),
+                    };
+                }
+            }
+            let start = path_start_nodes(p, ctx)?;
+            path_exists_from(&start, &p.steps, ctx)
+        }
+        Expr::Filter {
+            primary,
+            predicates,
+            steps,
+        } if predicates.is_empty() => match evaluate(primary, ctx)? {
+            XValue::Nodes(ns) => path_exists_from(&ns, steps, ctx),
+            _ if steps.is_empty() => Ok(true),
+            other => Err(EvalError::Type(format!(
+                "cannot filter non-node-set value {other:?}"
+            ))),
+        },
+        _ => Ok(match evaluate(expr, ctx)? {
+            XValue::Nodes(ns) => !ns.is_empty(),
+            _ => true,
+        }),
+    }
+}
+
+/// Depth-first existential path evaluation: true iff applying `steps` to
+/// `input` yields at least one node. Predicate-free steps stream their
+/// axis candidates and recurse one node at a time, so the walk stops at
+/// the first witness; steps with predicates materialize that single
+/// step's per-item result (positional predicates need the whole candidate
+/// list) and continue existentially from it.
+fn path_exists_from(input: &[NodeRef], steps: &[Step], ctx: &Context) -> Result<bool, EvalError> {
+    let Some((step, rest)) = steps.split_first() else {
+        return Ok(!input.is_empty());
+    };
+    for item in input {
+        if step.predicates.is_empty() {
+            for n in axis_iter(ctx.doc, item, step.axis) {
+                xic_obs::incr(xic_obs::Counter::XpathNodesVisited);
+                if node_test(ctx.doc, &n, step.axis, &step.test)
+                    && path_exists_from(std::slice::from_ref(&n), rest, ctx)?
+                {
+                    return Ok(true);
+                }
+            }
+        } else {
+            let tested = step_once(item, step, ctx)?;
+            if path_exists_from(&tested, rest, ctx)? {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Resolves a path's start into its initial node-set (shared by the
+/// materializing and existential evaluators).
+fn path_start_nodes(path: &Path, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
+    match &path.start {
+        PathStart::Root => Ok(vec![NodeRef::Node(ctx.doc.document_node())]),
+        PathStart::Context => Ok(vec![ctx.item.clone()]),
         PathStart::Variable(v) => match ctx.vars.get(v) {
-            Some(XValue::Nodes(ns)) => ns.clone(),
+            Some(XValue::Nodes(ns)) => Ok(ns.clone()),
             Some(other) => {
                 if path.steps.is_empty() {
                     return Err(EvalError::Type(format!(
@@ -132,15 +256,18 @@ fn eval_path(path: &Path, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
                          expression instead)"
                     )));
                 }
-                return Err(EvalError::Type(format!(
+                Err(EvalError::Type(format!(
                     "cannot navigate from non-node-set variable ${v}"
-                )));
+                )))
             }
-            None => return Err(EvalError::UndefinedVariable(v.clone())),
+            None => Err(EvalError::UndefinedVariable(v.clone())),
         },
-    };
+    }
+}
+
+fn eval_path(path: &Path, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
     // A bare `$x` path returns the variable's nodes.
-    let mut cur = start;
+    let mut cur = path_start_nodes(path, ctx)?;
     for step in &path.steps {
         cur = eval_step(&cur, step, ctx)?;
     }
@@ -162,19 +289,28 @@ pub fn eval_variable(path: &Path, ctx: &Context) -> Result<XValue, EvalError> {
     Ok(XValue::Nodes(eval_path(path, ctx)?))
 }
 
+/// Applies one step to a *single* context item: axis traversal (lazy),
+/// node test, then predicates over the per-item candidate list.
+/// Positional predicates see exactly the positions the materializing
+/// evaluator always gave them, because predicates were always applied per
+/// input item.
+fn step_once(item: &NodeRef, step: &Step, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
+    let mut visited = 0u64;
+    let mut tested: Vec<NodeRef> = axis_iter(ctx.doc, item, step.axis)
+        .inspect(|_| visited += 1)
+        .filter(|n| node_test(ctx.doc, n, step.axis, &step.test))
+        .collect();
+    xic_obs::add(xic_obs::Counter::XpathNodesVisited, visited);
+    for pred in &step.predicates {
+        tested = apply_predicate(&tested, pred, ctx, step.axis.is_reverse())?;
+    }
+    Ok(tested)
+}
+
 fn eval_step(input: &[NodeRef], step: &Step, ctx: &Context) -> Result<Vec<NodeRef>, EvalError> {
     let mut merged: Vec<NodeRef> = Vec::new();
     for item in input {
-        let axis_nodes = axis_candidates(ctx.doc, item, step.axis);
-        xic_obs::add(xic_obs::Counter::XpathNodesVisited, axis_nodes.len() as u64);
-        let mut tested: Vec<NodeRef> = axis_nodes
-            .into_iter()
-            .filter(|n| node_test(ctx.doc, n, step.axis, &step.test))
-            .collect();
-        for pred in &step.predicates {
-            tested = apply_predicate(&tested, pred, ctx, step.axis.is_reverse())?;
-        }
-        merged.extend(tested);
+        merged.extend(step_once(item, step, ctx)?);
     }
     // Normalization (document-order sort + dedup) is the dominant cost on
     // large documents; skip it when the result is ordered and duplicate-
@@ -238,64 +374,55 @@ fn apply_predicate(
     Ok(out)
 }
 
-fn axis_candidates(doc: &Document, item: &NodeRef, axis: Axis) -> Vec<NodeRef> {
+/// Lazy axis traversal: yields candidates one at a time so existential
+/// evaluation can stop at the first witness, and `step_once` never
+/// materializes an intermediate candidate `Vec` (descendant axes stream
+/// straight out of [`Document::descendants`]).
+fn axis_iter<'d>(
+    doc: &'d Document,
+    item: &NodeRef,
+    axis: Axis,
+) -> Box<dyn Iterator<Item = NodeRef> + 'd> {
+    let ancestors = move |from: Option<xic_xml::NodeId>| {
+        std::iter::successors(from, move |&p| doc.node(p).parent).map(NodeRef::Node)
+    };
     match item {
         NodeRef::Attr { owner, .. } => match axis {
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf => {
-                let mut out = Vec::new();
-                if axis == Axis::AncestorOrSelf {
-                    out.push(item.clone());
-                }
-                let mut cur = Some(*owner);
-                if axis == Axis::Parent {
-                    return cur.into_iter().map(NodeRef::Node).collect();
-                }
-                while let Some(n) = cur {
-                    out.push(NodeRef::Node(n));
-                    cur = doc.node(n).parent;
-                }
-                out
+            Axis::Parent => Box::new(std::iter::once(NodeRef::Node(*owner))),
+            // The attribute's ancestors start at (and include) its owner.
+            Axis::Ancestor => Box::new(ancestors(Some(*owner))),
+            Axis::AncestorOrSelf => {
+                Box::new(std::iter::once(item.clone()).chain(ancestors(Some(*owner))))
             }
-            Axis::SelfAxis => vec![item.clone()],
-            _ => Vec::new(),
+            Axis::SelfAxis => Box::new(std::iter::once(item.clone())),
+            _ => Box::new(std::iter::empty()),
         },
         NodeRef::Node(n) => {
             let n = *n;
             match axis {
-                Axis::Child => doc.node(n).children.iter().map(|&c| NodeRef::Node(c)).collect(),
-                Axis::Descendant => doc.descendants(n).into_iter().map(NodeRef::Node).collect(),
-                Axis::DescendantOrSelf => {
-                    let mut out = vec![NodeRef::Node(n)];
-                    out.extend(doc.descendants(n).into_iter().map(NodeRef::Node));
-                    out
-                }
-                Axis::Parent => doc.node(n).parent.into_iter().map(NodeRef::Node).collect(),
-                Axis::Ancestor | Axis::AncestorOrSelf => {
-                    let mut out = Vec::new();
-                    if axis == Axis::AncestorOrSelf {
-                        out.push(NodeRef::Node(n));
-                    }
-                    let mut cur = doc.node(n).parent;
-                    while let Some(p) = cur {
-                        out.push(NodeRef::Node(p));
-                        cur = doc.node(p).parent;
-                    }
-                    out
-                }
-                Axis::SelfAxis => vec![NodeRef::Node(n)],
+                Axis::Child => Box::new(doc.node(n).children.iter().map(|&c| NodeRef::Node(c))),
+                Axis::Descendant => Box::new(doc.descendants(n).map(NodeRef::Node)),
+                Axis::DescendantOrSelf => Box::new(
+                    std::iter::once(NodeRef::Node(n)).chain(doc.descendants(n).map(NodeRef::Node)),
+                ),
+                Axis::Parent => Box::new(doc.node(n).parent.into_iter().map(NodeRef::Node)),
+                Axis::Ancestor => Box::new(ancestors(doc.node(n).parent)),
+                Axis::AncestorOrSelf => Box::new(
+                    std::iter::once(NodeRef::Node(n)).chain(ancestors(doc.node(n).parent)),
+                ),
+                Axis::SelfAxis => Box::new(std::iter::once(NodeRef::Node(n))),
                 Axis::Attribute => match &doc.node(n).kind {
-                    NodeKind::Element { attrs, .. } => attrs
-                        .iter()
-                        .map(|(name, _)| NodeRef::Attr {
+                    NodeKind::Element { attrs, .. } => {
+                        Box::new(attrs.iter().map(move |(name, _)| NodeRef::Attr {
                             owner: n,
                             name: name.clone(),
-                        })
-                        .collect(),
-                    _ => Vec::new(),
+                        }))
+                    }
+                    _ => Box::new(std::iter::empty()),
                 },
                 Axis::PrecedingSibling | Axis::FollowingSibling => {
                     let Some(parent) = doc.node(n).parent else {
-                        return Vec::new();
+                        return Box::new(std::iter::empty());
                     };
                     let siblings = &doc.node(parent).children;
                     let idx = siblings
@@ -304,9 +431,9 @@ fn axis_candidates(doc: &Document, item: &NodeRef, axis: Axis) -> Vec<NodeRef> {
                         .expect("attached node is among its parent's children");
                     if axis == Axis::PrecedingSibling {
                         // Nearest first (reverse document order).
-                        siblings[..idx].iter().rev().map(|&c| NodeRef::Node(c)).collect()
+                        Box::new(siblings[..idx].iter().rev().map(|&c| NodeRef::Node(c)))
                     } else {
-                        siblings[idx + 1..].iter().map(|&c| NodeRef::Node(c)).collect()
+                        Box::new(siblings[idx + 1..].iter().map(|&c| NodeRef::Node(c)))
                     }
                 }
             }
@@ -339,19 +466,62 @@ fn node_test(doc: &Document, item: &NodeRef, axis: Axis, test: &NodeTest) -> boo
     }
 }
 
-fn dedupe_doc_order(doc: &Document, nodes: &mut Vec<NodeRef>) {
-    let mut keyed: Vec<(Vec<u32>, u8, String, NodeRef)> = nodes
+/// Kind discriminant for ordering mixed node/attribute refs that share an
+/// anchor: a node sorts before the attributes it owns.
+fn ref_kind(n: &NodeRef) -> u8 {
+    match n {
+        NodeRef::Node(_) => 0,
+        NodeRef::Attr { .. } => 1,
+    }
+}
+
+/// Attribute name for ordering attributes of one owner (empty for nodes)
+/// — borrowed, never cloned.
+fn ref_name(n: &NodeRef) -> &str {
+    match n {
+        NodeRef::Node(_) => "",
+        NodeRef::Attr { name, .. } => name,
+    }
+}
+
+/// Sorts a node-set into document order and removes duplicates.
+///
+/// When every anchor is attached and the document's rank cache is
+/// enabled, comparisons are O(1) rank lookups — no per-node `order_key`
+/// `Vec` and no per-attribute `String` clone for the dedup key. Sets
+/// containing detached nodes (or a cache-disabled document) fall back to
+/// the historical path-key sort, which orders detached nodes relative to
+/// their own subtree roots.
+pub fn dedupe_doc_order(doc: &Document, nodes: &mut Vec<NodeRef>) {
+    if nodes.len() <= 1 {
+        return;
+    }
+    if let Some(ranks) = doc.order_ranks() {
+        if nodes.iter().all(|n| ranks.rank(n.anchor()).is_some()) {
+            xic_obs::incr(xic_obs::Counter::DocOrderFastSort);
+            nodes.sort_unstable_by(|a, b| {
+                let ra = ranks.rank(a.anchor()).expect("all anchors checked attached");
+                let rb = ranks.rank(b.anchor()).expect("all anchors checked attached");
+                ra.cmp(&rb)
+                    .then_with(|| ref_kind(a).cmp(&ref_kind(b)))
+                    .then_with(|| ref_name(a).cmp(ref_name(b)))
+            });
+            nodes.dedup();
+            return;
+        }
+    }
+    xic_obs::incr(xic_obs::Counter::DocOrderPathSort);
+    let mut keyed: Vec<(Vec<u32>, NodeRef)> = nodes
         .drain(..)
-        .map(|n| match &n {
-            NodeRef::Node(id) => (doc.order_key(*id), 0u8, String::new(), n),
-            NodeRef::Attr { owner, name } => {
-                (doc.order_key(*owner), 1u8, name.clone(), n)
-            }
-        })
+        .map(|n| (doc.order_key(n.anchor()), n))
         .collect();
-    keyed.sort();
-    keyed.dedup_by(|a, b| (&a.0, a.1, &a.2) == (&b.0, b.1, &b.2));
-    nodes.extend(keyed.into_iter().map(|(_, _, _, n)| n));
+    keyed.sort_by(|(ka, a), (kb, b)| {
+        ka.cmp(kb)
+            .then_with(|| ref_kind(a).cmp(&ref_kind(b)))
+            .then_with(|| ref_name(a).cmp(ref_name(b)))
+    });
+    nodes.extend(keyed.into_iter().map(|(_, n)| n));
+    nodes.dedup();
 }
 
 /// True if the expression mentions variable `name` (used by the XQuery
@@ -854,6 +1024,91 @@ mod tests {
         let resorted: Vec<_> = ids.into_iter().map(NodeRef::Node).collect();
         sorted.clone_from(&resorted);
         assert_eq!(ns, resorted);
+    }
+
+    #[test]
+    fn evaluate_exists_agrees_with_effective_boolean() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        let ctx = Context::root(&doc);
+        for src in [
+            "//rev",
+            "//zzz",
+            "//rev/name/text()",
+            "//sub[auts/name/text() = 'Ann']",
+            "//sub[2]",
+            "//sub[position() = last()]",
+            "(//sub)[1]",
+            "//auts/name/..",
+            "//rev | //zzz",
+            "not(//zzz)",
+            "boolean(//track)",
+            "//rev/name/text() = //auts/name/text()",
+            "count(//sub) > 3",
+            "//track and //rev",
+            "//zzz or //track",
+            "'x'",
+            "''",
+            "0",
+            "3",
+            "//sub/preceding-sibling::name",
+            "//auts/ancestor::track",
+            "//name/@missing",
+        ] {
+            let e = parse(src).unwrap();
+            let full = evaluate(&e, &ctx).unwrap().to_bool();
+            let lazy = evaluate_exists(&e, &ctx).unwrap();
+            assert_eq!(lazy, full, "evaluate_exists disagrees on {src}");
+        }
+    }
+
+    #[test]
+    fn evaluate_nonempty_agrees_with_node_count() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        let ctx = Context::root(&doc);
+        for src in ["//rev", "//zzz", "//sub[7]", "//name/text()", "//a/@id"] {
+            let e = parse(src).unwrap();
+            let full = !evaluate_nodes(&e, &ctx).unwrap().is_empty();
+            let lazy = evaluate_nonempty(&e, &ctx).unwrap();
+            assert_eq!(lazy, full, "evaluate_nonempty disagrees on {src}");
+        }
+        // An atomic value is a one-item sequence even when its EBV is
+        // false — the distinction between exists() and boolean().
+        let e = parse("''").unwrap();
+        assert!(evaluate_nonempty(&e, &ctx).unwrap());
+        assert!(!evaluate_exists(&e, &ctx).unwrap());
+    }
+
+    #[test]
+    fn evaluate_exists_short_circuits_node_visits() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        let ctx = Context::root(&doc);
+        let e = parse("//sub").unwrap();
+        xic_obs::reset();
+        assert!(evaluate_exists(&e, &ctx).unwrap());
+        let lazy = xic_obs::counter(xic_obs::Counter::XpathNodesVisited);
+        xic_obs::reset();
+        assert!(!evaluate_nodes(&e, &ctx).unwrap().is_empty());
+        let full = xic_obs::counter(xic_obs::Counter::XpathNodesVisited);
+        assert!(
+            lazy < full,
+            "existential walk visited {lazy} nodes, full walk {full}"
+        );
+    }
+
+    #[test]
+    fn dedupe_drops_duplicates_without_cache_too() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        let mut with_cache =
+            evaluate_nodes(&parse("//name").unwrap(), &Context::root(&doc)).unwrap();
+        let dup = with_cache.clone();
+        with_cache.extend(dup);
+        let mut no_cache = with_cache.clone();
+        dedupe_doc_order(&doc, &mut with_cache);
+        let mut plain = doc.clone();
+        plain.disable_order_cache();
+        dedupe_doc_order(&plain, &mut no_cache);
+        assert_eq!(with_cache, no_cache);
+        assert_eq!(with_cache.len(), 10);
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub mod value;
 
 pub use ast::{Axis, BinOp, Expr, NodeTest, Path, PathStart, Step};
 pub use eval::{
-    compare_values, eval_variable, evaluate, evaluate_nodes, expr_mentions_var, Context, EvalError,
+    compare_values, dedupe_doc_order, eval_variable, evaluate, evaluate_exists, evaluate_nodes,
+    evaluate_nonempty, expr_mentions_var, Context, EvalError,
 };
 pub use parser::{parse, XPathParseError, P};
 pub use lexer::{tokenize, Tok};

@@ -45,8 +45,139 @@ pub fn eval_query(q: &XQuery, doc: &Document) -> Result<Sequence, XQueryError> {
 
 /// Evaluates a query and reduces the result to its effective boolean
 /// value (the form the integrity checker consumes: `true` = violation).
+///
+/// This is the *materializing* evaluator: it builds the full result
+/// sequence first. The checker uses [`eval_query_exists`] instead; this
+/// entry point remains as the reference/ablation baseline the benches
+/// and the difftest oracle compare against.
 pub fn eval_query_bool(q: &XQuery, doc: &Document) -> Result<bool, XQueryError> {
     Ok(effective_boolean(&eval_query(q, doc)?))
+}
+
+/// Existential evaluation: the query's effective boolean value, computed
+/// with first-witness short-circuit. Returns exactly what
+/// [`eval_query_bool`] returns (the difftest oracle enforces this), but:
+///
+/// * embedded XPath goes through [`xic_xpath::evaluate_exists`], which
+///   stops a path walk at the first node it reaches;
+/// * `exists(FLWOR)` stops at the first binding whose `where` clause
+///   passes instead of materializing every violation witness;
+/// * quantifier `satisfies` conditions are themselves consumed lazily.
+///
+/// Constraint templates only ever ask "is there a violation witness?",
+/// so this is the evaluation mode the [`Checker`] runs on.
+///
+/// [`Checker`]: ../xicheck/struct.Checker.html
+pub fn eval_query_exists(q: &XQuery, doc: &Document) -> Result<bool, XQueryError> {
+    eval_ebv(q, doc, &Env::new())
+}
+
+/// Lazy effective-boolean-value evaluation (see [`eval_query_exists`]).
+fn eval_ebv(q: &XQuery, doc: &Document, env: &Env) -> Result<bool, XQueryError> {
+    match q {
+        XQuery::XPath(e) => {
+            let ctx = env.xpath_context(doc)?;
+            Ok(xic_xpath::evaluate_exists(e, &ctx)?)
+        }
+        XQuery::Quantified {
+            some,
+            binds,
+            satisfies,
+        } => eval_quantified(binds, satisfies, doc, env, *some, true),
+        XQuery::If { cond, then, els } => {
+            if eval_ebv(cond, doc, env)? {
+                eval_ebv(then, doc, env)
+            } else {
+                eval_ebv(els, doc, env)
+            }
+        }
+        XQuery::Binary(a, BinOp::Or, b) => {
+            Ok(eval_ebv(a, doc, env)? || eval_ebv(b, doc, env)?)
+        }
+        XQuery::Binary(a, BinOp::And, b) => {
+            Ok(eval_ebv(a, doc, env)? && eval_ebv(b, doc, env)?)
+        }
+        XQuery::Call(name, args) if args.len() == 1 => match name.as_str() {
+            "exists" => eval_nonempty(&args[0], doc, env),
+            "empty" => Ok(!eval_nonempty(&args[0], doc, env)?),
+            "not" => Ok(!eval_ebv(&args[0], doc, env)?),
+            "boolean" => eval_ebv(&args[0], doc, env),
+            _ => Ok(effective_boolean(&eval(q, doc, env)?)),
+        },
+        _ => Ok(effective_boolean(&eval(q, doc, env)?)),
+    }
+}
+
+/// Lazy sequence-nonemptiness (the `exists()`/`empty()` semantics:
+/// `[""]` is non-empty even though its effective boolean value is false).
+fn eval_nonempty(q: &XQuery, doc: &Document, env: &Env) -> Result<bool, XQueryError> {
+    match q {
+        XQuery::XPath(e) => {
+            let ctx = env.xpath_context(doc)?;
+            Ok(xic_xpath::evaluate_nonempty(e, &ctx)?)
+        }
+        XQuery::Sequence(items) => {
+            for i in items {
+                if eval_nonempty(i, doc, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        XQuery::Flwor { clauses, ret } => flwor_nonempty(clauses, 0, ret, doc, env),
+        XQuery::If { cond, then, els } => {
+            if eval_ebv(cond, doc, env)? {
+                eval_nonempty(then, doc, env)
+            } else {
+                eval_nonempty(els, doc, env)
+            }
+        }
+        // A constructor always yields exactly one element.
+        XQuery::Construct { .. } => Ok(true),
+        // Everything else yields a single item by construction (booleans,
+        // numbers, comparison results) or has no cheaper existential form
+        // than evaluating it (unions); fall back to the materializer.
+        _ => Ok(!eval(q, doc, env)?.is_empty()),
+    }
+}
+
+/// Existential FLWOR: true iff the iteration would emit at least one
+/// item, stopping at the first binding whose `where` chain passes and
+/// whose `return` is non-empty.
+fn flwor_nonempty(
+    clauses: &[Clause],
+    idx: usize,
+    ret: &XQuery,
+    doc: &Document,
+    env: &Env,
+) -> Result<bool, XQueryError> {
+    let Some(clause) = clauses.get(idx) else {
+        return eval_nonempty(ret, doc, env);
+    };
+    match clause {
+        Clause::For { var, source } => {
+            for item in eval(source, doc, env)? {
+                xic_obs::incr(xic_obs::Counter::XqueryBindingsVisited);
+                let env2 = env.bind(var, vec![item]);
+                if flwor_nonempty(clauses, idx + 1, ret, doc, &env2)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Clause::Let { var, value } => {
+            let seq = eval(value, doc, env)?;
+            let env2 = env.bind(var, seq);
+            flwor_nonempty(clauses, idx + 1, ret, doc, &env2)
+        }
+        Clause::Where(cond) => {
+            if eval_ebv(cond, doc, env)? {
+                flwor_nonempty(clauses, idx + 1, ret, doc, env)
+            } else {
+                Ok(false)
+            }
+        }
+    }
 }
 
 /// The dynamic environment: variable → sequence.
@@ -109,7 +240,7 @@ fn eval(q: &XQuery, doc: &Document, env: &Env) -> Result<Sequence, XQueryError> 
             binds,
             satisfies,
         } => {
-            let r = eval_quantified(binds, 0, satisfies, doc, env, *some)?;
+            let r = eval_quantified(binds, satisfies, doc, env, *some, false)?;
             Ok(vec![Item::Bool(r)])
         }
         XQuery::If { cond, then, els } => {
@@ -179,11 +310,11 @@ fn eval_flwor(
 
 fn eval_quantified(
     binds: &[(String, XQuery)],
-    idx: usize,
     satisfies: &XQuery,
     doc: &Document,
     env: &Env,
     some: bool,
+    lazy: bool,
 ) -> Result<bool, XQueryError> {
     // Hoist loop-invariant sources: a binding whose source mentions none
     // of the earlier binder names has the same value in every iteration
@@ -202,7 +333,7 @@ fn eval_quantified(
             }
         })
         .collect::<Result<_, _>>()?;
-    eval_quantified_rec(binds, &hoisted, idx, satisfies, doc, env, some)
+    eval_quantified_rec(binds, &hoisted, 0, satisfies, doc, env, some, lazy)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -214,9 +345,16 @@ fn eval_quantified_rec(
     doc: &Document,
     env: &Env,
     some: bool,
+    lazy: bool,
 ) -> Result<bool, XQueryError> {
     let Some((var, source)) = binds.get(idx) else {
-        return Ok(effective_boolean(&eval(satisfies, doc, env)?));
+        // Existential mode consumes the satisfies condition lazily — it
+        // is a boolean test either way, so the result is identical.
+        return if lazy {
+            eval_ebv(satisfies, doc, env)
+        } else {
+            Ok(effective_boolean(&eval(satisfies, doc, env)?))
+        };
     };
     let items = match &hoisted[idx] {
         Some(seq) => seq.clone(),
@@ -225,7 +363,7 @@ fn eval_quantified_rec(
     for item in items {
         xic_obs::incr(xic_obs::Counter::XqueryBindingsVisited);
         let env2 = env.bind(var, vec![item]);
-        let r = eval_quantified_rec(binds, hoisted, idx + 1, satisfies, doc, &env2, some)?;
+        let r = eval_quantified_rec(binds, hoisted, idx + 1, satisfies, doc, &env2, some, lazy)?;
         if r == some {
             // `some`: a witness suffices; `every`: a counterexample kills.
             return Ok(some);
@@ -398,19 +536,9 @@ fn eval_binary(
         BinOp::Union => match (va, vb) {
             (XValue::Nodes(mut x), XValue::Nodes(y)) => {
                 x.extend(y);
-                // Document order + dedupe.
-                let mut keyed: Vec<(Vec<u32>, u8, String, NodeRef)> = x
-                    .into_iter()
-                    .map(|n| match &n {
-                        NodeRef::Node(id) => (doc.order_key(*id), 0u8, String::new(), n),
-                        NodeRef::Attr { owner, name } => {
-                            (doc.order_key(*owner), 1u8, name.clone(), n)
-                        }
-                    })
-                    .collect();
-                keyed.sort();
-                keyed.dedup_by(|p, q| (&p.0, p.1, &p.2) == (&q.0, q.1, &q.2));
-                Ok(keyed.into_iter().map(|(_, _, _, n)| Item::Node(n)).collect())
+                // Document order + dedupe, via the shared rank-based path.
+                xic_xpath::dedupe_doc_order(doc, &mut x);
+                Ok(x.into_iter().map(Item::Node).collect())
             }
             _ => Err(XQueryError::Type("union of non-node-sets".to_string())),
         },
@@ -580,6 +708,53 @@ mod tests {
              satisfies $H/name/text() = $Ir/name/text() \
              and $H/../aut/name/text() = $Ir/sub/auts/name/text()"
         ));
+    }
+
+    #[test]
+    fn eval_query_exists_agrees_with_materializing_bool() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        for query in [
+            "some $lr in //rev satisfies $lr/sub/auts/name/text() = $lr/name/text()",
+            "some $lr in //rev[name/text() = 'Dan'] satisfies \
+             $lr/sub/auts/name/text() = $lr/name/text()",
+            "exists(for $lr in //rev let $d := $lr/sub where count($d) > 4 return <idle/>)",
+            "exists(for $lr in //rev let $d := $lr/sub where count($d) > 5 return <idle/>)",
+            "every $s in //sub satisfies count($s/auts) = 1",
+            "every $r in //rev satisfies count($r/sub) > 3",
+            "not(exists(for $z in //zzz return $z))",
+            "empty(//zzz)",
+            "exists(//rev | //track)",
+            "if (count(//rev) = 2) then 'yes' else ''",
+            "boolean((for $x in //track return $x/name))",
+            "exists(('', ''))",
+            "boolean('')",
+            "count((1, 2, 3)) + 1",
+            "2 >= 3 or count(//sub) = 7",
+        ] {
+            let q = parse_query(query).unwrap_or_else(|e| panic!("{query}: {e}"));
+            let full = eval_query_bool(&q, &doc).unwrap_or_else(|e| panic!("{query}: {e}"));
+            let lazy = eval_query_exists(&q, &doc).unwrap_or_else(|e| panic!("{query}: {e}"));
+            assert_eq!(lazy, full, "eval_query_exists disagrees on {query}");
+        }
+    }
+
+    #[test]
+    fn existential_flwor_stops_at_first_witness() {
+        let (doc, _) = parse_document(DOC).unwrap();
+        // Every rev violates the threshold, so the existential mode must
+        // stop after binding the first one.
+        let q = parse_query(
+            "exists(for $lr in //rev let $d := $lr/sub where count($d) > 1 return <idle/>)",
+        )
+        .unwrap();
+        xic_obs::reset();
+        assert!(eval_query_exists(&q, &doc).unwrap());
+        let lazy = xic_obs::counter(xic_obs::Counter::XqueryBindingsVisited);
+        xic_obs::reset();
+        assert!(eval_query_bool(&q, &doc).unwrap());
+        let full = xic_obs::counter(xic_obs::Counter::XqueryBindingsVisited);
+        assert_eq!(lazy, 1, "short-circuit after the first violating rev");
+        assert_eq!(full, 2, "materializer enumerates every rev");
     }
 
     #[test]

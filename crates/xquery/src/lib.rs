@@ -43,6 +43,6 @@ pub mod item;
 pub mod parser;
 
 pub use ast::{Clause, XQuery};
-pub use eval::{eval_query, eval_query_bool, XQueryError};
+pub use eval::{eval_query, eval_query_bool, eval_query_exists, XQueryError};
 pub use item::{Constructed, Item, Sequence};
 pub use parser::{parse_query, XQueryParseError};
