@@ -26,6 +26,15 @@ grep -v '^[[:space:]]*#' crates/difftest/corpus/regressions.txt \
         --cases 1 --seed "$seed" --out /tmp/BENCH_DIFFTEST_CORPUS.json
     done
 
+echo "== crash-matrix smoke (journal recovery under injected crashes) =="
+# 100 seeded, replayable cases: each arms a contained panic at a fault
+# site derived from the seed, drives a random statement batch against a
+# journaled checker, recovers, and asserts byte-identity with the
+# committed prefix of a never-crashed twin. Exits nonzero on any
+# divergence (replay: difftest -- --crash-matrix --seed N --cases 1).
+cargo run --release -q -p xic-difftest -- --crash-matrix --cases 100 --seed 1 \
+  --out /tmp/BENCH_CRASH_CI.json
+
 echo "== bench smoke (order/exists fast paths) =="
 # The criterion harness runs each benchmark a handful of times; this is a
 # does-it-run gate, not a performance assertion.
@@ -36,5 +45,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== clippy lib gate (-D clippy::unwrap_used) =="
+# Library code (the user-reachable surface) must not panic through bare
+# unwrap(); tests, benches and bins may. Internal invariants use
+# expect() with a message.
+cargo clippy --workspace --lib -- -D warnings -D clippy::unwrap_used
 
 echo "CI green."

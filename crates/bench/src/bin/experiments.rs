@@ -2,7 +2,8 @@
 //! machine-readable report (`BENCH_PR3.json`).
 //!
 //! ```text
-//! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache] [all]
+//! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache]
+//!             [journal] [budget] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
 //!             [--out=BENCH_PR3.json]
 //! ```
@@ -15,7 +16,10 @@
 //! than 50 ms"); `exists` compares the short-circuiting existential full
 //! check (sequential and parallel) against the materializing baseline on
 //! a violating state; `ordercache` compares a dedupe-heavy query with and
-//! without the cached document-order ranks.
+//! without the cached document-order ranks; `journal` measures the
+//! write-ahead journal's per-update overhead (off / on without fsync / on
+//! with per-record fsync); `budget` measures evaluation-step budgeting on
+//! the optimized fast path and the cost of its baseline fallback (E8).
 //!
 //! Every run also rewrites the JSON report: the sections just measured
 //! replace their previous versions, sections from earlier invocations are
@@ -25,7 +29,8 @@
 
 use std::time::Instant;
 use xic_bench::{
-    instance, measure_exists, measure_illegal, measure_order_cache, measure_row, Experiment,
+    instance, measure_budget, measure_exists, measure_illegal, measure_journal,
+    measure_order_cache, measure_row, Experiment,
 };
 use xic_mapping::map_update;
 use xicheck::obs::{self, json};
@@ -62,10 +67,12 @@ fn parse_args() -> Args {
         }
     }
     if what.is_empty() || what.iter().any(|w| w == "all") {
-        what = ["fig1a", "fig1b", "illegal", "simp", "exists", "ordercache"]
-            .iter()
-            .map(std::string::ToString::to_string)
-            .collect();
+        what = [
+            "fig1a", "fig1b", "illegal", "simp", "exists", "ordercache", "journal", "budget",
+        ]
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     }
     Args {
         what,
@@ -288,6 +295,73 @@ fn order_cache_section(args: &Args) -> json::Value {
     ])
 }
 
+fn journal_section(args: &Args) -> json::Value {
+    println!("== Write-ahead journal overhead on the update workload (E8) ==");
+    println!(
+        "{:>9} {:>9} {:>11} {:>10} {:>13} {:>9} {:>8}",
+        "size/KiB", "off/ms", "nosync/ms", "fsync/ms", "nosync ovh/%", "appends", "fsyncs"
+    );
+    obs::reset();
+    let mut rows = Vec::new();
+    for &kib in &args.sizes {
+        let r = measure_journal(Experiment::ConflictOfInterests, kib, args.seed, args.iters);
+        println!(
+            "{:>9} {:>9.3} {:>11.3} {:>10.3} {:>13.2} {:>9} {:>8}",
+            r.kib, r.off_ms, r.nosync_ms, r.fsync_ms, r.nosync_overhead_pct, r.appends, r.fsyncs
+        );
+        rows.push(json::Value::Object(vec![
+            ("kib".to_string(), num(r.kib as f64)),
+            ("journal_off_ms".to_string(), num(r.off_ms)),
+            ("journal_nosync_ms".to_string(), num(r.nosync_ms)),
+            ("journal_fsync_ms".to_string(), num(r.fsync_ms)),
+            ("nosync_overhead_pct".to_string(), num(r.nosync_overhead_pct)),
+            ("appends".to_string(), num(r.appends as f64)),
+            ("fsyncs".to_string(), num(r.fsyncs as f64)),
+        ]));
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
+fn budget_section(args: &Args) -> json::Value {
+    println!("== Evaluation-budget overhead on the optimized fast path (E8) ==");
+    println!(
+        "{:>9} {:>14} {:>12} {:>8} {:>21}",
+        "size/KiB", "unbudgeted/ms", "budgeted/ms", "ovh/%", "exhausted fallback/ms"
+    );
+    obs::reset();
+    let mut rows = Vec::new();
+    for &kib in &args.sizes {
+        let r = measure_budget(Experiment::ConflictOfInterests, kib, args.seed, args.iters);
+        println!(
+            "{:>9} {:>14.3} {:>12.3} {:>8.2} {:>21.2}",
+            r.kib, r.unbudgeted_ms, r.budgeted_ms, r.overhead_pct, r.exhausted_fallback_ms
+        );
+        rows.push(json::Value::Object(vec![
+            ("kib".to_string(), num(r.kib as f64)),
+            ("unbudgeted_ms".to_string(), num(r.unbudgeted_ms)),
+            ("budgeted_ms".to_string(), num(r.budgeted_ms)),
+            ("overhead_pct".to_string(), num(r.overhead_pct)),
+            (
+                "exhausted_fallback_ms".to_string(),
+                num(r.exhausted_fallback_ms),
+            ),
+        ]));
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
 /// Rewrites `path`, replacing the sections in `fresh` and keeping every
 /// other section from a previous run, so `experiments fig1a` followed by
 /// `experiments fig1b` accumulates both figures in one report.
@@ -351,10 +425,12 @@ fn main() {
             "simp" => simp_latency(&args),
             "exists" => exists_section(&args),
             "ordercache" => order_cache_section(&args),
+            "journal" => journal_section(&args),
+            "budget" => budget_section(&args),
             other => {
                 eprintln!(
                     "unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp, \
-                     exists, ordercache)"
+                     exists, ordercache, journal, budget)"
                 );
                 failed = true;
                 continue;
@@ -364,6 +440,8 @@ fn main() {
         let key = match w.as_str() {
             "exists" => "exists-short-circuit",
             "ordercache" => "order-key-cache",
+            "journal" => "journal-overhead",
+            "budget" => "budget-overhead",
             other => other,
         };
         sections.push((key.to_string(), section));

@@ -4,10 +4,14 @@ use crate::compile::{compile_pattern, CompiledPattern};
 use crate::resolver::xpath_resolver;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use xic_datalog::Denial;
 use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
 use xic_translate::{translate_denials, QueryTemplate};
-use xic_xml::{apply, parse_document, undo, Document, Dtd, XUpdateDoc};
+use xic_xml::journal::{crc32, Journal, RecordKind};
+use xic_xml::{apply, parse_document, serialize, undo, AppliedUpdate, Document, Dtd, XUpdateDoc};
+use xic_xpath::EvalBudget;
 use xic_xquery::{eval_query_bool, eval_query_exists, parse_query, XQuery};
 
 /// Documents below this node count are always checked sequentially: the
@@ -82,6 +86,22 @@ pub enum CheckerError {
     Statement(String),
     /// Internal query failure (a bug or an unsupported corner).
     Query(String),
+    /// The armed [`EvalBudget`] ran out of steps before the check
+    /// finished. Only surfaced by the explicit check entry points
+    /// ([`Checker::check_optimized`]); [`Checker::try_update`] instead
+    /// degrades to the baseline pass.
+    BudgetExhausted,
+    /// A panic escaped from evaluation or apply and was contained; the
+    /// payload message is preserved. The checker is now poisoned.
+    Panicked(String),
+    /// A mutating operation was refused because an earlier contained
+    /// panic left the in-memory state suspect. Rebuild via
+    /// [`Checker::recover`] (or a fresh constructor).
+    Poisoned,
+    /// Write-ahead journal failure: create/append/fsync, or a recovery
+    /// that cannot proceed (base-snapshot mismatch, out-of-sequence or
+    /// unreplayable record).
+    Journal(String),
 }
 
 impl fmt::Display for CheckerError {
@@ -90,6 +110,12 @@ impl fmt::Display for CheckerError {
             CheckerError::Setup(m) => write!(f, "setup error: {m}"),
             CheckerError::Statement(m) => write!(f, "bad statement: {m}"),
             CheckerError::Query(m) => write!(f, "query error: {m}"),
+            CheckerError::BudgetExhausted => f.write_str("evaluation budget exhausted"),
+            CheckerError::Panicked(m) => write!(f, "panic contained (checker poisoned): {m}"),
+            CheckerError::Poisoned => {
+                f.write_str("checker is poisoned by a contained panic; recover before mutating")
+            }
+            CheckerError::Journal(m) => write!(f, "journal error: {m}"),
         }
     }
 }
@@ -115,6 +141,21 @@ pub struct Stats {
     pub pattern_cache_hits: u64,
     /// Updates whose pattern had to be compiled on first sight.
     pub pattern_cache_misses: u64,
+    /// Optimized checks abandoned because the [`EvalBudget`] ran out
+    /// (each one fell back to the baseline pass, so it is also counted
+    /// in `full_checks`).
+    pub budget_exhausted: u64,
+}
+
+/// What [`Checker::recover`] found in the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Commit records replayed onto the base document.
+    pub replayed: usize,
+    /// Abort records skipped (rolled-back batches; nothing to replay).
+    pub aborts_skipped: usize,
+    /// True if a torn or corrupt tail was detected and truncated.
+    pub torn_tail_truncated: bool,
 }
 
 /// The integrity checker: document + DTD + compiled constraints.
@@ -135,6 +176,16 @@ pub struct Checker {
     /// `Some(b)` forces the full check to run parallel (`true`) or
     /// sequential (`false`); `None` picks by document size and core count.
     parallel_full: Option<bool>,
+    /// Write-ahead journal; when attached, every committed update is
+    /// durable before [`Checker::try_update`] returns its verdict.
+    journal: Option<Journal>,
+    /// Committed-statement count — the version stamped on journal records.
+    committed: u64,
+    /// Set when a contained panic leaves the in-memory tree suspect;
+    /// mutating operations are refused until recovery.
+    poisoned: bool,
+    /// Step budget armed around the optimized pre-update check.
+    eval_budget: Option<EvalBudget>,
     stats: Stats,
 }
 
@@ -179,6 +230,10 @@ impl Checker {
             full_parsed,
             patterns: HashMap::new(),
             parallel_full: None,
+            journal: None,
+            committed: 0,
+            poisoned: false,
+            eval_budget: None,
             stats: Stats::default(),
         })
     }
@@ -264,6 +319,130 @@ impl Checker {
     /// size and available cores.
     pub fn set_parallel_full(&mut self, force: Option<bool>) {
         self.parallel_full = force;
+    }
+
+    /// Attaches a write-ahead journal at `path` (created/truncated),
+    /// stamped with a checksum of the *current* document state — the base
+    /// the journal replays onto. From now on every statement committed by
+    /// [`Checker::try_update`] / [`Checker::apply_unchecked`] is appended
+    /// (and, with `sync`, fsync'd) before the verdict is returned.
+    ///
+    /// To recover after a crash, call [`Checker::recover`] with the same
+    /// base document text.
+    pub fn attach_journal(&mut self, path: &Path, sync: bool) -> Result<(), CheckerError> {
+        let base_crc = crc32(serialize(&self.doc).as_bytes());
+        let journal = Journal::create(path, base_crc, sync)
+            .map_err(|e| CheckerError::Journal(e.to_string()))?;
+        self.journal = Some(journal);
+        self.committed = 0;
+        Ok(())
+    }
+
+    /// True if a journal is attached.
+    pub fn journal_attached(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Toggles fsync-per-commit on the attached journal (no-op without
+    /// one). Disabling trades durability of the last few records for
+    /// throughput; the journal structure stays crash-consistent.
+    pub fn set_journal_sync(&mut self, sync: bool) {
+        if let Some(j) = self.journal.as_mut() {
+            j.set_sync(sync);
+        }
+    }
+
+    /// Statements committed (and journaled, when a journal is attached)
+    /// since construction or recovery.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Arms (or disarms, with `None`) a step budget for the optimized
+    /// pre-update check. When the budget runs out mid-check,
+    /// [`Checker::try_update`] degrades to the baseline pass (apply, full
+    /// check, rollback on violation) — same verdict, bounded
+    /// optimized-path latency — and [`Checker::check_optimized`] returns
+    /// [`CheckerError::BudgetExhausted`]. The baseline pass itself always
+    /// runs unbudgeted.
+    pub fn set_eval_budget(&mut self, budget: Option<EvalBudget>) {
+        self.eval_budget = budget;
+    }
+
+    /// The armed optimized-check budget, if any.
+    pub fn eval_budget(&self) -> Option<EvalBudget> {
+        self.eval_budget
+    }
+
+    /// True once a contained panic has poisoned this checker: the
+    /// in-memory tree may be half-updated, so mutating operations return
+    /// [`CheckerError::Poisoned`]. Rebuild the state with
+    /// [`Checker::recover`].
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn refuse_if_poisoned(&self) -> Result<(), CheckerError> {
+        if self.poisoned {
+            Err(CheckerError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Rebuilds a checker after a crash: parses the *base* document (the
+    /// state the journal was attached on), scans the journal at `journal`
+    /// — truncating any torn tail — and replays the committed records in
+    /// order. Abort records are skipped. The journal is left attached, so
+    /// the recovered checker resumes journaling where the crashed one
+    /// stopped.
+    ///
+    /// Fails with [`CheckerError::Journal`] if the base document does not
+    /// match the journal's base checksum (e.g. a snapshot newer than the
+    /// journal head), or if records are out of sequence or unreplayable.
+    pub fn recover(
+        xml: &str,
+        dtd: &str,
+        constraints: &str,
+        journal: &Path,
+    ) -> Result<(Checker, RecoveryReport), CheckerError> {
+        let mut checker = Checker::new(xml, dtd, constraints)?;
+        let base_crc = crc32(serialize(&checker.doc).as_bytes());
+        let recovered = Journal::recover(journal, Some(base_crc))
+            .map_err(|e| CheckerError::Journal(e.to_string()))?;
+        let mut replayed = 0usize;
+        let mut aborts_skipped = 0usize;
+        for rec in &recovered.records {
+            match rec.kind {
+                RecordKind::Abort => aborts_skipped += 1,
+                RecordKind::Commit => {
+                    let expected = replayed as u64 + 1;
+                    if rec.version != expected {
+                        return Err(CheckerError::Journal(format!(
+                            "commit record out of sequence: found version {}, expected {expected}",
+                            rec.version
+                        )));
+                    }
+                    let stmt = XUpdateDoc::parse(&rec.stmt).map_err(|e| {
+                        CheckerError::Journal(format!("record {expected} does not parse: {e}"))
+                    })?;
+                    if let Err((e, partial)) = apply(&mut checker.doc, &stmt, &xpath_resolver) {
+                        undo(&mut checker.doc, partial);
+                        return Err(CheckerError::Journal(format!(
+                            "replay of record {expected} failed: {e}"
+                        )));
+                    }
+                    replayed += 1;
+                }
+            }
+        }
+        checker.committed = replayed as u64;
+        checker.journal = Some(recovered.journal);
+        xic_obs::incr(xic_obs::Counter::Recovery);
+        Ok((
+            checker,
+            RecoveryReport { replayed, aborts_skipped, torn_tail_truncated: recovered.torn },
+        ))
     }
 
     /// Runs the full (non-simplified) constraint check against the current
@@ -406,14 +585,21 @@ impl Checker {
         // deterministic), so the new bindings apply directly.
         let _check = xic_obs::phase("check");
         let _optimized = xic_obs::phase("optimized");
+        let _budget = self.eval_budget.map(xic_xpath::budget::arm);
         for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
             let text = q
                 .instantiate(&self.doc, &mapped.bindings)
                 .map_err(|e| CheckerError::Query(e.to_string()))?;
             let parsed =
                 parse_query(&text).map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-            let violated = eval_query_exists(&parsed, &self.doc)
-                .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+            let violated = match eval_query_exists(&parsed, &self.doc) {
+                Ok(v) => v,
+                Err(e) if e.is_budget_exhausted() => {
+                    xic_obs::incr(xic_obs::Counter::BudgetExhausted);
+                    return Err(CheckerError::BudgetExhausted);
+                }
+                Err(e) => return Err(CheckerError::Query(format!("{text}: {e}"))),
+            };
             if violated {
                 return Ok(Some(Violation {
                     denial: d.to_string(),
@@ -446,6 +632,7 @@ impl Checker {
         stmt: &XUpdateDoc,
         strategy: Strategy,
     ) -> Result<Option<Violation>, CheckerError> {
+        self.refuse_if_poisoned()?;
         match strategy {
             Strategy::Optimized => {
                 let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
@@ -477,14 +664,81 @@ impl Checker {
         }
     }
 
-    /// Applies `stmt` without any integrity check (workload setup).
+    /// Applies `stmt` without any integrity check (workload setup). With a
+    /// journal attached the statement is journaled like a committed
+    /// update, so recovery replays it.
     pub fn apply_unchecked(&mut self, stmt: &XUpdateDoc) -> Result<(), CheckerError> {
-        apply(&mut self.doc, stmt, &xpath_resolver)
-            .map(|_| ())
-            .map_err(|(e, partial)| {
+        self.refuse_if_poisoned()?;
+        let applied = self.apply_or_abort(stmt)?;
+        self.commit_journal(stmt, applied)
+    }
+
+    /// Applies `stmt`; on a mid-batch failure rolls the already-applied
+    /// prefix back and journals an abort record before reporting the
+    /// error (the document is unchanged either way).
+    fn apply_or_abort(&mut self, stmt: &XUpdateDoc) -> Result<AppliedUpdate, CheckerError> {
+        let _update = xic_obs::phase("update");
+        let _apply = xic_obs::phase("apply");
+        match apply(&mut self.doc, stmt, &xpath_resolver) {
+            Ok(applied) => Ok(applied),
+            Err((e, partial)) => {
                 undo(&mut self.doc, partial);
-                CheckerError::Statement(e.to_string())
-            })
+                self.journal_abort(stmt);
+                Err(CheckerError::Statement(e.to_string()))
+            }
+        }
+    }
+
+    /// Best-effort abort record: documents a rolled-back batch. Failure to
+    /// append it is swallowed — the statement already failed, the document
+    /// is restored, and replay skips aborts anyway.
+    fn journal_abort(&mut self, stmt: &XUpdateDoc) {
+        let next = self.committed + 1;
+        if let Some(j) = self.journal.as_mut() {
+            let _ = j.append(RecordKind::Abort, next, &stmt.to_xml());
+        }
+    }
+
+    /// Appends the commit record for an update that is applied in memory,
+    /// fsync'ing (per the journal's sync mode) before returning — i.e.
+    /// before the caller sees the verdict. On append failure the update is
+    /// rolled back so document and journal stay in step; on a failure
+    /// *after* the record is durable the checker is poisoned instead,
+    /// because in-memory and on-disk state now agree with each other but
+    /// not with the error the caller sees.
+    fn commit_journal(
+        &mut self,
+        stmt: &XUpdateDoc,
+        applied: AppliedUpdate,
+    ) -> Result<(), CheckerError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let next = self.committed + 1;
+        let append = match xic_faults::fire("checker.commit.pre") {
+            Err(e) => Err(xic_xml::JournalError::Io(e.to_string())),
+            Ok(()) => self
+                .journal
+                .as_mut()
+                .expect("journal presence checked above")
+                .append(RecordKind::Commit, next, &stmt.to_xml()),
+        };
+        match append {
+            Ok(()) => {
+                self.committed = next;
+                if let Err(e) = xic_faults::fire("checker.commit.post") {
+                    self.poisoned = true;
+                    return Err(CheckerError::Journal(format!(
+                        "{e} (after durable commit; checker poisoned)"
+                    )));
+                }
+                Ok(())
+            }
+            Err(e) => {
+                undo(&mut self.doc, applied);
+                Err(CheckerError::Journal(e.to_string()))
+            }
+        }
     }
 
     /// Checks and (when legal) applies an update statement given as text.
@@ -505,77 +759,112 @@ impl Checker {
     /// paper generates simplifications at schema design time; compiling
     /// lazily here only changes *when* the one-off cost is paid — see the
     /// `simplify_time` benchmark for its magnitude).
+    /// Any panic escaping evaluation or apply is contained here
+    /// (`catch_unwind`): it is returned as [`CheckerError::Panicked`] and
+    /// the checker is poisoned — mutating operations are refused until the
+    /// state is rebuilt with [`Checker::recover`]. With a journal attached
+    /// the commit record is durable before the verdict is returned.
     pub fn try_update(&mut self, stmt: &XUpdateDoc) -> Result<UpdateOutcome, CheckerError> {
-        // Try the optimized path.
-        if stmt.insertions_only() {
-            if let Ok(mapped) = map_update(&self.doc, &self.schema, stmt, &xpath_resolver) {
-                let key = pattern_key(&mapped.update);
-                if self.patterns.contains_key(&key) {
-                    self.stats.pattern_cache_hits += 1;
-                    xic_obs::incr(xic_obs::Counter::PatternCacheHit);
-                } else {
-                    self.stats.pattern_cache_misses += 1;
-                    xic_obs::incr(xic_obs::Counter::PatternCacheMiss);
-                    let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
-                    self.patterns.insert(key.clone(), compiled);
-                }
-                let pattern = &self.patterns[&key];
-                if pattern.is_incremental() {
-                    self.stats.optimized_checks += 1;
-                    let _check = xic_obs::phase("check");
-                    let _optimized = xic_obs::phase("optimized");
-                    let mut violation = None;
-                    for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
-                        let text = q
-                            .instantiate(&self.doc, &mapped.bindings)
-                            .map_err(|e| CheckerError::Query(e.to_string()))?;
-                        let parsed = parse_query(&text)
-                            .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-                        if eval_query_exists(&parsed, &self.doc)
-                            .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?
-                        {
-                            violation = Some(Violation {
-                                denial: d.to_string(),
-                                query: text,
-                            });
-                            break;
-                        }
-                    }
-                    drop(_optimized);
-                    drop(_check);
-                    if let Some(violation) = violation {
-                        self.stats.early_rejections += 1;
-                        return Ok(UpdateOutcome::Rejected {
-                            strategy: Strategy::Optimized,
-                            violation,
+        self.refuse_if_poisoned()?;
+        match catch_unwind(AssertUnwindSafe(|| self.try_update_inner(stmt))) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.poisoned = true;
+                xic_obs::incr(xic_obs::Counter::PanicContained);
+                Err(CheckerError::Panicked(panic_message(&*payload)))
+            }
+        }
+    }
+
+    fn try_update_inner(&mut self, stmt: &XUpdateDoc) -> Result<UpdateOutcome, CheckerError> {
+        // Try the optimized path; `break 'optimized` degrades to the
+        // baseline pass (non-insertion statement, no incremental pattern,
+        // or evaluation budget exhausted).
+        'optimized: {
+            if !stmt.insertions_only() {
+                break 'optimized;
+            }
+            let Ok(mapped) = map_update(&self.doc, &self.schema, stmt, &xpath_resolver) else {
+                break 'optimized;
+            };
+            let key = pattern_key(&mapped.update);
+            if self.patterns.contains_key(&key) {
+                self.stats.pattern_cache_hits += 1;
+                xic_obs::incr(xic_obs::Counter::PatternCacheHit);
+            } else {
+                self.stats.pattern_cache_misses += 1;
+                xic_obs::incr(xic_obs::Counter::PatternCacheMiss);
+                let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
+                self.patterns.insert(key.clone(), compiled);
+            }
+            let pattern = &self.patterns[&key];
+            if !pattern.is_incremental() {
+                break 'optimized;
+            }
+            self.stats.optimized_checks += 1;
+            let _check = xic_obs::phase("check");
+            let _optimized = xic_obs::phase("optimized");
+            let _budget = self.eval_budget.map(xic_xpath::budget::arm);
+            let mut violation = None;
+            let mut exhausted = false;
+            for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
+                let text = q
+                    .instantiate(&self.doc, &mapped.bindings)
+                    .map_err(|e| CheckerError::Query(e.to_string()))?;
+                let parsed = parse_query(&text)
+                    .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+                match eval_query_exists(&parsed, &self.doc) {
+                    Ok(true) => {
+                        violation = Some(Violation {
+                            denial: d.to_string(),
+                            query: text,
                         });
+                        break;
                     }
-                    // Legal: now (and only now) execute the update.
-                    {
-                        let _update = xic_obs::phase("update");
-                        let _apply = xic_obs::phase("apply");
-                        self.apply_unchecked(stmt)?;
+                    Ok(false) => {}
+                    Err(e) if e.is_budget_exhausted() => {
+                        exhausted = true;
+                        break;
                     }
-                    return Ok(UpdateOutcome::Applied {
-                        strategy: Strategy::Optimized,
-                    });
+                    Err(e) => return Err(CheckerError::Query(format!("{text}: {e}"))),
                 }
             }
+            drop(_budget);
+            drop(_optimized);
+            drop(_check);
+            if exhausted {
+                // Degrade gracefully: the (unbudgeted) baseline pass below
+                // materializes the update and full-checks the new state,
+                // returning the verdict the optimized check would have.
+                self.stats.budget_exhausted += 1;
+                xic_obs::incr(xic_obs::Counter::BudgetExhausted);
+                break 'optimized;
+            }
+            if let Some(violation) = violation {
+                self.stats.early_rejections += 1;
+                return Ok(UpdateOutcome::Rejected {
+                    strategy: Strategy::Optimized,
+                    violation,
+                });
+            }
+            // Legal: now (and only now) execute the update, then make the
+            // commit durable before returning the verdict.
+            let applied = self.apply_or_abort(stmt)?;
+            self.commit_journal(stmt, applied)?;
+            return Ok(UpdateOutcome::Applied {
+                strategy: Strategy::Optimized,
+            });
         }
         // Baseline: apply, check, roll back on violation.
         self.stats.full_checks += 1;
-        let applied = {
-            let _update = xic_obs::phase("update");
-            let _apply = xic_obs::phase("apply");
-            apply(&mut self.doc, stmt, &xpath_resolver).map_err(|(e, partial)| {
-                undo(&mut self.doc, partial);
-                CheckerError::Statement(e.to_string())
-            })?
-        };
+        let applied = self.apply_or_abort(stmt)?;
         match self.check_full()? {
-            None => Ok(UpdateOutcome::Applied {
-                strategy: Strategy::FullWithRollback,
-            }),
+            None => {
+                self.commit_journal(stmt, applied)?;
+                Ok(UpdateOutcome::Applied {
+                    strategy: Strategy::FullWithRollback,
+                })
+            }
             Some(violation) => {
                 {
                     let _update = xic_obs::phase("update");
@@ -589,6 +878,18 @@ impl Checker {
                 })
             }
         }
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` cases cover every
+/// `panic!` in this workspace; anything else is reported generically).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -59,7 +59,9 @@ pub mod checker;
 pub mod compile;
 pub mod resolver;
 
-pub use checker::{Checker, CheckerError, Stats, Strategy, UpdateOutcome, Violation};
+pub use checker::{
+    Checker, CheckerError, RecoveryReport, Stats, Strategy, UpdateOutcome, Violation,
+};
 pub use compile::{compile_pattern, CompiledPattern};
 pub use resolver::xpath_resolver;
 
@@ -70,5 +72,6 @@ pub use xic_datalog::{Database, Denial, Update, Value};
 pub use xic_mapping::{map_denials, shred, RelSchema};
 pub use xic_simplify::{freshness_hypotheses, simp, FreshSpec, SimpConfig};
 pub use xic_translate::QueryTemplate;
-pub use xic_xml::{parse_document, Document, Dtd, XUpdateDoc};
+pub use xic_xml::{parse_document, Document, Dtd, Journal, JournalError, XUpdateDoc};
+pub use xic_xpath::EvalBudget;
 pub use xic_xpathlog::LDenial;

@@ -3,7 +3,14 @@
 //! ```text
 //! cargo run --release -p xic-difftest -- --cases 2000 --seed 1
 //! cargo run -p xic-difftest -- --seed 4242        # replay one case
+//! cargo run -p xic-difftest -- --crash-matrix --cases 100 --seed 1
+//! cargo run -p xic-difftest -- --crash-matrix --seed 17 --cases 1  # replay
 //! ```
+//!
+//! `--crash-matrix` switches to the crash-recovery oracle (the `crash`
+//! module in the library): each case injects a contained panic at a fault site
+//! derived from the seed and asserts that journal recovery reproduces the
+//! committed prefix of a never-crashed twin run, byte for byte.
 //!
 //! Exit code 0 means every case passed all four oracles (and, for runs of
 //! ≥ 100 cases, that all six XUpdate operation kinds were exercised);
@@ -22,13 +29,15 @@ struct Args {
     seed: u64,
     out: String,
     dump: bool,
+    crash_matrix: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut cases = 1;
     let mut seed = 1;
-    let mut out = "BENCH_DIFFTEST.json".to_string();
+    let mut out = String::new();
     let mut dump = false;
+    let mut crash_matrix = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     // Accept both `--key=value` and `--key value`.
@@ -62,16 +71,94 @@ fn parse_args() -> Result<Args, String> {
                 out = next_value(&mut i, inline.as_deref())?;
             }
             "--dump" => dump = true,
+            "--crash-matrix" => crash_matrix = true,
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
+    }
+    if out.is_empty() {
+        out = if crash_matrix {
+            "BENCH_CRASH.json".to_string()
+        } else {
+            "BENCH_DIFFTEST.json".to_string()
+        };
     }
     Ok(Args {
         cases,
         seed,
         out,
         dump,
+        crash_matrix,
     })
+}
+
+/// Runs the crash matrix and writes its JSON report.
+fn run_crash_matrix(args: &Args) -> ExitCode {
+    // Contained panics are expected machinery here, one per case; silence
+    // the default hook's per-panic backtrace spam for the duration.
+    std::panic::set_hook(Box::new(|_| {}));
+    obs::reset();
+    let report = xic_difftest::crash::run_matrix(xic_difftest::crash::CrashConfig {
+        seed: args.seed,
+        cases: args.cases,
+    });
+    let _ = std::panic::take_hook();
+    let snapshot = obs::snapshot();
+    for d in &report.divergences {
+        eprintln!("{}", d.report());
+    }
+    println!(
+        "crash-matrix: {} cases from seed {} — {} divergences, {} faults fired, \
+         {} torn tails truncated, {} commits replayed",
+        args.cases,
+        args.seed,
+        report.divergences.len(),
+        report.fired,
+        report.torn_tails,
+        report.replayed,
+    );
+    let json = Value::Object(vec![
+        ("bench".to_string(), Value::String("crash-matrix".to_string())),
+        ("seed".to_string(), Value::Number(args.seed as f64)),
+        ("cases".to_string(), Value::Number(args.cases as f64)),
+        (
+            "divergences".to_string(),
+            Value::Number(report.divergences.len() as f64),
+        ),
+        ("faults_fired".to_string(), Value::Number(report.fired as f64)),
+        (
+            "torn_tails_truncated".to_string(),
+            Value::Number(report.torn_tails as f64),
+        ),
+        (
+            "commits_replayed".to_string(),
+            Value::Number(report.replayed as f64),
+        ),
+        (
+            "failing_seeds".to_string(),
+            Value::Array(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| Value::Number(d.seed as f64))
+                    .collect(),
+            ),
+        ),
+        ("obs".to_string(), snapshot.to_json_value()),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, json.render_pretty(2) + "\n") {
+        eprintln!("difftest: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", args.out);
+    if !report.divergences.is_empty() {
+        return ExitCode::from(1);
+    }
+    if args.cases >= 100 && report.fired == 0 {
+        eprintln!("crash-matrix: no armed fault ever fired in {} cases", args.cases);
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }
 
 const OP_COUNTERS: [obs::Counter; 6] = [
@@ -88,10 +175,13 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("difftest: {e}");
-            eprintln!("usage: difftest [--cases N] [--seed N] [--out FILE]");
+            eprintln!("usage: difftest [--crash-matrix] [--cases N] [--seed N] [--out FILE]");
             return ExitCode::from(2);
         }
     };
+    if args.crash_matrix {
+        return run_crash_matrix(&args);
+    }
     if args.dump {
         // Print the generated artifacts for `--seed` without running any
         // oracle — the raw material behind a replayed discrepancy.

@@ -1,0 +1,323 @@
+//! Seed-deterministic fault injection for crash and error-path testing.
+//!
+//! Production code threads *named fault sites* through its write paths by
+//! calling [`fire`] at the points where a crash or I/O error would be most
+//! damaging (mid-record journal writes, between apply and commit, per
+//! XUpdate operation). A test harness then *arms* a site with
+//! [`arm`]`(site, nth, mode)`: the `nth` time that site is hit, the
+//! configured fault triggers — a panic, a process abort, or an injected
+//! `Err` — and every other hit is a no-op.
+//!
+//! Design constraints:
+//!
+//! - **Disarmed cost is one relaxed atomic load.** When nothing is armed
+//!   (the production state), [`fire`] reads a single `AtomicBool` and
+//!   returns; the registry mutex is never touched.
+//! - **Deterministic.** Triggering depends only on the arm parameters and
+//!   the hit order, so a crash case is replayable from `(seed, site, nth)`.
+//! - **Thread-safe and thread-scoped.** The registry is a mutex-guarded
+//!   table; hit counting is serialized, and the fault itself triggers
+//!   after the lock is released so a panic never poisons the registry.
+//!   A fault only counts and triggers hits from the thread that armed it,
+//!   so concurrently running tests (each on its own harness thread) and
+//!   unrelated worker threads cannot consume or trip each other's
+//!   faults. Cross-process injection calls [`arm_from_env`] on the thread
+//!   that will drive the workload.
+//! - **Cross-process.** [`arm_from_env`] arms sites from the `XIC_FAULTS`
+//!   environment variable (`site:nth:mode[,site:nth:mode...]`) so a parent
+//!   can inject a real `abort()` into a spawned child.
+//!
+//! The canonical list of sites compiled into the workspace is [`SITES`];
+//! the crash-matrix harness in `xic-difftest` enumerates it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What happens when an armed site reaches its trigger hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// `panic!` at the site. Combined with the `catch_unwind` containment
+    /// in `xicheck`, this simulates a crash in-process: the in-memory
+    /// state is lost (checker poisoned) while on-disk state is left
+    /// exactly as a real crash would leave it, because journal writes are
+    /// unbuffered.
+    Panic,
+    /// `std::process::abort()` — a real crash, for child-process harnesses.
+    Abort,
+    /// Return `Err(FaultError)` from [`fire`], exercising error-handling
+    /// paths (rollback, abort records) without terminating anything.
+    Error,
+}
+
+impl FaultMode {
+    /// Parse the textual form used by `XIC_FAULTS`.
+    pub fn parse(s: &str) -> Option<FaultMode> {
+        match s {
+            "panic" => Some(FaultMode::Panic),
+            "abort" => Some(FaultMode::Abort),
+            "error" => Some(FaultMode::Error),
+            _ => None,
+        }
+    }
+}
+
+/// The injected error returned by [`fire`] for [`FaultMode::Error`] faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site that triggered.
+    pub site: &'static str,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at site `{}`", self.site)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Fault sites compiled into the workspace write paths, in rough
+/// write-path order. The crash matrix iterates this list; keep it in sync
+/// with the `fire(...)` calls in `xic-xml` and `xicheck`.
+pub const SITES: &[&str] = &[
+    // Fired before each XUpdate operation is applied to the tree
+    // (`xic_xml::xupdate::apply`). Hit once per op, so `nth` selects the
+    // op index within a batch.
+    "xupdate.apply.op",
+    // Journal append, before any byte is written.
+    "journal.append.pre",
+    // Journal append, after the record is half-written: crashing here
+    // leaves a torn tail that recovery must detect and truncate.
+    "journal.append.mid",
+    // Journal append, after the full record is written but before fsync.
+    "journal.append.post_write",
+    // Journal append, after fsync: the record is durable.
+    "journal.append.post_fsync",
+    // Checker commit, after the update is applied and checked but before
+    // the journal record is appended.
+    "checker.commit.pre",
+    // Checker commit, after the journal record is durable but before the
+    // verdict is returned to the caller.
+    "checker.commit.post",
+];
+
+struct ArmedFault {
+    site: String,
+    nth: u64,
+    hits: u64,
+    mode: FaultMode,
+    /// Only hits from the arming thread count (see module docs).
+    thread: std::thread::ThreadId,
+}
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Vec<ArmedFault>> = Mutex::new(Vec::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<ArmedFault>> {
+    // A panic raised by a triggering fault never holds this lock (see
+    // `fire_slow`), but an unrelated test panic could; recover the data
+    // rather than cascading.
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm `site` to trigger `mode` on its `nth` hit (1-based), counting only
+/// hits from the calling thread. Hits before and after the `nth` pass
+/// through untouched: the fault is single-shot.
+///
+/// Arming the same site twice stacks two independent triggers; use
+/// [`disarm_all`] between test cases.
+pub fn arm(site: &str, nth: u64, mode: FaultMode) {
+    let mut reg = registry();
+    reg.push(ArmedFault {
+        site: site.to_string(),
+        nth: nth.max(1),
+        hits: 0,
+        mode,
+        thread: std::thread::current().id(),
+    });
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm every fault and reset all hit counts.
+pub fn disarm_all() {
+    let mut reg = registry();
+    reg.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// True if any site is currently armed.
+pub fn any_armed() -> bool {
+    ANY_ARMED.load(Ordering::Acquire)
+}
+
+/// How many times `site` has been hit since it was armed (0 if not armed).
+/// When the same site is armed more than once, returns the maximum.
+pub fn hits(site: &str) -> u64 {
+    registry()
+        .iter()
+        .filter(|f| f.site == site)
+        .map(|f| f.hits)
+        .max()
+        .unwrap_or(0)
+}
+
+/// A fault site. Call this at the point in a write path where a crash or
+/// I/O failure should be injectable. Returns `Ok(())` unless an armed
+/// [`FaultMode::Error`] fault triggers; `Panic`/`Abort` faults do not
+/// return.
+#[inline]
+pub fn fire(site: &'static str) -> Result<(), FaultError> {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    fire_slow(site)
+}
+
+#[cold]
+fn fire_slow(site: &'static str) -> Result<(), FaultError> {
+    let me = std::thread::current().id();
+    let mode = {
+        let mut reg = registry();
+        let mut triggered = None;
+        for f in reg.iter_mut().filter(|f| f.site == site && f.thread == me) {
+            f.hits += 1;
+            if f.hits == f.nth {
+                triggered = Some(f.mode);
+            }
+        }
+        triggered
+        // Lock released here so a panic below cannot poison the registry.
+    };
+    match mode {
+        None => Ok(()),
+        Some(FaultMode::Error) => Err(FaultError { site }),
+        Some(FaultMode::Panic) => panic!("injected fault (panic) at site `{site}`"),
+        Some(FaultMode::Abort) => std::process::abort(),
+    }
+}
+
+/// Environment variable read by [`arm_from_env`].
+pub const ENV_VAR: &str = "XIC_FAULTS";
+
+/// Arm faults from the `XIC_FAULTS` environment variable, used to inject
+/// real aborts into spawned child processes. The format is a
+/// comma-separated list of `site:nth:mode` triples, e.g.
+/// `journal.append.mid:2:abort`. Returns the number of faults armed, or
+/// a description of the first malformed entry.
+pub fn arm_from_env() -> Result<usize, String> {
+    let Ok(spec) = std::env::var(ENV_VAR) else {
+        return Ok(0);
+    };
+    let mut armed = 0;
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let parts: Vec<&str> = entry.trim().split(':').collect();
+        let [site, nth, mode] = parts[..] else {
+            return Err(format!("malformed {ENV_VAR} entry `{entry}` (want site:nth:mode)"));
+        };
+        let nth: u64 = nth
+            .parse()
+            .map_err(|_| format!("bad hit count in {ENV_VAR} entry `{entry}`"))?;
+        let mode = FaultMode::parse(mode)
+            .ok_or_else(|| format!("bad mode in {ENV_VAR} entry `{entry}` (want panic|abort|error)"))?;
+        arm(site, nth, mode);
+        armed += 1;
+    }
+    Ok(armed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so tests that arm faults must not
+    // run concurrently with each other. Serialize them with a test mutex.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_fire_is_ok() {
+        let _g = serial();
+        disarm_all();
+        assert!(!any_armed());
+        assert_eq!(fire("xupdate.apply.op"), Ok(()));
+    }
+
+    #[test]
+    fn error_mode_triggers_on_nth_hit_only() {
+        let _g = serial();
+        disarm_all();
+        arm("journal.append.pre", 3, FaultMode::Error);
+        assert!(fire("journal.append.pre").is_ok());
+        assert!(fire("journal.append.pre").is_ok());
+        let err = fire("journal.append.pre").unwrap_err();
+        assert_eq!(err.site, "journal.append.pre");
+        // Single-shot: the fourth hit passes through again.
+        assert!(fire("journal.append.pre").is_ok());
+        assert_eq!(hits("journal.append.pre"), 4);
+        disarm_all();
+    }
+
+    #[test]
+    fn other_sites_are_unaffected() {
+        let _g = serial();
+        disarm_all();
+        arm("journal.append.mid", 1, FaultMode::Error);
+        assert!(fire("journal.append.pre").is_ok());
+        assert!(fire("checker.commit.post").is_ok());
+        assert!(fire("journal.append.mid").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_mode_panics_and_registry_survives() {
+        let _g = serial();
+        disarm_all();
+        arm("checker.commit.pre", 1, FaultMode::Panic);
+        let caught = std::panic::catch_unwind(|| fire("checker.commit.pre"));
+        assert!(caught.is_err());
+        // The registry must not be poisoned: arming still works.
+        disarm_all();
+        arm("checker.commit.pre", 1, FaultMode::Error);
+        assert!(fire("checker.commit.pre").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn env_arming_parses_triples() {
+        let _g = serial();
+        disarm_all();
+        std::env::set_var(ENV_VAR, "journal.append.mid:2:error, xupdate.apply.op:1:panic");
+        let n = arm_from_env().expect("well-formed spec");
+        assert_eq!(n, 2);
+        assert!(fire("journal.append.mid").is_ok());
+        assert!(fire("journal.append.mid").is_err());
+        std::env::remove_var(ENV_VAR);
+        disarm_all();
+    }
+
+    #[test]
+    fn env_arming_rejects_malformed_entries() {
+        let _g = serial();
+        disarm_all();
+        std::env::set_var(ENV_VAR, "journal.append.mid:zap:error");
+        assert!(arm_from_env().is_err());
+        std::env::set_var(ENV_VAR, "journal.append.mid:1:sigsegv");
+        assert!(arm_from_env().is_err());
+        std::env::set_var(ENV_VAR, "just-a-site");
+        assert!(arm_from_env().is_err());
+        std::env::remove_var(ENV_VAR);
+        disarm_all();
+    }
+
+    #[test]
+    fn sites_list_is_nonempty_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SITES {
+            assert!(seen.insert(*s), "duplicate site {s}");
+        }
+        assert!(SITES.len() >= 7);
+    }
+}

@@ -103,10 +103,21 @@ pub enum Counter {
     DocOrderPathSort,
     /// `Checker::check_full` fanned constraints out across threads.
     CheckFullParallel,
+    /// Records appended to the write-ahead journal (commit + abort).
+    JournalAppend,
+    /// `fsync` calls issued by the journal (0 when sync is disabled).
+    JournalFsync,
+    /// `Checker::recover` replays completed from a journal.
+    Recovery,
+    /// Optimized checks that ran out of `EvalBudget` steps and degraded
+    /// to the materialized baseline pass.
+    BudgetExhausted,
+    /// Panics caught by the checker's `catch_unwind` containment.
+    PanicContained,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 22] = [
+pub const ALL_COUNTERS: [Counter; 27] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -129,6 +140,11 @@ pub const ALL_COUNTERS: [Counter; 22] = [
     Counter::DocOrderFastSort,
     Counter::DocOrderPathSort,
     Counter::CheckFullParallel,
+    Counter::JournalAppend,
+    Counter::JournalFsync,
+    Counter::Recovery,
+    Counter::BudgetExhausted,
+    Counter::PanicContained,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -159,6 +175,11 @@ impl Counter {
             Counter::DocOrderFastSort => "doc_order_fast_sort",
             Counter::DocOrderPathSort => "doc_order_path_sort",
             Counter::CheckFullParallel => "check_full_parallel",
+            Counter::JournalAppend => "journal_appends",
+            Counter::JournalFsync => "journal_fsyncs",
+            Counter::Recovery => "recoveries",
+            Counter::BudgetExhausted => "budget_exhausted",
+            Counter::PanicContained => "panics_contained",
         }
     }
 

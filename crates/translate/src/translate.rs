@@ -640,12 +640,12 @@ impl Tr<'_> {
         let func_call = match (&agg.func, &target) {
             (AggFunc::Cnt | AggFunc::CntD, Target::Atom(_)) => "count()".to_string(),
             (AggFunc::CntD, Target::Column(i, k)) => {
-                let col = &self.schema.pred(&agg.pattern[*i].pred).unwrap().cols[*k];
+                let col = &self.aggregate_column(agg, *i, *k)?;
                 path.push_str(&format!("/{col}/text()"));
                 "count(distinct-values())".to_string()
             }
             (AggFunc::Sum | AggFunc::Max | AggFunc::Min, Target::Column(i, k)) => {
-                let col = &self.schema.pred(&agg.pattern[*i].pred).unwrap().cols[*k];
+                let col = &self.aggregate_column(agg, *i, *k)?;
                 path.push_str(&format!("/{col}/text()"));
                 match agg.func {
                     AggFunc::Sum => "sum()",
@@ -663,6 +663,26 @@ impl Tr<'_> {
             (AggFunc::Cnt, Target::Column(..)) => "count()".to_string(),
         };
         Ok((path, func_call))
+    }
+
+    /// The column name an aggregate target `(i, k)` points at, or a typed
+    /// error when the pattern names a relation the schema does not have
+    /// (reachable through hand-written constraints over unknown elements).
+    fn aggregate_column(
+        &self,
+        agg: &Aggregate,
+        i: usize,
+        k: usize,
+    ) -> Result<String, TranslateError> {
+        let pred = &agg.pattern[i].pred;
+        let rel = self.schema.pred(pred).ok_or_else(|| {
+            TranslateError::Unsupported(format!("aggregate over unknown relation {pred}"))
+        })?;
+        rel.cols.get(k).cloned().ok_or_else(|| {
+            TranslateError::Unsupported(format!(
+                "aggregate target column {k} out of range for relation {pred}"
+            ))
+        })
     }
 
     /// One path segment `pred[col-conds][nested child paths]`.

@@ -23,12 +23,14 @@
 
 pub mod dtd;
 pub mod escape;
+pub mod journal;
 pub mod parse;
 pub mod serialize;
 pub mod tree;
 pub mod xupdate;
 
 pub use dtd::{ContentModel, Dtd, ElementDecl, ValidationError};
+pub use journal::{Journal, JournalError, JournalRecord, RecordKind, Recovered};
 pub use parse::{parse_document, XmlError};
 pub use serialize::{serialize, serialize_equal, serialize_node};
 pub use tree::{Descendants, Document, Node, NodeId, NodeKind, OrderRanks};

@@ -215,6 +215,105 @@ impl XUpdateDoc {
     pub fn insertions_only(&self) -> bool {
         self.ops.iter().all(XUpdateOp::is_insertion)
     }
+
+    /// Serializes the statement back to XUpdate XML. The output re-parses
+    /// to an equal `XUpdateDoc` (see the round-trip test), which is what
+    /// the write-ahead journal relies on to make records replayable.
+    pub fn to_xml(&self) -> String {
+        use crate::escape::{escape_attr, escape_text};
+        fn write_fragment(f: &Fragment, out: &mut String) {
+            match f {
+                Fragment::Text(t) => out.push_str(&escape_text(t)),
+                Fragment::Element { name, attrs, children } => {
+                    out.push('<');
+                    out.push_str(name);
+                    for (k, v) in attrs {
+                        out.push(' ');
+                        out.push_str(k);
+                        out.push_str("=\"");
+                        out.push_str(&escape_attr(v));
+                        out.push('"');
+                    }
+                    if children.is_empty() {
+                        out.push_str("/>");
+                    } else {
+                        out.push('>');
+                        for c in children {
+                            write_fragment(c, out);
+                        }
+                        out.push_str("</");
+                        out.push_str(name);
+                        out.push('>');
+                    }
+                }
+            }
+        }
+        fn write_op(tag: &str, select: &str, child: Option<usize>, body: &dyn Fn(&mut String), out: &mut String) {
+            out.push_str("<xupdate:");
+            out.push_str(tag);
+            out.push_str(" select=\"");
+            out.push_str(&escape_attr(select));
+            out.push('"');
+            if let Some(c) = child {
+                out.push_str(&format!(" child=\"{c}\""));
+            }
+            let mut inner = String::new();
+            body(&mut inner);
+            if inner.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                out.push_str(&inner);
+                out.push_str("</xupdate:");
+                out.push_str(tag);
+                out.push('>');
+            }
+        }
+        let mut out =
+            String::from("<xupdate:modifications xmlns:xupdate=\"http://www.xmldb.org/xupdate\">");
+        for op in &self.ops {
+            match op {
+                XUpdateOp::InsertBefore { select, content } => write_op(
+                    "insert-before",
+                    select,
+                    None,
+                    &|o| content.iter().for_each(|f| write_fragment(f, o)),
+                    &mut out,
+                ),
+                XUpdateOp::InsertAfter { select, content } => write_op(
+                    "insert-after",
+                    select,
+                    None,
+                    &|o| content.iter().for_each(|f| write_fragment(f, o)),
+                    &mut out,
+                ),
+                XUpdateOp::Append { select, child, content } => write_op(
+                    "append",
+                    select,
+                    *child,
+                    &|o| content.iter().for_each(|f| write_fragment(f, o)),
+                    &mut out,
+                ),
+                XUpdateOp::Remove { select } => write_op("remove", select, None, &|_| {}, &mut out),
+                XUpdateOp::Update { select, text } => write_op(
+                    "update",
+                    select,
+                    None,
+                    &|o| o.push_str(&escape_text(text)),
+                    &mut out,
+                ),
+                XUpdateOp::Rename { select, name } => write_op(
+                    "rename",
+                    select,
+                    None,
+                    &|o| o.push_str(&escape_text(name)),
+                    &mut out,
+                ),
+            }
+        }
+        out.push_str("</xupdate:modifications>");
+        out
+    }
 }
 
 fn parse_content(doc: &Document, op_node: NodeId) -> Result<Vec<Fragment>, XUpdateError> {
@@ -338,6 +437,12 @@ pub fn apply(
 ) -> Result<AppliedUpdate, (XUpdateError, AppliedUpdate)> {
     let mut applied = AppliedUpdate::default();
     for op in &upd.ops {
+        // Fault site: hit once per operation, so an armed `nth` selects
+        // the op index within the batch (crash-matrix + mid-batch
+        // rollback tests).
+        if let Err(e) = xic_faults::fire("xupdate.apply.op") {
+            return Err((XUpdateError(e.to_string()), applied));
+        }
         if let Err(e) = apply_op(doc, op, resolve, &mut applied) {
             return Err((e, applied));
         }
@@ -664,6 +769,49 @@ mod tests {
         undo(&mut doc, partial);
         assert_eq!(serialize(&doc), before, "partial undo must restore");
         doc.audit_name_index().expect("index intact after partial undo");
+    }
+
+    #[test]
+    fn to_xml_round_trips_every_op_kind() {
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:insert-before select="/r/b"><p a="1 &lt; 2">t &amp; u</p></xupdate:insert-before>
+                 <xupdate:insert-after select="/r/a"><n><m/>x</n></xupdate:insert-after>
+                 <xupdate:append select="/r" child="2"><q/></xupdate:append>
+                 <xupdate:remove select="/r/c"/>
+                 <xupdate:update select="/r/a">1 &lt; 2</xupdate:update>
+                 <xupdate:rename select="/r/d">dd</xupdate:rename>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        let text = u.to_xml();
+        let back = XUpdateDoc::parse(&text).expect("serialized statement must re-parse");
+        assert_eq!(back, u, "round trip through to_xml:\n{text}");
+        // And the paper's statement survives the trip too.
+        let paper = XUpdateDoc::parse(PAPER_STMT).unwrap();
+        assert_eq!(XUpdateDoc::parse(&paper.to_xml()).unwrap(), paper);
+    }
+
+    #[test]
+    fn injected_op_fault_fails_the_batch_at_that_op() {
+        let (mut doc, _) = parse_document("<r><a/><b/></r>").unwrap();
+        let before = serialize(&doc);
+        let u = XUpdateDoc::parse(
+            r#"<xupdate:modifications xmlns:xupdate="x">
+                 <xupdate:rename select="/r/a">aa</xupdate:rename>
+                 <xupdate:rename select="/r/b">bb</xupdate:rename>
+               </xupdate:modifications>"#,
+        )
+        .unwrap();
+        xic_faults::disarm_all();
+        xic_faults::arm("xupdate.apply.op", 2, xic_faults::FaultMode::Error);
+        let (err, partial) = apply(&mut doc, &u, &resolver).unwrap_err();
+        xic_faults::disarm_all();
+        assert!(err.0.contains("injected fault"), "{err}");
+        // Op 1 ran before the injected failure at op 2; undo restores.
+        assert!(serialize(&doc).contains("<aa/>"));
+        undo(&mut doc, partial);
+        assert_eq!(serialize(&doc), before);
     }
 
     #[test]

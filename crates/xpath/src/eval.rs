@@ -16,6 +16,10 @@ pub enum EvalError {
     /// An operation received a value of the wrong kind (e.g. union of
     /// non-node-sets).
     Type(String),
+    /// The armed [`crate::budget::EvalBudget`] ran out of steps; the
+    /// caller should retry unbudgeted (e.g. fall back to the baseline
+    /// full check) or report the evaluation as too expensive.
+    BudgetExhausted,
 }
 
 impl fmt::Display for EvalError {
@@ -23,6 +27,7 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::UndefinedVariable(v) => write!(f, "undefined variable ${v}"),
             EvalError::BadCall(m) | EvalError::Type(m) => f.write_str(m),
+            EvalError::BudgetExhausted => f.write_str("evaluation step budget exhausted"),
         }
     }
 }
@@ -211,6 +216,13 @@ pub fn evaluate_nonempty(expr: &Expr, ctx: &Context) -> Result<bool, EvalError> 
     }
 }
 
+/// Deducts `n` axis-candidate visits from the thread's armed step budget
+/// (free when no budget is armed — the production default).
+#[inline]
+fn charge_budget(n: u64) -> Result<(), EvalError> {
+    crate::budget::charge(n).map_err(|_| EvalError::BudgetExhausted)
+}
+
 /// Depth-first existential path evaluation: true iff applying `steps` to
 /// `input` yields at least one node. Predicate-free steps stream their
 /// axis candidates and recurse one node at a time, so the walk stops at
@@ -225,6 +237,7 @@ fn path_exists_from(input: &[NodeRef], steps: &[Step], ctx: &Context) -> Result<
         if step.predicates.is_empty() {
             for n in axis_iter(ctx.doc, item, step.axis) {
                 xic_obs::incr(xic_obs::Counter::XpathNodesVisited);
+                charge_budget(1)?;
                 if node_test(ctx.doc, &n, step.axis, &step.test)
                     && path_exists_from(std::slice::from_ref(&n), rest, ctx)?
                 {
@@ -301,6 +314,7 @@ fn step_once(item: &NodeRef, step: &Step, ctx: &Context) -> Result<Vec<NodeRef>,
         .filter(|n| node_test(ctx.doc, n, step.axis, &step.test))
         .collect();
     xic_obs::add(xic_obs::Counter::XpathNodesVisited, visited);
+    charge_budget(visited)?;
     for pred in &step.predicates {
         tested = apply_predicate(&tested, pred, ctx, step.axis.is_reverse())?;
     }

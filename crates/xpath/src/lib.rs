@@ -29,12 +29,14 @@
 //! In the system-inventory table of `DESIGN.md` this crate is item 4 (XPath engine).
 
 pub mod ast;
+pub mod budget;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
 pub mod value;
 
 pub use ast::{Axis, BinOp, Expr, NodeTest, Path, PathStart, Step};
+pub use budget::{BudgetGuard, EvalBudget};
 pub use eval::{
     compare_values, dedupe_doc_order, eval_variable, evaluate, evaluate_exists, evaluate_nodes,
     evaluate_nonempty, expr_mentions_var, Context, EvalError,

@@ -37,6 +37,23 @@ impl From<xic_xpath::EvalError> for XQueryError {
     }
 }
 
+impl XQueryError {
+    /// True if this failure is step-budget exhaustion (see
+    /// `xic_xpath::budget`), i.e. the evaluation was cut short rather
+    /// than wrong — callers may retry unbudgeted.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, XQueryError::XPath(xic_xpath::EvalError::BudgetExhausted))
+    }
+}
+
+/// Deducts one FLWOR/quantifier binding from the thread's armed step
+/// budget (free when no budget is armed).
+#[inline]
+fn charge_budget() -> Result<(), XQueryError> {
+    xic_xpath::budget::charge(1)
+        .map_err(|_| XQueryError::XPath(xic_xpath::EvalError::BudgetExhausted))
+}
+
 /// Evaluates a query against a document with no initial bindings.
 pub fn eval_query(q: &XQuery, doc: &Document) -> Result<Sequence, XQueryError> {
     let env = Env::new();
@@ -158,6 +175,7 @@ fn flwor_nonempty(
         Clause::For { var, source } => {
             for item in eval(source, doc, env)? {
                 xic_obs::incr(xic_obs::Counter::XqueryBindingsVisited);
+                charge_budget()?;
                 let env2 = env.bind(var, vec![item]);
                 if flwor_nonempty(clauses, idx + 1, ret, doc, &env2)? {
                     return Ok(true);
@@ -288,6 +306,7 @@ fn eval_flwor(
         Clause::For { var, source } => {
             for item in eval(source, doc, env)? {
                 xic_obs::incr(xic_obs::Counter::XqueryBindingsVisited);
+                charge_budget()?;
                 let env2 = env.bind(var, vec![item]);
                 eval_flwor(clauses, idx + 1, ret, doc, &env2, out)?;
             }
@@ -362,6 +381,7 @@ fn eval_quantified_rec(
     };
     for item in items {
         xic_obs::incr(xic_obs::Counter::XqueryBindingsVisited);
+        charge_budget()?;
         let env2 = env.bind(var, vec![item]);
         let r = eval_quantified_rec(binds, hoisted, idx + 1, satisfies, doc, &env2, some, lazy)?;
         if r == some {
