@@ -27,13 +27,24 @@ grep -v '^[[:space:]]*#' crates/difftest/corpus/regressions.txt \
     done
 
 echo "== crash-matrix smoke (journal recovery under injected crashes) =="
-# 100 seeded, replayable cases: each arms a contained panic at a fault
-# site derived from the seed, drives a random statement batch against a
-# journaled checker, recovers, and asserts byte-identity with the
-# committed prefix of a never-crashed twin. Exits nonzero on any
-# divergence (replay: difftest -- --crash-matrix --seed N --cases 1).
-cargo run --release -q -p xic-difftest -- --crash-matrix --cases 100 --seed 1 \
+# Seeded, replayable cases (count/filter overridable via CRASH_CASES /
+# CRASH_SITES): each arms a contained panic at a fault site derived from
+# the seed, drives a random statement batch against a journaled checker,
+# recovers, and asserts byte-identity with the committed prefix of a
+# never-crashed twin. Exits nonzero on any divergence (replay:
+# difftest -- --crash-matrix --seed N --cases 1 [--sites PAT]).
+CRASH_CASES="${CRASH_CASES:-100}"
+cargo run --release -q -p xic-difftest -- --crash-matrix --cases "$CRASH_CASES" --seed 1 \
+  ${CRASH_SITES:+--sites "$CRASH_SITES"} \
   --out /tmp/BENCH_CRASH_CI.json
+
+echo "== crash-matrix rotation pass (checkpoint + rotation fault sites) =="
+# Same oracle, restricted to the checkpoint/rotation protocol steps so
+# every rotation interleaving is crashed mid-batch: tmp write, tmp fsync,
+# rename, directory fsync, new-segment create, old-generation unlink.
+cargo run --release -q -p xic-difftest -- --crash-matrix \
+  --cases "${CRASH_ROTATION_CASES:-60}" --seed 7 --sites checkpoint,rotation \
+  --out /tmp/BENCH_CRASH_ROTATION_CI.json
 
 echo "== bench smoke (order/exists fast paths) =="
 # The criterion harness runs each benchmark a handful of times; this is a

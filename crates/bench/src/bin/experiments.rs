@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache]
-//!             [journal] [budget] [all]
+//!             [journal] [budget] [checkpoint] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
 //!             [--out=BENCH_PR3.json]
 //! ```
@@ -19,7 +19,10 @@
 //! without the cached document-order ranks; `journal` measures the
 //! write-ahead journal's per-update overhead (off / on without fsync / on
 //! with per-record fsync); `budget` measures evaluation-step budgeting on
-//! the optimized fast path and the cost of its baseline fallback (E8).
+//! the optimized fast path and the cost of its baseline fallback (E8);
+//! `checkpoint` measures crash-recovery time against committed-history
+//! length with and without checkpointing, and the cost of one atomic
+//! snapshot as the document grows (E9).
 //!
 //! Every run also rewrites the JSON report: the sections just measured
 //! replace their previous versions, sections from earlier invocations are
@@ -69,6 +72,7 @@ fn parse_args() -> Args {
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig1a", "fig1b", "illegal", "simp", "exists", "ordercache", "journal", "budget",
+            "checkpoint",
         ]
         .iter()
         .map(std::string::ToString::to_string)
@@ -362,6 +366,61 @@ fn budget_section(args: &Args) -> json::Value {
     ])
 }
 
+fn checkpoint_section(args: &Args) -> json::Value {
+    println!("== Checkpointing: recovery time vs history length (E9) ==");
+    const INTERVAL: u64 = 50;
+    // Off the interval boundary so the checkpointed runs replay a real
+    // (but bounded) suffix.
+    let histories = [60usize, 120, 240, 480];
+    println!(
+        "{:>9} {:>10} {:>16} {:>14} {:>10} {:>4}",
+        "history", "interval", "no-ckpt rec/ms", "ckpt rec/ms", "replayed", "gen"
+    );
+    obs::reset();
+    let mut recovery_rows = Vec::new();
+    for &history in &histories {
+        let r = xic_bench::measure_checkpoint(history, INTERVAL, 16, args.seed, args.iters);
+        println!(
+            "{:>9} {:>10} {:>16.2} {:>14.2} {:>10} {:>4}",
+            r.history, r.interval, r.no_ckpt_recover_ms, r.ckpt_recover_ms, r.ckpt_replayed,
+            r.generation
+        );
+        recovery_rows.push(json::Value::Object(vec![
+            ("history".to_string(), num(r.history as f64)),
+            ("interval".to_string(), num(r.interval as f64)),
+            ("no_ckpt_recover_ms".to_string(), num(r.no_ckpt_recover_ms)),
+            ("ckpt_recover_ms".to_string(), num(r.ckpt_recover_ms)),
+            ("ckpt_replayed".to_string(), num(r.ckpt_replayed as f64)),
+            ("generation".to_string(), num(r.generation as f64)),
+        ]));
+    }
+    println!("\n-- atomic snapshot write cost vs document size --");
+    println!("{:>9} {:>9} {:>9}", "size/KiB", "bytes", "write/ms");
+    let mut write_rows = Vec::new();
+    for &kib in &args.sizes {
+        let r = xic_bench::measure_checkpoint_write(
+            Experiment::ConflictOfInterests,
+            kib,
+            args.seed,
+            args.iters,
+        );
+        println!("{:>9} {:>9} {:>9.3}", r.kib, r.bytes, r.write_ms);
+        write_rows.push(json::Value::Object(vec![
+            ("kib".to_string(), num(r.kib as f64)),
+            ("bytes".to_string(), num(r.bytes as f64)),
+            ("write_ms".to_string(), num(r.write_ms)),
+        ]));
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("recovery_rows".to_string(), json::Value::Array(recovery_rows)),
+        ("write_rows".to_string(), json::Value::Array(write_rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
 /// Rewrites `path`, replacing the sections in `fresh` and keeping every
 /// other section from a previous run, so `experiments fig1a` followed by
 /// `experiments fig1b` accumulates both figures in one report.
@@ -427,10 +486,11 @@ fn main() {
             "ordercache" => order_cache_section(&args),
             "journal" => journal_section(&args),
             "budget" => budget_section(&args),
+            "checkpoint" => checkpoint_section(&args),
             other => {
                 eprintln!(
                     "unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp, \
-                     exists, ordercache, journal, budget)"
+                     exists, ordercache, journal, budget, checkpoint)"
                 );
                 failed = true;
                 continue;

@@ -471,6 +471,144 @@ pub fn measure_budget(exp: Experiment, kib: usize, seed: u64, iters: usize) -> B
     }
 }
 
+/// Recovery time versus committed-history length, with and without
+/// checkpointing. Without checkpoints, [`Checker::recover`] replays the
+/// whole history — cost linear in `history`. With an automatic rotation
+/// policy, [`Checker::recover_store`] replays only the suffix since the
+/// newest snapshot — cost bounded by the rotation interval, flat in
+/// `history` (the durability analogue of the paper's Simp making check
+/// cost flat in document size).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointRow {
+    /// Committed statements before the simulated crash.
+    pub history: usize,
+    /// Rotation interval (statements) for the checkpointed run.
+    pub interval: u64,
+    /// Full-history recovery time, no checkpoints (ms).
+    pub no_ckpt_recover_ms: f64,
+    /// Suffix recovery time from the newest snapshot (ms).
+    pub ckpt_recover_ms: f64,
+    /// Commits replayed by the checkpointed recovery (≤ `interval`).
+    pub ckpt_replayed: usize,
+    /// Generation the checkpointed recovery restored from.
+    pub generation: u64,
+}
+
+fn store_tmp(tag: &str, n: usize, seed: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "xic-bench-store-{}-{tag}-{n}-{seed}",
+        std::process::id()
+    ))
+}
+
+/// Measures [`CheckpointRow`] on the conflict-of-interests workload (its
+/// constraint set is corpus-independent, so the recovery entry points can
+/// be handed the same base text the journaled run started from).
+///
+/// The committed history alternates a legal insert with the removal of
+/// the inserted submission, so the document — and therefore every
+/// snapshot — stays at its base size however long the history grows.
+/// That isolates the variable under test: replay length.
+pub fn measure_checkpoint(history: usize, interval: u64, kib: usize, seed: u64, iters: usize) -> CheckpointRow {
+    let w = generate(WorkloadConfig::sized_kib(kib, seed));
+    let constraints = xic_workload::conflict_constraint();
+    let legal = XUpdateDoc::parse(&xic_workload::legal_insert(0, 0, 900_001)).expect("legal stmt");
+    // The insert appends to track 1 / rev 1, so the new sub sits right
+    // after the generator's fixed per-reviewer fan-out.
+    let remove_text = format!(
+        r#"<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:remove select="/collection/review/track[1]/rev[1]/sub[{}]"/>
+</xupdate:modifications>"#,
+        w.config.subs_per_rev + 1
+    );
+    let remove = XUpdateDoc::parse(&remove_text).expect("remove stmt");
+    let commit_history = |checker: &mut Checker| {
+        for i in 0..history {
+            let stmt = if i % 2 == 0 { &legal } else { &remove };
+            assert!(checker.try_update(stmt).expect("legal update").applied());
+        }
+    };
+
+    // Without checkpoints: one journal holding the entire history.
+    let path = journal_tmp("ckpt-none", history, seed);
+    {
+        let mut checker = Checker::new(&w.xml, dtd_text(), constraints).expect("corpus loads");
+        checker.register_pattern(&legal).expect("pattern registration");
+        checker.attach_journal(&path, false).expect("journal attaches");
+        commit_history(&mut checker);
+    } // crash
+    let no_ckpt = time_mean(iters, || {
+        let (_c, rep) = Checker::recover(&w.xml, dtd_text(), constraints, &path)
+            .expect("recovery");
+        assert_eq!(rep.replayed, history);
+    });
+    let _ = std::fs::remove_file(&path);
+
+    // With checkpoints: same history, automatic rotation every `interval`.
+    let dir = store_tmp("ckpt", history, seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut checker = Checker::new(&w.xml, dtd_text(), constraints).expect("corpus loads");
+        checker.register_pattern(&legal).expect("pattern registration");
+        checker.attach_store(&dir, false).expect("store attaches");
+        checker.set_checkpoint_policy(xicheck::CheckpointPolicy::every_commits(interval));
+        commit_history(&mut checker);
+    } // crash
+    let (_c, rep) = Checker::recover_store(&dir, &w.xml, dtd_text(), constraints)
+        .expect("store recovery");
+    assert!(!rep.degraded);
+    assert_eq!(rep.base_commit_seq as usize + rep.replayed, history);
+    let (ckpt_replayed, generation) = (rep.replayed, rep.generation);
+    let ckpt = time_mean(iters, || {
+        let (_c, rep) =
+            Checker::recover_store(&dir, &w.xml, dtd_text(), constraints).expect("store recovery");
+        assert!(!rep.degraded);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CheckpointRow {
+        history,
+        interval,
+        no_ckpt_recover_ms: no_ckpt.as_secs_f64() * 1e3,
+        ckpt_recover_ms: ckpt.as_secs_f64() * 1e3,
+        ckpt_replayed,
+        generation,
+    }
+}
+
+/// Cost of one atomic checkpoint (serialize + tmp write + fsync + rename
+/// + dir fsync + fresh segment) as the document grows.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointWriteRow {
+    /// Corpus size in KiB.
+    pub kib: usize,
+    /// Serialized snapshot bytes actually written.
+    pub bytes: usize,
+    /// Mean cost of [`Checker::checkpoint`] (ms).
+    pub write_ms: f64,
+}
+
+/// Measures [`CheckpointWriteRow`]; every iteration rotates to a fresh
+/// generation (retention keeps the store directory bounded).
+pub fn measure_checkpoint_write(exp: Experiment, kib: usize, seed: u64, iters: usize) -> CheckpointWriteRow {
+    let mut inst = instance(exp, kib, seed);
+    let dir = store_tmp("write", kib, seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    inst.checker.attach_store(&dir, false).expect("store attaches");
+    let legal = inst.legal.clone();
+    assert!(inst.checker.try_update(&legal).expect("legal update").applied());
+    let bytes = xic_xml::serialize(inst.checker.doc()).len();
+    let write = time_mean(iters, || {
+        inst.checker.checkpoint().expect("checkpoint");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointWriteRow {
+        kib,
+        bytes,
+        write_ms: write.as_secs_f64() * 1e3,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +668,25 @@ mod tests {
         let r = measure_budget(Experiment::ConflictOfInterests, 8, 6, 1);
         assert!(r.unbudgeted_ms > 0.0 && r.budgeted_ms > 0.0);
         assert!(r.exhausted_fallback_ms > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_rows_bound_replay_to_the_suffix() {
+        let r = measure_checkpoint(12, 4, 8, 7, 1);
+        assert!(r.no_ckpt_recover_ms > 0.0 && r.ckpt_recover_ms > 0.0);
+        assert!(r.generation >= 2, "12 commits at interval 4 must rotate");
+        assert!(
+            r.ckpt_replayed <= 4,
+            "checkpointed recovery must replay at most one interval, got {}",
+            r.ckpt_replayed
+        );
+    }
+
+    #[test]
+    fn checkpoint_write_rows_report_snapshot_bytes() {
+        let r = measure_checkpoint_write(Experiment::ConflictOfInterests, 8, 8, 1);
+        assert!(r.write_ms > 0.0);
+        assert!(r.bytes > 4096, "8 KiB corpus snapshot should exceed 4 KiB");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::path::Path;
 use xic_datalog::Denial;
 use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
 use xic_translate::{translate_denials, QueryTemplate};
+use xic_xml::checkpoint::Store;
 use xic_xml::journal::{crc32, Journal, RecordKind};
 use xic_xml::{apply, parse_document, serialize, undo, AppliedUpdate, Document, Dtd, XUpdateDoc};
 use xic_xpath::EvalBudget;
@@ -102,6 +103,15 @@ pub enum CheckerError {
     /// that cannot proceed (base-snapshot mismatch, out-of-sequence or
     /// unreplayable record).
     Journal(String),
+    /// A checkpoint snapshot or rotation failure (explicit
+    /// [`Checker::checkpoint`] only; automatic-policy failures are
+    /// non-fatal because the previous generation stays recoverable).
+    Checkpoint(String),
+    /// A mutating operation was refused because the checker came up in
+    /// degraded read-only mode: [`Checker::recover_store`] found no
+    /// generation that validates, so only the base document is being
+    /// served and writes cannot be made durable.
+    Degraded,
 }
 
 impl fmt::Display for CheckerError {
@@ -116,6 +126,11 @@ impl fmt::Display for CheckerError {
                 f.write_str("checker is poisoned by a contained panic; recover before mutating")
             }
             CheckerError::Journal(m) => write!(f, "journal error: {m}"),
+            CheckerError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            CheckerError::Degraded => f.write_str(
+                "checker is in degraded read-only mode (no journal generation validated); \
+                 mutations are refused",
+            ),
         }
     }
 }
@@ -147,15 +162,60 @@ pub struct Stats {
     pub budget_exhausted: u64,
 }
 
-/// What [`Checker::recover`] found in the journal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What [`Checker::recover`] / [`Checker::recover_store`] found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Commit records replayed onto the base document.
+    /// Commit records replayed onto the recovery base (the winning
+    /// snapshot, or the external base document for generation 0).
     pub replayed: usize,
     /// Abort records skipped (rolled-back batches; nothing to replay).
     pub aborts_skipped: usize,
     /// True if a torn or corrupt tail was detected and truncated.
     pub torn_tail_truncated: bool,
+    /// The generation that won recovery (0 = the external base document;
+    /// plain [`Checker::recover`] always reports 0).
+    pub generation: u64,
+    /// Committed-statement count already baked into the winning snapshot
+    /// (replay resumed at version `base_commit_seq + 1`).
+    pub base_commit_seq: u64,
+    /// Newer generations that failed validation and were skipped before
+    /// one won (or before degraded mode was entered).
+    pub fallbacks: u64,
+    /// Why each skipped generation was rejected, newest first.
+    pub fallback_reasons: Vec<String>,
+    /// True if *no* generation validated: the checker is serving the base
+    /// document read-only (see [`CheckerError::Degraded`]).
+    pub degraded: bool,
+}
+
+/// When to take an automatic checkpoint (rotation). The default is
+/// entirely off: rotations happen only via explicit
+/// [`Checker::checkpoint`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Rotate once this many statements have committed to the current
+    /// journal segment.
+    pub every_commits: Option<u64>,
+    /// Rotate once the current segment exceeds this many bytes on disk.
+    pub every_journal_bytes: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Rotate every `n` committed statements (`n` clamped to ≥ 1).
+    pub fn every_commits(n: u64) -> CheckpointPolicy {
+        CheckpointPolicy { every_commits: Some(n.max(1)), every_journal_bytes: None }
+    }
+
+    /// Rotate once the segment exceeds `n` bytes.
+    pub fn every_journal_bytes(n: u64) -> CheckpointPolicy {
+        CheckpointPolicy { every_commits: None, every_journal_bytes: Some(n.max(1)) }
+    }
+
+    /// True when either trigger has been reached.
+    fn due(&self, commits_in_segment: u64, segment_bytes: u64) -> bool {
+        self.every_commits.is_some_and(|n| commits_in_segment >= n)
+            || self.every_journal_bytes.is_some_and(|n| segment_bytes >= n)
+    }
 }
 
 /// The integrity checker: document + DTD + compiled constraints.
@@ -179,6 +239,17 @@ pub struct Checker {
     /// Write-ahead journal; when attached, every committed update is
     /// durable before [`Checker::try_update`] returns its verdict.
     journal: Option<Journal>,
+    /// Checkpointed store the journal is a segment of (when attached via
+    /// [`Checker::attach_store`] / recovered via [`Checker::recover_store`]).
+    store: Option<Store>,
+    /// Automatic rotation policy (default: off).
+    policy: CheckpointPolicy,
+    /// Committed-statement count baked into the live generation's
+    /// snapshot; the current segment holds versions `base_commit_seq + 1…`.
+    base_commit_seq: u64,
+    /// Set by [`Checker::recover_store`] when no generation validated:
+    /// the checker serves reads but refuses mutations.
+    degraded: bool,
     /// Committed-statement count — the version stamped on journal records.
     committed: u64,
     /// Set when a contained panic leaves the in-memory tree suspect;
@@ -212,6 +283,20 @@ impl Checker {
     ) -> Result<Checker, CheckerError> {
         dtd.validate(&doc)
             .map_err(|e| CheckerError::Setup(e.to_string()))?;
+        Checker::assemble(doc, dtd, constraints)
+    }
+
+    /// [`Checker::from_parts`] minus the DTD validation pass: used when
+    /// rebuilding from a checkpoint snapshot, which records a *committed*
+    /// state. Updates are not required to preserve DTD validity, so a
+    /// snapshot may legitimately fail re-validation even though replaying
+    /// the same history from the base document would accept it; integrity
+    /// of the snapshot bytes is already guaranteed by its crc.
+    fn assemble(
+        doc: Document,
+        dtd: Dtd,
+        constraints: &[xic_xpathlog::LDenial],
+    ) -> Result<Checker, CheckerError> {
         let schema = RelSchema::from_dtd(&dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
         let gamma =
             map_denials(constraints, &schema, &dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
@@ -231,6 +316,10 @@ impl Checker {
             patterns: HashMap::new(),
             parallel_full: None,
             journal: None,
+            store: None,
+            policy: CheckpointPolicy::default(),
+            base_commit_seq: 0,
+            degraded: false,
             committed: 0,
             poisoned: false,
             eval_budget: None,
@@ -330,12 +419,104 @@ impl Checker {
     /// To recover after a crash, call [`Checker::recover`] with the same
     /// base document text.
     pub fn attach_journal(&mut self, path: &Path, sync: bool) -> Result<(), CheckerError> {
+        self.refuse_if_degraded()?;
         let base_crc = crc32(serialize(&self.doc).as_bytes());
         let journal = Journal::create(path, base_crc, sync)
             .map_err(|e| CheckerError::Journal(e.to_string()))?;
         self.journal = Some(journal);
+        self.store = None;
         self.committed = 0;
+        self.base_commit_seq = 0;
         Ok(())
+    }
+
+    /// Attaches a *checkpointed store* at directory `dir` (created if
+    /// absent): generation 0 starts as a fresh journal segment keyed to
+    /// the current document state, and [`Checker::checkpoint`] (or the
+    /// automatic [`CheckpointPolicy`]) rotates to snapshot-backed
+    /// generations from there. Recover with [`Checker::recover_store`].
+    pub fn attach_store(&mut self, dir: &Path, sync: bool) -> Result<(), CheckerError> {
+        self.refuse_if_degraded()?;
+        let base_crc = crc32(serialize(&self.doc).as_bytes());
+        let (store, journal) =
+            Store::create(dir, base_crc, sync).map_err(|e| CheckerError::Checkpoint(e.to_string()))?;
+        self.journal = Some(journal);
+        self.store = Some(store);
+        self.committed = 0;
+        self.base_commit_seq = 0;
+        Ok(())
+    }
+
+    /// True if a checkpointed store is attached.
+    pub fn store_attached(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The live store generation (0 without a store or before the first
+    /// rotation).
+    pub fn store_generation(&self) -> u64 {
+        self.store.as_ref().map_or(0, Store::generation)
+    }
+
+    /// Sets the automatic checkpoint policy (default: off). The policy is
+    /// evaluated after every durable commit; a due rotation that *fails*
+    /// is non-fatal — the current generation simply keeps growing and the
+    /// next commit retries — because the old (snapshot, journal) pair
+    /// remains fully recoverable throughout.
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        self.policy = policy;
+    }
+
+    /// The automatic checkpoint policy.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.policy
+    }
+
+    /// How many generations the store retains as corruption fallbacks
+    /// (see [`xic_xml::checkpoint::DEFAULT_RETAIN`]).
+    pub fn set_checkpoint_retain(&mut self, retain: u64) {
+        if let Some(s) = self.store.as_mut() {
+            s.set_retain(retain);
+        }
+    }
+
+    /// Takes an explicit checkpoint: durably snapshots the current
+    /// document (atomic tmp → fsync → rename → dir-fsync), starts a fresh
+    /// journal segment keyed to it, and unlinks generations outside the
+    /// retention window. Returns the new generation number.
+    ///
+    /// Requires an attached store. On failure the checker stays on its
+    /// current generation, which remains fully recoverable.
+    pub fn checkpoint(&mut self) -> Result<u64, CheckerError> {
+        self.refuse_if_poisoned()?;
+        self.refuse_if_degraded()?;
+        let Some(store) = self.store.as_mut() else {
+            return Err(CheckerError::Checkpoint(
+                "no store attached (see Checker::attach_store)".to_string(),
+            ));
+        };
+        let _d = xic_obs::phase("durability");
+        let _c = xic_obs::phase("checkpoint");
+        let xml = serialize(&self.doc);
+        let journal =
+            store.rotate(self.committed, &xml).map_err(|e| CheckerError::Checkpoint(e.to_string()))?;
+        self.journal = Some(journal);
+        self.base_commit_seq = self.committed;
+        Ok(self.store_generation())
+    }
+
+    /// Runs a due automatic rotation after a durable commit. Failures are
+    /// swallowed: the old generation is still recoverable and the policy
+    /// stays due, so the next commit retries.
+    fn maybe_auto_checkpoint(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let commits_in_segment = self.committed - self.base_commit_seq;
+        let segment_bytes = self.journal.as_ref().map_or(0, Journal::byte_len);
+        if self.policy.due(commits_in_segment, segment_bytes) {
+            let _ = self.checkpoint();
+        }
     }
 
     /// True if a journal is attached.
@@ -390,6 +571,23 @@ impl Checker {
         }
     }
 
+    /// True if [`Checker::recover_store`] found no generation that
+    /// validates and came up in degraded read-only mode: `check_full`,
+    /// `check_optimized` and `decide_only` still serve answers against
+    /// the base document, but mutating entry points return
+    /// [`CheckerError::Degraded`].
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn refuse_if_degraded(&self) -> Result<(), CheckerError> {
+        if self.degraded {
+            Err(CheckerError::Degraded)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Rebuilds a checker after a crash: parses the *base* document (the
     /// state the journal was attached on), scans the journal at `journal`
     /// — truncating any torn tail — and replays the committed records in
@@ -410,38 +608,128 @@ impl Checker {
         let base_crc = crc32(serialize(&checker.doc).as_bytes());
         let recovered = Journal::recover(journal, Some(base_crc))
             .map_err(|e| CheckerError::Journal(e.to_string()))?;
-        let mut replayed = 0usize;
-        let mut aborts_skipped = 0usize;
-        for rec in &recovered.records {
-            match rec.kind {
-                RecordKind::Abort => aborts_skipped += 1,
-                RecordKind::Commit => {
-                    let expected = replayed as u64 + 1;
-                    if rec.version != expected {
-                        return Err(CheckerError::Journal(format!(
-                            "commit record out of sequence: found version {}, expected {expected}",
-                            rec.version
-                        )));
-                    }
-                    let stmt = XUpdateDoc::parse(&rec.stmt).map_err(|e| {
-                        CheckerError::Journal(format!("record {expected} does not parse: {e}"))
-                    })?;
-                    if let Err((e, partial)) = apply(&mut checker.doc, &stmt, &xpath_resolver) {
-                        undo(&mut checker.doc, partial);
-                        return Err(CheckerError::Journal(format!(
-                            "replay of record {expected} failed: {e}"
-                        )));
-                    }
-                    replayed += 1;
-                }
-            }
-        }
+        let (replayed, aborts_skipped) = replay_into(&mut checker, &recovered.records, 0)?;
         checker.committed = replayed as u64;
         checker.journal = Some(recovered.journal);
         xic_obs::incr(xic_obs::Counter::Recovery);
         Ok((
             checker,
-            RecoveryReport { replayed, aborts_skipped, torn_tail_truncated: recovered.torn },
+            RecoveryReport {
+                replayed,
+                aborts_skipped,
+                torn_tail_truncated: recovered.torn,
+                ..RecoveryReport::default()
+            },
+        ))
+    }
+
+    /// Rebuilds a checker from a checkpointed store directory (see
+    /// [`Checker::attach_store`]), preferring the **newest valid
+    /// checkpoint** and replaying only the journal suffix recorded since
+    /// it — recovery cost is bounded by the rotation interval, not the
+    /// full committed history.
+    ///
+    /// When the newest generation fails validation (corrupt snapshot,
+    /// mismatched or unreplayable segment), recovery falls back
+    /// generation by generation — each fallback is counted and its reason
+    /// recorded in the [`RecoveryReport`] — ending at generation 0: the
+    /// external `base_xml` plus its original segment. If *no* generation
+    /// validates, the checker comes up in **degraded read-only mode**
+    /// serving `check_full`/`decide_only` against the base document while
+    /// refusing mutations ([`CheckerError::Degraded`]), instead of
+    /// erroring out entirely.
+    pub fn recover_store(
+        dir: &Path,
+        base_xml: &str,
+        dtd: &str,
+        constraints: &str,
+    ) -> Result<(Checker, RecoveryReport), CheckerError> {
+        let mut fallback_reasons: Vec<String> = Vec::new();
+        let mut candidates = Store::snapshot_generations(dir);
+        candidates.push(0); // the external base document is the final fallback
+        for g in candidates {
+            match Checker::recover_generation(dir, g, base_xml, dtd, constraints) {
+                Ok((checker, mut report)) => {
+                    report.fallbacks = fallback_reasons.len() as u64;
+                    report.fallback_reasons = fallback_reasons;
+                    xic_obs::incr(xic_obs::Counter::Recovery);
+                    return Ok((checker, report));
+                }
+                Err(e) => {
+                    xic_obs::incr(xic_obs::Counter::RecoveryGenerationFallback);
+                    fallback_reasons.push(format!("generation {g}: {e}"));
+                }
+            }
+        }
+        // Every generation failed: serve the base document read-only
+        // rather than refusing to come up at all.
+        let mut checker = Checker::new(base_xml, dtd, constraints)?;
+        checker.degraded = true;
+        xic_obs::incr(xic_obs::Counter::Recovery);
+        let report = RecoveryReport {
+            degraded: true,
+            fallbacks: fallback_reasons.len() as u64,
+            fallback_reasons,
+            ..RecoveryReport::default()
+        };
+        Ok((checker, report))
+    }
+
+    /// Attempts recovery from one specific generation; any error means
+    /// "fall back to an older one".
+    fn recover_generation(
+        dir: &Path,
+        generation: u64,
+        base_xml: &str,
+        dtd: &str,
+        constraints: &str,
+    ) -> Result<(Checker, RecoveryReport), CheckerError> {
+        let (mut checker, base_seq) = if generation == 0 {
+            (Checker::new(base_xml, dtd, constraints)?, 0)
+        } else {
+            let ckpt = xic_xml::checkpoint::read(&Store::ckpt_path(dir, generation))
+                .map_err(|e| CheckerError::Checkpoint(e.to_string()))?;
+            // The snapshot is a committed state whose integrity the crc
+            // already vouches for; DTD validity is not re-imposed because
+            // updates need not preserve it (journal replay from the base
+            // document doesn't re-validate either).
+            let (doc, _) = xic_xml::parse_document(&ckpt.doc_xml)
+                .map_err(|e| CheckerError::Checkpoint(e.to_string()))?;
+            let parsed_dtd =
+                xic_xml::Dtd::parse(dtd).map_err(CheckerError::Setup)?;
+            let ldenials = xic_xpathlog::parse_denials(constraints)
+                .map_err(|e| CheckerError::Setup(e.to_string()))?;
+            (Checker::assemble(doc, parsed_dtd, &ldenials)?, ckpt.commit_seq)
+        };
+        let base_crc = crc32(serialize(&checker.doc).as_bytes());
+        let wal = Store::wal_path(dir, generation);
+        let (journal, records, torn) = if generation > 0 && !wal.exists() {
+            // Crash between the snapshot's dir-fsync and the segment
+            // create: the snapshot is durable with an empty suffix, so
+            // start its segment now.
+            let j = Journal::create(&wal, base_crc, true)
+                .map_err(|e| CheckerError::Journal(e.to_string()))?;
+            (j, Vec::new(), false)
+        } else {
+            let rec = Journal::recover(&wal, Some(base_crc))
+                .map_err(|e| CheckerError::Journal(e.to_string()))?;
+            (rec.journal, rec.records, rec.torn)
+        };
+        let (replayed, aborts_skipped) = replay_into(&mut checker, &records, base_seq)?;
+        checker.committed = base_seq + replayed as u64;
+        checker.base_commit_seq = base_seq;
+        checker.journal = Some(journal);
+        checker.store = Some(Store::resume(dir, generation, true));
+        Ok((
+            checker,
+            RecoveryReport {
+                replayed,
+                aborts_skipped,
+                torn_tail_truncated: torn,
+                generation,
+                base_commit_seq: base_seq,
+                ..RecoveryReport::default()
+            },
         ))
     }
 
@@ -669,6 +957,7 @@ impl Checker {
     /// update, so recovery replays it.
     pub fn apply_unchecked(&mut self, stmt: &XUpdateDoc) -> Result<(), CheckerError> {
         self.refuse_if_poisoned()?;
+        self.refuse_if_degraded()?;
         let applied = self.apply_or_abort(stmt)?;
         self.commit_journal(stmt, applied)
     }
@@ -716,7 +1005,7 @@ impl Checker {
         }
         let next = self.committed + 1;
         let append = match xic_faults::fire("checker.commit.pre") {
-            Err(e) => Err(xic_xml::JournalError::Io(e.to_string())),
+            Err(e) => Err(xic_xml::JournalError::from(e)),
             Ok(()) => self
                 .journal
                 .as_mut()
@@ -732,6 +1021,7 @@ impl Checker {
                         "{e} (after durable commit; checker poisoned)"
                     )));
                 }
+                self.maybe_auto_checkpoint();
                 Ok(())
             }
             Err(e) => {
@@ -766,6 +1056,7 @@ impl Checker {
     /// the commit record is durable before the verdict is returned.
     pub fn try_update(&mut self, stmt: &XUpdateDoc) -> Result<UpdateOutcome, CheckerError> {
         self.refuse_if_poisoned()?;
+        self.refuse_if_degraded()?;
         match catch_unwind(AssertUnwindSafe(|| self.try_update_inner(stmt))) {
             Ok(result) => result,
             Err(payload) => {
@@ -879,6 +1170,44 @@ impl Checker {
             }
         }
     }
+}
+
+/// Replays journal records onto `checker`'s document. Commit versions
+/// must run `base_seq + 1, base_seq + 2, …` consecutively (the recovery
+/// base already contains the first `base_seq` statements); abort records
+/// are skipped. Returns `(replayed, aborts_skipped)`.
+fn replay_into(
+    checker: &mut Checker,
+    records: &[xic_xml::JournalRecord],
+    base_seq: u64,
+) -> Result<(usize, usize), CheckerError> {
+    let mut replayed = 0usize;
+    let mut aborts_skipped = 0usize;
+    for rec in records {
+        match rec.kind {
+            RecordKind::Abort => aborts_skipped += 1,
+            RecordKind::Commit => {
+                let expected = base_seq + replayed as u64 + 1;
+                if rec.version != expected {
+                    return Err(CheckerError::Journal(format!(
+                        "commit record out of sequence: found version {}, expected {expected}",
+                        rec.version
+                    )));
+                }
+                let stmt = XUpdateDoc::parse(&rec.stmt).map_err(|e| {
+                    CheckerError::Journal(format!("record {expected} does not parse: {e}"))
+                })?;
+                if let Err((e, partial)) = apply(&mut checker.doc, &stmt, &xpath_resolver) {
+                    undo(&mut checker.doc, partial);
+                    return Err(CheckerError::Journal(format!(
+                        "replay of record {expected} failed: {e}"
+                    )));
+                }
+                replayed += 1;
+            }
+        }
+    }
+    Ok((replayed, aborts_skipped))
 }
 
 /// Renders a caught panic payload (the `&str`/`String` cases cover every

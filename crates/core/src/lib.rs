@@ -60,7 +60,8 @@ pub mod compile;
 pub mod resolver;
 
 pub use checker::{
-    Checker, CheckerError, RecoveryReport, Stats, Strategy, UpdateOutcome, Violation,
+    Checker, CheckerError, CheckpointPolicy, RecoveryReport, Stats, Strategy, UpdateOutcome,
+    Violation,
 };
 pub use compile::{compile_pattern, CompiledPattern};
 pub use resolver::xpath_resolver;
@@ -72,6 +73,9 @@ pub use xic_datalog::{Database, Denial, Update, Value};
 pub use xic_mapping::{map_denials, shred, RelSchema};
 pub use xic_simplify::{freshness_hypotheses, simp, FreshSpec, SimpConfig};
 pub use xic_translate::QueryTemplate;
-pub use xic_xml::{parse_document, Document, Dtd, Journal, JournalError, XUpdateDoc};
+pub use xic_xml::{
+    parse_document, Checkpoint, CheckpointError, Document, Dtd, Journal, JournalError, Store,
+    XUpdateDoc,
+};
 pub use xic_xpath::EvalBudget;
 pub use xic_xpathlog::LDenial;

@@ -312,6 +312,38 @@ fn recovery_rejects_snapshot_newer_than_journal_base() {
 }
 
 #[test]
+fn recovery_rejects_non_monotonic_version_records() {
+    // Commit versions must run 1, 2, 3… consecutively; a hand-built
+    // journal that skips (or repeats) a version is unreplayable — it
+    // means records were lost or duplicated, not merely torn.
+    for versions in [[1u64, 3], [2, 3], [1, 1]] {
+        let path = journal_path("nonmono");
+        let c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+        let base_crc = xic_xml::journal::crc32(serialize(&c).as_bytes());
+        drop(c);
+        let mut j = xicheck::Journal::create(&path, base_crc, true).unwrap();
+        for v in versions {
+            j.append(
+                xic_xml::journal::RecordKind::Commit,
+                v,
+                &insert_sub("//rev[name/text() = 'dan']", &format!("w{v}")),
+            )
+            .unwrap();
+        }
+        drop(j);
+        let err = match Checker::recover(CORPUS, DTD, CONFLICT, &path) {
+            Err(e) => e,
+            Ok(_) => panic!("versions {versions:?} must be rejected"),
+        };
+        assert!(
+            matches!(&err, CheckerError::Journal(m) if m.contains("out of sequence")),
+            "versions {versions:?}: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
 fn journal_append_failure_rolls_the_update_back() {
     let path = journal_path("appenderr");
     let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();

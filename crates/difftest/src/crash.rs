@@ -29,26 +29,55 @@
 //! oracle is agnostic to that, since it accepts the committed prefix the
 //! journal actually retained and cross-checks it against the twin.)
 //!
+//! Half the seeds — and every seed landing on a `checkpoint.*` /
+//! `rotation.*` site — run in **store mode**: the crashed run uses a
+//! checkpointed store with an aggressive automatic rotation policy, and
+//! recovery goes through [`Checker::recover_store`] (newest valid
+//! generation, generation-by-generation fallback). The oracle is the
+//! same: snapshot-base commits plus the replayed suffix must reproduce
+//! the twin's committed prefix byte for byte, proving rotation never
+//! loses a committed record whatever step the crash lands on.
+//!
 //! Divergences print a single-line replay command
-//! (`cargo run -p xic-difftest -- --crash-matrix --seed N --cases 1`);
-//! the site and trigger are re-derived from the seed, so the seed alone is
-//! a complete reproducer.
+//! (`cargo run -p xic-difftest -- --crash-matrix --seed N --cases 1`,
+//! plus the run's `--sites` filter when one was set); the site and
+//! trigger are re-derived from the seed, so the seed alone is a complete
+//! reproducer.
 
 use std::path::{Path, PathBuf};
 use xic_faults::{FaultMode, SITES};
 use xic_obs as obs;
 use xic_xml::XUpdateDoc;
-use xicheck::{Checker, CheckerError};
+use xicheck::{Checker, CheckerError, CheckpointPolicy};
 
 use crate::{generate_case, Case};
 
 /// Crash-matrix run parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CrashConfig {
     /// Base seed; case `i` uses seed `seed + i`.
     pub seed: u64,
     /// Number of cases to run.
     pub cases: u64,
+    /// Comma-separated substring filter on fault-site names (e.g.
+    /// `checkpoint,rotation`); `None` walks every registered site.
+    pub sites: Option<String>,
+}
+
+/// Resolves a `--sites` filter against [`xic_faults::SITES`]: each
+/// comma-separated pattern matches by substring; `None` keeps all sites.
+pub fn filter_sites(filter: Option<&str>) -> Vec<&'static str> {
+    match filter {
+        None => SITES.to_vec(),
+        Some(f) => {
+            let pats: Vec<&str> = f.split(',').filter(|p| !p.is_empty()).collect();
+            SITES
+                .iter()
+                .copied()
+                .filter(|s| pats.iter().any(|p| s.contains(p)))
+                .collect()
+        }
+    }
 }
 
 /// The crash point derived from a seed.
@@ -66,11 +95,25 @@ pub struct CrashPoint {
 /// list round-robin, so any window of `SITES.len()` cases covers every
 /// registered site; the trigger hit and fsync mode vary independently.
 pub fn crash_point(seed: u64) -> CrashPoint {
+    crash_point_in(SITES, seed)
+}
+
+/// [`crash_point`] over a filtered site list (see [`filter_sites`]); the
+/// replay command must carry the same `--sites` filter for the seed to
+/// re-derive the same point.
+pub fn crash_point_in(sites: &[&'static str], seed: u64) -> CrashPoint {
     CrashPoint {
-        site: SITES[(seed % SITES.len() as u64) as usize],
-        nth: 1 + (seed / SITES.len() as u64) % 3,
+        site: sites[(seed % sites.len() as u64) as usize],
+        nth: 1 + (seed / sites.len() as u64) % 3,
         sync: (seed / 2) % 2 == 0,
     }
+}
+
+/// True for sites that only fire while a checkpoint rotation is running;
+/// cases landing on one are forced into store mode so the site is
+/// reachable.
+fn is_rotation_site(site: &str) -> bool {
+    site.starts_with("checkpoint.") || site.starts_with("rotation.")
 }
 
 /// A confirmed recovery divergence.
@@ -80,6 +123,9 @@ pub struct CrashDivergence {
     pub seed: u64,
     /// The crash point that was armed.
     pub point: CrashPoint,
+    /// The `--sites` filter the run used (the point is derived from the
+    /// filtered list, so the replay must repeat it).
+    pub sites: Option<String>,
     /// What went wrong.
     pub detail: String,
 }
@@ -87,9 +133,14 @@ pub struct CrashDivergence {
 impl CrashDivergence {
     /// A multi-line report ending in the one-line replay command.
     pub fn report(&self) -> String {
+        let filter = self
+            .sites
+            .as_deref()
+            .map(|s| format!(" --sites {s}"))
+            .unwrap_or_default();
         format!(
             "CRASH DIVERGENCE seed={} site={} nth={} sync={}\n  {}\n  \
-             replay: cargo run -p xic-difftest -- --crash-matrix --seed {} --cases 1",
+             replay: cargo run -p xic-difftest -- --crash-matrix --seed {} --cases 1{filter}",
             self.seed, self.point.site, self.point.nth, self.point.sync, self.detail, self.seed,
         )
     }
@@ -108,6 +159,12 @@ pub struct CrashReport {
     pub torn_tails: u64,
     /// Total commits replayed across all recoveries.
     pub replayed: u64,
+    /// Cases run in store mode (checkpointed store + rotation policy
+    /// instead of a bare journal).
+    pub store_cases: u64,
+    /// Store-mode recoveries won by a checkpoint generation (> 0) rather
+    /// than the base document.
+    pub checkpoint_wins: u64,
     /// All divergences, in seed order.
     pub divergences: Vec<CrashDivergence>,
 }
@@ -129,17 +186,44 @@ struct CaseOutcome {
     fired: bool,
     torn: bool,
     replayed: usize,
+    store_mode: bool,
+    checkpoint_won: bool,
+}
+
+/// Removes a case's on-disk artifacts (journal file or store directory).
+fn cleanup(journal: &Path, store_dir: &Path) {
+    let _ = std::fs::remove_file(journal);
+    let _ = std::fs::remove_dir_all(store_dir);
 }
 
 /// Runs the crash oracle for one seed. `Ok` carries bookkeeping for the
 /// matrix report; `Err` is a confirmed divergence.
-fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
-    let point = crash_point(seed);
+///
+/// Half the seeds (and every seed whose site only exists inside a
+/// rotation) run in **store mode**: the crashed run gets a checkpointed
+/// store with an automatic every-N-commits rotation policy instead of a
+/// bare journal, and recovery goes through [`Checker::recover_store`] —
+/// proving that a crash at any rotation step leaves a store that recovers
+/// to the committed prefix, and that rotation never loses a committed
+/// record.
+fn run_case(
+    seed: u64,
+    dir: &Path,
+    sites: &[&'static str],
+    sites_arg: Option<&str>,
+) -> Result<CaseOutcome, CrashDivergence> {
+    let point = crash_point_in(sites, seed);
     let diverge = |detail: String| CrashDivergence {
         seed,
         point,
+        sites: sites_arg.map(str::to_string),
         detail,
     };
+    let store_mode = is_rotation_site(point.site) || (seed / 4) % 2 == 1;
+    // Aggressive rotation cadence (every 1–3 commits) so mid-batch
+    // rotations — and 2nd/3rd-hit triggers on rotation sites — are
+    // actually reached within a short statement batch.
+    let checkpoint_every = 1 + (seed / 8) % 3;
     let case: Case = generate_case(seed);
     let statements: Vec<XUpdateDoc> = case
         .ops
@@ -166,13 +250,23 @@ fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
         }
     }
 
-    // Crashed run: journal attached, panic armed at the derived point.
+    // Crashed run: journal (or checkpointed store) attached, panic armed
+    // at the derived point.
     let journal = journal_file(dir, seed);
+    let store_dir = dir.join(format!("xic-crash-store-{}-{}", std::process::id(), seed));
     let mut crashed = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
         .map_err(|e| diverge(format!("crashed-run checker setup failed: {e}")))?;
-    crashed
-        .attach_journal(&journal, point.sync)
-        .map_err(|e| diverge(format!("attach_journal failed: {e}")))?;
+    if store_mode {
+        let _ = std::fs::remove_dir_all(&store_dir);
+        crashed
+            .attach_store(&store_dir, point.sync)
+            .map_err(|e| diverge(format!("attach_store failed: {e}")))?;
+        crashed.set_checkpoint_policy(CheckpointPolicy::every_commits(checkpoint_every));
+    } else {
+        crashed
+            .attach_journal(&journal, point.sync)
+            .map_err(|e| diverge(format!("attach_journal failed: {e}")))?;
+    }
     xic_faults::disarm_all();
     xic_faults::arm(point.site, point.nth, FaultMode::Panic);
     let mut panicked = false;
@@ -185,7 +279,7 @@ fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
             }
             Err(e) => {
                 xic_faults::disarm_all();
-                let _ = std::fs::remove_file(&journal);
+                cleanup(&journal, &store_dir);
                 return Err(diverge(format!("crashed run failed pre-crash: {e}")));
             }
         }
@@ -193,7 +287,7 @@ fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
     let fired = xic_faults::hits(point.site) >= point.nth;
     xic_faults::disarm_all();
     if fired && !panicked {
-        let _ = std::fs::remove_file(&journal);
+        cleanup(&journal, &store_dir);
         return Err(diverge(format!(
             "armed panic at {} hit {} fired but was not contained as a crash",
             point.site, point.nth
@@ -201,17 +295,32 @@ fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
     }
     drop(crashed); // the in-memory tree is gone
 
-    // Recovery must reproduce the committed prefix of the twin.
-    let (recovered, report) =
-        Checker::recover(&case.doc_xml, &case.dtd, &case.constraints, &journal).map_err(|e| {
-            let _ = std::fs::remove_file(&journal);
-            diverge(format!("recovery failed: {e}"))
-        })?;
-    let _ = std::fs::remove_file(&journal);
-    let p = report.replayed;
+    // Recovery must reproduce the committed prefix of the twin. In store
+    // mode the prefix length is the winning snapshot's baked-in commits
+    // plus the suffix replayed on top of it.
+    let (recovered, report) = if store_mode {
+        Checker::recover_store(&store_dir, &case.doc_xml, &case.dtd, &case.constraints)
+    } else {
+        Checker::recover(&case.doc_xml, &case.dtd, &case.constraints, &journal)
+    }
+    .map_err(|e| {
+        cleanup(&journal, &store_dir);
+        diverge(format!("recovery failed: {e}"))
+    })?;
+    cleanup(&journal, &store_dir);
+    if report.degraded {
+        return Err(diverge(format!(
+            "recovery entered degraded mode: {}",
+            report.fallback_reasons.join("; ")
+        )));
+    }
+    let p = report.base_commit_seq as usize + report.replayed;
     if p > snaps.len() {
         return Err(diverge(format!(
-            "recovery replayed {p} commits but the twin only committed {}",
+            "recovery restored {p} commits (generation {} + {} replayed) but the twin \
+             only committed {}",
+            report.generation,
+            report.replayed,
             snaps.len()
         )));
     }
@@ -220,7 +329,10 @@ fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
     if got != *expected {
         return Err(diverge(format!(
             "recovered document differs from the twin's state after {p} commits \
-             (twin committed {} in total)\n  expected: {expected}\n  recovered: {got}",
+             (generation {}, {} replayed; twin committed {} in total)\n  \
+             expected: {expected}\n  recovered: {got}",
+            report.generation,
+            report.replayed,
             snaps.len()
         )));
     }
@@ -228,6 +340,8 @@ fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
         fired,
         torn: report.torn_tail_truncated,
         replayed: p,
+        store_mode,
+        checkpoint_won: report.generation > 0,
     })
 }
 
@@ -236,21 +350,37 @@ fn run_case(seed: u64, dir: &Path) -> Result<CaseOutcome, CrashDivergence> {
 pub fn run_matrix(config: CrashConfig) -> CrashReport {
     let _phase = obs::phase("crash_matrix");
     let dir = std::env::temp_dir();
+    let sites = filter_sites(config.sites.as_deref());
+    let sites_arg = config.sites.clone();
+    let (seed0, cases) = (config.seed, config.cases);
     let mut report = CrashReport {
         config,
         fired: 0,
         torn_tails: 0,
         replayed: 0,
+        store_cases: 0,
+        checkpoint_wins: 0,
         divergences: Vec::new(),
     };
-    for i in 0..config.cases {
-        let seed = config.seed.wrapping_add(i);
+    if sites.is_empty() {
+        report.divergences.push(CrashDivergence {
+            seed: seed0,
+            point: CrashPoint { site: "<none>", nth: 0, sync: false },
+            sites: sites_arg,
+            detail: "the --sites filter matches no registered fault site".to_string(),
+        });
+        return report;
+    }
+    for i in 0..cases {
+        let seed = seed0.wrapping_add(i);
         obs::incr(obs::Counter::DifftestCase);
-        match run_case(seed, &dir) {
+        match run_case(seed, &dir, &sites, sites_arg.as_deref()) {
             Ok(out) => {
                 report.fired += out.fired as u64;
                 report.torn_tails += out.torn as u64;
                 report.replayed += out.replayed as u64;
+                report.store_cases += out.store_mode as u64;
+                report.checkpoint_wins += out.checkpoint_won as u64;
             }
             Err(d) => {
                 obs::incr(obs::Counter::DifftestDiscrepancy);
@@ -282,11 +412,42 @@ mod tests {
         let report = run_matrix(CrashConfig {
             seed: 1,
             cases: 2 * SITES.len() as u64,
+            sites: None,
         });
         for d in &report.divergences {
             eprintln!("{}", d.report());
         }
         assert!(report.divergences.is_empty());
         assert!(report.fired > 0, "no armed fault ever fired");
+        assert!(report.store_cases > 0, "no case ran in store mode");
+    }
+
+    #[test]
+    fn site_filter_restricts_and_replays_consistently() {
+        let rotation = filter_sites(Some("checkpoint,rotation"));
+        assert!(!rotation.is_empty());
+        assert!(rotation.iter().all(|s| is_rotation_site(s)), "{rotation:?}");
+        // Points derived from the filtered list are stable for replay.
+        assert_eq!(crash_point_in(&rotation, 7), crash_point_in(&rotation, 7));
+        assert!(filter_sites(Some("no-such-site")).is_empty());
+        assert_eq!(filter_sites(None).len(), SITES.len());
+    }
+
+    #[test]
+    fn rotation_sites_matrix_recovers_at_every_step() {
+        // One pass over exactly the checkpoint/rotation sites: a crash
+        // injected at every individual rotation step must leave a store
+        // that recovers to the committed prefix.
+        let rotation = filter_sites(Some("checkpoint,rotation"));
+        let report = run_matrix(CrashConfig {
+            seed: 11,
+            cases: rotation.len() as u64,
+            sites: Some("checkpoint,rotation".to_string()),
+        });
+        for d in &report.divergences {
+            eprintln!("{}", d.report());
+        }
+        assert!(report.divergences.is_empty());
+        assert_eq!(report.store_cases, rotation.len() as u64);
     }
 }

@@ -5,6 +5,7 @@
 //! cargo run -p xic-difftest -- --seed 4242        # replay one case
 //! cargo run -p xic-difftest -- --crash-matrix --cases 100 --seed 1
 //! cargo run -p xic-difftest -- --crash-matrix --seed 17 --cases 1  # replay
+//! cargo run -p xic-difftest -- --crash-matrix --cases 50 --sites checkpoint,rotation
 //! ```
 //!
 //! `--crash-matrix` switches to the crash-recovery oracle (the `crash`
@@ -30,6 +31,7 @@ struct Args {
     out: String,
     dump: bool,
     crash_matrix: bool,
+    sites: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = String::new();
     let mut dump = false;
     let mut crash_matrix = false;
+    let mut sites: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     // Accept both `--key=value` and `--key value`.
@@ -72,6 +75,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dump" => dump = true,
             "--crash-matrix" => crash_matrix = true,
+            "--sites" => {
+                sites = Some(next_value(&mut i, inline.as_deref())?);
+            }
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -83,17 +89,29 @@ fn parse_args() -> Result<Args, String> {
             "BENCH_DIFFTEST.json".to_string()
         };
     }
+    if sites.is_some() && !crash_matrix {
+        return Err("--sites only applies to --crash-matrix".to_string());
+    }
     Ok(Args {
         cases,
         seed,
         out,
         dump,
         crash_matrix,
+        sites,
     })
 }
 
 /// Runs the crash matrix and writes its JSON report.
 fn run_crash_matrix(args: &Args) -> ExitCode {
+    // An empty site filter is a usage error, not a passing 0-site run.
+    if xic_difftest::crash::filter_sites(args.sites.as_deref()).is_empty() {
+        eprintln!(
+            "difftest: --sites {} matches no registered fault site",
+            args.sites.as_deref().unwrap_or("")
+        );
+        return ExitCode::from(2);
+    }
     // Contained panics are expected machinery here, one per case; silence
     // the default hook's per-panic backtrace spam for the duration.
     std::panic::set_hook(Box::new(|_| {}));
@@ -101,6 +119,7 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
     let report = xic_difftest::crash::run_matrix(xic_difftest::crash::CrashConfig {
         seed: args.seed,
         cases: args.cases,
+        sites: args.sites.clone(),
     });
     let _ = std::panic::take_hook();
     let snapshot = obs::snapshot();
@@ -108,19 +127,32 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
         eprintln!("{}", d.report());
     }
     println!(
-        "crash-matrix: {} cases from seed {} — {} divergences, {} faults fired, \
-         {} torn tails truncated, {} commits replayed",
+        "crash-matrix: {} cases from seed {}{} — {} divergences, {} faults fired, \
+         {} torn tails truncated, {} commits restored, {} store-mode cases \
+         ({} won by a checkpoint)",
         args.cases,
         args.seed,
+        args.sites
+            .as_deref()
+            .map(|s| format!(" (sites: {s})"))
+            .unwrap_or_default(),
         report.divergences.len(),
         report.fired,
         report.torn_tails,
         report.replayed,
+        report.store_cases,
+        report.checkpoint_wins,
     );
     let json = Value::Object(vec![
         ("bench".to_string(), Value::String("crash-matrix".to_string())),
         ("seed".to_string(), Value::Number(args.seed as f64)),
         ("cases".to_string(), Value::Number(args.cases as f64)),
+        (
+            "sites_filter".to_string(),
+            args.sites
+                .clone()
+                .map_or(Value::Null, Value::String),
+        ),
         (
             "divergences".to_string(),
             Value::Number(report.divergences.len() as f64),
@@ -133,6 +165,14 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
         (
             "commits_replayed".to_string(),
             Value::Number(report.replayed as f64),
+        ),
+        (
+            "store_cases".to_string(),
+            Value::Number(report.store_cases as f64),
+        ),
+        (
+            "checkpoint_wins".to_string(),
+            Value::Number(report.checkpoint_wins as f64),
         ),
         (
             "failing_seeds".to_string(),
@@ -175,7 +215,10 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("difftest: {e}");
-            eprintln!("usage: difftest [--crash-matrix] [--cases N] [--seed N] [--out FILE]");
+            eprintln!(
+                "usage: difftest [--crash-matrix [--sites PAT,PAT…]] [--cases N] [--seed N] \
+                 [--out FILE]"
+            );
             return ExitCode::from(2);
         }
     };

@@ -47,6 +47,11 @@ pub enum FaultMode {
     /// Return `Err(FaultError)` from [`fire`], exercising error-handling
     /// paths (rollback, abort records) without terminating anything.
     Error,
+    /// Return a *transient* `Err(FaultError)` — the moral equivalent of
+    /// `std::io::ErrorKind::Interrupted`. Write paths with bounded retry
+    /// (journal append/fsync) absorb these and try again instead of
+    /// declaring the resource broken.
+    Transient,
 }
 
 impl FaultMode {
@@ -56,21 +61,30 @@ impl FaultMode {
             "panic" => Some(FaultMode::Panic),
             "abort" => Some(FaultMode::Abort),
             "error" => Some(FaultMode::Error),
+            "transient" => Some(FaultMode::Transient),
             _ => None,
         }
     }
 }
 
-/// The injected error returned by [`fire`] for [`FaultMode::Error`] faults.
+/// The injected error returned by [`fire`] for [`FaultMode::Error`] and
+/// [`FaultMode::Transient`] faults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultError {
     /// The site that triggered.
     pub site: &'static str,
+    /// True for [`FaultMode::Transient`] faults: a retry may succeed.
+    pub transient: bool,
 }
 
 impl std::fmt::Display for FaultError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "injected fault at site `{}`", self.site)
+        write!(
+            f,
+            "injected fault ({}) at site `{}`",
+            if self.transient { "transient" } else { "permanent" },
+            self.site
+        )
     }
 }
 
@@ -99,6 +113,25 @@ pub const SITES: &[&str] = &[
     // Checker commit, after the journal record is durable but before the
     // verdict is returned to the caller.
     "checker.commit.post",
+    // Checkpoint write, with the snapshot tmp file half-written: crashing
+    // here leaves a torn `*.ckpt.tmp` that recovery must ignore.
+    "checkpoint.tmp.mid_write",
+    // Checkpoint write, after the tmp file is complete but before its
+    // fsync: the snapshot content may not be durable yet.
+    "checkpoint.tmp.pre_fsync",
+    // Checkpoint write, after the tmp fsync but before the atomic rename:
+    // the old generation is still the newest visible one.
+    "checkpoint.pre_rename",
+    // Checkpoint write, after the rename but before the directory fsync:
+    // the new snapshot name may not be durable yet.
+    "checkpoint.pre_dir_fsync",
+    // Rotation, before the fresh journal segment keyed to the new
+    // snapshot is created: a crash leaves a checkpoint with no segment
+    // (recovery treats it as a snapshot with an empty suffix).
+    "rotation.pre_new_segment",
+    // Rotation, before expired old snapshot/segment generations are
+    // unlinked: a crash leaves extra (still valid) generations behind.
+    "rotation.pre_old_unlink",
 ];
 
 struct ArmedFault {
@@ -190,7 +223,8 @@ fn fire_slow(site: &'static str) -> Result<(), FaultError> {
     };
     match mode {
         None => Ok(()),
-        Some(FaultMode::Error) => Err(FaultError { site }),
+        Some(FaultMode::Error) => Err(FaultError { site, transient: false }),
+        Some(FaultMode::Transient) => Err(FaultError { site, transient: true }),
         Some(FaultMode::Panic) => panic!("injected fault (panic) at site `{site}`"),
         Some(FaultMode::Abort) => std::process::abort(),
     }
@@ -318,6 +352,25 @@ mod tests {
         for s in SITES {
             assert!(seen.insert(*s), "duplicate site {s}");
         }
-        assert!(SITES.len() >= 7);
+        assert!(SITES.len() >= 13, "journal + checkpoint/rotation sites");
+    }
+
+    #[test]
+    fn transient_mode_returns_a_transient_error() {
+        let _g = serial();
+        disarm_all();
+        arm("journal.append.post_write", 1, FaultMode::Transient);
+        let err = fire("journal.append.post_write").unwrap_err();
+        assert!(err.transient);
+        assert!(err.to_string().contains("transient"));
+        // Single-shot, like every other mode: the retry succeeds.
+        assert!(fire("journal.append.post_write").is_ok());
+        disarm_all();
+        // Permanent errors say so.
+        arm("journal.append.pre", 1, FaultMode::Error);
+        let err = fire("journal.append.pre").unwrap_err();
+        assert!(!err.transient);
+        disarm_all();
+        assert_eq!(FaultMode::parse("transient"), Some(FaultMode::Transient));
     }
 }

@@ -114,10 +114,23 @@ pub enum Counter {
     BudgetExhausted,
     /// Panics caught by the checker's `catch_unwind` containment.
     PanicContained,
+    /// Atomic checkpoint snapshots durably written (tmp + fsync + rename
+    /// + directory fsync all completed).
+    CheckpointWritten,
+    /// Journal rotations completed: a fresh segment keyed to a new
+    /// checkpoint's base checksum started accepting records.
+    Rotation,
+    /// Recovery attempts that skipped an invalid (corrupt, mismatched or
+    /// unreplayable) generation and fell back to an older snapshot/journal
+    /// pair.
+    RecoveryGenerationFallback,
+    /// Journal append/fsync attempts retried after a transient
+    /// (`Interrupted`-class) failure.
+    JournalRetry,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 27] = [
+pub const ALL_COUNTERS: [Counter; 31] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -145,6 +158,10 @@ pub const ALL_COUNTERS: [Counter; 27] = [
     Counter::Recovery,
     Counter::BudgetExhausted,
     Counter::PanicContained,
+    Counter::CheckpointWritten,
+    Counter::Rotation,
+    Counter::RecoveryGenerationFallback,
+    Counter::JournalRetry,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -180,6 +197,10 @@ impl Counter {
             Counter::Recovery => "recoveries",
             Counter::BudgetExhausted => "budget_exhausted",
             Counter::PanicContained => "panics_contained",
+            Counter::CheckpointWritten => "checkpoints_written",
+            Counter::Rotation => "rotations",
+            Counter::RecoveryGenerationFallback => "recovery_generation_fallbacks",
+            Counter::JournalRetry => "journal_retries",
         }
     }
 

@@ -1,0 +1,503 @@
+//! Atomic checkpoint snapshots and journal-segment rotation.
+//!
+//! The write-ahead [`journal`](crate::journal) makes every committed
+//! statement durable, but by itself it grows without bound and recovery
+//! must replay the *entire* committed history — O(all updates ever).
+//! Checkpointing bounds both: a [`Store`] directory holds generation-
+//! numbered (snapshot, journal-segment) pairs, and recovery replays only
+//! the suffix journaled since the newest valid snapshot.
+//!
+//! # On-disk format
+//!
+//! A checkpoint file is a single atomic snapshot:
+//!
+//! ```text
+//! checkpoint := magic "XICCKPT1" (8 bytes)
+//!             | commit_seq u64 LE        (statements committed at snapshot time)
+//!             | doc_len u32 LE
+//!             | doc UTF-8 (doc_len bytes, canonical serialization)
+//!             | crc u32 LE               (crc32 over commit_seq..doc bytes)
+//! ```
+//!
+//! # Store layout and rotation protocol
+//!
+//! ```text
+//! store/
+//!   gen-0.wal      journal segment keyed to the (external) base document
+//!   gen-3.ckpt     snapshot: document after gen-3's commit_seq statements
+//!   gen-3.wal      journal segment keyed to crc32(gen-3 snapshot)
+//!   gen-4.ckpt.tmp torn in-progress snapshot (ignored by recovery)
+//! ```
+//!
+//! Rotation to generation *g+1* is ordered so that **a crash at any
+//! interleaving leaves either the old (snapshot, journal) pair or the new
+//! one fully recoverable, never a torn hybrid**:
+//!
+//! 1. write `gen-<g+1>.ckpt.tmp` (torn tmp files are ignored),
+//! 2. fsync the tmp file (snapshot content durable),
+//! 3. rename it to `gen-<g+1>.ckpt` (atomic on POSIX),
+//! 4. fsync the directory (snapshot *name* durable),
+//! 5. create `gen-<g+1>.wal` keyed to the snapshot's CRC-32 and fsync the
+//!    directory again (a checkpoint whose segment is missing recovers as
+//!    "snapshot + empty suffix", so a crash between 4 and 5 is benign),
+//! 6. unlink generations older than the retention window (their absence
+//!    is never required for correctness — only their presence is useful,
+//!    as fallbacks when a newer generation is corrupt).
+//!
+//! Every step carries an `xic-faults` site (`checkpoint.tmp.mid_write`,
+//! `checkpoint.tmp.pre_fsync`, `checkpoint.pre_rename`,
+//! `checkpoint.pre_dir_fsync`, `rotation.pre_new_segment`,
+//! `rotation.pre_old_unlink`) so the `xic-difftest` crash matrix can
+//! crash at each interleaving and prove recovery byte-identical to the
+//! committed prefix.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::journal::{crc32, Journal, JournalError};
+
+/// Checkpoint file magic, bumped if the snapshot layout ever changes.
+pub const CKPT_MAGIC: &[u8; 8] = b"XICCKPT1";
+
+/// magic + commit_seq + doc_len + crc: the smallest well-formed file.
+const CKPT_MIN_LEN: usize = 8 + 8 + 4 + 4;
+/// Upper bound on a serialized snapshot; anything larger is corrupt.
+const MAX_DOC_LEN: u32 = 1 << 28;
+
+/// A decoded checkpoint snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Committed-statement sequence number at snapshot time: journal
+    /// records in this generation's segment carry versions
+    /// `commit_seq + 1, commit_seq + 2, …`.
+    pub commit_seq: u64,
+    /// The document's canonical serialization at snapshot time.
+    pub doc_xml: String,
+}
+
+impl Checkpoint {
+    /// CRC-32 of the snapshot text — the base checksum the generation's
+    /// journal segment is keyed to.
+    pub fn doc_crc(&self) -> u32 {
+        crc32(self.doc_xml.as_bytes())
+    }
+}
+
+/// Errors from checkpoint write/read or store rotation.
+#[derive(Debug, Clone)]
+pub enum CheckpointError {
+    /// An underlying I/O failure (including injected ones), kind
+    /// preserved as in [`JournalError::Io`].
+    Io {
+        /// The underlying error's kind.
+        kind: std::io::ErrorKind,
+        /// The underlying error, preserved for `Error::source()`.
+        source: std::sync::Arc<dyn std::error::Error + Send + Sync>,
+    },
+    /// The file exists but does not start with the checkpoint magic.
+    BadHeader,
+    /// The file has the right magic but fails validation (short read,
+    /// implausible length, checksum mismatch, invalid UTF-8).
+    Corrupt(String),
+    /// A journal-segment operation inside the store failed.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { kind, source } => {
+                write!(f, "checkpoint I/O error ({kind:?}): {source}")
+            }
+            CheckpointError::BadHeader => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::Journal(e) => write!(f, "journal segment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => {
+                Some(source.as_ref() as &(dyn std::error::Error + 'static))
+            }
+            CheckpointError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io { kind: e.kind(), source: std::sync::Arc::new(e) }
+    }
+}
+
+impl From<xic_faults::FaultError> for CheckpointError {
+    fn from(e: xic_faults::FaultError) -> Self {
+        CheckpointError::Io {
+            kind: if e.transient {
+                std::io::ErrorKind::Interrupted
+            } else {
+                std::io::ErrorKind::Other
+            },
+            source: std::sync::Arc::new(e),
+        }
+    }
+}
+
+impl From<JournalError> for CheckpointError {
+    fn from(e: JournalError) -> Self {
+        CheckpointError::Journal(e)
+    }
+}
+
+/// Opens `dir` and syncs it, making freshly created/renamed/unlinked
+/// entries durable (the POSIX idiom behind atomic file replacement).
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Writes `ckpt` to `path` atomically: serialize into `<path>.tmp`,
+/// fsync it, rename into place, fsync the directory. A crash at any
+/// point leaves either no `path` (plus at most a torn, ignored tmp) or a
+/// complete, validated `path` — never a partially visible snapshot.
+pub fn write_atomic(path: &Path, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    let tmp = tmp_path(path);
+    match write_atomic_inner(path, &tmp, ckpt) {
+        Ok(()) => {
+            xic_obs::incr(xic_obs::Counter::CheckpointWritten);
+            Ok(())
+        }
+        Err(e) => {
+            // Best-effort: don't leave a stale tmp behind a clean error.
+            // (After a *crash* the tmp does linger; recovery ignores it
+            // and the next rotation overwrites it.)
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+fn write_atomic_inner(path: &Path, tmp: &Path, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    let doc_bytes = ckpt.doc_xml.as_bytes();
+    let mut payload = Vec::with_capacity(CKPT_MIN_LEN + doc_bytes.len());
+    payload.extend_from_slice(CKPT_MAGIC);
+    payload.extend_from_slice(&ckpt.commit_seq.to_le_bytes());
+    payload.extend_from_slice(&(doc_bytes.len() as u32).to_le_bytes());
+    payload.extend_from_slice(doc_bytes);
+    let crc = crc32(&payload[8..]);
+    payload.extend_from_slice(&crc.to_le_bytes());
+
+    let mut file = File::create(tmp)?;
+    // Unbuffered, in two halves, exactly like journal records: a crash at
+    // the mid site leaves a torn tmp on disk as a power loss would.
+    let split = payload.len() / 2;
+    file.write_all(&payload[..split])?;
+    xic_faults::fire("checkpoint.tmp.mid_write")?;
+    file.write_all(&payload[split..])?;
+    xic_faults::fire("checkpoint.tmp.pre_fsync")?;
+    file.sync_all()?;
+    drop(file);
+    xic_faults::fire("checkpoint.pre_rename")?;
+    std::fs::rename(tmp, path)?;
+    xic_faults::fire("checkpoint.pre_dir_fsync")?;
+    if let Some(parent) = path.parent() {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Reads and validates a checkpoint written by [`write_atomic`].
+pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 || &bytes[..8] != CKPT_MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    if bytes.len() < CKPT_MIN_LEN {
+        return Err(CheckpointError::Corrupt(format!(
+            "file is {} bytes, shorter than the {CKPT_MIN_LEN}-byte minimum",
+            bytes.len()
+        )));
+    }
+    let commit_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let doc_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
+    if doc_len > MAX_DOC_LEN {
+        return Err(CheckpointError::Corrupt(format!(
+            "implausible document length {doc_len}"
+        )));
+    }
+    let doc_len = doc_len as usize;
+    if bytes.len() != 20 + doc_len + 4 {
+        return Err(CheckpointError::Corrupt(format!(
+            "file is {} bytes but the header promises {}",
+            bytes.len(),
+            20 + doc_len + 4
+        )));
+    }
+    let stored_crc =
+        u32::from_le_bytes(bytes[20 + doc_len..].try_into().expect("4-byte slice"));
+    if crc32(&bytes[8..20 + doc_len]) != stored_crc {
+        return Err(CheckpointError::Corrupt("checksum mismatch".to_string()));
+    }
+    let doc_xml = std::str::from_utf8(&bytes[20..20 + doc_len])
+        .map_err(|e| CheckpointError::Corrupt(format!("snapshot is not UTF-8: {e}")))?
+        .to_string();
+    Ok(Checkpoint { commit_seq, doc_xml })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    path.with_file_name(format!("{name}.tmp"))
+}
+
+/// Generations of (snapshot, journal-segment) pairs retained by default:
+/// the live one plus one fallback.
+pub const DEFAULT_RETAIN: u64 = 2;
+
+/// A checkpointed store directory: generation-numbered snapshot/segment
+/// pairs plus the rotation protocol over them.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    /// The live generation (0 until the first rotation; generation 0 has
+    /// no snapshot file — its base document lives outside the store).
+    generation: u64,
+    /// How many generations (including the live one) to keep as
+    /// corruption fallbacks; older pairs are unlinked on rotation.
+    retain: u64,
+    /// Whether journal segments fsync per record (checkpoint files are
+    /// always fsync'd — rotation durability is the whole point).
+    sync: bool,
+}
+
+impl Store {
+    /// Creates (or reuses) the store directory and starts generation 0:
+    /// a fresh journal segment keyed to `base_crc`, the checksum of the
+    /// *external* base document.
+    pub fn create(dir: &Path, base_crc: u32, sync: bool) -> Result<(Store, Journal), CheckpointError> {
+        std::fs::create_dir_all(dir)?;
+        let journal = Journal::create(&Self::wal_path(dir, 0), base_crc, sync)?;
+        fsync_dir(dir)?;
+        Ok((Store { dir: dir.to_path_buf(), generation: 0, retain: DEFAULT_RETAIN, sync }, journal))
+    }
+
+    /// Re-opens a store handle positioned at `generation` (used after
+    /// recovery picked a generation to resume from).
+    pub fn resume(dir: &Path, generation: u64, sync: bool) -> Store {
+        Store { dir: dir.to_path_buf(), generation, retain: DEFAULT_RETAIN, sync }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The live generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Sets the retention window (clamped to ≥ 1: the live generation is
+    /// never unlinked).
+    pub fn set_retain(&mut self, retain: u64) {
+        self.retain = retain.max(1);
+    }
+
+    /// Sets whether journal segments created by future rotations fsync
+    /// per record (snapshots themselves are always fsync'd).
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
+    }
+
+    /// Path of generation `g`'s snapshot (`g ≥ 1`).
+    pub fn ckpt_path(dir: &Path, g: u64) -> PathBuf {
+        dir.join(format!("gen-{g}.ckpt"))
+    }
+
+    /// Path of generation `g`'s journal segment.
+    pub fn wal_path(dir: &Path, g: u64) -> PathBuf {
+        dir.join(format!("gen-{g}.wal"))
+    }
+
+    /// Snapshot generations present in `dir`, newest first. Generation 0
+    /// (the external base document) is always an implicit final fallback
+    /// and is not listed.
+    pub fn snapshot_generations(dir: &Path) -> Vec<u64> {
+        let mut gens: Vec<u64> = std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                name.strip_prefix("gen-")?.strip_suffix(".ckpt")?.parse().ok()
+            })
+            .collect();
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        gens
+    }
+
+    /// Rotates to a new generation: durably snapshot `doc_xml` (the
+    /// document after `commit_seq` committed statements), start a fresh
+    /// journal segment keyed to it, and unlink generations that fell out
+    /// of the retention window. Returns the new segment, which the caller
+    /// must append all *subsequent* commits to.
+    ///
+    /// On error the store stays on its current generation and the old
+    /// (snapshot, journal) pair remains the recoverable one.
+    pub fn rotate(&mut self, commit_seq: u64, doc_xml: &str) -> Result<Journal, CheckpointError> {
+        let next = self.generation + 1;
+        let ckpt = Checkpoint { commit_seq, doc_xml: doc_xml.to_string() };
+        write_atomic(&Self::ckpt_path(&self.dir, next), &ckpt)?;
+        // The snapshot is durable: from here on recovery prefers it even
+        // if the segment is missing (checkpoint + empty suffix).
+        xic_faults::fire("rotation.pre_new_segment")?;
+        let journal = Journal::create(&Self::wal_path(&self.dir, next), ckpt.doc_crc(), self.sync)?;
+        fsync_dir(&self.dir)?;
+        self.generation = next;
+        xic_obs::incr(xic_obs::Counter::Rotation);
+        xic_faults::fire("rotation.pre_old_unlink")?;
+        // Unlink expired generations, best-effort: their presence is
+        // harmless (extra fallbacks), their absence never needed.
+        for g in (0..next.saturating_sub(self.retain - 1)).rev() {
+            let _ = std::fs::remove_file(Self::wal_path(&self.dir, g));
+            if g > 0 {
+                let _ = std::fs::remove_file(Self::ckpt_path(&self.dir, g));
+            }
+        }
+        Ok(journal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::RecordKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "xic-ckpt-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn cleanup(dir: &Path) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("gen-1.ckpt");
+        let ckpt = Checkpoint { commit_seq: 42, doc_xml: "<db><x>é</x></db>".to_string() };
+        write_atomic(&path, &ckpt).expect("write");
+        assert!(!tmp_path(&path).exists(), "tmp must be renamed away");
+        let back = read(&path).expect("read");
+        assert_eq!(back, ckpt);
+        assert_eq!(back.doc_crc(), crc32("<db><x>é</x></db>".as_bytes()));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_detected_at_every_cut_and_flip() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("gen-1.ckpt");
+        let ckpt = Checkpoint { commit_seq: 7, doc_xml: "<db/>".to_string() };
+        write_atomic(&path, &ckpt).expect("write");
+        let bytes = std::fs::read(&path).expect("read");
+
+        // Truncation at every length (torn tmp renamed by a buggy caller,
+        // or on-disk corruption): must never yield a snapshot.
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).expect("write cut");
+            assert!(read(&path).is_err(), "cut at {cut} must not validate");
+        }
+        // A flipped bit anywhere after the magic fails the checksum.
+        for byte in [8, 12, 20, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x01;
+            std::fs::write(&path, &flipped).expect("write flip");
+            let err = read(&path).expect_err("flip must not validate");
+            assert!(matches!(err, CheckpointError::Corrupt(_)), "byte {byte}: {err}");
+        }
+        // Wrong magic is BadHeader, not Corrupt.
+        std::fs::write(&path, b"XICJRNL1rest").expect("write");
+        assert!(matches!(read(&path), Err(CheckpointError::BadHeader)));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn rotation_starts_a_segment_keyed_to_the_snapshot() {
+        let dir = tmp_dir("rotate");
+        let (mut store, mut j0) = Store::create(&dir, 111, false).expect("create");
+        assert_eq!(store.generation(), 0);
+        j0.append(RecordKind::Commit, 1, "one").expect("append");
+        drop(j0);
+
+        let mut j1 = store.rotate(1, "<db><after-one/></db>").expect("rotate");
+        assert_eq!(store.generation(), 1);
+        j1.append(RecordKind::Commit, 2, "two").expect("append");
+        drop(j1);
+
+        assert_eq!(Store::snapshot_generations(&dir), vec![1]);
+        let snap = read(&Store::ckpt_path(&dir, 1)).expect("snapshot");
+        assert_eq!(snap.commit_seq, 1);
+        let rec = Journal::recover(&Store::wal_path(&dir, 1), Some(snap.doc_crc()))
+            .expect("segment keyed to snapshot");
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].version, 2);
+        // The default retention (2) keeps generation 0 as a fallback.
+        assert!(Store::wal_path(&dir, 0).exists());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn retention_unlinks_expired_generations() {
+        let dir = tmp_dir("retain");
+        let (mut store, j0) = Store::create(&dir, 0, false).expect("create");
+        drop(j0);
+        for g in 1..=3u64 {
+            let j = store.rotate(g, &format!("<db><g{g}/></db>")).expect("rotate");
+            drop(j);
+        }
+        // retain = 2: generations 3 (live) and 2 (fallback) survive.
+        assert_eq!(Store::snapshot_generations(&dir), vec![3, 2]);
+        assert!(!Store::wal_path(&dir, 0).exists());
+        assert!(!Store::ckpt_path(&dir, 1).exists());
+        assert!(!Store::wal_path(&dir, 1).exists());
+        assert!(Store::wal_path(&dir, 2).exists());
+        assert!(Store::wal_path(&dir, 3).exists());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn torn_tmp_write_leaves_old_generation_intact() {
+        let dir = tmp_dir("torntmp");
+        let (mut store, j0) = Store::create(&dir, 5, false).expect("create");
+        drop(j0);
+        xic_faults::disarm_all();
+        xic_faults::arm("checkpoint.tmp.mid_write", 1, xic_faults::FaultMode::Error);
+        let err = store.rotate(1, "<db><victim/></db>").expect_err("injected");
+        xic_faults::disarm_all();
+        assert!(matches!(err, CheckpointError::Io { .. }), "{err}");
+        assert_eq!(store.generation(), 0, "failed rotation must not advance");
+        assert!(Store::snapshot_generations(&dir).is_empty());
+        assert!(Store::wal_path(&dir, 0).exists(), "old pair must survive");
+        // The next rotation succeeds and overwrites any tmp remnants.
+        let j = store.rotate(1, "<db><victim/></db>").expect("retry rotation");
+        drop(j);
+        assert_eq!(Store::snapshot_generations(&dir), vec![1]);
+        cleanup(&dir);
+    }
+}

@@ -29,6 +29,13 @@
 //! written, `journal.append.mid` with the record half-written (the torn
 //! case), `journal.append.post_write` after the record bytes, and
 //! `journal.append.post_fsync` after the record is durable.
+//!
+//! I/O failures preserve their [`std::io::ErrorKind`] (and the original
+//! error as `Error::source()`); *transient* failures (`Interrupted`) of
+//! an append or its fsync are retried up to [`MAX_APPEND_ATTEMPTS`] times
+//! — rewinding to the record boundary between attempts — before the
+//! error surfaces. For checkpointing and segment rotation on top of this
+//! journal, see the [`checkpoint`](crate::checkpoint) module.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -41,6 +48,9 @@ const HEADER_LEN: u64 = 12;
 /// Upper bound on a single record body; anything larger is treated as a
 /// corrupt length prefix (and therefore a truncation point).
 const MAX_BODY_LEN: u32 = 1 << 28;
+/// Total attempts [`Journal::append`] makes when the write or fsync
+/// fails with a transient (`Interrupted`) error.
+pub const MAX_APPEND_ATTEMPTS: u32 = 3;
 
 /// What a journal record witnesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,10 +94,19 @@ pub struct JournalRecord {
 }
 
 /// Errors from journal creation, append, or recovery scanning.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum JournalError {
-    /// An underlying I/O failure (including injected ones).
-    Io(String),
+    /// An underlying I/O failure (including injected ones). The
+    /// [`std::io::ErrorKind`] is preserved so recovery policy can tell a
+    /// transient failure (`Interrupted` — worth retrying) from a permanent
+    /// one; the original error is kept as the [`std::error::Error::source`].
+    Io {
+        /// The underlying error's kind (`ErrorKind::Other` for injected
+        /// permanent faults).
+        kind: std::io::ErrorKind,
+        /// The underlying error, preserved for `Error::source()`.
+        source: std::sync::Arc<dyn std::error::Error + Send + Sync>,
+    },
     /// The file exists but does not start with the journal magic.
     BadHeader,
     /// The base-document checksum in the header does not match the
@@ -95,10 +114,46 @@ pub enum JournalError {
     BaseMismatch { journal: u32, document: u32 },
 }
 
+impl JournalError {
+    /// True for failures a bounded retry may absorb (`Interrupted`).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JournalError::Io { kind: std::io::ErrorKind::Interrupted, .. })
+    }
+
+    /// The underlying [`std::io::ErrorKind`] for I/O failures.
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            JournalError::Io { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for JournalError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                JournalError::Io { kind: a, source: sa },
+                JournalError::Io { kind: b, source: sb },
+            ) => a == b && sa.to_string() == sb.to_string(),
+            (JournalError::BadHeader, JournalError::BadHeader) => true,
+            (
+                JournalError::BaseMismatch { journal: a, document: b },
+                JournalError::BaseMismatch { journal: c, document: d },
+            ) => a == c && b == d,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for JournalError {}
+
 impl std::fmt::Display for JournalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Io { kind, source } => {
+                write!(f, "journal I/O error ({kind:?}): {source}")
+            }
             JournalError::BadHeader => write!(f, "not a journal file (bad magic)"),
             JournalError::BaseMismatch { journal, document } => write!(
                 f,
@@ -109,17 +164,33 @@ impl std::fmt::Display for JournalError {
     }
 }
 
-impl std::error::Error for JournalError {}
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => {
+                Some(source.as_ref() as &(dyn std::error::Error + 'static))
+            }
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for JournalError {
     fn from(e: std::io::Error) -> Self {
-        JournalError::Io(e.to_string())
+        JournalError::Io { kind: e.kind(), source: std::sync::Arc::new(e) }
     }
 }
 
 impl From<xic_faults::FaultError> for JournalError {
     fn from(e: xic_faults::FaultError) -> Self {
-        JournalError::Io(e.to_string())
+        JournalError::Io {
+            kind: if e.transient {
+                std::io::ErrorKind::Interrupted
+            } else {
+                std::io::ErrorKind::Other
+            },
+            source: std::sync::Arc::new(e),
+        }
     }
 }
 
@@ -200,6 +271,12 @@ impl Journal {
         self.sync
     }
 
+    /// Bytes of valid journal on disk (header plus every durable record)
+    /// — the size the rotation policy measures growth against.
+    pub fn byte_len(&self) -> u64 {
+        self.committed_len
+    }
+
     /// Enable or disable fsync-per-append (the durability/throughput knob
     /// measured in `BENCH_PR4.json`).
     pub fn set_sync(&mut self, sync: bool) {
@@ -208,23 +285,37 @@ impl Journal {
 
     /// Append one record; with sync enabled the record is durable when
     /// this returns. On failure the journal is rewound to the previous
-    /// record boundary, so the on-disk prefix stays valid.
+    /// record boundary, so the on-disk prefix stays valid. A *transient*
+    /// failure (`Interrupted`, from the write or the fsync) is retried —
+    /// after rewinding — up to [`MAX_APPEND_ATTEMPTS`] times before being
+    /// reported; each retry increments the `journal_retries` counter.
     pub fn append(&mut self, kind: RecordKind, version: u64, stmt: &str) -> Result<(), JournalError> {
         if self.broken {
-            return Err(JournalError::Io(
-                "journal is broken (a failed append could not be rewound)".to_string(),
-            ));
+            return Err(JournalError::from(std::io::Error::other(
+                "journal is broken (a failed append could not be rewound)",
+            )));
         }
-        match self.append_inner(kind, version, stmt) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                // Best-effort rewind to the last record boundary.
-                let rewound = self.file.set_len(self.committed_len).is_ok()
-                    && self.file.seek(SeekFrom::Start(self.committed_len)).is_ok();
-                if !rewound {
-                    self.broken = true;
+        let mut attempt = 1;
+        loop {
+            match self.append_inner(kind, version, stmt) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    // Best-effort rewind to the last record boundary, so a
+                    // failed (or half-written) attempt leaves no garbage
+                    // between records — and so a retry starts clean.
+                    let rewound = self.file.set_len(self.committed_len).is_ok()
+                        && self.file.seek(SeekFrom::Start(self.committed_len)).is_ok();
+                    if !rewound {
+                        self.broken = true;
+                        return Err(e);
+                    }
+                    if e.is_transient() && attempt < MAX_APPEND_ATTEMPTS {
+                        attempt += 1;
+                        xic_obs::incr(xic_obs::Counter::JournalRetry);
+                        continue;
+                    }
+                    return Err(e);
                 }
-                Err(e)
             }
         }
     }
@@ -346,6 +437,14 @@ mod tests {
     use super::*;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Tests that arm faults share the process-global registry; serialize
+    // them so one test's disarm_all cannot eat another's armed fault.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fault_serial() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn tmp_path(tag: &str) -> PathBuf {
         static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -490,6 +589,7 @@ mod tests {
 
     #[test]
     fn injected_append_error_rewinds_to_record_boundary() {
+        let _g = fault_serial();
         let p = tmp_path("rewind");
         let mut j = Journal::create(&p, 1, false).expect("create");
         j.append(RecordKind::Commit, 1, "keeper").expect("append");
@@ -497,7 +597,7 @@ mod tests {
         xic_faults::arm("journal.append.mid", 1, xic_faults::FaultMode::Error);
         let err = j.append(RecordKind::Commit, 2, "half-written victim");
         xic_faults::disarm_all();
-        assert!(matches!(err, Err(JournalError::Io(_))));
+        assert!(matches!(err, Err(JournalError::Io { .. })));
         // The half-written bytes were rewound; a later append lands clean.
         j.append(RecordKind::Commit, 2, "successor").expect("append");
         drop(j);
@@ -515,5 +615,112 @@ mod tests {
         // Standard IEEE CRC-32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn io_error_carries_kind_and_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::Interrupted, "syscall interrupted");
+        let err = JournalError::from(io);
+        assert!(err.is_transient());
+        assert_eq!(err.io_kind(), Some(std::io::ErrorKind::Interrupted));
+        let source = std::error::Error::source(&err).expect("Io must expose a source");
+        assert!(source.to_string().contains("syscall interrupted"));
+        // Structural errors have neither a kind nor a source.
+        assert_eq!(JournalError::BadHeader.io_kind(), None);
+        assert!(std::error::Error::source(&JournalError::BadHeader).is_none());
+        assert!(!JournalError::BadHeader.is_transient());
+        // Injected permanent faults map to Other, transient to Interrupted.
+        let perm = JournalError::from(xic_faults::FaultError {
+            site: "journal.append.pre",
+            transient: false,
+        });
+        assert_eq!(perm.io_kind(), Some(std::io::ErrorKind::Other));
+        assert!(!perm.is_transient());
+        let trans = JournalError::from(xic_faults::FaultError {
+            site: "journal.append.pre",
+            transient: true,
+        });
+        assert!(trans.is_transient());
+    }
+
+    #[test]
+    fn transient_append_failure_is_retried_and_succeeds() {
+        let _g = fault_serial();
+        let p = tmp_path("retry");
+        let mut j = Journal::create(&p, 1, true).expect("create");
+        // One transient fault mid-record: attempt 1 fails, the rewind
+        // clears the half-written bytes, attempt 2 lands the record.
+        xic_faults::disarm_all();
+        xic_faults::arm("journal.append.mid", 1, xic_faults::FaultMode::Transient);
+        j.append(RecordKind::Commit, 1, "survives a transient fault").expect("retried append");
+        xic_faults::disarm_all();
+        drop(j);
+        let rec = Journal::recover(&p, Some(1)).expect("recover");
+        assert!(!rec.torn, "the failed attempt must leave no garbage");
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].stmt, "survives a transient fault");
+        cleanup(&p);
+    }
+
+    #[test]
+    fn persistent_transient_failures_exhaust_the_retry_budget() {
+        let _g = fault_serial();
+        let p = tmp_path("retryexhaust");
+        let mut j = Journal::create(&p, 1, false).expect("create");
+        // Arm one transient fault per allowed attempt: all three attempts
+        // fail, and the error that surfaces is still transient-kinded.
+        xic_faults::disarm_all();
+        for nth in 1..=MAX_APPEND_ATTEMPTS as u64 {
+            xic_faults::arm("journal.append.pre", nth, xic_faults::FaultMode::Transient);
+        }
+        let err = j.append(RecordKind::Commit, 1, "never lands").expect_err("exhausted");
+        assert_eq!(xic_faults::hits("journal.append.pre"), MAX_APPEND_ATTEMPTS as u64);
+        xic_faults::disarm_all();
+        assert!(err.is_transient());
+        // The journal is not broken — a later clean append works.
+        j.append(RecordKind::Commit, 1, "lands").expect("append");
+        drop(j);
+        let rec = Journal::recover(&p, Some(1)).expect("recover");
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].stmt, "lands");
+        cleanup(&p);
+    }
+
+    #[test]
+    fn header_only_file_recovers_to_zero_records() {
+        let p = tmp_path("headeronly");
+        let j = Journal::create(&p, 5, false).expect("create");
+        drop(j);
+        assert_eq!(std::fs::metadata(&p).expect("meta").len(), HEADER_LEN);
+        let rec = Journal::recover(&p, Some(5)).expect("recover");
+        assert!(!rec.torn, "a bare header is complete, not torn");
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.base_crc, 5);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn truncated_eight_byte_header_recovers_as_torn() {
+        // Exactly the magic, none of the base-crc bytes: a crash between
+        // the two header halves. Recovery rebuilds the header.
+        let p = tmp_path("torn8");
+        std::fs::write(&p, MAGIC).expect("write");
+        let rec = Journal::recover(&p, Some(77)).expect("recover");
+        assert!(rec.torn);
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.base_crc, 77, "rebuilt header adopts the expected base");
+        drop(rec);
+        let rec = Journal::recover(&p, Some(77)).expect("recover again");
+        assert!(!rec.torn);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn recover_on_a_directory_path_is_a_clean_io_error() {
+        let dir = std::env::temp_dir().join(format!("xic-journal-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let err = Journal::recover(&dir, None).expect_err("directories are not journals");
+        assert!(matches!(err, JournalError::Io { .. }), "{err}");
+        let _ = std::fs::remove_dir(&dir);
     }
 }

@@ -21,6 +21,7 @@
 //!
 //! In the system-inventory table of `DESIGN.md` this crate is items 1–3 (XML store, DTD validator, XUpdate/rollback).
 
+pub mod checkpoint;
 pub mod dtd;
 pub mod escape;
 pub mod journal;
@@ -29,6 +30,7 @@ pub mod serialize;
 pub mod tree;
 pub mod xupdate;
 
+pub use checkpoint::{Checkpoint, CheckpointError, Store};
 pub use dtd::{ContentModel, Dtd, ElementDecl, ValidationError};
 pub use journal::{Journal, JournalError, JournalRecord, RecordKind, Recovered};
 pub use parse::{parse_document, XmlError};
