@@ -9,7 +9,7 @@ use std::path::Path;
 use xic_datalog::Denial;
 use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
 use xic_translate::{translate_denials, QueryTemplate};
-use xic_xml::checkpoint::Store;
+use xic_xml::checkpoint::{fsync_dir, Store, DEFAULT_RETAIN};
 use xic_xml::journal::{crc32, Journal, RecordKind};
 use xic_xml::{apply, parse_document, serialize, undo, AppliedUpdate, Document, Dtd, XUpdateDoc};
 use xic_xpath::EvalBudget;
@@ -186,6 +186,28 @@ pub struct RecoveryReport {
     /// True if *no* generation validated: the checker is serving the base
     /// document read-only (see [`CheckerError::Degraded`]).
     pub degraded: bool,
+}
+
+/// Configuration the store resumes under after
+/// [`Checker::recover_store_with`]: crashed handles can't carry their
+/// settings across the crash, so the caller restates them here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverOptions {
+    /// Whether the recovered journal (and segments created by future
+    /// rotations) fsync per record. Recovery itself always fsyncs what it
+    /// writes regardless.
+    pub sync: bool,
+    /// Retention window for future rotations (see
+    /// [`Checker::set_checkpoint_retain`]).
+    pub retain: u64,
+}
+
+impl Default for RecoverOptions {
+    /// The conservative defaults [`Checker::recover_store`] uses:
+    /// fsync-per-record and [`DEFAULT_RETAIN`] generations.
+    fn default() -> Self {
+        RecoverOptions { sync: true, retain: DEFAULT_RETAIN }
+    }
 }
 
 /// When to take an automatic checkpoint (rotation). The default is
@@ -638,17 +660,35 @@ impl Checker {
     /// serving `check_full`/`decide_only` against the base document while
     /// refusing mutations ([`CheckerError::Degraded`]), instead of
     /// erroring out entirely.
+    ///
+    /// The recovered checker resumes under the conservative
+    /// [`RecoverOptions::default`] — fsync-per-record and the default
+    /// retention window — *regardless* of how the crashed store was
+    /// configured (that configuration lived only in the lost process).
+    /// Use [`Checker::recover_store_with`] to restate a different one.
     pub fn recover_store(
         dir: &Path,
         base_xml: &str,
         dtd: &str,
         constraints: &str,
     ) -> Result<(Checker, RecoveryReport), CheckerError> {
+        Checker::recover_store_with(dir, base_xml, dtd, constraints, RecoverOptions::default())
+    }
+
+    /// [`Checker::recover_store`] with an explicit resume configuration
+    /// (journal sync mode and rotation retention window).
+    pub fn recover_store_with(
+        dir: &Path,
+        base_xml: &str,
+        dtd: &str,
+        constraints: &str,
+        opts: RecoverOptions,
+    ) -> Result<(Checker, RecoveryReport), CheckerError> {
         let mut fallback_reasons: Vec<String> = Vec::new();
         let mut candidates = Store::snapshot_generations(dir);
         candidates.push(0); // the external base document is the final fallback
         for g in candidates {
-            match Checker::recover_generation(dir, g, base_xml, dtd, constraints) {
+            match Checker::recover_generation(dir, g, base_xml, dtd, constraints, opts) {
                 Ok((checker, mut report)) => {
                     report.fallbacks = fallback_reasons.len() as u64;
                     report.fallback_reasons = fallback_reasons;
@@ -683,6 +723,7 @@ impl Checker {
         base_xml: &str,
         dtd: &str,
         constraints: &str,
+        opts: RecoverOptions,
     ) -> Result<(Checker, RecoveryReport), CheckerError> {
         let (mut checker, base_seq) = if generation == 0 {
             (Checker::new(base_xml, dtd, constraints)?, 0)
@@ -706,9 +747,27 @@ impl Checker {
         let (journal, records, torn) = if generation > 0 && !wal.exists() {
             // Crash between the snapshot's dir-fsync and the segment
             // create: the snapshot is durable with an empty suffix, so
-            // start its segment now.
-            let j = Journal::create(&wal, base_crc, true)
+            // start its segment now. But the same on-disk shape is left
+            // by a *failed* rotation whose best-effort orphan unlink
+            // didn't stick while commits kept flowing to the old
+            // segment — accepting the snapshot then would silently
+            // discard those acknowledged commits. Cross-check the older
+            // segments first and fall back if any holds a commit past
+            // the snapshot's sequence number.
+            if let Some((og, v)) = newest_commit_in_older_segments(dir, generation, base_seq) {
+                return Err(CheckerError::Checkpoint(format!(
+                    "snapshot at commit {base_seq} has no segment while generation {og}'s \
+                     segment holds committed version {v}; treating it as a failed-rotation \
+                     orphan"
+                )));
+            }
+            let j = Journal::create(&wal, base_crc, opts.sync)
                 .map_err(|e| CheckerError::Journal(e.to_string()))?;
+            // Mirror rotation protocol step 5: without a directory fsync
+            // an OS crash could drop the fresh segment's name — and every
+            // commit appended to it — while the snapshot survives,
+            // re-entering this path and losing those commits.
+            fsync_dir(dir).map_err(|e| CheckerError::Journal(e.to_string()))?;
             (j, Vec::new(), false)
         } else {
             let rec = Journal::recover(&wal, Some(base_crc))
@@ -719,7 +778,9 @@ impl Checker {
         checker.committed = base_seq + replayed as u64;
         checker.base_commit_seq = base_seq;
         checker.journal = Some(journal);
-        checker.store = Some(Store::resume(dir, generation, true));
+        let mut store = Store::resume(dir, generation, opts.sync);
+        store.set_retain(opts.retain);
+        checker.store = Some(store);
         Ok((
             checker,
             RecoveryReport {
@@ -1170,6 +1231,53 @@ impl Checker {
             }
         }
     }
+}
+
+/// Scans the segments of generations older than `generation` for commit
+/// records with versions past `commit_seq`, returning the generation and
+/// highest such version found. A hit means `generation`'s snapshot is a
+/// failed-rotation orphan: commits were durably acknowledged on an older
+/// segment *after* the snapshot was taken, so recovering the snapshot
+/// with an empty suffix would discard them. Unreadable segments prove
+/// nothing and are skipped (their own recovery attempt will surface the
+/// problem).
+fn newest_commit_in_older_segments(
+    dir: &Path,
+    generation: u64,
+    commit_seq: u64,
+) -> Option<(u64, u64)> {
+    let mut newest: Option<(u64, u64)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(g) = name
+            .strip_prefix("gen-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .and_then(|g| g.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if g >= generation {
+            continue;
+        }
+        // Versions matter here, not the base document, so skip the
+        // base-crc expectation. (`Journal::recover` truncates a torn
+        // tail in passing — exactly what recovering this segment as a
+        // fallback would do anyway.)
+        let Ok(rec) = Journal::recover(&entry.path(), None) else { continue };
+        let max = rec
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, RecordKind::Commit))
+            .map(|r| r.version)
+            .max();
+        if let Some(v) = max {
+            if v > commit_seq && newest.is_none_or(|(_, best)| v > best) {
+                newest = Some((g, v));
+            }
+        }
+    }
+    newest
 }
 
 /// Replays journal records onto `checker`'s document. Commit versions

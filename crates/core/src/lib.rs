@@ -60,8 +60,8 @@ pub mod compile;
 pub mod resolver;
 
 pub use checker::{
-    Checker, CheckerError, CheckpointPolicy, RecoveryReport, Stats, Strategy, UpdateOutcome,
-    Violation,
+    Checker, CheckerError, CheckpointPolicy, RecoverOptions, RecoveryReport, Stats, Strategy,
+    UpdateOutcome, Violation,
 };
 pub use compile::{compile_pattern, CompiledPattern};
 pub use resolver::xpath_resolver;

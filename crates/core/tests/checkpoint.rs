@@ -281,3 +281,142 @@ fn fallback_counter_increments_on_generation_skips() {
     assert_eq!(snap.counter(xic_obs::Counter::Recovery), 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn failed_rotation_then_commits_then_crash_loses_nothing() {
+    // The reviewer scenario for the orphan-snapshot hazard: a rotation
+    // fails *after* its snapshot became durable, the checker keeps
+    // committing to the old segment, and only later does the process
+    // crash. Recovery must restore every acknowledged commit instead of
+    // preferring the failed rotation's snapshot.
+    let dir = store_dir("roterr");
+    let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    c.attach_store(&dir, true).unwrap();
+    commit_n(&mut c, 0, 1);
+
+    xic_faults::disarm_all();
+    xic_faults::arm("rotation.pre_new_segment", 1, xic_faults::FaultMode::Error);
+    assert!(matches!(c.checkpoint(), Err(CheckerError::Checkpoint(_))));
+    xic_faults::disarm_all();
+    assert_eq!(c.store_generation(), 0, "failed rotation must not advance");
+    assert!(
+        Store::snapshot_generations(&dir).is_empty(),
+        "the failed rotation's durable snapshot must be unlinked"
+    );
+
+    // Commits keep flowing to the old segment after the failure…
+    commit_n(&mut c, 1, 2);
+    let state = serialize(&c);
+    drop(c);
+
+    // …and a crash now must recover all three commits.
+    let (r, report) = Checker::recover_store(&dir, CORPUS, DTD, CONFLICT).unwrap();
+    assert_eq!(report.generation, 0);
+    assert_eq!(report.replayed, 3);
+    assert_eq!(report.fallbacks, 0);
+    assert_eq!(serialize(&r), state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orphan_snapshot_with_newer_commits_on_an_older_segment_is_rejected() {
+    // Defense in depth behind the orphan unlink: if an orphan snapshot
+    // *does* survive (the unlink is best-effort) while the old segment
+    // holds commits acknowledged after it, recovery must treat the
+    // missing-segment snapshot as a failed-rotation orphan and fall back
+    // rather than silently truncating history to its sequence number.
+    let dir = store_dir("orphan");
+    let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    c.attach_store(&dir, true).unwrap();
+    commit_n(&mut c, 0, 1);
+    let state_after_1 = serialize(&c);
+    commit_n(&mut c, 1, 1);
+    let state_after_2 = serialize(&c);
+    drop(c);
+
+    // Plant the orphan: a valid gen-1 snapshot at commit 1 with no
+    // segment, while gen-0.wal holds commits 1 and 2.
+    xic_xml::checkpoint::write_atomic(
+        &Store::ckpt_path(&dir, 1),
+        &xic_xml::checkpoint::Checkpoint { commit_seq: 1, doc_xml: state_after_1 },
+    )
+    .unwrap();
+
+    let (r, report) = Checker::recover_store(&dir, CORPUS, DTD, CONFLICT).unwrap();
+    assert_eq!(report.generation, 0, "the orphan must not win");
+    assert_eq!(report.fallbacks, 1);
+    assert!(
+        report.fallback_reasons[0].contains("failed-rotation orphan"),
+        "{:?}",
+        report.fallback_reasons
+    );
+    assert_eq!(report.replayed, 2);
+    assert_eq!(serialize(&r), state_after_2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reattaching_a_store_does_not_resurrect_the_previous_incarnation() {
+    // Store::create on a reused directory must clear stale generations:
+    // a previous incarnation's (self-consistent) snapshot pair would
+    // otherwise win a later recovery over the new incarnation's history.
+    let dir = store_dir("reuse");
+    let mut old = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    old.attach_store(&dir, true).unwrap();
+    commit_n(&mut old, 0, 2);
+    assert_eq!(old.checkpoint().unwrap(), 1);
+    drop(old);
+
+    // New incarnation on the same directory, with different history.
+    let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    c.attach_store(&dir, true).unwrap();
+    assert!(Store::snapshot_generations(&dir).is_empty(), "stale generations must be gone");
+    commit_n(&mut c, 10, 1);
+    let state = serialize(&c);
+    drop(c);
+
+    let (r, report) = Checker::recover_store(&dir, CORPUS, DTD, CONFLICT).unwrap();
+    assert_eq!(report.generation, 0);
+    assert_eq!(report.replayed, 1);
+    assert_eq!(serialize(&r), state, "recovery must restore the new incarnation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_store_with_restates_the_resume_configuration() {
+    let dir = store_dir("opts");
+    let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    c.attach_store(&dir, true).unwrap();
+    commit_n(&mut c, 0, 1);
+    assert_eq!(c.checkpoint().unwrap(), 1);
+    drop(c);
+
+    // A wide retention window must survive recovery: subsequent
+    // rotations keep every generation instead of unlinking down to the
+    // DEFAULT_RETAIN = 2 the plain recover_store resets to.
+    let (mut r, _report) = Checker::recover_store_with(
+        &dir,
+        CORPUS,
+        DTD,
+        CONFLICT,
+        xicheck::RecoverOptions { sync: false, retain: 10 },
+    )
+    .unwrap();
+    commit_n(&mut r, 1, 1);
+    assert_eq!(r.checkpoint().unwrap(), 2);
+    commit_n(&mut r, 2, 1);
+    assert_eq!(r.checkpoint().unwrap(), 3);
+    assert_eq!(
+        Store::snapshot_generations(&dir),
+        vec![3, 2, 1],
+        "retain=10 must keep all generations"
+    );
+    drop(r);
+
+    // The conservative default still prunes.
+    let (mut r2, _) = Checker::recover_store(&dir, CORPUS, DTD, CONFLICT).unwrap();
+    commit_n(&mut r2, 3, 1);
+    assert_eq!(r2.checkpoint().unwrap(), 4);
+    assert_eq!(Store::snapshot_generations(&dir), vec![4, 3]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

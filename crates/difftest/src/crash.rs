@@ -38,6 +38,14 @@
 //! the twin's committed prefix byte for byte, proving rotation never
 //! loses a committed record whatever step the crash lands on.
 //!
+//! When the site list reaches the rotation sites, a **failed-rotation
+//! pass** follows the matrix proper: each checkpoint/rotation site is
+//! armed in [`FaultMode::Error`] instead — the rotation fails mid-flight,
+//! the checker keeps committing to its old segment, and the crash lands
+//! *later*. Recovery must restore every acknowledged commit; an orphan
+//! snapshot durably written by the failed rotation must never win and
+//! silently truncate history to its own sequence number.
+//!
 //! Divergences print a single-line replay command
 //! (`cargo run -p xic-difftest -- --crash-matrix --seed N --cases 1`,
 //! plus the run's `--sites` filter when one was set); the site and
@@ -165,6 +173,12 @@ pub struct CrashReport {
     /// Store-mode recoveries won by a checkpoint generation (> 0) rather
     /// than the base document.
     pub checkpoint_wins: u64,
+    /// Failed-rotation cases run after the crash matrix proper: an
+    /// [`FaultMode::Error`] fault mid-rotation, commits continuing on the
+    /// old segment, then a crash (see the module docs).
+    pub rotation_error_cases: u64,
+    /// Failed-rotation cases in which the armed error actually fired.
+    pub rotation_error_injected: u64,
     /// All divergences, in seed order.
     pub divergences: Vec<CrashDivergence>,
 }
@@ -193,6 +207,10 @@ struct CaseOutcome {
 /// Removes a case's on-disk artifacts (journal file or store directory).
 fn cleanup(journal: &Path, store_dir: &Path) {
     let _ = std::fs::remove_file(journal);
+    cleanup_store(store_dir);
+}
+
+fn cleanup_store(store_dir: &Path) {
     let _ = std::fs::remove_dir_all(store_dir);
 }
 
@@ -257,7 +275,6 @@ fn run_case(
     let mut crashed = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
         .map_err(|e| diverge(format!("crashed-run checker setup failed: {e}")))?;
     if store_mode {
-        let _ = std::fs::remove_dir_all(&store_dir);
         crashed
             .attach_store(&store_dir, point.sync)
             .map_err(|e| diverge(format!("attach_store failed: {e}")))?;
@@ -345,6 +362,123 @@ fn run_case(
     })
 }
 
+/// Runs the *failed-rotation* oracle for one seed. Where [`run_case`]
+/// crashes at a rotation step ([`FaultMode::Panic`]), here the armed
+/// fault **returns an injected error** mid-rotation: the rotation fails,
+/// the checker stays on its old generation and keeps committing to the
+/// old segment, and only then does the process "crash" (the checker is
+/// dropped). Recovery must restore the state after *all* acknowledged
+/// commits — a durable orphan snapshot left behind by the failed
+/// rotation must never win recovery and silently discard the commits
+/// appended to the old segment after it. Returns whether the armed error
+/// actually fired.
+fn run_rotation_error_case(
+    seed: u64,
+    dir: &Path,
+    rot_sites: &[&'static str],
+    sites_arg: Option<&str>,
+) -> Result<bool, CrashDivergence> {
+    let site = rot_sites[(seed % rot_sites.len() as u64) as usize];
+    let sync = (seed / 2) % 2 == 0;
+    // Half the cases rotate successfully once up front, so the failed
+    // rotation's orphan would shadow a real snapshot generation rather
+    // than just the base document.
+    let pre_rotate = (seed / rot_sites.len() as u64) % 2 == 1;
+    let point = CrashPoint { site, nth: 1, sync };
+    let diverge = |detail: String| CrashDivergence {
+        seed,
+        point,
+        sites: sites_arg.map(str::to_string),
+        detail: format!("[rotation-error] {detail}"),
+    };
+    let case: Case = generate_case(seed);
+    let statements: Vec<XUpdateDoc> = case
+        .ops
+        .iter()
+        .map(|op| XUpdateDoc::parse(&wrap_op(op)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| diverge(format!("generated statement does not parse: {e}")))?;
+
+    // Twin run: the oracle is the state after the *full* batch, since an
+    // injected error (unlike a crash) loses no acknowledged commit.
+    let mut twin = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| diverge(format!("twin checker setup failed: {e}")))?;
+    for stmt in &statements {
+        match twin.try_update(stmt) {
+            Ok(_) | Err(CheckerError::Statement(_)) => {}
+            Err(e) => return Err(diverge(format!("twin run failed: {e}"))),
+        }
+    }
+    let expected = xic_xml::serialize(twin.doc());
+
+    let store_dir = dir.join(format!("xic-crash-roterr-{}-{}", std::process::id(), seed));
+    let mut crashed = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| diverge(format!("crashed-run checker setup failed: {e}")))?;
+    crashed
+        .attach_store(&store_dir, sync)
+        .map_err(|e| diverge(format!("attach_store failed: {e}")))?;
+    // No automatic policy: the injected failure must stay the *last*
+    // rotation attempt before the crash, or a later successful rotation
+    // would paper over the orphan this case exists to expose.
+    if pre_rotate {
+        crashed.checkpoint().map_err(|e| {
+            cleanup_store(&store_dir);
+            diverge(format!("unfaulted pre-rotation failed: {e}"))
+        })?;
+    }
+    let mid = statements.len() / 2;
+    let mut injected = false;
+    for (i, stmt) in statements.iter().enumerate() {
+        if i == mid {
+            xic_faults::disarm_all();
+            xic_faults::arm(site, 1, FaultMode::Error);
+            let res = crashed.checkpoint();
+            injected = xic_faults::hits(site) >= 1;
+            xic_faults::disarm_all();
+            // rotation.pre_old_unlink guards a best-effort step *after*
+            // the rotation is durable, so there the call still succeeds.
+            if injected && site != "rotation.pre_old_unlink" && res.is_ok() {
+                cleanup_store(&store_dir);
+                return Err(diverge(format!(
+                    "injected error at {site} but checkpoint() reported success"
+                )));
+            }
+        }
+        match crashed.try_update(stmt) {
+            Ok(_) | Err(CheckerError::Statement(_)) => {}
+            Err(e) => {
+                cleanup_store(&store_dir);
+                return Err(diverge(format!("commit after the failed rotation errored: {e}")));
+            }
+        }
+    }
+    drop(crashed); // the crash: in-memory state is gone
+
+    let (recovered, report) =
+        Checker::recover_store(&store_dir, &case.doc_xml, &case.dtd, &case.constraints).map_err(
+            |e| {
+                cleanup_store(&store_dir);
+                diverge(format!("recovery failed: {e}"))
+            },
+        )?;
+    cleanup_store(&store_dir);
+    if report.degraded {
+        return Err(diverge(format!(
+            "recovery entered degraded mode: {}",
+            report.fallback_reasons.join("; ")
+        )));
+    }
+    let got = xic_xml::serialize(recovered.doc());
+    if got != expected {
+        return Err(diverge(format!(
+            "recovery dropped commits acknowledged after the failed rotation \
+             (generation {}, {} replayed)\n  expected: {expected}\n  recovered: {got}",
+            report.generation, report.replayed
+        )));
+    }
+    Ok(injected)
+}
+
 /// Runs `config.cases` crash cases starting at `config.seed`. Journal
 /// files live in the system temp directory and are removed per case.
 pub fn run_matrix(config: CrashConfig) -> CrashReport {
@@ -360,6 +494,8 @@ pub fn run_matrix(config: CrashConfig) -> CrashReport {
         replayed: 0,
         store_cases: 0,
         checkpoint_wins: 0,
+        rotation_error_cases: 0,
+        rotation_error_injected: 0,
         divergences: Vec::new(),
     };
     if sites.is_empty() {
@@ -385,6 +521,26 @@ pub fn run_matrix(config: CrashConfig) -> CrashReport {
             Err(d) => {
                 obs::incr(obs::Counter::DifftestDiscrepancy);
                 report.divergences.push(d);
+            }
+        }
+    }
+    // Failed-rotation pass: Error-mode faults at each reachable
+    // checkpoint/rotation site, with commits continuing after the
+    // injected failure and the crash landing later. Two cases per site
+    // cover both halves of the `pre_rotate` toggle.
+    let rot_sites: Vec<&'static str> =
+        sites.iter().copied().filter(|s| is_rotation_site(s)).collect();
+    if !rot_sites.is_empty() {
+        for i in 0..2 * rot_sites.len() as u64 {
+            let seed = seed0.wrapping_add(i);
+            obs::incr(obs::Counter::DifftestCase);
+            report.rotation_error_cases += 1;
+            match run_rotation_error_case(seed, &dir, &rot_sites, sites_arg.as_deref()) {
+                Ok(injected) => report.rotation_error_injected += injected as u64,
+                Err(d) => {
+                    obs::incr(obs::Counter::DifftestDiscrepancy);
+                    report.divergences.push(d);
+                }
             }
         }
     }
@@ -420,6 +576,10 @@ mod tests {
         assert!(report.divergences.is_empty());
         assert!(report.fired > 0, "no armed fault ever fired");
         assert!(report.store_cases > 0, "no case ran in store mode");
+        // The unfiltered site list reaches the rotation sites, so the
+        // failed-rotation pass must have run and actually injected.
+        assert!(report.rotation_error_cases > 0, "no failed-rotation case ran");
+        assert!(report.rotation_error_injected > 0, "no rotation error ever fired");
     }
 
     #[test]
@@ -449,5 +609,9 @@ mod tests {
         }
         assert!(report.divergences.is_empty());
         assert_eq!(report.store_cases, rotation.len() as u64);
+        // The failed-rotation pass covers every rotation site twice
+        // (with and without a pre-existing snapshot generation).
+        assert_eq!(report.rotation_error_cases, 2 * rotation.len() as u64);
+        assert!(report.rotation_error_injected > 0, "no rotation error ever fired");
     }
 }

@@ -129,7 +129,7 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
     println!(
         "crash-matrix: {} cases from seed {}{} — {} divergences, {} faults fired, \
          {} torn tails truncated, {} commits restored, {} store-mode cases \
-         ({} won by a checkpoint)",
+         ({} won by a checkpoint), {} failed-rotation cases ({} injected)",
         args.cases,
         args.seed,
         args.sites
@@ -142,6 +142,8 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
         report.replayed,
         report.store_cases,
         report.checkpoint_wins,
+        report.rotation_error_cases,
+        report.rotation_error_injected,
     );
     let json = Value::Object(vec![
         ("bench".to_string(), Value::String("crash-matrix".to_string())),
@@ -173,6 +175,14 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
         (
             "checkpoint_wins".to_string(),
             Value::Number(report.checkpoint_wins as f64),
+        ),
+        (
+            "rotation_error_cases".to_string(),
+            Value::Number(report.rotation_error_cases as f64),
+        ),
+        (
+            "rotation_error_injected".to_string(),
+            Value::Number(report.rotation_error_injected as f64),
         ),
         (
             "failing_seeds".to_string(),

@@ -156,7 +156,7 @@ impl From<JournalError> for CheckpointError {
 
 /// Opens `dir` and syncs it, making freshly created/renamed/unlinked
 /// entries durable (the POSIX idiom behind atomic file replacement).
-fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
     File::open(dir)?.sync_all()
 }
 
@@ -280,8 +280,25 @@ impl Store {
     /// Creates (or reuses) the store directory and starts generation 0:
     /// a fresh journal segment keyed to `base_crc`, the checksum of the
     /// *external* base document.
+    ///
+    /// A reused directory is wiped of any previous incarnation's
+    /// `gen-*` artifacts first: recovery prefers the newest snapshot on
+    /// disk, and a stale pair is internally self-consistent, so leaving
+    /// one behind would let a later [`recover`](crate::checkpoint::read)
+    /// silently resurrect the old incarnation's document over this one.
     pub fn create(dir: &Path, base_crc: u32, sync: bool) -> Result<(Store, Journal), CheckpointError> {
         std::fs::create_dir_all(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let stale = name.strip_prefix("gen-").is_some_and(|rest| {
+                rest.ends_with(".ckpt") || rest.ends_with(".wal") || rest.ends_with(".ckpt.tmp")
+            });
+            if stale {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
         let journal = Journal::create(&Self::wal_path(dir, 0), base_crc, sync)?;
         fsync_dir(dir)?;
         Ok((Store { dir: dir.to_path_buf(), generation: 0, retain: DEFAULT_RETAIN, sync }, journal))
@@ -350,27 +367,53 @@ impl Store {
     /// must append all *subsequent* commits to.
     ///
     /// On error the store stays on its current generation and the old
-    /// (snapshot, journal) pair remains the recoverable one.
+    /// (snapshot, journal) pair remains the recoverable one: any partial
+    /// artifacts of the failed rotation — in particular a `gen-<g+1>.ckpt`
+    /// that already became visible or durable — are unlinked before the
+    /// error is reported. Leaving such an orphan behind would be poison:
+    /// the caller keeps committing to the *old* segment, so a later crash
+    /// would let recovery prefer the orphan snapshot (with an empty
+    /// suffix) and silently discard every commit acknowledged after it.
     pub fn rotate(&mut self, commit_seq: u64, doc_xml: &str) -> Result<Journal, CheckpointError> {
         let next = self.generation + 1;
         let ckpt = Checkpoint { commit_seq, doc_xml: doc_xml.to_string() };
-        write_atomic(&Self::ckpt_path(&self.dir, next), &ckpt)?;
+        let journal = match self.rotate_inner(next, &ckpt) {
+            Ok(journal) => journal,
+            Err(e) => {
+                let _ = std::fs::remove_file(Self::ckpt_path(&self.dir, next));
+                let _ = std::fs::remove_file(Self::wal_path(&self.dir, next));
+                let _ = fsync_dir(&self.dir);
+                return Err(e);
+            }
+        };
+        self.generation = next;
+        xic_obs::incr(xic_obs::Counter::Rotation);
+        // Unlink expired generations, best-effort: their presence is
+        // harmless (extra fallbacks), their absence never needed — so an
+        // injected *error* here leaves the (already complete) rotation
+        // intact, while a Panic-mode fault still simulates a crash.
+        if xic_faults::fire("rotation.pre_old_unlink").is_ok() {
+            for g in (0..next.saturating_sub(self.retain - 1)).rev() {
+                let _ = std::fs::remove_file(Self::wal_path(&self.dir, g));
+                if g > 0 {
+                    let _ = std::fs::remove_file(Self::ckpt_path(&self.dir, g));
+                }
+            }
+        }
+        Ok(journal)
+    }
+
+    /// The fallible prefix of a rotation: snapshot write, segment create,
+    /// directory fsync. Failure anywhere in here (including after the
+    /// snapshot rename) is rolled back by [`Store::rotate`].
+    fn rotate_inner(&self, next: u64, ckpt: &Checkpoint) -> Result<Journal, CheckpointError> {
+        write_atomic(&Self::ckpt_path(&self.dir, next), ckpt)?;
         // The snapshot is durable: from here on recovery prefers it even
         // if the segment is missing (checkpoint + empty suffix).
         xic_faults::fire("rotation.pre_new_segment")?;
-        let journal = Journal::create(&Self::wal_path(&self.dir, next), ckpt.doc_crc(), self.sync)?;
+        let journal =
+            Journal::create(&Self::wal_path(&self.dir, next), ckpt.doc_crc(), self.sync)?;
         fsync_dir(&self.dir)?;
-        self.generation = next;
-        xic_obs::incr(xic_obs::Counter::Rotation);
-        xic_faults::fire("rotation.pre_old_unlink")?;
-        // Unlink expired generations, best-effort: their presence is
-        // harmless (extra fallbacks), their absence never needed.
-        for g in (0..next.saturating_sub(self.retain - 1)).rev() {
-            let _ = std::fs::remove_file(Self::wal_path(&self.dir, g));
-            if g > 0 {
-                let _ = std::fs::remove_file(Self::ckpt_path(&self.dir, g));
-            }
-        }
         Ok(journal)
     }
 }
@@ -478,6 +521,76 @@ mod tests {
         assert!(!Store::wal_path(&dir, 1).exists());
         assert!(Store::wal_path(&dir, 2).exists());
         assert!(Store::wal_path(&dir, 3).exists());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn create_clears_stale_generations_from_a_reused_directory() {
+        let dir = tmp_dir("stale");
+        let (mut store, j0) = Store::create(&dir, 1, false).expect("create");
+        drop(j0);
+        let j1 = store.rotate(5, "<db><old-incarnation/></db>").expect("rotate");
+        drop(j1);
+        std::fs::write(dir.join("gen-9.ckpt.tmp"), b"torn").expect("tmp");
+        assert_eq!(Store::snapshot_generations(&dir), vec![1]);
+
+        // Re-creating the store on the same directory is a new
+        // incarnation: the stale (self-consistent!) generation-1 pair
+        // must not survive to win a later recovery.
+        let (store2, j) = Store::create(&dir, 2, false).expect("re-create");
+        drop(j);
+        assert_eq!(store2.generation(), 0);
+        assert!(Store::snapshot_generations(&dir).is_empty());
+        assert!(!Store::wal_path(&dir, 1).exists());
+        assert!(!dir.join("gen-9.ckpt.tmp").exists());
+        assert!(Store::wal_path(&dir, 0).exists());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn failed_rotation_unlinks_its_orphan_snapshot() {
+        // An error *after* the snapshot became durable (segment create)
+        // or visible (dir fsync) must not leave gen-1.ckpt behind: the
+        // store stays on generation 0 and keeps committing to gen-0.wal,
+        // so an orphan snapshot would later win recovery and discard
+        // those commits.
+        for site in ["rotation.pre_new_segment", "checkpoint.pre_dir_fsync"] {
+            let dir = tmp_dir("orphan");
+            let (mut store, j0) = Store::create(&dir, 5, false).expect("create");
+            drop(j0);
+            xic_faults::disarm_all();
+            xic_faults::arm(site, 1, xic_faults::FaultMode::Error);
+            let err = store.rotate(1, "<db><orphan/></db>").expect_err("injected");
+            xic_faults::disarm_all();
+            assert!(matches!(err, CheckpointError::Io { .. }), "{site}: {err}");
+            assert_eq!(store.generation(), 0, "{site}: failed rotation must not advance");
+            assert!(
+                Store::snapshot_generations(&dir).is_empty(),
+                "{site}: orphan snapshot left behind"
+            );
+            assert!(!Store::wal_path(&dir, 1).exists(), "{site}: orphan segment left behind");
+            assert!(Store::wal_path(&dir, 0).exists(), "{site}: old pair must survive");
+            cleanup(&dir);
+        }
+    }
+
+    #[test]
+    fn old_unlink_error_leaves_the_rotation_complete() {
+        // rotation.pre_old_unlink guards a best-effort step: an injected
+        // error there must not fail the (already durable) rotation.
+        let dir = tmp_dir("unlinkerr");
+        let (mut store, j0) = Store::create(&dir, 0, false).expect("create");
+        drop(j0);
+        store.set_retain(1);
+        xic_faults::disarm_all();
+        xic_faults::arm("rotation.pre_old_unlink", 1, xic_faults::FaultMode::Error);
+        let j = store.rotate(1, "<db><kept/></db>").expect("rotation still succeeds");
+        xic_faults::disarm_all();
+        drop(j);
+        assert_eq!(store.generation(), 1);
+        // The unlink was skipped, so the expired generation 0 survives
+        // as an extra (harmless) fallback.
+        assert!(Store::wal_path(&dir, 0).exists());
         cleanup(&dir);
     }
 
