@@ -46,6 +46,23 @@ cargo run --release -q -p xic-difftest -- --crash-matrix \
   --cases "${CRASH_ROTATION_CASES:-60}" --seed 7 --sites checkpoint,rotation \
   --out /tmp/BENCH_CRASH_ROTATION_CI.json
 
+echo "== crash-matrix group-commit pass (service batch path, shared fsync) =="
+# Write-path sites only: the matrix proper plus the group-commit pass,
+# which drives every case's statements through the service's batch path
+# (unsynced appends, one shared fsync per batch) and crashes mid-batch.
+# Recovery must reproduce the twin's committed prefix and keep every
+# commit from a batch whose shared fsync completed.
+cargo run --release -q -p xic-difftest -- --crash-matrix \
+  --cases "${CRASH_GC_CASES:-40}" --seed 3 --sites journal,checker,xupdate \
+  --out /tmp/BENCH_CRASH_GC_CI.json
+
+echo "== concurrency stress smoke (snapshot readers + group-commit writers) =="
+# The service stress oracle: concurrent writers and snapshot readers,
+# acknowledged commits replayed sequentially must reproduce the final
+# state byte for byte (both executors). Runs inside `cargo test` too;
+# this names the gate so a red run points straight at the service layer.
+cargo test -q --release -p xicheck --test service_stress
+
 echo "== bench smoke (order/exists fast paths) =="
 # The criterion harness runs each benchmark a handful of times; this is a
 # does-it-run gate, not a performance assertion.

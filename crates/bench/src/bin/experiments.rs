@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache]
-//!             [journal] [budget] [checkpoint] [all]
+//!             [journal] [budget] [checkpoint] [service] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
 //!             [--out=BENCH_PR3.json]
 //! ```
@@ -22,7 +22,10 @@
 //! the optimized fast path and the cost of its baseline fallback (E8);
 //! `checkpoint` measures crash-recovery time against committed-history
 //! length with and without checkpointing, and the cost of one atomic
-//! snapshot as the document grows (E9).
+//! snapshot as the document grows (E9); `service` measures multi-client
+//! throughput and submit→ack latency through the concurrent checker
+//! service under the sequential and group-commit executors (E10 —
+//! conventionally written to `BENCH_PR6.json` via `--out`).
 //!
 //! Every run also rewrites the JSON report: the sections just measured
 //! replace their previous versions, sections from earlier invocations are
@@ -33,7 +36,7 @@
 use std::time::Instant;
 use xic_bench::{
     instance, measure_budget, measure_exists, measure_illegal, measure_journal,
-    measure_order_cache, measure_row, Experiment,
+    measure_order_cache, measure_row, measure_service, Experiment,
 };
 use xic_mapping::map_update;
 use xicheck::obs::{self, json};
@@ -72,7 +75,7 @@ fn parse_args() -> Args {
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig1a", "fig1b", "illegal", "simp", "exists", "ordercache", "journal", "budget",
-            "checkpoint",
+            "checkpoint", "service",
         ]
         .iter()
         .map(std::string::ToString::to_string)
@@ -421,6 +424,55 @@ fn checkpoint_section(args: &Args) -> json::Value {
     ])
 }
 
+fn service_section(args: &Args) -> json::Value {
+    println!("== Concurrent service: sequential vs group-commit executor (E10) ==");
+    const PER_CLIENT: usize = 64;
+    let kib = args.sizes.first().copied().unwrap_or(32);
+    println!(
+        "{:>8} {:>13} {:>8} {:>9} {:>12} {:>8} {:>8}",
+        "clients", "executor", "updates", "wall/ms", "updates/s", "p50/ms", "p99/ms"
+    );
+    let mut rows = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        let mut throughput = [0.0f64; 2];
+        for (i, executor) in [xicheck::Executor::Sync, xicheck::Executor::group_commit()]
+            .into_iter()
+            .enumerate()
+        {
+            let r = measure_service(kib, args.seed, clients, PER_CLIENT, executor);
+            throughput[i] = r.throughput_per_s;
+            println!(
+                "{:>8} {:>13} {:>8} {:>9.1} {:>12.0} {:>8.3} {:>8.3}",
+                r.clients, r.executor, r.updates, r.wall_ms, r.throughput_per_s, r.p50_ms, r.p99_ms
+            );
+            rows.push(json::Value::Object(vec![
+                ("clients".to_string(), num(r.clients as f64)),
+                (
+                    "executor".to_string(),
+                    json::Value::String(r.executor.to_string()),
+                ),
+                ("updates".to_string(), num(r.updates as f64)),
+                ("wall_ms".to_string(), num(r.wall_ms)),
+                ("throughput_per_s".to_string(), num(r.throughput_per_s)),
+                ("p50_ms".to_string(), num(r.p50_ms)),
+                ("p99_ms".to_string(), num(r.p99_ms)),
+            ]));
+        }
+        println!(
+            "{:>8} group-commit speedup: {:.2}x",
+            clients,
+            throughput[1] / throughput[0]
+        );
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("kib".to_string(), num(kib as f64)),
+        ("per_client".to_string(), num(PER_CLIENT as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+    ])
+}
+
 /// Rewrites `path`, replacing the sections in `fresh` and keeping every
 /// other section from a previous run, so `experiments fig1a` followed by
 /// `experiments fig1b` accumulates both figures in one report.
@@ -487,10 +539,11 @@ fn main() {
             "journal" => journal_section(&args),
             "budget" => budget_section(&args),
             "checkpoint" => checkpoint_section(&args),
+            "service" => service_section(&args),
             other => {
                 eprintln!(
                     "unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp, \
-                     exists, ordercache, journal, budget, checkpoint)"
+                     exists, ordercache, journal, budget, checkpoint, service)"
                 );
                 failed = true;
                 continue;

@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 use xic_workload::{generate, Workload, WorkloadConfig};
 use xic_xml::{apply, undo, XUpdateDoc};
-use xicheck::{Checker, UpdateOutcome};
+use xicheck::{Checker, CheckerService, Executor, UpdateOutcome};
 
 /// Which of the two running examples an experiment exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -609,6 +609,102 @@ pub fn measure_checkpoint_write(exp: Experiment, kib: usize, seed: u64, iters: u
     }
 }
 
+/// Multi-client service throughput and latency (E10): `clients` writer
+/// threads each submit a stream of legal pattern-matching inserts
+/// through a [`CheckerService`] whose journal fsyncs — under the
+/// sequential executor (one fsync per commit) and the group-commit
+/// executor (one shared fsync per batch).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceRow {
+    /// Concurrent writer clients.
+    pub clients: usize,
+    /// Executor under test: `"sync"` or `"group-commit"`.
+    pub executor: &'static str,
+    /// Total acknowledged updates across all clients.
+    pub updates: usize,
+    /// Wall-clock time for the whole run (ms).
+    pub wall_ms: f64,
+    /// Acknowledged updates per second.
+    pub throughput_per_s: f64,
+    /// Median submit→ack latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile submit→ack latency (ms).
+    pub p99_ms: f64,
+}
+
+/// Measures [`ServiceRow`] on the conflict-of-interests workload. Every
+/// statement is a fresh-author insert (always legal, and hitting the
+/// registered pattern's optimized check), so throughput differences
+/// between the executors isolate the commit path — per-commit fsyncs
+/// versus one shared fsync per batch. Latency is measured per submit on
+/// each client thread, from the call to the durable acknowledgement.
+pub fn measure_service(
+    kib: usize,
+    seed: u64,
+    clients: usize,
+    per_client: usize,
+    executor: Executor,
+) -> ServiceRow {
+    let name = match executor {
+        Executor::Sync => "sync",
+        Executor::GroupCommit { .. } => "group-commit",
+    };
+    let w = generate(WorkloadConfig::sized_kib(kib, seed));
+    let constraints = xic_workload::conflict_constraint();
+    let mut checker = Checker::new(&w.xml, dtd_text(), constraints).expect("corpus loads");
+    let pattern =
+        XUpdateDoc::parse(&xic_workload::legal_insert(0, 0, 900_001)).expect("legal stmt");
+    checker.register_pattern(&pattern).expect("pattern registration");
+    let path = journal_tmp(&format!("svc-{name}-{clients}"), kib, seed);
+    let _ = std::fs::remove_file(&path);
+    checker.attach_journal(&path, true).expect("journal attaches");
+    let service = CheckerService::new(checker, executor);
+
+    let start = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * per_client);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        // Distinct serials keep every author fresh, so
+                        // each insert stays legal as the run proceeds.
+                        let serial = 100_000 + c * per_client + i;
+                        let stmt = xic_workload::legal_insert(0, 0, serial);
+                        let t = Instant::now();
+                        let out = service.submit(&stmt).expect("legal update");
+                        lats.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert!(out.outcome.applied());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies_ms.extend(h.join().expect("client thread"));
+        }
+    });
+    let wall = start.elapsed();
+    let live = service.shutdown();
+    assert_eq!(live.committed(), (clients * per_client) as u64);
+    let _ = std::fs::remove_file(&path);
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: usize| latencies_ms[(latencies_ms.len() * p / 100).min(latencies_ms.len() - 1)];
+    let updates = clients * per_client;
+    ServiceRow {
+        clients,
+        executor: name,
+        updates,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_per_s: updates as f64 / wall.as_secs_f64(),
+        p50_ms: pct(50),
+        p99_ms: pct(99),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,6 +783,16 @@ mod tests {
         let r = measure_checkpoint_write(Experiment::ConflictOfInterests, 8, 8, 1);
         assert!(r.write_ms > 0.0);
         assert!(r.bytes > 4096, "8 KiB corpus snapshot should exceed 4 KiB");
+    }
+
+    #[test]
+    fn service_rows_measure_both_executors() {
+        for executor in [Executor::Sync, Executor::group_commit()] {
+            let r = measure_service(8, 9, 2, 3, executor);
+            assert_eq!(r.updates, 6);
+            assert!(r.wall_ms > 0.0 && r.throughput_per_s > 0.0);
+            assert!(r.p50_ms > 0.0 && r.p99_ms >= r.p50_ms);
+        }
     }
 
     #[test]

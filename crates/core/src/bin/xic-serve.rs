@@ -1,0 +1,168 @@
+//! `xic-serve` — line-protocol front-end for the concurrent checker
+//! service (`xicheck::service`, DESIGN.md row 19).
+//!
+//! Loads a document, DTD and XPathLog constraint set from files, starts
+//! a [`CheckerService`] and serves the protocol in
+//! [`xicheck::protocol`] either over stdin/stdout (default) or on a
+//! Unix socket (`--socket PATH`, one thread per client).
+//!
+//! ```text
+//! xic-serve --xml doc.xml --dtd schema.dtd --constraints gamma.xpl \
+//!           [--journal FILE | --store DIR] [--no-sync] \
+//!           [--executor sync|group-commit] [--max-batch N] \
+//!           [--socket PATH]
+//! ```
+//!
+//! `--executor sync` is the ablation baseline (one fsync per commit);
+//! the default is the group-commit writer. See README.md, *Running as
+//! a service*, for a worked multi-client example.
+
+use std::io::{BufReader, Write as _};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use xicheck::protocol::serve_connection;
+use xicheck::{Checker, CheckerService, Executor};
+
+struct Args {
+    xml: PathBuf,
+    dtd: PathBuf,
+    constraints: PathBuf,
+    journal: Option<PathBuf>,
+    store: Option<PathBuf>,
+    sync: bool,
+    executor: Executor,
+    socket: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut xml = None;
+    let mut dtd = None;
+    let mut constraints = None;
+    let mut journal = None;
+    let mut store = None;
+    let mut sync = true;
+    let mut executor_kind = "group-commit".to_string();
+    let mut max_batch = xicheck::service::DEFAULT_MAX_BATCH;
+    let mut socket = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (key, inline) = match arg.split_once('=') {
+            Some((k, v)) => (k.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |args: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+            inline
+                .clone()
+                .or_else(|| args.next())
+                .ok_or_else(|| format!("{key} needs a value"))
+        };
+        match key.as_str() {
+            "--xml" => xml = Some(PathBuf::from(value(&mut args)?)),
+            "--dtd" => dtd = Some(PathBuf::from(value(&mut args)?)),
+            "--constraints" => constraints = Some(PathBuf::from(value(&mut args)?)),
+            "--journal" => journal = Some(PathBuf::from(value(&mut args)?)),
+            "--store" => store = Some(PathBuf::from(value(&mut args)?)),
+            "--no-sync" => sync = false,
+            "--executor" => executor_kind = value(&mut args)?,
+            "--max-batch" => {
+                max_batch = value(&mut args)?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--socket" => socket = Some(PathBuf::from(value(&mut args)?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let executor = match executor_kind.as_str() {
+        "sync" => Executor::Sync,
+        "group-commit" | "group" => Executor::GroupCommit { max_batch },
+        other => return Err(format!("--executor must be sync or group-commit, got {other:?}")),
+    };
+    if journal.is_some() && store.is_some() {
+        return Err("--journal and --store are mutually exclusive".to_string());
+    }
+    Ok(Args {
+        xml: xml.ok_or("--xml FILE is required")?,
+        dtd: dtd.ok_or("--dtd FILE is required")?,
+        constraints: constraints.ok_or("--constraints FILE is required")?,
+        journal,
+        store,
+        sync,
+        executor,
+        socket,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let read = |p: &PathBuf| {
+        std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let mut checker = Checker::new(&read(&args.xml)?, &read(&args.dtd)?, &read(&args.constraints)?)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = &args.journal {
+        checker.attach_journal(path, args.sync).map_err(|e| e.to_string())?;
+    }
+    if let Some(dir) = &args.store {
+        checker.attach_store(dir, args.sync).map_err(|e| e.to_string())?;
+    }
+    let service = CheckerService::new(checker, args.executor);
+
+    match &args.socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_connection(&service, stdin.lock(), stdout.lock())
+                .map_err(|e| format!("stdio session: {e}"))?;
+        }
+        Some(path) => {
+            // A stale socket file from a previous run would make bind fail.
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| format!("bind {}: {e}", path.display()))?;
+            eprintln!("xic-serve: listening on {}", path.display());
+            std::thread::scope(|scope| {
+                for stream in listener.incoming() {
+                    match stream {
+                        Ok(stream) => {
+                            let service = Arc::clone(&service);
+                            scope.spawn(move || {
+                                let reader = match stream.try_clone() {
+                                    Ok(r) => BufReader::new(r),
+                                    Err(e) => {
+                                        eprintln!("xic-serve: clone stream: {e}");
+                                        return;
+                                    }
+                                };
+                                if let Err(e) = serve_connection(&service, reader, stream) {
+                                    eprintln!("xic-serve: session ended: {e}");
+                                }
+                            });
+                        }
+                        Err(e) => eprintln!("xic-serve: accept: {e}"),
+                    }
+                }
+            });
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("xic-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            let mut err = std::io::stderr();
+            let _ = writeln!(err, "xic-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

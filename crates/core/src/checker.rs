@@ -241,6 +241,20 @@ impl CheckpointPolicy {
 }
 
 /// The integrity checker: document + DTD + compiled constraints.
+/// The integrity-checking façade: document + DTD + compiled constraint
+/// set, with optional journal/store durability.
+///
+/// # Ownership under concurrency
+///
+/// A `Checker` is `Send` but deliberately **not** shared: all mutating
+/// entry points take `&mut self`, so concurrent use means handing the
+/// whole value to a single writer — exactly what
+/// [`crate::service::CheckerService`] does (one writer thread owns the
+/// `Checker`; readers see immutable [`crate::service::ReadSnapshot`]s
+/// published per committed batch). Do not wrap a `Checker` in a lock
+/// shared by readers and writers to "parallelize" it: read entry points
+/// would serialize behind commits and the fsync in every commit would
+/// stall them (the service exists to avoid precisely that).
 pub struct Checker {
     doc: Document,
     dtd: Dtd,
@@ -379,6 +393,13 @@ impl Checker {
         &self.full_queries
     }
 
+    /// The pre-parsed ASTs for [`Checker::full_queries`], in the same
+    /// order — handed to [`crate::service::ReadSnapshot`] so concurrent
+    /// readers can run the full check without re-parsing Γ.
+    pub(crate) fn full_parsed(&self) -> &[XQuery] {
+        &self.full_parsed
+    }
+
     /// Runtime counters.
     pub fn stats(&self) -> Stats {
         self.stats
@@ -439,7 +460,12 @@ impl Checker {
     /// (and, with `sync`, fsync'd) before the verdict is returned.
     ///
     /// To recover after a crash, call [`Checker::recover`] with the same
-    /// base document text.
+    /// base document text. Note that — like the store variants — recovery
+    /// does **not** remember this `sync` flag: the recovered journal
+    /// always resumes with fsync-per-record enabled (the conservative
+    /// choice; restate a different mode with
+    /// [`Checker::set_journal_sync`], or use
+    /// [`Checker::recover_store_with`]'s [`RecoverOptions`] on stores).
     pub fn attach_journal(&mut self, path: &Path, sync: bool) -> Result<(), CheckerError> {
         self.refuse_if_degraded()?;
         let base_crc = crc32(serialize(&self.doc).as_bytes());
@@ -549,9 +575,30 @@ impl Checker {
     /// Toggles fsync-per-commit on the attached journal (no-op without
     /// one). Disabling trades durability of the last few records for
     /// throughput; the journal structure stays crash-consistent.
+    ///
+    /// The group-commit executor ([`crate::service`]) runs a batch with
+    /// sync disabled and then makes the whole batch durable at once with
+    /// [`Checker::sync_journal`] before acknowledging any submitter.
     pub fn set_journal_sync(&mut self, sync: bool) {
         if let Some(j) = self.journal.as_mut() {
             j.set_sync(sync);
+        }
+    }
+
+    /// Whether the attached journal fsyncs on every append (`false` when
+    /// no journal is attached).
+    pub fn journal_sync(&self) -> bool {
+        self.journal.as_ref().is_some_and(Journal::sync)
+    }
+
+    /// Flushes every appended-but-unsynced journal record to stable
+    /// storage with one fsync (no-op without a journal). This is the
+    /// group-commit flush point: records appended with sync disabled are
+    /// not durable until this returns `Ok` (see DESIGN.md row 19).
+    pub fn sync_journal(&mut self) -> Result<(), CheckerError> {
+        match self.journal.as_mut() {
+            None => Ok(()),
+            Some(j) => j.sync_now().map_err(|e| CheckerError::Journal(e.to_string())),
         }
     }
 
@@ -616,6 +663,14 @@ impl Checker {
     /// order. Abort records are skipped. The journal is left attached, so
     /// the recovered checker resumes journaling where the crashed one
     /// stopped.
+    ///
+    /// Like [`Checker::recover_store`], the resumed journal runs with
+    /// **fsync-per-record enabled regardless of the crashed process's
+    /// sync mode** — that configuration lived only in the lost process
+    /// and the conservative default cannot lose acknowledged commits.
+    /// Call [`Checker::set_journal_sync`] afterwards to restate a
+    /// throughput-oriented mode (there is no `RecoverOptions` plumbing
+    /// here because a bare journal has no retention window to restate).
     ///
     /// Fails with [`CheckerError::Journal`] if the base document does not
     /// match the journal's base checksum (e.g. a snapshot newer than the
@@ -1062,6 +1117,10 @@ impl Checker {
         applied: AppliedUpdate,
     ) -> Result<(), CheckerError> {
         if self.journal.is_none() {
+            // Still a commit: `committed()` counts committed statements
+            // (and is the service's snapshot version) whether or not a
+            // journal records them.
+            self.committed += 1;
             return Ok(());
         }
         let next = self.committed + 1;

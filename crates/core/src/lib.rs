@@ -53,16 +53,30 @@
 //! assert!(!dup.applied());
 //! ```
 //!
-//! In the system-inventory table of `DESIGN.md` this crate is item 11 (integrity-checking façade).
+//! # Running concurrently
+//!
+//! A `Checker` is deliberately single-writer (`&mut self` everywhere).
+//! To serve concurrent clients, wrap it in a
+//! [`service::CheckerService`]: readers get immutable versioned
+//! [`service::ReadSnapshot`]s while a single writer thread batches
+//! submitted updates into group commits (one shared fsync per batch).
+//! The [`protocol`] module puts a line-oriented wire protocol on top;
+//! the `xic-serve` binary serves it over stdin/stdout or a Unix socket.
+//!
+//! In the system-inventory table of `DESIGN.md` this crate is item 11
+//! (integrity-checking façade); the service layer is item 19.
 
 pub mod checker;
 pub mod compile;
+pub mod protocol;
 pub mod resolver;
+pub mod service;
 
 pub use checker::{
     Checker, CheckerError, CheckpointPolicy, RecoverOptions, RecoveryReport, Stats, Strategy,
     UpdateOutcome, Violation,
 };
+pub use service::{CheckerService, Executor, ReadSnapshot, ServiceError, SubmitOutcome};
 pub use compile::{compile_pattern, CompiledPattern};
 pub use resolver::xpath_resolver;
 

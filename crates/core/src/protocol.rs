@@ -1,0 +1,355 @@
+//! Line-oriented service protocol (the front-end of
+//! [`crate::service::CheckerService`]; DESIGN.md row 19).
+//!
+//! One request per line, one reply per line, UTF-8, no framing beyond
+//! `\n`. The grammar (also in README.md, *Running as a service*):
+//!
+//! ```text
+//! request  = "CHECK"                ; full check of the current snapshot
+//!          | "DECIDE" SP xupdate    ; hypothetical verdict, nothing committed
+//!          | "UPDATE" SP xupdate    ; checked, durable execution
+//!          | "VERSION"              ; committed version of the snapshot
+//!          | "STATS"                ; executor configuration + version
+//!          | "QUIT"                 ; close the connection
+//! xupdate  = single-line <xupdate:modifications> document
+//!
+//! reply    = "OK" SP version SP detail
+//!          | "ERR" SP message
+//!          | "BYE"
+//! detail   = "CONSISTENT" | "VIOLATION" SP denial      ; CHECK
+//!          | "LEGAL" | "ILLEGAL" SP denial             ; DECIDE
+//!          | "APPLIED" SP strategy
+//!          | "REJECTED" SP strategy SP denial          ; UPDATE
+//!          | ""                                        ; VERSION
+//!          | config                                    ; STATS
+//! strategy = "optimized" | "full-with-rollback"
+//! ```
+//!
+//! `CHECK`, `DECIDE` and `VERSION` are **snapshot reads**: they never
+//! queue behind the writer, and the version in their reply names the
+//! snapshot they answered from. `UPDATE` blocks until its verdict is
+//! durable (in group-commit mode: until the shared batch fsync) and
+//! reports the version its statement left the service at.
+//!
+//! Keywords are case-sensitive (uppercase). Denial text is flattened to
+//! one line. Parsing and rendering live here, free of any I/O, so unit
+//! tests drive the protocol without sockets; [`serve_connection`] wires
+//! a [`BufRead`]/[`Write`] pair (stdin/stdout or a Unix socket — see
+//! the `xic-serve` binary) to a shared service.
+
+use crate::checker::{Strategy, UpdateOutcome, Violation};
+use crate::service::CheckerService;
+use std::io::{BufRead, Write};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Full constraint check of the current snapshot.
+    Check,
+    /// Hypothetical verdict for a statement; commits nothing.
+    Decide(String),
+    /// Checked, durable execution of a statement.
+    Update(String),
+    /// Version of the current snapshot.
+    Version,
+    /// Executor configuration and version.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parses one request line.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (keyword, rest) = match line.split_once(char::is_whitespace) {
+        Some((k, r)) => (k, r.trim()),
+        None => (line, ""),
+    };
+    let arg_required = |cmd: &str| -> Result<String, String> {
+        if rest.is_empty() {
+            Err(format!("{cmd} needs a single-line XUpdate document as argument"))
+        } else {
+            Ok(rest.to_string())
+        }
+    };
+    match keyword {
+        "CHECK" => Ok(Command::Check),
+        "DECIDE" => Ok(Command::Decide(arg_required("DECIDE")?)),
+        "UPDATE" => Ok(Command::Update(arg_required("UPDATE")?)),
+        "VERSION" => Ok(Command::Version),
+        "STATS" => Ok(Command::Stats),
+        "QUIT" => Ok(Command::Quit),
+        "" => Err("empty request".to_string()),
+        other => Err(format!("unknown request {other:?}")),
+    }
+}
+
+/// A reply line (without the trailing newline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `OK <version> <detail>`.
+    Ok {
+        /// Snapshot (reads) or post-statement (updates) version.
+        version: u64,
+        /// Command-specific detail (may be empty for `VERSION`).
+        detail: String,
+    },
+    /// `ERR <message>`.
+    Err(String),
+    /// `BYE` — the connection is closing.
+    Bye,
+}
+
+impl Reply {
+    /// Renders the reply as its wire line.
+    pub fn render(&self) -> String {
+        match self {
+            Reply::Ok { version, detail } if detail.is_empty() => format!("OK {version}"),
+            Reply::Ok { version, detail } => format!("OK {version} {detail}"),
+            Reply::Err(m) => format!("ERR {}", one_line(m)),
+            Reply::Bye => "BYE".to_string(),
+        }
+    }
+}
+
+/// Collapses arbitrary text (denials, error messages) to one wire line.
+fn one_line(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn strategy_word(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Optimized => "optimized",
+        Strategy::FullWithRollback => "full-with-rollback",
+    }
+}
+
+fn violation_text(v: &Violation) -> String {
+    one_line(&v.denial)
+}
+
+/// Executes one command against the service and builds the reply.
+/// Returns `Reply::Bye` for [`Command::Quit`]; the caller closes the
+/// connection after writing it.
+pub fn execute(service: &CheckerService, command: &Command) -> Reply {
+    match command {
+        Command::Check => {
+            let snap = service.snapshot();
+            match snap.check_full() {
+                Ok(None) => Reply::Ok { version: snap.version(), detail: "CONSISTENT".to_string() },
+                Ok(Some(v)) => Reply::Ok {
+                    version: snap.version(),
+                    detail: format!("VIOLATION {}", violation_text(&v)),
+                },
+                Err(e) => Reply::Err(e.to_string()),
+            }
+        }
+        Command::Decide(stmt) => {
+            let parsed = match xic_xml::XUpdateDoc::parse(stmt) {
+                Ok(p) => p,
+                Err(e) => return Reply::Err(format!("bad statement: {e}")),
+            };
+            let snap = service.snapshot();
+            match snap.decide_full(&parsed) {
+                Ok(None) => Reply::Ok { version: snap.version(), detail: "LEGAL".to_string() },
+                Ok(Some(v)) => Reply::Ok {
+                    version: snap.version(),
+                    detail: format!("ILLEGAL {}", violation_text(&v)),
+                },
+                Err(e) => Reply::Err(e.to_string()),
+            }
+        }
+        Command::Update(stmt) => match service.submit(stmt) {
+            Ok(out) => match &out.outcome {
+                UpdateOutcome::Applied { strategy } => Reply::Ok {
+                    version: out.version,
+                    detail: format!("APPLIED {}", strategy_word(*strategy)),
+                },
+                UpdateOutcome::Rejected { strategy, violation } => Reply::Ok {
+                    version: out.version,
+                    detail: format!(
+                        "REJECTED {} {}",
+                        strategy_word(*strategy),
+                        violation_text(violation)
+                    ),
+                },
+            },
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Command::Version => Reply::Ok { version: service.version(), detail: String::new() },
+        Command::Stats => {
+            let detail = match service.executor() {
+                crate::service::Executor::Sync => "executor=sync".to_string(),
+                crate::service::Executor::GroupCommit { max_batch } => {
+                    format!("executor=group-commit max_batch={max_batch}")
+                }
+            };
+            Reply::Ok { version: service.version(), detail }
+        }
+        Command::Quit => Reply::Bye,
+    }
+}
+
+/// Serves one client connection: reads request lines from `input`,
+/// writes one reply line each to `output`, and returns on `QUIT`, EOF
+/// or a write error. Malformed requests get an `ERR` reply and the
+/// connection stays open.
+pub fn serve_connection(
+    service: &CheckerService,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_command(&line) {
+            Ok(command) => execute(service, &command),
+            Err(e) => Reply::Err(e),
+        };
+        let done = reply == Reply::Bye;
+        writeln!(output, "{}", reply.render())?;
+        output.flush()?;
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Checker;
+    use crate::service::{CheckerService, Executor};
+    use std::io::Cursor;
+
+    const DTD: &str = "<!ELEMENT collection (dblp, review)>\n<!ELEMENT dblp (pub)*>\n\
+                       <!ELEMENT pub (title, aut+)>\n<!ELEMENT aut (name)>\n\
+                       <!ELEMENT review (track)+>\n<!ELEMENT track (name,rev+)>\n\
+                       <!ELEMENT rev (name, sub+)>\n<!ELEMENT sub (title, auts+)>\n\
+                       <!ELEMENT title (#PCDATA)>\n<!ELEMENT auts (name)>\n\
+                       <!ELEMENT name (#PCDATA)>";
+
+    const XML: &str = "<collection><dblp><pub><title>P</title>\
+                       <aut><name>alice</name></aut></pub></dblp>\
+                       <review><track><name>T</name><rev><name>bob</name>\
+                       <sub><title>S</title><auts><name>carol</name></auts></sub>\
+                       </rev></track></review></collection>";
+
+    const CONFLICT: &str = "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+                            & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])";
+
+    fn insert(author: &str) -> String {
+        format!(
+            "<xupdate:modifications version=\"1.0\" \
+             xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+             <xupdate:append select=\"/collection/review/track[1]/rev[1]\">\
+             <sub><title>N</title><auts><name>{author}</name></auts></sub>\
+             </xupdate:append></xupdate:modifications>"
+        )
+    }
+
+    fn service() -> std::sync::Arc<CheckerService> {
+        let checker = Checker::new(XML, DTD, CONFLICT).expect("setup");
+        CheckerService::new(checker, Executor::Sync)
+    }
+
+    #[test]
+    fn parses_every_keyword() {
+        assert_eq!(parse_command("CHECK"), Ok(Command::Check));
+        assert_eq!(parse_command(" VERSION "), Ok(Command::Version));
+        assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
+        assert_eq!(
+            parse_command("UPDATE <x/>"),
+            Ok(Command::Update("<x/>".to_string()))
+        );
+        assert_eq!(
+            parse_command("DECIDE  <x a=\"1\"/> "),
+            Ok(Command::Decide("<x a=\"1\"/>".to_string()))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("UPDATE").is_err());
+        assert!(parse_command("DECIDE   ").is_err());
+        assert!(parse_command("noise").is_err());
+        assert!(parse_command("check").is_err(), "keywords are uppercase");
+    }
+
+    #[test]
+    fn replies_render_single_lines() {
+        let ok = Reply::Ok { version: 3, detail: "CONSISTENT".to_string() };
+        assert_eq!(ok.render(), "OK 3 CONSISTENT");
+        assert_eq!(Reply::Ok { version: 7, detail: String::new() }.render(), "OK 7");
+        assert_eq!(Reply::Err("a\nb".to_string()).render(), "ERR a b");
+        assert_eq!(Reply::Bye.render(), "BYE");
+    }
+
+    #[test]
+    fn execute_covers_the_grammar() {
+        let service = service();
+        assert_eq!(
+            execute(&service, &Command::Check).render(),
+            "OK 0 CONSISTENT"
+        );
+        assert_eq!(execute(&service, &Command::Version).render(), "OK 0");
+        assert_eq!(
+            execute(&service, &Command::Stats).render(),
+            "OK 0 executor=sync"
+        );
+        // A legal update commits and bumps the version…
+        let r = execute(&service, &Command::Update(insert("dave")));
+        assert_eq!(r.render(), "OK 1 APPLIED optimized");
+        // …an illegal one (self-review by bob) is rejected at the same
+        // version, leaving the document consistent.
+        let r = execute(&service, &Command::Update(insert("bob")));
+        let line = r.render();
+        assert!(
+            line.starts_with("OK 1 REJECTED optimized "),
+            "unexpected reply {line:?}"
+        );
+        assert_eq!(
+            execute(&service, &Command::Check).render(),
+            "OK 1 CONSISTENT"
+        );
+        // DECIDE commits nothing.
+        let r = execute(&service, &Command::Decide(insert("bob")));
+        assert!(r.render().starts_with("OK 1 ILLEGAL "));
+        let r = execute(&service, &Command::Decide(insert("erin")));
+        assert_eq!(r.render(), "OK 1 LEGAL");
+        assert_eq!(execute(&service, &Command::Version).render(), "OK 1");
+        // Malformed XML is an ERR, not a crash.
+        let r = execute(&service, &Command::Update("<not-xupdate>".to_string()));
+        assert!(matches!(r, Reply::Err(_)));
+    }
+
+    #[test]
+    fn serve_connection_round_trips_a_session() {
+        let service = service();
+        let script = format!(
+            "CHECK\nUPDATE {}\n\nVERSION\nbogus\nQUIT\nUPDATE {}\n",
+            insert("dave"),
+            insert("erin")
+        );
+        let mut out = Vec::new();
+        serve_connection(&service, Cursor::new(script), &mut out).expect("serve");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "OK 0 CONSISTENT",
+                "OK 1 APPLIED optimized",
+                "OK 1",
+                "ERR unknown request \"bogus\"",
+                "BYE",
+            ],
+            "blank lines are skipped and nothing after QUIT is served"
+        );
+    }
+}

@@ -1,0 +1,463 @@
+//! Concurrent checker service: snapshot reads, group-commit writes.
+//!
+//! The [`Checker`] façade is single-threaded by construction — every
+//! mutating entry point takes `&mut self` and, with a journal attached,
+//! pays one fsync per committed statement (0.2–0.5 ms on the benchmark
+//! machine, `BENCH_PR4.json`), a hard ~2–5k updates/s ceiling. This
+//! module turns it into a service:
+//!
+//! * **Readers never block writers.** Read-only entry points
+//!   ([`ReadSnapshot::check_full`], [`ReadSnapshot::decide_full`]) run
+//!   against an immutable, versioned [`ReadSnapshot`] published by the
+//!   writer once per committed batch. Taking a snapshot is an `Arc`
+//!   clone under a briefly-held lock; checking it touches no writer
+//!   state at all.
+//! * **Writers group-commit.** One writer thread owns the `Checker`;
+//!   concurrent submitters' statements are drained into a batch
+//!   ([`apply_batch`]), their journal records appended *unsynced*, and
+//!   the whole batch made durable with **one shared fsync**
+//!   ([`Journal::sync_now`][sync-now]) before any submitter is
+//!   acknowledged. A rejected statement appends no record and cannot
+//!   poison its batch-mates.
+//! * **The sequential path survives as the ablation baseline.** The
+//!   [`Executor`] enum selects between `Sync` (caller-thread execution,
+//!   fsync per commit — the pre-service behavior) and `GroupCommit`;
+//!   benchmarks compare the two under identical client load
+//!   (`BENCH_PR6.json`, EXPERIMENTS.md E10).
+//!
+//! The batching rules, the snapshot-handoff protocol (when readers
+//! observe a new version) and the interaction with journal rotation are
+//! specified in `DESIGN.md`'s *Concurrency architecture* section
+//! (system-inventory row 19).
+//!
+//! [sync-now]: xic_xml::journal::Journal::sync_now
+
+use crate::checker::{Checker, CheckerError, UpdateOutcome, Violation};
+use crate::resolver::xpath_resolver;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use xic_xml::{apply, serialize, undo, Document, XUpdateDoc};
+use xic_xquery::{eval_query_exists, XQuery};
+
+/// Default cap on statements drained into one group-commit batch. Large
+/// enough that 16 concurrent submitters usually share one fsync, small
+/// enough that a slow statement cannot starve later submitters for long.
+pub const DEFAULT_MAX_BATCH: usize = 32;
+
+/// How the service executes submitted updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Sequential ablation baseline: submitters take a mutex on the
+    /// checker and commit one at a time, fsync'ing per commit exactly
+    /// like a bare [`Checker`]. Kept so benchmarks can isolate what
+    /// group commit buys (EXPERIMENTS.md E10).
+    Sync,
+    /// Group commit: a dedicated writer thread owns the checker, drains
+    /// up to `max_batch` queued statements per round, and shares one
+    /// fsync across the batch.
+    GroupCommit {
+        /// Per-batch statement cap (see [`DEFAULT_MAX_BATCH`]).
+        max_batch: usize,
+    },
+}
+
+impl Executor {
+    /// The group-commit executor with the default batch cap.
+    pub fn group_commit() -> Executor {
+        Executor::GroupCommit { max_batch: DEFAULT_MAX_BATCH }
+    }
+}
+
+/// A service-level failure (wraps per-statement [`CheckerError`]s).
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// The statement itself failed (parse error, poisoned checker, …).
+    Checker(CheckerError),
+    /// The shared batch fsync failed *after* this statement's record was
+    /// appended: the commit may not be durable, so it is not
+    /// acknowledged. The service refuses further submissions.
+    SyncFailed(String),
+    /// The writer thread is gone (the service was shut down, or a prior
+    /// batch fsync failure wedged it).
+    Stopped,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Checker(e) => write!(f, "{e}"),
+            ServiceError::SyncFailed(m) => {
+                write!(f, "group-commit fsync failed (commit not acknowledged): {m}")
+            }
+            ServiceError::Stopped => f.write_str("service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Checker(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckerError> for ServiceError {
+    fn from(e: CheckerError) -> ServiceError {
+        ServiceError::Checker(e)
+    }
+}
+
+/// A successfully decided submission: the verdict plus the document
+/// version (committed-statement count) the submitter's statement left
+/// the service at. For a rejected statement this is the version whose
+/// state rejected it.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Applied or rejected, and under which strategy.
+    pub outcome: UpdateOutcome,
+    /// Committed-statement count after this statement was decided.
+    pub version: u64,
+}
+
+/// The full-check inputs (Γ as denial text, query text and pre-parsed
+/// AST), shared immutably by every snapshot the service publishes.
+struct CheckSet {
+    entries: Vec<(String, String, XQuery)>,
+}
+
+impl CheckSet {
+    fn from_checker(checker: &Checker) -> CheckSet {
+        let entries = checker
+            .constraints()
+            .iter()
+            .zip(checker.full_queries())
+            .zip(checker.full_parsed())
+            .map(|((d, q), p)| (d.to_string(), q.text.clone(), p.clone()))
+            .collect();
+        CheckSet { entries }
+    }
+}
+
+/// An immutable, versioned view of the document, served to concurrent
+/// readers while the writer keeps committing. Snapshots are published
+/// once per committed batch (not per statement); a reader holding one
+/// keeps it valid forever — later publishes swap the service's slot,
+/// they never mutate snapshots already handed out.
+pub struct ReadSnapshot {
+    doc: Document,
+    version: u64,
+    checks: Arc<CheckSet>,
+}
+
+impl ReadSnapshot {
+    /// The committed-statement count this snapshot reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The snapshotted document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Serializes the snapshotted document.
+    pub fn serialize(&self) -> String {
+        serialize(&self.doc)
+    }
+
+    /// Runs the full constraint check against the snapshot, returning
+    /// the first violation (in constraint order), if any. Exactly
+    /// [`Checker::check_full`]'s sequential verdict, but against the
+    /// snapshot — safe to call from any number of threads while the
+    /// writer commits.
+    pub fn check_full(&self) -> Result<Option<Violation>, CheckerError> {
+        let _check = xic_obs::phase("check");
+        let _full = xic_obs::phase("snapshot_full");
+        for (denial, text, parsed) in &self.checks.entries {
+            let violated = eval_query_exists(parsed, &self.doc)
+                .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+            if violated {
+                return Ok(Some(Violation { denial: denial.clone(), query: text.clone() }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Decides — without committing — whether `stmt` would be legal in
+    /// this snapshot's state: applies it to a private copy of the
+    /// snapshot document, full-checks the result, and discards the
+    /// copy. The baseline-strategy analogue of [`Checker::decide_only`]
+    /// for concurrent readers (the optimized strategy needs the
+    /// writer's pattern cache, so hypothetical *optimized* decisions
+    /// still go through the writer).
+    ///
+    /// Note the decision is against **this snapshot's version**; a
+    /// commit racing past it can invalidate the answer, exactly as with
+    /// any read-your-writes-free read replica.
+    pub fn decide_full(&self, stmt: &XUpdateDoc) -> Result<Option<Violation>, CheckerError> {
+        let mut doc = self.doc.clone();
+        let applied = apply(&mut doc, stmt, &xpath_resolver).map_err(|(e, partial)| {
+            undo(&mut doc, partial);
+            CheckerError::Statement(e.to_string())
+        })?;
+        let verdict = {
+            let _check = xic_obs::phase("check");
+            let _full = xic_obs::phase("snapshot_full");
+            let mut found = None;
+            for (denial, text, parsed) in &self.checks.entries {
+                let violated = eval_query_exists(parsed, &doc)
+                    .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+                if violated {
+                    found = Some(Violation { denial: denial.clone(), query: text.clone() });
+                    break;
+                }
+            }
+            found
+        };
+        undo(&mut doc, applied); // symmetry only; the copy is dropped next
+        Ok(verdict)
+    }
+}
+
+/// One queued submission awaiting the writer thread.
+struct Request {
+    stmt: String,
+    reply: mpsc::SyncSender<Result<SubmitOutcome, ServiceError>>,
+}
+
+enum Inner {
+    // Boxed so the enum isn't sized by the whole Checker (the group
+    // variant is two pointers).
+    Sync(Box<Mutex<Checker>>),
+    Group {
+        tx: Mutex<mpsc::Sender<Request>>,
+        handle: JoinHandle<Checker>,
+    },
+}
+
+/// The concurrent checker service (DESIGN.md row 19): one logical
+/// writer, any number of snapshot readers.
+///
+/// Constructed over a fully-configured [`Checker`] (attach the journal
+/// or store, set policies and budgets *first* — the service takes
+/// ownership and, under [`Executor::GroupCommit`], hands the checker to
+/// its writer thread). [`CheckerService::shutdown`] drains the writer
+/// and gives the checker back.
+pub struct CheckerService {
+    snapshot: RwLock<Arc<ReadSnapshot>>,
+    checks: Arc<CheckSet>,
+    executor: Executor,
+    broken: AtomicBool,
+    inner: Inner,
+}
+
+impl CheckerService {
+    /// Starts a service over `checker` with the given executor.
+    pub fn new(checker: Checker, executor: Executor) -> Arc<CheckerService> {
+        let checks = Arc::new(CheckSet::from_checker(&checker));
+        let initial = Arc::new(ReadSnapshot {
+            doc: checker.doc().clone(),
+            version: checker.committed(),
+            checks: checks.clone(),
+        });
+        // The service is created inside an `Arc` because the writer
+        // thread and every client share it.
+        Arc::new_cyclic(|weak: &std::sync::Weak<CheckerService>| {
+            let inner = match executor {
+                Executor::Sync => Inner::Sync(Box::new(Mutex::new(checker))),
+                Executor::GroupCommit { max_batch } => {
+                    let (tx, rx) = mpsc::channel::<Request>();
+                    let weak = weak.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("xic-service-writer".to_string())
+                        .spawn(move || writer_loop(checker, rx, weak, max_batch.max(1)))
+                        .expect("spawn service writer thread");
+                    Inner::Group { tx: Mutex::new(tx), handle }
+                }
+            };
+            CheckerService {
+                snapshot: RwLock::new(initial),
+                checks,
+                executor,
+                broken: AtomicBool::new(false),
+                inner,
+            }
+        })
+    }
+
+    /// The executor this service was started with.
+    pub fn executor(&self) -> Executor {
+        self.executor
+    }
+
+    /// The current read snapshot (an `Arc` clone; never blocks on
+    /// writer I/O — the writer swaps the slot only after its batch is
+    /// durable, holding the write lock just for the pointer swap).
+    pub fn snapshot(&self) -> Arc<ReadSnapshot> {
+        xic_obs::incr(xic_obs::Counter::SnapshotRead);
+        self.snapshot.read().expect("snapshot slot poisoned").clone()
+    }
+
+    /// The committed version the current snapshot reflects.
+    pub fn version(&self) -> u64 {
+        self.snapshot.read().expect("snapshot slot poisoned").version
+    }
+
+    /// Submits one XUpdate statement for checked execution, blocking
+    /// until its verdict is durable (group mode: until the shared batch
+    /// fsync). Concurrent callers are safe; ordering between them is
+    /// the writer's arrival order.
+    pub fn submit(&self, stmt: &str) -> Result<SubmitOutcome, ServiceError> {
+        if self.broken.load(Ordering::Acquire) {
+            return Err(ServiceError::Stopped);
+        }
+        match &self.inner {
+            Inner::Sync(checker) => {
+                let mut checker = checker.lock().expect("sync-executor checker poisoned");
+                let outcome = checker.try_update_str(stmt).map_err(ServiceError::Checker)?;
+                let result = SubmitOutcome { version: checker.committed(), outcome };
+                if result.outcome.applied() {
+                    self.publish(&checker);
+                }
+                Ok(result)
+            }
+            Inner::Group { tx, .. } => {
+                let tx = tx.lock().expect("submit queue poisoned").clone();
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                tx.send(Request { stmt: stmt.to_string(), reply: reply_tx })
+                    .map_err(|_| ServiceError::Stopped)?;
+                reply_rx.recv().map_err(|_| ServiceError::Stopped)?
+            }
+        }
+    }
+
+    /// Publishes the checker's current state as the new read snapshot.
+    fn publish(&self, checker: &Checker) {
+        let snap = Arc::new(ReadSnapshot {
+            doc: checker.doc().clone(),
+            version: checker.committed(),
+            checks: self.checks.clone(),
+        });
+        *self.snapshot.write().expect("snapshot slot poisoned") = snap;
+        xic_obs::incr(xic_obs::Counter::SnapshotPublish);
+    }
+
+    /// Marks the service broken (a batch fsync failed): further
+    /// submissions are refused with [`ServiceError::Stopped`].
+    fn mark_broken(&self) {
+        self.broken.store(true, Ordering::Release);
+    }
+
+    /// Stops the service and returns the checker (group mode: joins the
+    /// writer thread after the queue drains).
+    pub fn shutdown(self: Arc<CheckerService>) -> Checker {
+        let this = Arc::try_unwrap(self).unwrap_or_else(|arc| {
+            panic!(
+                "shutdown with {} live service handles (drop readers first)",
+                Arc::strong_count(&arc)
+            )
+        });
+        match this.inner {
+            Inner::Sync(checker) => {
+                checker.into_inner().expect("sync-executor checker poisoned")
+            }
+            Inner::Group { tx, handle } => {
+                drop(tx); // closes the queue; the writer loop exits after draining
+                handle.join().expect("service writer thread panicked")
+            }
+        }
+    }
+}
+
+/// The writer loop: drain a batch, apply it via [`apply_batch`],
+/// publish one snapshot, acknowledge every submitter.
+fn writer_loop(
+    mut checker: Checker,
+    rx: mpsc::Receiver<Request>,
+    service: std::sync::Weak<CheckerService>,
+    max_batch: usize,
+) -> Checker {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        let stmts: Vec<&str> = batch.iter().map(|r| r.stmt.as_str()).collect();
+        let before = checker.committed();
+        let results = apply_batch(&mut checker, &stmts);
+        let fsync_failed =
+            results.iter().any(|r| matches!(r, Err(ServiceError::SyncFailed(_))));
+        if let Some(service) = service.upgrade() {
+            if checker.committed() != before {
+                service.publish(&checker);
+            }
+            if fsync_failed {
+                service.mark_broken();
+            }
+        }
+        // Acknowledge only now: every commit in the batch is durable
+        // (or reported as SyncFailed). A submitter that gave up waiting
+        // closes its reply channel; that is its loss, not an error here.
+        for (req, result) in batch.into_iter().zip(results) {
+            let _ = req.reply.send(result);
+        }
+        if fsync_failed {
+            break; // refuse further batches; queued submitters see Stopped
+        }
+    }
+    checker
+}
+
+/// Applies one group-commit batch to `checker`: every statement is
+/// checked and (when legal) applied with its journal record appended
+/// *unsynced*, then one shared fsync makes the whole batch durable.
+///
+/// Per-statement outcomes are independent — a rejected or failed
+/// statement appends no commit record and cannot poison its
+/// batch-mates (a contained panic *does* poison the checker, so
+/// statements after it in the batch fail with
+/// [`CheckerError::Poisoned`]; their submitters are told so
+/// individually). If the shared fsync fails, every `Applied` outcome
+/// in the batch is downgraded to [`ServiceError::SyncFailed`], because
+/// its record may not have reached stable storage.
+///
+/// This is a free function (not a writer-thread-only method) so the
+/// crash oracle in `xic-difftest` can drive the exact production batch
+/// path under thread-scoped fault injection.
+pub fn apply_batch(
+    checker: &mut Checker,
+    stmts: &[&str],
+) -> Vec<Result<SubmitOutcome, ServiceError>> {
+    let prev_sync = checker.journal_sync();
+    checker.set_journal_sync(false);
+    let mut results = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        xic_obs::incr(xic_obs::Counter::GroupCommitStatement);
+        let result = checker
+            .try_update_str(stmt)
+            .map(|outcome| SubmitOutcome { version: checker.committed(), outcome })
+            .map_err(ServiceError::Checker);
+        results.push(result);
+    }
+    // Restore the configured sync mode before the flush. (A rotation
+    // inside the batch swaps in a fresh segment configured with the
+    // store's own sync mode; restoring here converges the modes again.)
+    checker.set_journal_sync(prev_sync);
+    xic_obs::incr(xic_obs::Counter::GroupCommitBatch);
+    if let Err(e) = checker.sync_journal() {
+        let msg = e.to_string();
+        for result in results.iter_mut() {
+            if matches!(result, Ok(out) if out.outcome.applied()) {
+                *result = Err(ServiceError::SyncFailed(msg.clone()));
+            }
+        }
+    }
+    results
+}

@@ -46,6 +46,16 @@
 //! snapshot durably written by the failed rotation must never win and
 //! silently truncate history to its own sequence number.
 //!
+//! When the site list reaches the write-path sites, a **group-commit
+//! pass** runs as well (PR 6): the same statements are driven through
+//! the service's batch path ([`xicheck::service::apply_batch`] — journal
+//! records appended unsynced, one shared fsync per batch) with a panic
+//! armed mid-batch. Recovery must equal the committed prefix of the
+//! sequential twin, and must never lose a commit from a batch whose
+//! shared fsync already succeeded (an *acknowledged* batch). The batch
+//! logic is driven in-thread — not through the service's writer thread —
+//! because fault arming is thread-scoped.
+//!
 //! Divergences print a single-line replay command
 //! (`cargo run -p xic-difftest -- --crash-matrix --seed N --cases 1`,
 //! plus the run's `--sites` filter when one was set); the site and
@@ -56,6 +66,7 @@ use std::path::{Path, PathBuf};
 use xic_faults::{FaultMode, SITES};
 use xic_obs as obs;
 use xic_xml::XUpdateDoc;
+use xicheck::service::{apply_batch, ServiceError};
 use xicheck::{Checker, CheckerError, CheckpointPolicy};
 
 use crate::{generate_case, Case};
@@ -179,6 +190,13 @@ pub struct CrashReport {
     pub rotation_error_cases: u64,
     /// Failed-rotation cases in which the armed error actually fired.
     pub rotation_error_injected: u64,
+    /// Group-commit cases run after the matrix proper: the same oracle,
+    /// but statements are driven through the service's batch path
+    /// ([`xicheck::service::apply_batch`]) with the crash landing
+    /// mid-batch (see the module docs).
+    pub group_commit_cases: u64,
+    /// Group-commit cases in which the armed panic actually fired.
+    pub group_commit_fired: u64,
     /// All divergences, in seed order.
     pub divergences: Vec<CrashDivergence>,
 }
@@ -479,6 +497,132 @@ fn run_rotation_error_case(
     Ok(injected)
 }
 
+/// Runs the *group-commit* oracle for one seed (the service batch path,
+/// DESIGN.md row 19). The case's statements are driven through
+/// [`xicheck::service::apply_batch`] in batches of 2–4: records are
+/// appended **unsynced** and each batch ends with one shared fsync,
+/// exactly as the service writer thread runs it (in-thread here because
+/// fault arming is thread-scoped). A panic is armed at a write-path
+/// site so the crash lands mid-batch; recovery must reproduce the
+/// committed prefix of the sequential twin, and must retain every
+/// commit from a batch whose shared fsync completed — those were
+/// acknowledged to their submitters. Returns `(fired, torn, replayed)`.
+fn run_group_commit_case(
+    seed: u64,
+    dir: &Path,
+    gc_sites: &[&'static str],
+    sites_arg: Option<&str>,
+) -> Result<(bool, bool, usize), CrashDivergence> {
+    let site = gc_sites[(seed % gc_sites.len() as u64) as usize];
+    let nth = 1 + (seed / gc_sites.len() as u64) % 4;
+    let point = CrashPoint { site, nth, sync: true };
+    let batch_size = 2 + (seed / 8) as usize % 3;
+    let diverge = |detail: String| CrashDivergence {
+        seed,
+        point,
+        sites: sites_arg.map(str::to_string),
+        detail: format!("[group-commit] {detail}"),
+    };
+    let case: Case = generate_case(seed);
+    let statements: Vec<String> = case.ops.iter().map(|op| wrap_op(op)).collect();
+
+    // Twin run: sequential, no journal, no faults — the reference
+    // committed-prefix states.
+    let mut twin = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| diverge(format!("twin checker setup failed: {e}")))?;
+    let base_xml = xic_xml::serialize(twin.doc());
+    let mut snaps: Vec<String> = Vec::new();
+    for stmt in &statements {
+        match twin.try_update_str(stmt) {
+            Ok(out) if out.applied() => snaps.push(xic_xml::serialize(twin.doc())),
+            Ok(_) | Err(CheckerError::Statement(_)) => {}
+            Err(e) => return Err(diverge(format!("twin run failed: {e}"))),
+        }
+    }
+
+    let journal = dir.join(format!("xic-crash-gc-{}-{}.wal", std::process::id(), seed));
+    let mut crashed = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| diverge(format!("crashed-run checker setup failed: {e}")))?;
+    crashed
+        .attach_journal(&journal, true)
+        .map_err(|e| diverge(format!("attach_journal failed: {e}")))?;
+    xic_faults::disarm_all();
+    xic_faults::arm(site, nth, FaultMode::Panic);
+    let mut panicked = false;
+    // Commits in batches whose shared fsync completed: acknowledged to
+    // their submitters, so recovery must never drop them.
+    let mut acked = 0usize;
+    for chunk in statements.chunks(batch_size) {
+        let refs: Vec<&str> = chunk.iter().map(String::as_str).collect();
+        let results = apply_batch(&mut crashed, &refs);
+        let mut batch_applied = 0usize;
+        for result in &results {
+            match result {
+                Ok(out) if out.outcome.applied() => batch_applied += 1,
+                Ok(_) => {}
+                Err(ServiceError::Checker(
+                    CheckerError::Statement(_) | CheckerError::Panicked(_) | CheckerError::Poisoned,
+                )) => {
+                    if !matches!(
+                        result,
+                        Err(ServiceError::Checker(CheckerError::Statement(_)))
+                    ) {
+                        panicked = true;
+                    }
+                }
+                Err(e) => {
+                    xic_faults::disarm_all();
+                    let _ = std::fs::remove_file(&journal);
+                    return Err(diverge(format!("crashed run failed pre-crash: {e}")));
+                }
+            }
+        }
+        if panicked {
+            break; // the crash: nothing after this batch ran
+        }
+        acked += batch_applied;
+    }
+    let fired = xic_faults::hits(site) >= nth;
+    xic_faults::disarm_all();
+    if fired && !panicked {
+        let _ = std::fs::remove_file(&journal);
+        return Err(diverge(format!(
+            "armed panic at {site} hit {nth} fired but was not contained as a crash"
+        )));
+    }
+    drop(crashed); // the in-memory tree is gone
+
+    let (recovered, report) =
+        Checker::recover(&case.doc_xml, &case.dtd, &case.constraints, &journal).map_err(|e| {
+            let _ = std::fs::remove_file(&journal);
+            diverge(format!("recovery failed: {e}"))
+        })?;
+    let _ = std::fs::remove_file(&journal);
+    let p = report.replayed;
+    if p < acked {
+        return Err(diverge(format!(
+            "recovery lost acknowledged commits: {acked} were in fsynced batches but only \
+             {p} replayed"
+        )));
+    }
+    if p > snaps.len() {
+        return Err(diverge(format!(
+            "recovery restored {p} commits but the twin only committed {}",
+            snaps.len()
+        )));
+    }
+    let expected = if p == 0 { &base_xml } else { &snaps[p - 1] };
+    let got = xic_xml::serialize(recovered.doc());
+    if got != *expected {
+        return Err(diverge(format!(
+            "recovered document differs from the twin's state after {p} commits \
+             (twin committed {} in total)\n  expected: {expected}\n  recovered: {got}",
+            snaps.len()
+        )));
+    }
+    Ok((fired, report.torn_tail_truncated, p))
+}
+
 /// Runs `config.cases` crash cases starting at `config.seed`. Journal
 /// files live in the system temp directory and are removed per case.
 pub fn run_matrix(config: CrashConfig) -> CrashReport {
@@ -496,6 +640,8 @@ pub fn run_matrix(config: CrashConfig) -> CrashReport {
         checkpoint_wins: 0,
         rotation_error_cases: 0,
         rotation_error_injected: 0,
+        group_commit_cases: 0,
+        group_commit_fired: 0,
         divergences: Vec::new(),
     };
     if sites.is_empty() {
@@ -544,6 +690,31 @@ pub fn run_matrix(config: CrashConfig) -> CrashReport {
             }
         }
     }
+    // Group-commit pass: the same statements driven through the
+    // service's batch path (unsynced appends, one shared fsync per
+    // batch) with a panic armed at each write-path site. Recovery must
+    // reproduce the twin's committed prefix and never drop a commit
+    // from a batch whose shared fsync completed.
+    let gc_sites: Vec<&'static str> =
+        sites.iter().copied().filter(|s| !is_rotation_site(s)).collect();
+    if !gc_sites.is_empty() {
+        for i in 0..2 * gc_sites.len() as u64 {
+            let seed = seed0.wrapping_add(i);
+            obs::incr(obs::Counter::DifftestCase);
+            report.group_commit_cases += 1;
+            match run_group_commit_case(seed, &dir, &gc_sites, sites_arg.as_deref()) {
+                Ok((fired, torn, replayed)) => {
+                    report.group_commit_fired += fired as u64;
+                    report.torn_tails += torn as u64;
+                    report.replayed += replayed as u64;
+                }
+                Err(d) => {
+                    obs::incr(obs::Counter::DifftestDiscrepancy);
+                    report.divergences.push(d);
+                }
+            }
+        }
+    }
     report
 }
 
@@ -580,6 +751,23 @@ mod tests {
         // failed-rotation pass must have run and actually injected.
         assert!(report.rotation_error_cases > 0, "no failed-rotation case ran");
         assert!(report.rotation_error_injected > 0, "no rotation error ever fired");
+        // ... and the write-path sites, so the group-commit pass must
+        // have run and actually crashed mid-batch somewhere.
+        assert!(report.group_commit_cases > 0, "no group-commit case ran");
+        assert!(report.group_commit_fired > 0, "no group-commit crash ever fired");
+    }
+
+    #[test]
+    fn group_commit_pass_skipped_for_rotation_only_filter() {
+        // A rotation-only site filter has no write-path sites for the
+        // group-commit pass to arm; it must be skipped, not fail.
+        let report = run_matrix(CrashConfig {
+            seed: 3,
+            cases: 2,
+            sites: Some("checkpoint,rotation".to_string()),
+        });
+        assert!(report.divergences.is_empty());
+        assert_eq!(report.group_commit_cases, 0);
     }
 
     #[test]

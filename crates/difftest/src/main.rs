@@ -129,7 +129,8 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
     println!(
         "crash-matrix: {} cases from seed {}{} — {} divergences, {} faults fired, \
          {} torn tails truncated, {} commits restored, {} store-mode cases \
-         ({} won by a checkpoint), {} failed-rotation cases ({} injected)",
+         ({} won by a checkpoint), {} failed-rotation cases ({} injected), \
+         {} group-commit cases ({} crashed mid-batch)",
         args.cases,
         args.seed,
         args.sites
@@ -144,6 +145,8 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
         report.checkpoint_wins,
         report.rotation_error_cases,
         report.rotation_error_injected,
+        report.group_commit_cases,
+        report.group_commit_fired,
     );
     let json = Value::Object(vec![
         ("bench".to_string(), Value::String("crash-matrix".to_string())),
@@ -183,6 +186,14 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
         (
             "rotation_error_injected".to_string(),
             Value::Number(report.rotation_error_injected as f64),
+        ),
+        (
+            "group_commit_cases".to_string(),
+            Value::Number(report.group_commit_cases as f64),
+        ),
+        (
+            "group_commit_fired".to_string(),
+            Value::Number(report.group_commit_fired as f64),
         ),
         (
             "failing_seeds".to_string(),

@@ -127,10 +127,21 @@ pub enum Counter {
     /// Journal append/fsync attempts retried after a transient
     /// (`Interrupted`-class) failure.
     JournalRetry,
+    /// Group-commit batches flushed by the service writer thread (one
+    /// shared fsync per batch; see DESIGN.md row 19).
+    GroupCommitBatch,
+    /// Statements carried inside group-commit batches (the mean batch
+    /// size is this over `group_commit_batches`).
+    GroupCommitStatement,
+    /// Read snapshots published by the service writer (one per committed
+    /// batch, not one per committed statement).
+    SnapshotPublish,
+    /// Read snapshots handed out to concurrent readers.
+    SnapshotRead,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 31] = [
+pub const ALL_COUNTERS: [Counter; 35] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -162,6 +173,10 @@ pub const ALL_COUNTERS: [Counter; 31] = [
     Counter::Rotation,
     Counter::RecoveryGenerationFallback,
     Counter::JournalRetry,
+    Counter::GroupCommitBatch,
+    Counter::GroupCommitStatement,
+    Counter::SnapshotPublish,
+    Counter::SnapshotRead,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -201,6 +216,10 @@ impl Counter {
             Counter::Rotation => "rotations",
             Counter::RecoveryGenerationFallback => "recovery_generation_fallbacks",
             Counter::JournalRetry => "journal_retries",
+            Counter::GroupCommitBatch => "group_commit_batches",
+            Counter::GroupCommitStatement => "group_commit_statements",
+            Counter::SnapshotPublish => "snapshot_publishes",
+            Counter::SnapshotRead => "snapshot_reads",
         }
     }
 

@@ -283,6 +283,17 @@ impl Journal {
         self.sync = sync;
     }
 
+    /// Flush every appended record to stable storage with one fsync,
+    /// regardless of the per-append sync mode. This is the group-commit
+    /// primitive (DESIGN.md row 19): a batch of appends runs with
+    /// `set_sync(false)`, then one `sync_now` makes the whole batch
+    /// durable before any of its submitters is acknowledged.
+    pub fn sync_now(&mut self) -> Result<(), JournalError> {
+        self.file.sync_data()?;
+        xic_obs::incr(xic_obs::Counter::JournalFsync);
+        Ok(())
+    }
+
     /// Append one record; with sync enabled the record is durable when
     /// this returns. On failure the journal is rewound to the previous
     /// record boundary, so the on-disk prefix stays valid. A *transient*
