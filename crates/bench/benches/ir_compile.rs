@@ -1,0 +1,72 @@
+//! Microbenchmarks for the compiled flat-IR engines (PR7): the
+//! tree-walking interpreters versus stack evaluation of the flat IR on a
+//! dedupe-heavy XPath parent-step query and a FLWOR-heavy aggregate
+//! XQuery, plus the one-off cost of compiling each to IR.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xic_workload::{generate, WorkloadConfig};
+use xic_xml::parse_document;
+use xic_xpath::NodeRef;
+use xic_xquery::XProgram;
+
+fn bench_ir(c: &mut Criterion) {
+    let w = generate(WorkloadConfig::sized_kib(128, 1));
+    let (doc, _) = parse_document(&w.xml).unwrap();
+
+    // Dedupe-heavy: every hit of `//name/..` is produced once per `name`
+    // child, so the sort/dedupe pass dominates evaluation.
+    let parent_q = xic_xpath::parse("//name/..").unwrap();
+    let (parent_prog, parent_root) = xic_xpath::ir::compile(&parent_q);
+    let expected = xic_xpath::evaluate_nodes(&parent_q, &xic_xpath::Context::root(&doc))
+        .unwrap()
+        .len();
+    assert!(expected > 0);
+    let count_nodes = |hits: Vec<NodeRef>| {
+        assert_eq!(hits.len(), expected);
+    };
+
+    let mut group = c.benchmark_group("ir_xpath");
+    group.bench_function("dedupe_parent_interpreted_128k", |b| {
+        let ctx = xic_xpath::Context::root(&doc);
+        b.iter(|| count_nodes(xic_xpath::evaluate_nodes(&parent_q, &ctx).unwrap()));
+    });
+    group.bench_function("dedupe_parent_compiled_128k", |b| {
+        b.iter(|| count_nodes(parent_prog.evaluate_nodes(parent_root, &doc).unwrap()));
+    });
+    group.finish();
+
+    // FLWOR-heavy: one binding per reviewer, a let-bound sequence and an
+    // aggregate per binding; the threshold never trips, so every binding
+    // is visited.
+    let flwor_text =
+        "exists(for $r in //rev let $d := $r/sub where count($d) > 1000 return <idle/>)";
+    let flwor_q = xic_xquery::parse_query(flwor_text).unwrap();
+    let flwor_prog = XProgram::compile(&flwor_q);
+
+    let mut group = c.benchmark_group("ir_xquery");
+    group.bench_function("flwor_aggregate_interpreted_128k", |b| {
+        b.iter(|| {
+            assert!(!xic_xquery::eval_query_bool(&flwor_q, &doc).unwrap());
+        });
+    });
+    group.bench_function("flwor_aggregate_compiled_128k", |b| {
+        b.iter(|| {
+            assert!(!flwor_prog.eval_bool(&doc, &[]).unwrap());
+        });
+    });
+    group.finish();
+
+    // Compilation itself must stay cheap enough to run once per pattern
+    // registration without registering on the schema-design-time budget.
+    let mut group = c.benchmark_group("ir_compile_cost");
+    group.bench_function("compile_xpath_parent", |b| {
+        b.iter(|| black_box(xic_xpath::ir::compile(black_box(&parent_q))));
+    });
+    group.bench_function("compile_xquery_flwor", |b| {
+        b.iter(|| black_box(XProgram::compile(black_box(&flwor_q))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ir);
+criterion_main!(benches);

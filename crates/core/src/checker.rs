@@ -6,18 +6,146 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use xic_datalog::Denial;
+use std::sync::atomic::{AtomicU8, Ordering};
+use xic_datalog::{Denial, Value};
 use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
-use xic_translate::{translate_denials, QueryTemplate};
+use xic_translate::{translate_denials, ParamKind, QueryTemplate, TemplateError};
 use xic_xml::checkpoint::{fsync_dir, Store, DEFAULT_RETAIN};
 use xic_xml::journal::{crc32, Journal, RecordKind};
-use xic_xml::{apply, parse_document, serialize, undo, AppliedUpdate, Document, Dtd, XUpdateDoc};
-use xic_xpath::EvalBudget;
-use xic_xquery::{eval_query_bool, eval_query_exists, parse_query, XQuery};
+use xic_xml::{
+    apply, parse_document, serialize, undo, AppliedUpdate, Document, Dtd, NodeId, XUpdateDoc,
+};
+use xic_xpath::{EvalBudget, NodeRef, XValue};
+use xic_xquery::{
+    eval_query_bool, eval_query_exists, parse_query, XProgram, XQuery, XQueryError,
+};
 
 /// Documents below this node count are always checked sequentially: the
 /// per-thread spawn/merge overhead dominates the §7 small-document regime.
 const PARALLEL_FULL_MIN_NODES: usize = 8192;
+
+/// Which query engine a [`Checker`] evaluates its checks with.
+///
+/// `Compiled` (the default) runs the flat-IR engine: constraints and
+/// pattern templates are compiled once — interned name tests, slot-numbered
+/// variables, explicit evaluation stacks — and evaluated many times.
+/// `Interpret` keeps the tree-walking AST interpreter; it survives as the
+/// ablation baseline (EXPERIMENTS.md E11) and as the second engine the
+/// differential oracles compare against. Verdicts are identical in both
+/// modes; only evaluation cost differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IrMode {
+    /// Tree-walking interpreter over the parsed AST (the pre-IR engine).
+    Interpret,
+    /// Flat-IR engine (compile once, evaluate many).
+    #[default]
+    Compiled,
+}
+
+/// Process-wide default for newly constructed checkers. An `AtomicU8`
+/// rather than a constructor parameter so ablation harnesses (the
+/// difftest `--ir-mode` flag, the benchmark driver) cover checkers built
+/// deep inside library code they do not call directly.
+static DEFAULT_IR_MODE: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the [`IrMode`] that subsequently constructed [`Checker`]s start
+/// in. Existing checkers are unaffected (use [`Checker::set_ir_mode`]).
+pub fn set_default_ir_mode(mode: IrMode) {
+    let v = match mode {
+        IrMode::Interpret => 0,
+        IrMode::Compiled => 1,
+    };
+    DEFAULT_IR_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The current process-wide default [`IrMode`].
+pub fn default_ir_mode() -> IrMode {
+    match DEFAULT_IR_MODE.load(Ordering::Relaxed) {
+        0 => IrMode::Interpret,
+        _ => IrMode::Compiled,
+    }
+}
+
+/// One pattern template precompiled for the IR engine: `%{name}`
+/// placeholders become leading program parameters (`$xic_p_name`) instead
+/// of text substitutions, so the per-update cost drops from
+/// render-text + parse + interpret to bind-values + evaluate.
+struct IrTemplate {
+    program: XProgram,
+    /// Placeholder name and kind per program parameter, in parameter order.
+    params: Vec<(String, ParamKind)>,
+}
+
+/// Precompiles a query template for the IR engine. Returns `None` when
+/// the template cannot be precompiled (placeholder name that is not a
+/// legal variable suffix, or text that no longer parses after
+/// substitution); the checker then falls back to interpreted
+/// instantiation for that template, preserving behavior.
+fn compile_template_ir(t: &QueryTemplate) -> Option<IrTemplate> {
+    let mut text = t.text.clone();
+    let mut params = Vec::with_capacity(t.params.len());
+    let mut names = Vec::with_capacity(t.params.len());
+    for (name, kind) in &t.params {
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return None;
+        }
+        let var = format!("xic_p_{name}");
+        text = text.replace(&format!("%{{{name}}}"), &format!("${var}"));
+        params.push((name.clone(), *kind));
+        names.push(var);
+    }
+    let parsed = parse_query(&text).ok()?;
+    Some(IrTemplate { program: XProgram::compile_with_params(&parsed, &names), params })
+}
+
+/// Renders an update's bindings as IR parameter values, mirroring
+/// [`QueryTemplate::instantiate`]'s validation exactly: unbound
+/// placeholders, detached/non-integer node parameters and unquotable
+/// strings fail with the same [`TemplateError`]s the text path reports.
+fn bind_ir_params(
+    t: &IrTemplate,
+    doc: &Document,
+    bindings: &HashMap<String, Value>,
+) -> Result<Vec<XValue>, TemplateError> {
+    t.params
+        .iter()
+        .map(|(name, kind)| {
+            let value =
+                bindings.get(name).ok_or_else(|| TemplateError::Unbound(name.clone()))?;
+            Ok(match kind {
+                ParamKind::NodePath => {
+                    let id = value
+                        .as_int()
+                        .and_then(|i| u32::try_from(i).ok())
+                        .ok_or_else(|| TemplateError::BadNode(name.clone()))?;
+                    if doc.positional_path(NodeId(id)).is_none() {
+                        return Err(TemplateError::BadNode(name.clone()));
+                    }
+                    XValue::Nodes(vec![NodeRef::Node(NodeId(id))])
+                }
+                ParamKind::Value => match value {
+                    Value::Int(i) => XValue::Num(*i as f64),
+                    Value::Str(s) => {
+                        if s.contains('"') && s.contains('\'') {
+                            return Err(TemplateError::Unquotable(s.clone()));
+                        }
+                        XValue::Str(s.clone())
+                    }
+                },
+            })
+        })
+        .collect()
+}
+
+/// Outcome of one optimized-check template evaluation.
+enum TemplateVerdict {
+    /// The simplified check is satisfied.
+    Pass,
+    /// Violated; carries the instantiated query text for the report.
+    Violated(String),
+    /// The armed [`EvalBudget`] ran out mid-evaluation.
+    Exhausted,
+}
 
 /// Which strategy handled an update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -267,8 +395,17 @@ pub struct Checker {
     /// ASTs never change): [`Checker::check_full`] no longer re-parses the
     /// constraint set on every statement.
     full_parsed: Vec<XQuery>,
+    /// `full_parsed` compiled to the IR engine, in the same order.
+    full_ir: Vec<XProgram>,
     /// Compiled update patterns, by pattern key.
     patterns: HashMap<String, CompiledPattern>,
+    /// Per-pattern IR precompilation, keyed like `patterns`: one entry per
+    /// template in the pattern's `queries`, `None` where precompilation
+    /// failed and interpreted instantiation is used instead.
+    pattern_ir: HashMap<String, Vec<Option<IrTemplate>>>,
+    /// Which engine evaluates checks (seeded from [`default_ir_mode`] at
+    /// construction).
+    ir_mode: IrMode,
     /// `Some(b)` forces the full check to run parallel (`true`) or
     /// sequential (`false`); `None` picks by document size and core count.
     parallel_full: Option<bool>,
@@ -342,6 +479,7 @@ impl Checker {
             .iter()
             .map(|q| parse_query(&q.text).map_err(|e| CheckerError::Setup(format!("{}: {e}", q.text))))
             .collect::<Result<Vec<_>, _>>()?;
+        let full_ir = full_parsed.iter().map(XProgram::compile).collect();
         Ok(Checker {
             doc,
             dtd,
@@ -349,7 +487,10 @@ impl Checker {
             gamma,
             full_queries,
             full_parsed,
+            full_ir,
             patterns: HashMap::new(),
+            pattern_ir: HashMap::new(),
+            ir_mode: default_ir_mode(),
             parallel_full: None,
             journal: None,
             store: None,
@@ -400,6 +541,26 @@ impl Checker {
         &self.full_parsed
     }
 
+    /// The IR-compiled programs for [`Checker::full_queries`], in the same
+    /// order — handed to [`crate::service::ReadSnapshot`] alongside the
+    /// parsed ASTs so snapshot readers run whichever engine the writer
+    /// was configured with.
+    pub(crate) fn full_ir(&self) -> &[XProgram] {
+        &self.full_ir
+    }
+
+    /// The engine mode (interpreted AST vs compiled IR) this checker
+    /// evaluates with.
+    pub fn ir_mode(&self) -> IrMode {
+        self.ir_mode
+    }
+
+    /// Overrides the engine mode for this checker (ablation hook; the
+    /// initial value comes from [`default_ir_mode`] at construction).
+    pub fn set_ir_mode(&mut self, mode: IrMode) {
+        self.ir_mode = mode;
+    }
+
     /// Runtime counters.
     pub fn stats(&self) -> Stats {
         self.stats
@@ -435,8 +596,17 @@ impl Checker {
             .map_err(|e| CheckerError::Statement(e.to_string()))?;
         let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
         let key = compiled.key.clone();
-        self.patterns.insert(key.clone(), compiled);
+        self.insert_pattern(key.clone(), compiled);
         Ok(key)
+    }
+
+    /// Caches a compiled pattern together with its IR precompilation (one
+    /// compiled program per template; `None` entries fall back to the
+    /// interpreter at check time).
+    fn insert_pattern(&mut self, key: String, compiled: CompiledPattern) {
+        let ir = compiled.queries.iter().map(compile_template_ir).collect();
+        self.pattern_ir.insert(key.clone(), ir);
+        self.patterns.insert(key, compiled);
     }
 
     /// Registers a pattern from XUpdate text.
@@ -873,14 +1043,24 @@ impl Checker {
         }
     }
 
+    /// Evaluates full-check constraint `i` existentially with the
+    /// configured engine.
+    fn eval_full_exists(&self, i: usize) -> Result<bool, XQueryError> {
+        match self.ir_mode {
+            IrMode::Interpret => eval_query_exists(&self.full_parsed[i], &self.doc),
+            IrMode::Compiled => self.full_ir[i].eval_exists(&self.doc, &[]),
+        }
+    }
+
     fn check_full_seq(&self) -> Result<Option<Violation>, CheckerError> {
-        for ((q, parsed), d) in self.full_queries.iter().zip(&self.full_parsed).zip(&self.gamma) {
-            let violated = eval_query_exists(parsed, &self.doc)
-                .map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
+        for i in 0..self.full_parsed.len() {
+            let violated = self
+                .eval_full_exists(i)
+                .map_err(|e| CheckerError::Query(format!("{}: {e}", self.full_queries[i].text)))?;
             if violated {
                 return Ok(Some(Violation {
-                    denial: d.to_string(),
-                    query: q.text.clone(),
+                    denial: self.gamma[i].to_string(),
+                    query: self.full_queries[i].text.clone(),
                 }));
             }
         }
@@ -903,20 +1083,24 @@ impl Checker {
             .max(1);
         let chunk = self.full_parsed.len().div_ceil(workers);
         let doc = &self.doc;
+        let parsed = &self.full_parsed;
+        let ir = &self.full_ir;
+        let mode = self.ir_mode;
+        let indices: Vec<usize> = (0..self.full_parsed.len()).collect();
         let per_worker: Vec<WorkerResult> = std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .full_parsed
+                let handles: Vec<_> = indices
                     .chunks(chunk)
-                    .enumerate()
-                    .map(|(ci, queries)| {
+                    .map(|idxs| {
                         s.spawn(move || {
-                            let verdicts = queries
+                            let verdicts = idxs
                                 .iter()
-                                .enumerate()
-                                .map(|(i, q)| {
-                                    let verdict = eval_query_exists(q, doc)
-                                        .map_err(|e| e.to_string());
-                                    (ci * chunk + i, verdict)
+                                .map(|&i| {
+                                    let verdict = match mode {
+                                        IrMode::Interpret => eval_query_exists(&parsed[i], doc),
+                                        IrMode::Compiled => ir[i].eval_exists(doc, &[]),
+                                    }
+                                    .map_err(|e| e.to_string());
+                                    (i, verdict)
                                 })
                                 .collect();
                             (verdicts, xic_obs::snapshot())
@@ -958,17 +1142,59 @@ impl Checker {
     pub fn check_full_materialized(&self) -> Result<Option<Violation>, CheckerError> {
         let _check = xic_obs::phase("check");
         let _full = xic_obs::phase("full_materialized");
-        for ((q, parsed), d) in self.full_queries.iter().zip(&self.full_parsed).zip(&self.gamma) {
-            let violated = eval_query_bool(parsed, &self.doc)
-                .map_err(|e| CheckerError::Query(format!("{}: {e}", q.text)))?;
+        for i in 0..self.full_parsed.len() {
+            let violated = match self.ir_mode {
+                IrMode::Interpret => eval_query_bool(&self.full_parsed[i], &self.doc),
+                IrMode::Compiled => self.full_ir[i].eval_bool(&self.doc, &[]),
+            }
+            .map_err(|e| CheckerError::Query(format!("{}: {e}", self.full_queries[i].text)))?;
             if violated {
                 return Ok(Some(Violation {
-                    denial: d.to_string(),
-                    query: q.text.clone(),
+                    denial: self.gamma[i].to_string(),
+                    query: self.full_queries[i].text.clone(),
                 }));
             }
         }
         Ok(None)
+    }
+
+    /// One optimized-check template evaluation with the configured
+    /// engine. The IR path binds the update's parameters directly
+    /// (mirroring [`QueryTemplate::instantiate`]'s validation) and only
+    /// renders the instantiated text when a violation must be reported,
+    /// so verdicts and reports are identical across engines.
+    fn eval_template(
+        &self,
+        ir: Option<&IrTemplate>,
+        q: &QueryTemplate,
+        bindings: &HashMap<String, Value>,
+    ) -> Result<TemplateVerdict, CheckerError> {
+        if let (IrMode::Compiled, Some(t)) = (self.ir_mode, ir) {
+            let params = bind_ir_params(t, &self.doc, bindings)
+                .map_err(|e| CheckerError::Query(e.to_string()))?;
+            return match t.program.eval_exists(&self.doc, &params) {
+                Ok(false) => Ok(TemplateVerdict::Pass),
+                Ok(true) => {
+                    let text = q
+                        .instantiate(&self.doc, bindings)
+                        .map_err(|e| CheckerError::Query(e.to_string()))?;
+                    Ok(TemplateVerdict::Violated(text))
+                }
+                Err(e) if e.is_budget_exhausted() => Ok(TemplateVerdict::Exhausted),
+                Err(e) => Err(CheckerError::Query(format!("{}: {e}", q.text))),
+            };
+        }
+        let text = q
+            .instantiate(&self.doc, bindings)
+            .map_err(|e| CheckerError::Query(e.to_string()))?;
+        let parsed =
+            parse_query(&text).map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
+        match eval_query_exists(&parsed, &self.doc) {
+            Ok(true) => Ok(TemplateVerdict::Violated(text)),
+            Ok(false) => Ok(TemplateVerdict::Pass),
+            Err(e) if e.is_budget_exhausted() => Ok(TemplateVerdict::Exhausted),
+            Err(e) => Err(CheckerError::Query(format!("{text}: {e}"))),
+        }
     }
 
     /// Runs only the *optimized* pre-update check for `stmt` (no document
@@ -990,25 +1216,21 @@ impl Checker {
         let _check = xic_obs::phase("check");
         let _optimized = xic_obs::phase("optimized");
         let _budget = self.eval_budget.map(xic_xpath::budget::arm);
-        for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
-            let text = q
-                .instantiate(&self.doc, &mapped.bindings)
-                .map_err(|e| CheckerError::Query(e.to_string()))?;
-            let parsed =
-                parse_query(&text).map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-            let violated = match eval_query_exists(&parsed, &self.doc) {
-                Ok(v) => v,
-                Err(e) if e.is_budget_exhausted() => {
+        let ir = self.pattern_ir.get(&key);
+        for (i, (q, d)) in pattern.queries.iter().zip(&pattern.simplified).enumerate() {
+            let ir_t = ir.and_then(|v| v.get(i)).and_then(|t| t.as_ref());
+            match self.eval_template(ir_t, q, &mapped.bindings)? {
+                TemplateVerdict::Pass => {}
+                TemplateVerdict::Violated(text) => {
+                    return Ok(Some(Violation {
+                        denial: d.to_string(),
+                        query: text,
+                    }));
+                }
+                TemplateVerdict::Exhausted => {
                     xic_obs::incr(xic_obs::Counter::BudgetExhausted);
                     return Err(CheckerError::BudgetExhausted);
                 }
-                Err(e) => return Err(CheckerError::Query(format!("{text}: {e}"))),
-            };
-            if violated {
-                return Ok(Some(Violation {
-                    denial: d.to_string(),
-                    query: text,
-                }));
             }
         }
         Ok(None)
@@ -1044,7 +1266,7 @@ impl Checker {
                 let key = pattern_key(&mapped.update);
                 if !self.patterns.contains_key(&key) {
                     let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
-                    self.patterns.insert(key, compiled);
+                    self.insert_pattern(key, compiled);
                 }
                 self.check_optimized(stmt)
             }
@@ -1206,7 +1428,7 @@ impl Checker {
                 self.stats.pattern_cache_misses += 1;
                 xic_obs::incr(xic_obs::Counter::PatternCacheMiss);
                 let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
-                self.patterns.insert(key.clone(), compiled);
+                self.insert_pattern(key.clone(), compiled);
             }
             let pattern = &self.patterns[&key];
             if !pattern.is_incremental() {
@@ -1216,28 +1438,24 @@ impl Checker {
             let _check = xic_obs::phase("check");
             let _optimized = xic_obs::phase("optimized");
             let _budget = self.eval_budget.map(xic_xpath::budget::arm);
+            let ir = self.pattern_ir.get(&key);
             let mut violation = None;
             let mut exhausted = false;
-            for (q, d) in pattern.queries.iter().zip(&pattern.simplified) {
-                let text = q
-                    .instantiate(&self.doc, &mapped.bindings)
-                    .map_err(|e| CheckerError::Query(e.to_string()))?;
-                let parsed = parse_query(&text)
-                    .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-                match eval_query_exists(&parsed, &self.doc) {
-                    Ok(true) => {
+            for (i, (q, d)) in pattern.queries.iter().zip(&pattern.simplified).enumerate() {
+                let ir_t = ir.and_then(|v| v.get(i)).and_then(|t| t.as_ref());
+                match self.eval_template(ir_t, q, &mapped.bindings)? {
+                    TemplateVerdict::Pass => {}
+                    TemplateVerdict::Violated(text) => {
                         violation = Some(Violation {
                             denial: d.to_string(),
                             query: text,
                         });
                         break;
                     }
-                    Ok(false) => {}
-                    Err(e) if e.is_budget_exhausted() => {
+                    TemplateVerdict::Exhausted => {
                         exhausted = true;
                         break;
                     }
-                    Err(e) => return Err(CheckerError::Query(format!("{text}: {e}"))),
                 }
             }
             drop(_budget);

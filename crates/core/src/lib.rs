@@ -73,8 +73,8 @@ pub mod resolver;
 pub mod service;
 
 pub use checker::{
-    Checker, CheckerError, CheckpointPolicy, RecoverOptions, RecoveryReport, Stats, Strategy,
-    UpdateOutcome, Violation,
+    default_ir_mode, set_default_ir_mode, Checker, CheckerError, CheckpointPolicy, IrMode,
+    RecoverOptions, RecoveryReport, Stats, Strategy, UpdateOutcome, Violation,
 };
 pub use service::{CheckerService, Executor, ReadSnapshot, ServiceError, SubmitOutcome};
 pub use compile::{compile_pattern, CompiledPattern};

@@ -32,14 +32,14 @@
 //!
 //! [sync-now]: xic_xml::journal::Journal::sync_now
 
-use crate::checker::{Checker, CheckerError, UpdateOutcome, Violation};
+use crate::checker::{Checker, CheckerError, IrMode, UpdateOutcome, Violation};
 use crate::resolver::xpath_resolver;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use xic_xml::{apply, serialize, undo, Document, XUpdateDoc};
-use xic_xquery::{eval_query_exists, XQuery};
+use xic_xquery::{eval_query_exists, XProgram, XQuery};
 
 /// Default cap on statements drained into one group-commit batch. Large
 /// enough that 16 concurrent submitters usually share one fsync, small
@@ -123,10 +123,14 @@ pub struct SubmitOutcome {
     pub version: u64,
 }
 
-/// The full-check inputs (Γ as denial text, query text and pre-parsed
-/// AST), shared immutably by every snapshot the service publishes.
+/// The full-check inputs (Γ as denial text, query text, pre-parsed AST
+/// and IR-compiled program), shared immutably by every snapshot the
+/// service publishes. The engine mode is captured from the writer's
+/// checker at service start, so snapshot checks run the same engine the
+/// writer commits with.
 struct CheckSet {
-    entries: Vec<(String, String, XQuery)>,
+    entries: Vec<(String, String, XQuery, XProgram)>,
+    mode: IrMode,
 }
 
 impl CheckSet {
@@ -136,9 +140,25 @@ impl CheckSet {
             .iter()
             .zip(checker.full_queries())
             .zip(checker.full_parsed())
-            .map(|((d, q), p)| (d.to_string(), q.text.clone(), p.clone()))
+            .zip(checker.full_ir())
+            .map(|(((d, q), p), ir)| (d.to_string(), q.text.clone(), p.clone(), ir.clone()))
             .collect();
-        CheckSet { entries }
+        CheckSet { entries, mode: checker.ir_mode() }
+    }
+
+    /// Evaluates entry `entry` existentially against `doc` with the
+    /// captured engine mode.
+    fn eval_exists(
+        &self,
+        entry: &(String, String, XQuery, XProgram),
+        doc: &Document,
+    ) -> Result<bool, CheckerError> {
+        let (_, text, parsed, ir) = entry;
+        match self.mode {
+            IrMode::Interpret => eval_query_exists(parsed, doc),
+            IrMode::Compiled => ir.eval_exists(doc, &[]),
+        }
+        .map_err(|e| CheckerError::Query(format!("{text}: {e}")))
     }
 }
 
@@ -177,11 +197,9 @@ impl ReadSnapshot {
     pub fn check_full(&self) -> Result<Option<Violation>, CheckerError> {
         let _check = xic_obs::phase("check");
         let _full = xic_obs::phase("snapshot_full");
-        for (denial, text, parsed) in &self.checks.entries {
-            let violated = eval_query_exists(parsed, &self.doc)
-                .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-            if violated {
-                return Ok(Some(Violation { denial: denial.clone(), query: text.clone() }));
+        for entry in &self.checks.entries {
+            if self.checks.eval_exists(entry, &self.doc)? {
+                return Ok(Some(Violation { denial: entry.0.clone(), query: entry.1.clone() }));
             }
         }
         Ok(None)
@@ -208,11 +226,9 @@ impl ReadSnapshot {
             let _check = xic_obs::phase("check");
             let _full = xic_obs::phase("snapshot_full");
             let mut found = None;
-            for (denial, text, parsed) in &self.checks.entries {
-                let violated = eval_query_exists(parsed, &doc)
-                    .map_err(|e| CheckerError::Query(format!("{text}: {e}")))?;
-                if violated {
-                    found = Some(Violation { denial: denial.clone(), query: text.clone() });
+            for entry in &self.checks.entries {
+                if self.checks.eval_exists(entry, &doc)? {
+                    found = Some(Violation { denial: entry.0.clone(), query: entry.1.clone() });
                     break;
                 }
             }

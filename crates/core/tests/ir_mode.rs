@@ -1,0 +1,217 @@
+//! Engine-mode ([`IrMode`]) equivalence tests: the compiled flat-IR
+//! engine and the tree-walking interpreter must reach byte-identical
+//! verdicts on every checker entry point — decisions, violation reports,
+//! final document states, and budget-exhaustion degradation — differing
+//! only in evaluation cost.
+
+use xicheck::{Checker, CheckerService, EvalBudget, Executor, IrMode, Strategy, UpdateOutcome};
+
+const DTD: &str = "<!ELEMENT collection (dblp, review)>\n\
+    <!ELEMENT dblp (pub)*>\n<!ELEMENT pub (title, aut+)>\n\
+    <!ELEMENT aut (name)>\n<!ELEMENT review (track)+>\n\
+    <!ELEMENT track (name,rev+)>\n<!ELEMENT rev (name, sub+)>\n\
+    <!ELEMENT sub (title, auts+)>\n<!ELEMENT title (#PCDATA)>\n\
+    <!ELEMENT auts (name)>\n<!ELEMENT name (#PCDATA)>";
+
+const CORPUS: &str = "<collection><dblp>\
+    <pub><title>P1</title><aut><name>ann</name></aut><aut><name>bob</name></aut></pub>\
+    </dblp><review><track><name>T</name>\
+    <rev><name>ann</name><sub><title>S1</title><auts><name>cat</name></auts></sub></rev>\
+    <rev><name>dan</name><sub><title>S2</title><auts><name>eve</name></auts></sub></rev>\
+    </track></review></collection>";
+
+const CONFLICT: &str = "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+    & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])";
+
+fn insert_sub(rev_sel: &str, author: &str) -> String {
+    format!(
+        r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+          <xupdate:append select="{rev_sel}">
+            <sub><title>New</title><auts><name>{author}</name></auts></sub>
+          </xupdate:append>
+        </xupdate:modifications>"#
+    )
+}
+
+fn checker(mode: IrMode) -> Checker {
+    let mut c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    c.set_ir_mode(mode);
+    c
+}
+
+/// The statements both engines must decide identically: a legal insert, a
+/// self-review conflict, a co-author conflict, and a non-insertion batch
+/// that forces the baseline strategy.
+fn statements() -> Vec<String> {
+    vec![
+        insert_sub("//rev[name/text() = 'dan']", "zoe"),
+        insert_sub("//rev[name/text() = 'ann']", "ann"),
+        insert_sub("//rev[name/text() = 'ann']", "bob"),
+        r#"<xupdate:modifications xmlns:xupdate="x">
+           <xupdate:update select="//track/name">T2</xupdate:update>
+           </xupdate:modifications>"#
+            .to_string(),
+    ]
+}
+
+#[test]
+fn try_update_verdicts_are_identical_across_modes() {
+    for stmt in statements() {
+        let mut int = checker(IrMode::Interpret);
+        let mut cmp = checker(IrMode::Compiled);
+        let a = int.try_update_str(&stmt);
+        let b = cmp.try_update_str(&stmt);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.applied(), y.applied(), "stmt: {stmt}");
+                assert_eq!(x.strategy(), y.strategy(), "stmt: {stmt}");
+                if let (
+                    UpdateOutcome::Rejected { violation: vx, .. },
+                    UpdateOutcome::Rejected { violation: vy, .. },
+                ) = (x, y)
+                {
+                    assert_eq!(vx, vy, "violation reports must be byte-identical");
+                }
+            }
+            (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+            _ => panic!("one mode errored, the other decided: {a:?} vs {b:?}"),
+        }
+        assert_eq!(
+            xic_xml::serialize(int.doc()),
+            xic_xml::serialize(cmp.doc()),
+            "final documents must agree for {stmt}"
+        );
+    }
+}
+
+#[test]
+fn decide_only_agrees_across_modes_and_strategies() {
+    for stmt in statements() {
+        let parsed = xicheck::XUpdateDoc::parse(&stmt).unwrap();
+        for strategy in [Strategy::Optimized, Strategy::FullWithRollback] {
+            let mut int = checker(IrMode::Interpret);
+            let mut cmp = checker(IrMode::Compiled);
+            let a = int.decide_only(&parsed, strategy);
+            let b = cmp.decide_only(&parsed, strategy);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "stmt: {stmt}"),
+                (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+                (a, b) => panic!("strategy {strategy:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn check_full_agrees_across_modes_sequential_and_parallel() {
+    // Append a violating sub unchecked, so the full check has something
+    // to find in both modes.
+    for violating in [false, true] {
+        for parallel in [Some(false), Some(true)] {
+            let mut int = checker(IrMode::Interpret);
+            let mut cmp = checker(IrMode::Compiled);
+            if violating {
+                let stmt = xicheck::XUpdateDoc::parse(&insert_sub(
+                    "//rev[name/text() = 'ann']",
+                    "ann",
+                ))
+                .unwrap();
+                int.apply_unchecked(&stmt).unwrap();
+                cmp.apply_unchecked(&stmt).unwrap();
+            }
+            int.set_parallel_full(parallel);
+            cmp.set_parallel_full(parallel);
+            let a = int.check_full().unwrap();
+            let b = cmp.check_full().unwrap();
+            assert_eq!(a, b, "violating={violating} parallel={parallel:?}");
+            assert_eq!(a.is_some(), violating);
+            let am = int.check_full_materialized().unwrap();
+            let bm = cmp.check_full_materialized().unwrap();
+            assert_eq!(am, bm);
+            assert_eq!(am, a, "materialized and existential verdicts agree");
+        }
+    }
+}
+
+/// The satellite the issue names: an exhausted budget in the IR engine
+/// must degrade `try_update` to the baseline pass exactly like the
+/// interpreter does — same verdict, same strategy, same stats bump.
+#[test]
+fn budget_exhaustion_degrades_identically_in_both_modes() {
+    let legal = insert_sub("//rev[name/text() = 'dan']", "zoe");
+    let illegal = insert_sub("//rev[name/text() = 'ann']", "ann");
+    for mode in [IrMode::Interpret, IrMode::Compiled] {
+        // Reference verdicts from an unbudgeted twin in the same mode.
+        let mut free = checker(mode);
+        assert!(free.try_update_str(&legal).unwrap().applied());
+        assert!(!free.try_update_str(&illegal).unwrap().applied());
+        assert_eq!(free.stats().budget_exhausted, 0);
+
+        // A zero-step budget exhausts immediately in either engine.
+        let mut tight = checker(mode);
+        tight.set_eval_budget(Some(EvalBudget::new(0)));
+        let out = tight.try_update_str(&legal).unwrap();
+        assert!(out.applied(), "mode {mode:?}: same verdict as unbudgeted");
+        assert_eq!(
+            out.strategy(),
+            Strategy::FullWithRollback,
+            "mode {mode:?}: exhausted check degrades to the baseline pass"
+        );
+        let out = tight.try_update_str(&illegal).unwrap();
+        assert!(!out.applied(), "mode {mode:?}: same verdict as unbudgeted");
+        assert_eq!(out.strategy(), Strategy::FullWithRollback);
+        assert_eq!(tight.stats().budget_exhausted, 2, "mode {mode:?}");
+        assert_eq!(
+            xic_xml::serialize(free.doc()),
+            xic_xml::serialize(tight.doc()),
+            "mode {mode:?}: budgeted and unbudgeted twins converge"
+        );
+    }
+}
+
+#[test]
+fn explicit_check_optimized_reports_exhaustion_in_both_modes() {
+    let stmt = xicheck::XUpdateDoc::parse(&insert_sub("//rev[name/text() = 'dan']", "zoe")).unwrap();
+    for mode in [IrMode::Interpret, IrMode::Compiled] {
+        let mut c = checker(mode);
+        c.register_pattern(&stmt).unwrap();
+        c.set_eval_budget(Some(EvalBudget::new(0)));
+        let err = c.check_optimized(&stmt).unwrap_err();
+        assert!(
+            matches!(err, xicheck::CheckerError::BudgetExhausted),
+            "mode {mode:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn service_snapshots_check_with_the_writers_mode() {
+    for mode in [IrMode::Interpret, IrMode::Compiled] {
+        let service = CheckerService::new(checker(mode), Executor::group_commit());
+        let snap = service.snapshot();
+        assert!(snap.check_full().unwrap().is_none());
+        let stmt =
+            xicheck::XUpdateDoc::parse(&insert_sub("//rev[name/text() = 'ann']", "ann")).unwrap();
+        let verdict = snap.decide_full(&stmt).unwrap();
+        assert!(verdict.is_some(), "mode {mode:?}: conflict must be caught");
+        assert!(
+            service.submit(&insert_sub("//rev[name/text() = 'dan']", "zoe")).unwrap().outcome.applied()
+        );
+        drop(snap);
+        service.shutdown();
+    }
+}
+
+#[test]
+fn default_ir_mode_seeds_new_checkers() {
+    // Serialized with a lock-free dance: set, construct, restore. The
+    // other tests in this binary pin modes explicitly, so the brief
+    // window with a non-default global cannot affect them.
+    xicheck::set_default_ir_mode(IrMode::Interpret);
+    let c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    assert_eq!(c.ir_mode(), IrMode::Interpret);
+    xicheck::set_default_ir_mode(IrMode::Compiled);
+    let c = Checker::new(CORPUS, DTD, CONFLICT).unwrap();
+    assert_eq!(c.ir_mode(), IrMode::Compiled);
+    assert_eq!(xicheck::default_ir_mode(), IrMode::Compiled);
+}

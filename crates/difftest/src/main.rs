@@ -32,6 +32,7 @@ struct Args {
     dump: bool,
     crash_matrix: bool,
     sites: Option<String>,
+    ir_mode: xicheck::IrMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
     let mut dump = false;
     let mut crash_matrix = false;
     let mut sites: Option<String> = None;
+    let mut ir_mode = xicheck::IrMode::Compiled;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     // Accept both `--key=value` and `--key value`.
@@ -78,6 +80,13 @@ fn parse_args() -> Result<Args, String> {
             "--sites" => {
                 sites = Some(next_value(&mut i, inline.as_deref())?);
             }
+            "--ir-mode" => {
+                ir_mode = match next_value(&mut i, inline.as_deref())?.as_str() {
+                    "interpret" => xicheck::IrMode::Interpret,
+                    "compiled" => xicheck::IrMode::Compiled,
+                    other => return Err(format!("--ir-mode: {other} (interpret|compiled)")),
+                };
+            }
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -99,7 +108,16 @@ fn parse_args() -> Result<Args, String> {
         dump,
         crash_matrix,
         sites,
+        ir_mode,
     })
+}
+
+/// `"interpret"` / `"compiled"` for reports.
+fn ir_mode_name(mode: xicheck::IrMode) -> &'static str {
+    match mode {
+        xicheck::IrMode::Interpret => "interpret",
+        xicheck::IrMode::Compiled => "compiled",
+    }
 }
 
 /// Runs the crash matrix and writes its JSON report.
@@ -152,6 +170,10 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
         ("bench".to_string(), Value::String("crash-matrix".to_string())),
         ("seed".to_string(), Value::Number(args.seed as f64)),
         ("cases".to_string(), Value::Number(args.cases as f64)),
+        (
+            "ir_mode".to_string(),
+            Value::String(ir_mode_name(args.ir_mode).to_string()),
+        ),
         (
             "sites_filter".to_string(),
             args.sites
@@ -238,11 +260,14 @@ fn main() -> ExitCode {
             eprintln!("difftest: {e}");
             eprintln!(
                 "usage: difftest [--crash-matrix [--sites PAT,PAT…]] [--cases N] [--seed N] \
-                 [--out FILE]"
+                 [--ir-mode interpret|compiled] [--out FILE]"
             );
             return ExitCode::from(2);
         }
     };
+    // Every checker constructed anywhere below (oracles, crash twins,
+    // shrinker replays) starts in the requested engine mode.
+    xicheck::set_default_ir_mode(args.ir_mode);
     if args.crash_matrix {
         return run_crash_matrix(&args);
     }
@@ -271,11 +296,14 @@ fn main() -> ExitCode {
         eprintln!("{}", d.report());
     }
     println!(
-        "difftest: {} cases from seed {} — {} discrepancies, {} shrink steps",
+        "difftest: {} cases from seed {} (ir mode: {}) — {} discrepancies, {} shrink steps, \
+         {} three-way queries",
         args.cases,
         args.seed,
+        ir_mode_name(args.ir_mode),
         report.discrepancies.len(),
         snapshot.counter(obs::Counter::DifftestShrinkStep),
+        snapshot.counter(obs::Counter::DifftestThreeWayQuery),
     );
     let mix: Vec<String> = OP_COUNTERS
         .iter()
@@ -287,6 +315,14 @@ fn main() -> ExitCode {
         ("bench".to_string(), Value::String("difftest".to_string())),
         ("seed".to_string(), Value::Number(args.seed as f64)),
         ("cases".to_string(), Value::Number(args.cases as f64)),
+        (
+            "ir_mode".to_string(),
+            Value::String(ir_mode_name(args.ir_mode).to_string()),
+        ),
+        (
+            "three_way_queries".to_string(),
+            Value::Number(snapshot.counter(obs::Counter::DifftestThreeWayQuery) as f64),
+        ),
         (
             "discrepancies".to_string(),
             Value::Number(report.discrepancies.len() as f64),
@@ -313,7 +349,9 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
     // Coverage gate: a run long enough to be statistically meaningful must
-    // have exercised every operation kind.
+    // have exercised every operation kind, and the three-way engine oracle
+    // must actually have compared queries (it runs per case, so a silent
+    // regression that skips it would otherwise pass).
     if args.cases >= 100 {
         let missing: Vec<&str> = OP_COUNTERS
             .iter()
@@ -325,6 +363,13 @@ fn main() -> ExitCode {
                 "difftest: operation kinds never generated in {} cases: {}",
                 args.cases,
                 missing.join(", ")
+            );
+            return ExitCode::from(1);
+        }
+        if snapshot.counter(obs::Counter::DifftestThreeWayQuery) == 0 {
+            eprintln!(
+                "difftest: three-way engine oracle never ran in {} cases",
+                args.cases
             );
             return ExitCode::from(1);
         }

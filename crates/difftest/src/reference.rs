@@ -12,9 +12,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
+use xic_obs as obs;
 use xic_xml::{Document, Dtd, NodeId, NodeKind};
 use xic_xpath::{evaluate_exists, evaluate_nodes, parse, Context, NodeRef};
-use xic_xquery::{eval_query_bool, eval_query_exists, parse_query};
+use xic_xquery::{eval_query_bool, eval_query_exists, parse_query, XProgram};
 
 /// One step of a reference query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,9 +130,13 @@ pub fn random_query(rng: &mut StdRng, names: &[&str]) -> RefQuery {
     RefQuery { steps }
 }
 
-/// The differential oracle: draws 6 queries (deterministically from
-/// `seed`), evaluates each with the engine and the reference, and
-/// cross-checks the cardinality through `xic-xquery`'s `count()`.
+/// The three-way differential oracle: draws 6 queries (deterministically
+/// from `seed`) and evaluates each with **three** independent engines —
+/// the tree-walking interpreter, the compiled flat IR, and the naive
+/// reference evaluator. Node-sets, short-circuit existential answers and
+/// `count()` cardinalities (the latter two through both the interpreted
+/// and compiled XQuery layers) must all agree; the engines share no
+/// evaluation code, so any disagreement is a bug by construction.
 pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let names: Vec<&str> = dtd.elements().iter().map(|e| e.name.as_str()).collect();
@@ -141,6 +146,7 @@ pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> 
     for _ in 0..6 {
         let q = random_query(&mut rng, &names);
         let text = q.to_string();
+        obs::incr(obs::Counter::DifftestThreeWayQuery);
         let expected = eval_reference(doc, &q);
         let expr =
             parse(&text).map_err(|e| format!("engine failed to parse query {text}: {e}"))?;
@@ -164,7 +170,29 @@ pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> 
             );
             return Err(detail);
         }
-        // Existential agreement: the short-circuiting evaluators must
+        // Engine 3: the compiled IR must materialize the same node-set.
+        let (prog, root) = xic_xpath::ir::compile(&expr);
+        let compiled = prog
+            .evaluate_nodes(root, doc)
+            .map_err(|e| format!("compiled engine failed to evaluate {text}: {e}"))?;
+        let mut compiled_ids = Vec::with_capacity(compiled.len());
+        for r in compiled {
+            match r {
+                NodeRef::Node(id) => compiled_ids.push(id),
+                NodeRef::Attr { .. } => {
+                    return Err(format!(
+                        "query {text}: compiled engine returned an attribute node"
+                    ))
+                }
+            }
+        }
+        if compiled_ids != expected {
+            return Err(format!(
+                "query {text}: compiled IR {:?} vs reference {:?}",
+                compiled_ids, expected
+            ));
+        }
+        // Existential agreement: both short-circuiting evaluators must
         // reach the same emptiness verdict as full materialization.
         let exists = evaluate_exists(&expr, &Context::root(doc))
             .map_err(|e| format!("engine failed existential evaluation of {text}: {e}"))?;
@@ -172,6 +200,14 @@ pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> 
             return Err(format!(
                 "evaluate_exists({text}) = {exists} but reference found {} nodes",
                 expected.len()
+            ));
+        }
+        let ir_exists = prog
+            .evaluate_exists(root, doc)
+            .map_err(|e| format!("compiled engine failed existential evaluation of {text}: {e}"))?;
+        if ir_exists != exists {
+            return Err(format!(
+                "compiled evaluate_exists({text}) = {ir_exists} but interpreter says {exists}"
             ));
         }
         let exists_q = format!("exists({text})");
@@ -187,6 +223,18 @@ pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> 
                 expected.len()
             ));
         }
+        let xprog = XProgram::compile(&parsed_exists);
+        let ir_lazy = xprog
+            .eval_exists(doc, &[])
+            .map_err(|e| format!("compiled xquery failed existentially on {exists_q}: {e}"))?;
+        let ir_eager = xprog
+            .eval_bool(doc, &[])
+            .map_err(|e| format!("compiled xquery failed to evaluate {exists_q}: {e}"))?;
+        if ir_lazy != lazy || ir_eager != eager {
+            return Err(format!(
+                "{exists_q}: compiled lazy {ir_lazy}/eager {ir_eager} vs interpreted {lazy}/{eager}"
+            ));
+        }
         let count_q = format!("count({text}) = {}", expected.len());
         let parsed = parse_query(&count_q)
             .map_err(|e| format!("xquery failed to parse {count_q}: {e}"))?;
@@ -195,6 +243,15 @@ pub fn differential(seed: u64, dtd: &Dtd, doc: &Document) -> Result<(), String> 
         if !agree {
             return Err(format!(
                 "xquery count({text}) disagrees with reference cardinality {}",
+                expected.len()
+            ));
+        }
+        let ir_agree = XProgram::compile(&parsed)
+            .eval_bool(doc, &[])
+            .map_err(|e| format!("compiled xquery failed to evaluate {count_q}: {e}"))?;
+        if !ir_agree {
+            return Err(format!(
+                "compiled xquery count({text}) disagrees with reference cardinality {}",
                 expected.len()
             ));
         }

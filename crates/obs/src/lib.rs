@@ -138,10 +138,13 @@ pub enum Counter {
     SnapshotPublish,
     /// Read snapshots handed out to concurrent readers.
     SnapshotRead,
+    /// Generated queries cross-checked by the three-way engine oracle
+    /// (interpreter vs compiled IR vs naive reference).
+    DifftestThreeWayQuery,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 35] = [
+pub const ALL_COUNTERS: [Counter; 36] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -177,6 +180,7 @@ pub const ALL_COUNTERS: [Counter; 35] = [
     Counter::GroupCommitStatement,
     Counter::SnapshotPublish,
     Counter::SnapshotRead,
+    Counter::DifftestThreeWayQuery,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -220,6 +224,7 @@ impl Counter {
             Counter::GroupCommitStatement => "group_commit_statements",
             Counter::SnapshotPublish => "snapshot_publishes",
             Counter::SnapshotRead => "snapshot_reads",
+            Counter::DifftestThreeWayQuery => "three_way_queries",
         }
     }
 

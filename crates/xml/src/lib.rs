@@ -24,6 +24,7 @@
 pub mod checkpoint;
 pub mod dtd;
 pub mod escape;
+pub mod intern;
 pub mod journal;
 pub mod parse;
 pub mod serialize;
@@ -32,6 +33,7 @@ pub mod xupdate;
 
 pub use checkpoint::{Checkpoint, CheckpointError, Store};
 pub use dtd::{ContentModel, Dtd, ElementDecl, ValidationError};
+pub use intern::{Symbol, SymbolTable};
 pub use journal::{Journal, JournalError, JournalRecord, RecordKind, Recovered};
 pub use parse::{parse_document, XmlError};
 pub use serialize::{serialize, serialize_equal, serialize_node};

@@ -1,5 +1,6 @@
 //! The ordered XML tree arena.
 
+use crate::intern::{Symbol, SymbolTable};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
@@ -85,9 +86,17 @@ struct OrderCache {
 #[derive(Debug)]
 pub struct Document {
     nodes: Vec<Node>,
-    /// name → element nodes currently attached under the document node,
-    /// kept sorted in document order (see [`doc_order_cmp`]).
-    name_index: HashMap<String, Vec<NodeId>>,
+    /// Interned element/attribute names; append-only for the document's
+    /// lifetime, so a missed lookup proves the name never occurred.
+    symbols: SymbolTable,
+    /// `elem_sym[id.index()]`: the interned tag-name symbol of an element
+    /// node, [`NO_SYM`] for every other node kind. Kept in lockstep with
+    /// the arena by `alloc` and `rename`.
+    elem_sym: Vec<u32>,
+    /// tag-name symbol → element nodes currently attached under the
+    /// document node, kept sorted in document order (see
+    /// [`doc_order_cmp`]).
+    name_index: HashMap<Symbol, Vec<NodeId>>,
     index_enabled: bool,
     /// Structural version, bumped by every attach/detach. Content edits
     /// (`set_text`, `set_attr`, `rename`) do not move nodes and leave it
@@ -106,10 +115,16 @@ impl Default for Document {
     }
 }
 
+/// Sentinel for "this node has no tag-name symbol" (non-element nodes).
+/// Real symbols are dense indexes, so `u32::MAX` is unreachable.
+const NO_SYM: u32 = u32::MAX;
+
 impl Clone for Document {
     fn clone(&self) -> Document {
         Document {
             nodes: self.nodes.clone(),
+            symbols: self.symbols.clone(),
+            elem_sym: self.elem_sym.clone(),
             name_index: self.name_index.clone(),
             index_enabled: self.index_enabled,
             version: self.version,
@@ -182,6 +197,8 @@ impl Document {
                 parent: None,
                 children: Vec::new(),
             }],
+            symbols: SymbolTable::new(),
+            elem_sym: vec![NO_SYM],
             name_index: HashMap::new(),
             index_enabled: true,
             version: 0,
@@ -254,12 +271,33 @@ impl Document {
 
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+        let sym = match &kind {
+            NodeKind::Element { name, .. } => self.symbols.intern(name).0,
+            _ => NO_SYM,
+        };
         self.nodes.push(Node {
             kind,
             parent: None,
             children: Vec::new(),
         });
+        self.elem_sym.push(sym);
         id
+    }
+
+    /// The document's interned-name table. Append-only: compiled queries
+    /// resolve their name tests against it once per evaluation.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The interned tag-name symbol of `id`, or `None` for non-element
+    /// nodes. An integer compare against this is equivalent to a string
+    /// compare against [`Document::name`].
+    pub fn symbol(&self, id: NodeId) -> Option<Symbol> {
+        match self.elem_sym.get(id.index()) {
+            Some(&s) if s != NO_SYM => Some(Symbol(s)),
+            _ => None,
+        }
     }
 
     /// Creates a detached element.
@@ -293,9 +331,12 @@ impl Document {
     /// # Panics
     /// Panics if `id` is not an element.
     pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        // Attribute names join the table too, so compiled attribute name
+        // tests can prove a never-seen name matches nothing.
+        self.symbols.intern(&name);
         match &mut self.node_mut(id).kind {
             NodeKind::Element { attrs, .. } => {
-                let name = name.into();
                 let value = value.into();
                 if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == name) {
                     slot.1 = value;
@@ -417,8 +458,12 @@ impl Document {
     pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
         if self.index_enabled {
             xic_obs::incr(xic_obs::Counter::NameIndexHit);
-            // Buckets are maintained in document order — no re-sort.
-            self.name_index.get(name).cloned().unwrap_or_default()
+            // Buckets are maintained in document order — no re-sort. A
+            // name the table has never seen cannot have indexed elements.
+            self.symbols
+                .lookup(name)
+                .and_then(|s| self.name_index.get(&s).cloned())
+                .unwrap_or_default()
         } else {
             xic_obs::incr(xic_obs::Counter::NameIndexMiss);
             // Preorder scan yields document order directly.
@@ -455,10 +500,12 @@ impl Document {
         if attached {
             self.index_subtree_single(id, false);
         }
+        let new_sym = self.symbols.intern(&new_name).0;
         let old = match &mut self.node_mut(id).kind {
             NodeKind::Element { name, .. } => std::mem::replace(name, new_name),
             other => panic!("rename on non-element node: {other:?}"),
         };
+        self.elem_sym[id.index()] = new_sym;
         if attached {
             self.index_subtree_single(id, true);
         }
@@ -466,20 +513,21 @@ impl Document {
     }
 
     fn index_subtree_single(&mut self, id: NodeId, add: bool) {
-        if let NodeKind::Element { name, .. } = &self.node(id).kind {
-            let name = name.clone();
-            // Split borrows: the comparator walks `nodes` while the bucket
-            // lives in `name_index`.
-            let Document {
-                nodes, name_index, ..
-            } = self;
-            let entry = name_index.entry(name).or_default();
-            if add {
-                let pos = entry.partition_point(|&e| doc_order_cmp(nodes, e, id) == Ordering::Less);
-                entry.insert(pos, id);
-            } else if let Ok(pos) = entry.binary_search_by(|&e| doc_order_cmp(nodes, e, id)) {
-                entry.remove(pos);
-            }
+        let sym = self.elem_sym[id.index()];
+        if sym == NO_SYM {
+            return;
+        }
+        // Split borrows: the comparator walks `nodes` while the bucket
+        // lives in `name_index`.
+        let Document {
+            nodes, name_index, ..
+        } = self;
+        let entry = name_index.entry(Symbol(sym)).or_default();
+        if add {
+            let pos = entry.partition_point(|&e| doc_order_cmp(nodes, e, id) == Ordering::Less);
+            entry.insert(pos, id);
+        } else if let Ok(pos) = entry.binary_search_by(|&e| doc_order_cmp(nodes, e, id)) {
+            entry.remove(pos);
         }
     }
 
@@ -499,17 +547,29 @@ impl Document {
         if !self.index_enabled {
             return Ok(());
         }
-        let mut expected: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        let mut expected: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
         // Preorder scan — `expected` buckets come out in document order.
         let mut stack = vec![self.document_node()];
         while let Some(n) = stack.pop() {
             if let NodeKind::Element { name, .. } = &self.node(n).kind {
-                expected.entry(name.as_str()).or_default().push(n);
+                // The cached symbol must agree with the current tag name.
+                let sym = self
+                    .symbol(n)
+                    .ok_or_else(|| format!("element {n} ({name:?}) has no cached symbol"))?;
+                if self.symbols.lookup(name) != Some(sym) {
+                    return Err(format!(
+                        "element {n} caches symbol {sym:?} but its name {name:?} interns \
+                         to {:?}",
+                        self.symbols.lookup(name)
+                    ));
+                }
+                expected.entry(sym).or_default().push(n);
             }
             stack.extend(self.node(n).children.iter().rev().copied());
         }
-        for (name, want) in &expected {
-            let got = self.name_index.get(*name).map_or(&[][..], Vec::as_slice);
+        for (&sym, want) in &expected {
+            let name = self.symbols.resolve(sym).unwrap_or_default();
+            let got = self.name_index.get(&sym).map_or(&[][..], Vec::as_slice);
             if got != want.as_slice() {
                 return Err(format!(
                     "name index for {name:?} holds {got:?}, attached tree in document \
@@ -517,8 +577,9 @@ impl Document {
                 ));
             }
         }
-        for (name, ids) in &self.name_index {
-            if !ids.is_empty() && !expected.contains_key(name.as_str()) {
+        for (&sym, ids) in &self.name_index {
+            if !ids.is_empty() && !expected.contains_key(&sym) {
+                let name = self.symbols.resolve(sym).unwrap_or_default();
                 return Err(format!(
                     "name index has stale entries {ids:?} under {name:?}"
                 ));
@@ -1014,10 +1075,11 @@ mod tests {
         let t2 = d.create_element("track");
         d.append_child(root, t2);
         // Corrupt the bucket order behind the API's back.
-        d.name_index.get_mut("track").unwrap().swap(0, 1);
+        let sym = d.symbols.lookup("track").unwrap();
+        d.name_index.get_mut(&sym).unwrap().swap(0, 1);
         let err = d.audit_name_index().expect_err("audit catches disorder");
         assert!(err.contains("sortedness"), "unexpected message: {err}");
-        assert_eq!(d.name_index["track"], vec![t2, track]);
+        assert_eq!(d.name_index[&sym], vec![t2, track]);
     }
 
     #[test]

@@ -351,7 +351,7 @@ fn eval_step(input: &[NodeRef], step: &Step, ctx: &Context) -> Result<Vec<NodeRe
 
 /// True if all tree-node inputs share one depth (attribute refs anchor at
 /// their owner).
-fn same_depth(doc: &Document, input: &[NodeRef]) -> bool {
+pub(crate) fn same_depth(doc: &Document, input: &[NodeRef]) -> bool {
     let depth = |n: &NodeRef| -> usize {
         let mut d = 0;
         let mut cur = n.anchor();
@@ -392,7 +392,7 @@ fn apply_predicate(
 /// evaluation can stop at the first witness, and `step_once` never
 /// materializes an intermediate candidate `Vec` (descendant axes stream
 /// straight out of [`Document::descendants`]).
-fn axis_iter<'d>(
+pub(crate) fn axis_iter<'d>(
     doc: &'d Document,
     item: &NodeRef,
     axis: Axis,

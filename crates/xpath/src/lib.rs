@@ -31,6 +31,7 @@
 pub mod ast;
 pub mod budget;
 pub mod eval;
+pub mod ir;
 pub mod lexer;
 pub mod parser;
 pub mod value;

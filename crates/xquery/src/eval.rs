@@ -395,7 +395,7 @@ fn eval_quantified_rec(
 /// True if `q` mentions variable `name`. Over-approximates under
 /// shadowing (an inner rebinding of the same name still counts), which
 /// only costs a missed hoist, never correctness.
-fn mentions_var(q: &XQuery, name: &str) -> bool {
+pub(crate) fn mentions_var(q: &XQuery, name: &str) -> bool {
     match q {
         XQuery::XPath(e) => xic_xpath::expr_mentions_var(e, name),
         XQuery::Sequence(items) => items.iter().any(|i| mentions_var(i, name)),
@@ -418,7 +418,7 @@ fn mentions_var(q: &XQuery, name: &str) -> bool {
     }
 }
 
-fn node_to_constructed(doc: &Document, n: &NodeRef) -> ConstructedChild {
+pub(crate) fn node_to_constructed(doc: &Document, n: &NodeRef) -> ConstructedChild {
     match n {
         NodeRef::Attr { .. } => ConstructedChild::Text(n.string_value(doc)),
         NodeRef::Node(id) => match &doc.node(*id).kind {

@@ -39,10 +39,12 @@
 
 pub mod ast;
 pub mod eval;
+pub mod ir;
 pub mod item;
 pub mod parser;
 
 pub use ast::{Clause, XQuery};
 pub use eval::{eval_query, eval_query_bool, eval_query_exists, XQueryError};
+pub use ir::XProgram;
 pub use item::{Constructed, Item, Sequence};
 pub use parser::{parse_query, XQueryParseError};
