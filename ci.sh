@@ -25,6 +25,15 @@ echo "== differential fuzz smoke (interpreter engine) =="
 cargo run --release -q -p xic-difftest -- --cases 200 --seed 1 \
   --ir-mode interpret --out /tmp/BENCH_DIFFTEST_INTERP_CI.json
 
+echo "== independence on/off oracle (>= 200 cases) =="
+# The PR8 gate: every case also replays through a checker pair with the
+# static update/constraint independence mask forced on and forced off —
+# verdicts, violation reports and post-states must be byte-identical.
+# Pinning the process default *off* additionally catches any code path
+# that consults the default where it should honor the per-checker flag.
+cargo run --release -q -p xic-difftest -- --cases 200 --seed 11 \
+  --independence off --out /tmp/BENCH_DIFFTEST_INDEP_CI.json
+
 echo "== difftest corpus replay (both engine modes) =="
 # Every checked-in regression seed replays against the current oracles
 # (tests/corpus.rs covers these in-process too; this exercises the CLI

@@ -1,0 +1,57 @@
+//! Microbenchmarks for the static independence analysis (PR8): the cost
+//! of extracting constraint read footprints, building the DTD
+//! reachability index, computing a statement's write footprint, and
+//! intersecting the two into a live-constraint mask. All four run at
+//! schema-design or statement-arrival time, so they must stay far below
+//! a single constraint check to pay for themselves.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xic_workload::multi::{generate_multi, MultiConfig};
+use xicheck::{
+    live_set, map_denials, read_footprints, Dtd, IndependenceIndex, RelSchema, XUpdateDoc,
+};
+
+fn bench_footprint(c: &mut Criterion) {
+    // 32 tenant regions -> 64 constraints, the mid-size point of E12.
+    let w = generate_multi(MultiConfig::with_regions(32, 1));
+    let dtd = Dtd::parse(&w.dtd).unwrap();
+    let schema = RelSchema::from_dtd(&dtd).unwrap();
+    let denials = xic_xpathlog::parse_denials(&w.constraints_text()).unwrap();
+    let gamma = map_denials(&denials, &schema, &dtd).unwrap();
+    assert_eq!(gamma.len(), 64);
+
+    let mut group = c.benchmark_group("footprint");
+    // Once per constraint-set registration.
+    group.bench_function("read_footprints_64_constraints", |b| {
+        b.iter(|| black_box(read_footprints(black_box(&gamma))));
+    });
+    group.bench_function("independence_index_64_regions", |b| {
+        b.iter(|| black_box(IndependenceIndex::new(black_box(&dtd), black_box(&schema))));
+    });
+
+    // Once per arriving statement.
+    let index = IndependenceIndex::new(&dtd, &schema);
+    let read_fps = read_footprints(&gamma);
+    let stmt = XUpdateDoc::parse(
+        "<xupdate:modifications version=\"1.0\" \
+         xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+         <xupdate:remove select=\"/db/region7/item7[2]\"/>\
+         </xupdate:modifications>",
+    )
+    .unwrap();
+    group.bench_function("write_footprint_region_local_remove", |b| {
+        b.iter(|| black_box(index.write_footprint(black_box(&stmt), true)));
+    });
+    let wfp = index.write_footprint(&stmt, true);
+    group.bench_function("live_set_64_constraints", |b| {
+        b.iter(|| {
+            let live = live_set(black_box(&read_fps), black_box(&wfp));
+            assert_eq!(live.iter().filter(|&&l| l).count(), 2);
+            black_box(live)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_footprint);
+criterion_main!(benches);

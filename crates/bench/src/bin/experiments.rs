@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache] [ir]
-//!             [journal] [budget] [checkpoint] [service] [all]
+//!             [journal] [budget] [checkpoint] [service] [independence] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
 //!             [--out=BENCH_PR3.json]
 //! ```
@@ -28,7 +28,11 @@
 //! snapshot as the document grows (E9); `service` measures multi-client
 //! throughput and submit→ack latency through the concurrent checker
 //! service under the sequential and group-commit executors (E10 —
-//! conventionally written to `BENCH_PR6.json` via `--out`).
+//! conventionally written to `BENCH_PR6.json` via `--out`);
+//! `independence` measures per-update latency against a growing
+//! multi-tenant constraint set with the static update/constraint
+//! independence mask on versus off, plus the masked run's skip rate
+//! (E12 — conventionally written to `BENCH_PR8.json` via `--out`).
 //!
 //! Every run also rewrites the JSON report: the sections just measured
 //! replace their previous versions, sections from earlier invocations are
@@ -78,7 +82,7 @@ fn parse_args() -> Args {
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig1a", "fig1b", "illegal", "simp", "exists", "ordercache", "ir", "journal",
-            "budget", "checkpoint", "service",
+            "budget", "checkpoint", "service", "independence",
         ]
         .iter()
         .map(std::string::ToString::to_string)
@@ -435,6 +439,51 @@ fn budget_section(args: &Args) -> json::Value {
     ])
 }
 
+fn independence_section(args: &Args) -> json::Value {
+    println!("== Static independence: per-update latency vs constraint count (E12) ==");
+    println!(
+        "{:>12} {:>8} {:>10} {:>11} {:>8} {:>7} {:>9} {:>9}",
+        "constraints", "updates", "on ms/upd", "off ms/upd", "speedup", "skip%", "skipped", "retained"
+    );
+    obs::reset();
+    // Constraint counts double per step so the curves separate cleanly;
+    // the update stream grows with --iters.
+    let ks = [4usize, 16, 64, 256];
+    let updates = 20 * args.iters.max(1);
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let r = xic_bench::measure_independence(k, args.seed, updates);
+        println!(
+            "{:>12} {:>8} {:>10.3} {:>11.3} {:>8.2} {:>7.1} {:>9} {:>9}",
+            r.constraints,
+            r.updates,
+            r.on_ms,
+            r.off_ms,
+            r.speedup(),
+            r.skip_rate() * 100.0,
+            r.skipped,
+            r.retained,
+        );
+        rows.push(json::Value::Object(vec![
+            ("constraints".to_string(), num(r.constraints as f64)),
+            ("updates".to_string(), num(r.updates as f64)),
+            ("on_ms".to_string(), num(r.on_ms)),
+            ("off_ms".to_string(), num(r.off_ms)),
+            ("speedup".to_string(), num(r.speedup())),
+            ("skip_rate".to_string(), num(r.skip_rate())),
+            ("checks_skipped_static".to_string(), num(r.skipped as f64)),
+            ("checks_retained_static".to_string(), num(r.retained as f64)),
+        ]));
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
 fn checkpoint_section(args: &Args) -> json::Value {
     println!("== Checkpointing: recovery time vs history length (E9) ==");
     const INTERVAL: u64 = 50;
@@ -607,10 +656,11 @@ fn main() {
             "budget" => budget_section(&args),
             "checkpoint" => checkpoint_section(&args),
             "service" => service_section(&args),
+            "independence" => independence_section(&args),
             other => {
                 eprintln!(
                     "unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp, \
-                     exists, ordercache, ir, journal, budget, checkpoint, service)"
+                     exists, ordercache, ir, journal, budget, checkpoint, service, independence)"
                 );
                 failed = true;
                 continue;

@@ -758,6 +758,105 @@ pub fn measure_service(
     }
 }
 
+/// One row of the independence experiment (E12): per-update latency of
+/// the same region-local update stream against `constraints` constraints
+/// with the static independence mask on vs off, and the masked run's
+/// static skip rate.
+#[derive(Debug, Clone, Copy)]
+pub struct IndependenceRow {
+    /// Total constraints registered (two per tenant region).
+    pub constraints: usize,
+    /// Statements driven through `try_update`.
+    pub updates: usize,
+    /// Mean per-update latency with the mask on (ms).
+    pub on_ms: f64,
+    /// Mean per-update latency with the mask off (ms).
+    pub off_ms: f64,
+    /// Constraint checks statically skipped during the masked run.
+    pub skipped: u64,
+    /// Constraint checks retained during the masked run.
+    pub retained: u64,
+}
+
+impl IndependenceRow {
+    /// Fraction of constraint checks the analysis skipped, in `[0, 1]`.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.skipped + self.retained;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / total as f64
+        }
+    }
+
+    /// `off_ms / on_ms` — how much the mask buys on this stream.
+    pub fn speedup(&self) -> f64 {
+        self.off_ms / self.on_ms.max(f64::EPSILON)
+    }
+}
+
+/// Measures [`IndependenceRow`] on the multi-tenant workload
+/// ([`xic_workload::multi`]): `constraints / 2` tenant regions, each
+/// carrying a key-uniqueness join and a capacity aggregate, driven by a
+/// Zipf-skewed stream of region-local statements covering all six
+/// operation kinds. The identical pre-parsed stream replays against a
+/// masked and an unmasked checker, so the latency difference isolates
+/// the checks the analysis proves irrelevant (plus the footprint
+/// computation itself, which the masked run pays).
+pub fn measure_independence(constraints: usize, seed: u64, updates: usize) -> IndependenceRow {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xic_workload::multi::{generate_multi, random_multi_statement, MultiConfig};
+
+    assert!(
+        constraints >= 2 && constraints % 2 == 0,
+        "constraints must be even (two per region)"
+    );
+    let mut cfg = MultiConfig::with_regions(constraints / 2, seed);
+    // Enough capacity headroom that the stream's appends stay legal.
+    cfg.cap = cfg.items_per_region + updates;
+    let w = generate_multi(cfg);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+    let stmts: Vec<XUpdateDoc> = (0..updates)
+        .map(|_| {
+            XUpdateDoc::parse(&random_multi_statement(&mut rng, &w))
+                .expect("generated statement parses")
+        })
+        .collect();
+
+    let run = |mask: bool| -> (f64, u64, u64) {
+        let mut c = Checker::new(&w.xml, &w.dtd, &w.constraints_text())
+            .expect("multi-tenant corpus assembles");
+        c.set_independence(mask);
+        xicheck::obs::reset();
+        let start = Instant::now();
+        for stmt in &stmts {
+            // A select can legitimately stop matching after earlier
+            // removes; both runs see the identical stream, so errors are
+            // symmetric and simply not counted as work.
+            let _ = c.try_update(stmt);
+        }
+        let per_update = start.elapsed().as_secs_f64() * 1e3 / updates.max(1) as f64;
+        let snap = xicheck::obs::snapshot();
+        (
+            per_update,
+            snap.counter(xicheck::obs::Counter::ChecksSkippedStatic),
+            snap.counter(xicheck::obs::Counter::ChecksRetainedStatic),
+        )
+    };
+    let (on_ms, skipped, retained) = run(true);
+    let (off_ms, off_skipped, _) = run(false);
+    assert_eq!(off_skipped, 0, "unmasked run must not skip");
+    IndependenceRow {
+        constraints,
+        updates,
+        on_ms,
+        off_ms,
+        skipped,
+        retained,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -774,6 +873,14 @@ mod tests {
             let out = inst.checker.try_update(&inst.illegal).unwrap();
             assert!(!out.applied(), "{exp:?}");
         }
+    }
+
+    #[test]
+    fn independence_rows_skip_disjoint_regions() {
+        let r = measure_independence(8, 3, 12);
+        assert!(r.on_ms > 0.0 && r.off_ms > 0.0);
+        assert!(r.skipped > 0, "{r:?}");
+        assert!(r.skip_rate() > 0.5, "{r:?}");
     }
 
     #[test]

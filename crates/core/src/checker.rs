@@ -1,14 +1,16 @@
 //! The runtime integrity checker.
 
-use crate::compile::{compile_pattern, CompiledPattern};
+use crate::compile::{compile_pattern_with, CompiledPattern};
+use crate::footprint::IndependenceIndex;
 use crate::resolver::xpath_resolver;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use xic_datalog::{Denial, Value};
 use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
+use xic_simplify::{live_set, read_footprints, ReadFootprint};
 use xic_translate::{translate_denials, ParamKind, QueryTemplate, TemplateError};
 use xic_xml::checkpoint::{fsync_dir, Store, DEFAULT_RETAIN};
 use xic_xml::journal::{crc32, Journal, RecordKind};
@@ -64,6 +66,26 @@ pub fn default_ir_mode() -> IrMode {
         0 => IrMode::Interpret,
         _ => IrMode::Compiled,
     }
+}
+
+/// Process-wide default for the static update/constraint independence
+/// analysis on newly constructed checkers (on by default). Like
+/// [`DEFAULT_IR_MODE`], an atomic rather than a constructor parameter so
+/// ablation harnesses (the difftest `--independence` flag, the benchmark
+/// driver) reach checkers built deep inside library code.
+static DEFAULT_INDEPENDENCE: AtomicBool = AtomicBool::new(true);
+
+/// Sets whether subsequently constructed [`Checker`]s run the static
+/// independence analysis (constraint skipping on the full-check paths and
+/// read-footprint pre-filtering at pattern compile time). Existing
+/// checkers are unaffected (use [`Checker::set_independence`]).
+pub fn set_default_independence(enabled: bool) {
+    DEFAULT_INDEPENDENCE.store(enabled, Ordering::Relaxed);
+}
+
+/// The current process-wide default for the independence analysis.
+pub fn default_independence() -> bool {
+    DEFAULT_INDEPENDENCE.load(Ordering::Relaxed)
 }
 
 /// One pattern template precompiled for the IR engine: `%{name}`
@@ -406,6 +428,20 @@ pub struct Checker {
     /// Which engine evaluates checks (seeded from [`default_ir_mode`] at
     /// construction).
     ir_mode: IrMode,
+    /// Whether the static independence analysis masks the full-check
+    /// paths and pre-filters pattern compilation (seeded from
+    /// [`default_independence`] at construction).
+    independence: bool,
+    /// Per-constraint read footprints, in `gamma` order.
+    read_fps: Vec<ReadFootprint>,
+    /// DTD name-graph index for statement-level write footprints.
+    indep_index: IndependenceIndex,
+    /// True while every parent→child element edge in `doc` is known to be
+    /// DTD-licensed (see [`crate::footprint`]). Seeded by an edge walk at
+    /// construction and degraded monotonically on commits that are not
+    /// provably conformance-preserving; the reachability-based write
+    /// footprints fall back to "all live" once it is lost.
+    nesting_trusted: bool,
     /// `Some(b)` forces the full check to run parallel (`true`) or
     /// sequential (`false`); `None` picks by document size and core count.
     parallel_full: Option<bool>,
@@ -480,6 +516,14 @@ impl Checker {
             .map(|q| parse_query(&q.text).map_err(|e| CheckerError::Setup(format!("{}: {e}", q.text))))
             .collect::<Result<Vec<_>, _>>()?;
         let full_ir = full_parsed.iter().map(XProgram::compile).collect();
+        let (read_fps, indep_index, nesting_trusted) = {
+            let _compile = xic_obs::phase("compile");
+            let _footprint = xic_obs::phase("footprint");
+            let read_fps = read_footprints(&gamma);
+            let indep_index = IndependenceIndex::new(&dtd, &schema);
+            let nesting_trusted = indep_index.edges_conform(&doc);
+            (read_fps, indep_index, nesting_trusted)
+        };
         Ok(Checker {
             doc,
             dtd,
@@ -491,6 +535,10 @@ impl Checker {
             patterns: HashMap::new(),
             pattern_ir: HashMap::new(),
             ir_mode: default_ir_mode(),
+            independence: default_independence(),
+            read_fps,
+            indep_index,
+            nesting_trusted,
             parallel_full: None,
             journal: None,
             store: None,
@@ -510,8 +558,21 @@ impl Checker {
     }
 
     /// Mutable document access (for setup code such as workload loading).
+    ///
+    /// Untracked mutation invalidates the nesting-trust bit behind the
+    /// independence analysis, so this conservatively clears it; call
+    /// [`Checker::refresh_nesting_trust`] after setup to re-establish it
+    /// with an O(n) edge walk.
     pub fn doc_mut(&mut self) -> &mut Document {
+        self.nesting_trusted = false;
         &mut self.doc
+    }
+
+    /// Recomputes the nesting-trust bit by walking the document's element
+    /// edges against the DTD name graph (used after direct mutation via
+    /// [`Checker::doc_mut`]).
+    pub fn refresh_nesting_trust(&mut self) {
+        self.nesting_trusted = self.indep_index.edges_conform(&self.doc);
     }
 
     /// The DTD.
@@ -561,6 +622,70 @@ impl Checker {
         self.ir_mode = mode;
     }
 
+    /// Whether the static independence analysis is active on this checker.
+    pub fn independence(&self) -> bool {
+        self.independence
+    }
+
+    /// Enables/disables the static independence analysis for this checker
+    /// (ablation hook; the initial value comes from
+    /// [`default_independence`] at construction).
+    ///
+    /// When on, the full-check paths of [`Checker::try_update`] and
+    /// [`Checker::decide_only`] evaluate only the constraints whose read
+    /// footprint intersects the statement's write footprint, and pattern
+    /// compilation pre-filters Γ by relation overlap. Soundness rests on
+    /// the paper's consistency premise (Theorem 1): like the simplified
+    /// optimized checks, a skip assumes the pre-state satisfies the
+    /// skipped constraint — which holds inductively from a consistent
+    /// initial state, since every retained check guards its own
+    /// constraint. Note that patterns compiled under one flag value are
+    /// cached and not recompiled if the flag is flipped later (their
+    /// templates are identical either way; only compile cost and the
+    /// skip/retain counters differ).
+    pub fn set_independence(&mut self, enabled: bool) {
+        self.independence = enabled;
+    }
+
+    /// Per-constraint read footprints, in [`Checker::constraints`] order —
+    /// handed to [`crate::service::CheckerService`] snapshots.
+    pub(crate) fn read_fps(&self) -> &[ReadFootprint] {
+        &self.read_fps
+    }
+
+    /// The DTD name-graph index backing statement write footprints.
+    pub(crate) fn indep_index(&self) -> &IndependenceIndex {
+        &self.indep_index
+    }
+
+    /// Whether the document's element nesting is currently known to be
+    /// DTD-licensed (see [`crate::footprint::IndependenceIndex`]).
+    pub fn nesting_trusted(&self) -> bool {
+        self.nesting_trusted
+    }
+
+    /// The live-constraint mask for `stmt` on the *current* document
+    /// state, or `None` when the analysis is off or every constraint is
+    /// live. Computed before the statement is applied (the write footprint
+    /// over-approximates the delta, so pre-state trust is the right
+    /// premise).
+    fn statement_live_mask(&self, stmt: &XUpdateDoc) -> Option<Vec<bool>> {
+        if !self.independence {
+            return None;
+        }
+        let _footprint = xic_obs::phase("footprint");
+        let wfp = self.indep_index.write_footprint(stmt, self.nesting_trusted);
+        Some(live_set(&self.read_fps, &wfp))
+    }
+
+    /// Lowers the nesting-trust bit after committing `stmt` unless the
+    /// statement is provably conformance-preserving.
+    fn note_committed(&mut self, stmt: &XUpdateDoc) {
+        if self.nesting_trusted && !self.indep_index.stmt_preserves_nesting(stmt) {
+            self.nesting_trusted = false;
+        }
+    }
+
     /// Runtime counters.
     pub fn stats(&self) -> Stats {
         self.stats
@@ -594,7 +719,7 @@ impl Checker {
     pub fn register_pattern(&mut self, stmt: &XUpdateDoc) -> Result<String, CheckerError> {
         let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
             .map_err(|e| CheckerError::Statement(e.to_string()))?;
-        let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
+        let compiled = compile_pattern_with(&mapped, &self.gamma, &self.schema, self.independence);
         let key = compiled.key.clone();
         self.insert_pattern(key.clone(), compiled);
         Ok(key)
@@ -1029,17 +1154,41 @@ impl Checker {
     /// first violation in constraint order — is identical to the
     /// sequential pass; see [`Checker::set_parallel_full`]).
     pub fn check_full(&self) -> Result<Option<Violation>, CheckerError> {
+        self.check_full_masked(None)
+    }
+
+    /// [`Checker::check_full`] restricted to the constraints `live` marks
+    /// `true` (all of them when `live` is `None`) — the bitset-guarded
+    /// evaluation behind the static independence analysis. The verdict on
+    /// a masked run equals the unmasked one whenever the skipped
+    /// constraints' verdicts could not have changed, which is what the
+    /// caller's footprint intersection established.
+    fn check_full_masked(&self, live: Option<&[bool]>) -> Result<Option<Violation>, CheckerError> {
         let _check = xic_obs::phase("check");
         let _full = xic_obs::phase("full");
+        let indices: Vec<usize> = match live {
+            None => (0..self.full_parsed.len()).collect(),
+            Some(mask) => {
+                let retained: Vec<usize> = (0..self.full_parsed.len())
+                    .filter(|&i| mask.get(i).copied().unwrap_or(true))
+                    .collect();
+                xic_obs::add(
+                    xic_obs::Counter::ChecksSkippedStatic,
+                    (self.full_parsed.len() - retained.len()) as u64,
+                );
+                xic_obs::add(xic_obs::Counter::ChecksRetainedStatic, retained.len() as u64);
+                retained
+            }
+        };
         let parallel = self.parallel_full.unwrap_or_else(|| {
-            self.full_parsed.len() > 1
+            indices.len() > 1
                 && self.doc.node_count() >= PARALLEL_FULL_MIN_NODES
                 && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
         });
         if parallel {
-            self.check_full_parallel()
+            self.check_full_parallel(&indices)
         } else {
-            self.check_full_seq()
+            self.check_full_seq(&indices)
         }
     }
 
@@ -1052,8 +1201,8 @@ impl Checker {
         }
     }
 
-    fn check_full_seq(&self) -> Result<Option<Violation>, CheckerError> {
-        for i in 0..self.full_parsed.len() {
+    fn check_full_seq(&self, indices: &[usize]) -> Result<Option<Violation>, CheckerError> {
+        for &i in indices {
             let violated = self
                 .eval_full_exists(i)
                 .map_err(|e| CheckerError::Query(format!("{}: {e}", self.full_queries[i].text)))?;
@@ -1072,21 +1221,20 @@ impl Checker {
     /// and ships its thread-local observability snapshot back; the parent
     /// merges the snapshots and resolves verdicts at the minimal constraint
     /// index, so the outcome is bit-identical to [`Checker::check_full_seq`].
-    fn check_full_parallel(&self) -> Result<Option<Violation>, CheckerError> {
+    fn check_full_parallel(&self, indices: &[usize]) -> Result<Option<Violation>, CheckerError> {
         /// Per-worker result: indexed verdicts for the worker's chunk,
         /// plus its thread-local observability snapshot.
         type WorkerResult = (Vec<(usize, Result<bool, String>)>, xic_obs::Snapshot);
         xic_obs::incr(xic_obs::Counter::CheckFullParallel);
         let workers = std::thread::available_parallelism()
             .map_or(1, |n| n.get())
-            .min(self.full_parsed.len())
+            .min(indices.len())
             .max(1);
-        let chunk = self.full_parsed.len().div_ceil(workers);
+        let chunk = indices.len().div_ceil(workers).max(1);
         let doc = &self.doc;
         let parsed = &self.full_parsed;
         let ir = &self.full_ir;
         let mode = self.ir_mode;
-        let indices: Vec<usize> = (0..self.full_parsed.len()).collect();
         let per_worker: Vec<WorkerResult> = std::thread::scope(|s| {
                 let handles: Vec<_> = indices
                     .chunks(chunk)
@@ -1215,6 +1363,14 @@ impl Checker {
         // deterministic), so the new bindings apply directly.
         let _check = xic_obs::phase("check");
         let _optimized = xic_obs::phase("optimized");
+        if self.independence {
+            let skipped = pattern.live.iter().filter(|&&l| !l).count();
+            xic_obs::add(xic_obs::Counter::ChecksSkippedStatic, skipped as u64);
+            xic_obs::add(
+                xic_obs::Counter::ChecksRetainedStatic,
+                (pattern.live.len() - skipped) as u64,
+            );
+        }
         let _budget = self.eval_budget.map(xic_xpath::budget::arm);
         let ir = self.pattern_ir.get(&key);
         for (i, (q, d)) in pattern.queries.iter().zip(&pattern.simplified).enumerate() {
@@ -1265,12 +1421,13 @@ impl Checker {
                     .map_err(|e| CheckerError::Statement(e.to_string()))?;
                 let key = pattern_key(&mapped.update);
                 if !self.patterns.contains_key(&key) {
-                    let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
+                    let compiled = compile_pattern_with(&mapped, &self.gamma, &self.schema, self.independence);
                     self.insert_pattern(key, compiled);
                 }
                 self.check_optimized(stmt)
             }
             Strategy::FullWithRollback => {
+                let live = self.statement_live_mask(stmt);
                 let applied = {
                     let _update = xic_obs::phase("update");
                     let _apply = xic_obs::phase("apply");
@@ -1279,7 +1436,7 @@ impl Checker {
                         CheckerError::Statement(e.to_string())
                     })?
                 };
-                let verdict = self.check_full();
+                let verdict = self.check_full_masked(live.as_deref());
                 {
                     let _update = xic_obs::phase("update");
                     let _rollback = xic_obs::phase("rollback");
@@ -1297,6 +1454,7 @@ impl Checker {
         self.refuse_if_poisoned()?;
         self.refuse_if_degraded()?;
         let applied = self.apply_or_abort(stmt)?;
+        self.note_committed(stmt);
         self.commit_journal(stmt, applied)
     }
 
@@ -1427,7 +1585,7 @@ impl Checker {
             } else {
                 self.stats.pattern_cache_misses += 1;
                 xic_obs::incr(xic_obs::Counter::PatternCacheMiss);
-                let compiled = compile_pattern(&mapped, &self.gamma, &self.schema);
+                let compiled = compile_pattern_with(&mapped, &self.gamma, &self.schema, self.independence);
                 self.insert_pattern(key.clone(), compiled);
             }
             let pattern = &self.patterns[&key];
@@ -1437,6 +1595,14 @@ impl Checker {
             self.stats.optimized_checks += 1;
             let _check = xic_obs::phase("check");
             let _optimized = xic_obs::phase("optimized");
+            if self.independence {
+                let skipped = pattern.live.iter().filter(|&&l| !l).count();
+                xic_obs::add(xic_obs::Counter::ChecksSkippedStatic, skipped as u64);
+                xic_obs::add(
+                    xic_obs::Counter::ChecksRetainedStatic,
+                    (pattern.live.len() - skipped) as u64,
+                );
+            }
             let _budget = self.eval_budget.map(xic_xpath::budget::arm);
             let ir = self.pattern_ir.get(&key);
             let mut violation = None;
@@ -1479,15 +1645,25 @@ impl Checker {
             // Legal: now (and only now) execute the update, then make the
             // commit durable before returning the verdict.
             let applied = self.apply_or_abort(stmt)?;
+            self.note_committed(stmt);
             self.commit_journal(stmt, applied)?;
             return Ok(UpdateOutcome::Applied {
                 strategy: Strategy::Optimized,
             });
         }
-        // Baseline: apply, check, roll back on violation.
+        // Baseline: apply, check (masked to the statically live
+        // constraints), roll back on violation. The mask is computed
+        // against the pre-state, whose nesting trust justifies the
+        // footprint's reachability arguments.
         self.stats.full_checks += 1;
+        let live = self.statement_live_mask(stmt);
+        let trusted_before = self.nesting_trusted;
         let applied = self.apply_or_abort(stmt)?;
-        match self.check_full()? {
+        // Degrade trust eagerly: if the check below errors out, the
+        // document stays modified and the conservative bit is the sound
+        // one. Restored on rollback.
+        self.note_committed(stmt);
+        match self.check_full_masked(live.as_deref())? {
             None => {
                 self.commit_journal(stmt, applied)?;
                 Ok(UpdateOutcome::Applied {
@@ -1500,6 +1676,7 @@ impl Checker {
                     let _rollback = xic_obs::phase("rollback");
                     undo(&mut self.doc, applied);
                 }
+                self.nesting_trusted = trusted_before;
                 self.stats.rollbacks += 1;
                 Ok(UpdateOutcome::Rejected {
                     strategy: Strategy::FullWithRollback,
@@ -1592,6 +1769,9 @@ fn replay_into(
             }
         }
     }
+    // The replayed statements bypassed per-commit trust maintenance;
+    // re-derive the nesting-trust bit from the final state in one walk.
+    checker.refresh_nesting_trust();
     Ok((replayed, aborts_skipped))
 }
 

@@ -3,7 +3,10 @@
 use std::collections::HashMap;
 use xic_datalog::{Denial, Update};
 use xic_mapping::{pattern_key, MappedUpdate, RelSchema};
-use xic_simplify::{freshness_hypotheses, simp, FreshSpec, SimpConfig};
+use xic_simplify::{
+    freshness_hypotheses, live_set, read_footprints, simp_live, update_write_footprint, FreshSpec,
+    SimpConfig,
+};
 use xic_translate::{translate_denials_with, QueryTemplate};
 
 /// The compiled artifact for one update pattern: the simplified denials
@@ -20,6 +23,11 @@ pub struct CompiledPattern {
     pub simplified: Vec<Denial>,
     /// One pre-update XQuery template per simplified denial.
     pub queries: Vec<QueryTemplate>,
+    /// Per-constraint liveness (in input Γ order) from the static
+    /// independence analysis: `false` entries provably cannot change
+    /// verdict under this pattern and were not simplified. All-`true`
+    /// when the analysis was disabled at compile time.
+    pub live: Vec<bool>,
     /// Why this pattern cannot be checked incrementally, if so.
     pub unsupported: Option<String>,
 }
@@ -46,32 +54,62 @@ impl CompiledPattern {
     }
 }
 
-/// Compiles a mapped update pattern against the constraint set Γ. Never
-/// fails outright: constructs that cannot be simplified or translated are
-/// recorded in `unsupported`.
+/// Compiles a mapped update pattern against the constraint set Γ with the
+/// process-default independence setting (see
+/// [`crate::checker::default_independence`]). Never fails outright:
+/// constructs that cannot be simplified or translated are recorded in
+/// `unsupported`.
 pub fn compile_pattern(
     mapped: &MappedUpdate,
     gamma: &[Denial],
     schema: &RelSchema,
 ) -> CompiledPattern {
+    compile_pattern_with(mapped, gamma, schema, crate::checker::default_independence())
+}
+
+/// [`compile_pattern`] with an explicit independence setting. When on,
+/// constraints whose read footprint shares no relation with the pattern's
+/// added tuples are pre-filtered before simplification — they would be
+/// expanded unchanged by `After` and eliminated by hypothesis subsumption
+/// anyway (the pattern's templates are identical either way), so the
+/// filter only saves compile time and records the liveness bitset. A
+/// constraint that could make simplification unsupported always mentions
+/// an added predicate and is therefore always retained: supportedness
+/// does not depend on the flag.
+pub fn compile_pattern_with(
+    mapped: &MappedUpdate,
+    gamma: &[Denial],
+    schema: &RelSchema,
+    independence: bool,
+) -> CompiledPattern {
     // Everything below is recorded as the `compile` phase; the simplifier
-    // contributes the nested `compile/after` and `compile/optimize` spans.
+    // contributes the nested `compile/after` and `compile/optimize` spans,
+    // the footprint extraction the `compile/footprint` span.
     let _span = xic_obs::phase("compile");
     let key = pattern_key(&mapped.update);
+    let live = if independence {
+        let _footprint = xic_obs::phase("footprint");
+        let wfp = update_write_footprint(&mapped.update);
+        live_set(&read_footprints(gamma), &wfp)
+    } else {
+        vec![true; gamma.len()]
+    };
     let cfg = SimpConfig {
         fresh: FreshSpec::Params(mapped.fresh_params.clone()),
     };
     let delta = freshness_hypotheses(&mapped.update, &mapped.fresh_params);
-    let (simplified, unsupported) = match simp(gamma, &mapped.update, &delta, &cfg) {
-        Ok(s) => (s, None),
-        Err(e) => (Vec::new(), Some(e.to_string())),
-    };
+    let (simplified, unsupported) =
+        match simp_live(gamma, &live, &mapped.update, &delta, &cfg) {
+            Ok(s) => (s, None),
+            Err(e) => (Vec::new(), Some(e.to_string())),
+        };
     if unsupported.is_some() {
         return CompiledPattern {
             key,
             update: mapped.update.clone(),
             simplified,
             queries: Vec::new(),
+            live,
             unsupported,
         };
     }
@@ -98,6 +136,7 @@ pub fn compile_pattern(
                     update: mapped.update.clone(),
                     simplified,
                     queries: Vec::new(),
+                    live,
                     unsupported: Some(
                         "simplified check references a fresh node id as a path".to_string(),
                     ),
@@ -108,6 +147,7 @@ pub fn compile_pattern(
                 update: mapped.update.clone(),
                 simplified,
                 queries,
+                live,
                 unsupported: None,
             }
         }
@@ -116,6 +156,7 @@ pub fn compile_pattern(
             update: mapped.update.clone(),
             simplified,
             queries: Vec::new(),
+            live,
             unsupported: Some(e.to_string()),
         },
     }

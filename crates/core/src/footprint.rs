@@ -1,0 +1,754 @@
+//! Statement-level write footprints for the static independence analysis.
+//!
+//! [`IndependenceIndex`] precomputes the DTD name graph (which element
+//! names may nest under which) together with the relational ownership map
+//! (which predicate column stores which compacted element's text), and uses
+//! them to over-approximate the set of relational cells an XUpdate
+//! statement can write.  Intersecting that write footprint with the
+//! per-constraint read footprints from `xic_simplify::footprint` yields the
+//! live-constraint mask consulted by the checker's full-check paths.
+//!
+//! Soundness hinges on *nesting trust*: DTD-reachability arguments (e.g.
+//! "removing a `region` subtree can only delete `region`/`item` tuples")
+//! are valid only while every parent→child element edge in the document is
+//! licensed by the DTD.  The index therefore also implements the trust
+//! maintenance predicate [`IndependenceIndex::stmt_preserves_nesting`]; the
+//! checker seeds trust from the initial DTD validation and monotonically
+//! degrades it on commits that are not provably conformance-preserving.
+//! Whenever trust is lost, footprints fall back to [`WriteFootprint::All`]
+//! for the operations that need reachability, so skips stay sound.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xic_mapping::RelSchema;
+use xic_simplify::{WriteFootprint, WriteSet};
+use xic_xml::dtd::ContentModel;
+use xic_xml::xupdate::Fragment;
+use xic_xml::{Dtd, XUpdateDoc, XUpdateOp};
+
+/// Precomputed schema structure backing statement write-footprint
+/// extraction.  Built once per checker from the DTD and relational schema;
+/// cheap to share (cloned into service snapshots).
+#[derive(Debug, Clone)]
+pub struct IndependenceIndex {
+    /// DTD name graph: element name → element names allowed as children.
+    children: BTreeMap<String, BTreeSet<String>>,
+    /// Inverse of `children`.
+    parents: BTreeMap<String, BTreeSet<String>>,
+    /// Reflexive transitive closure of `children`.
+    reach: BTreeMap<String, BTreeSet<String>>,
+    /// Compacted element name → (owning predicate, column index) pairs.
+    owners: BTreeMap<String, BTreeSet<(String, usize)>>,
+    /// Element names that have their own predicate.
+    preds: BTreeSet<String>,
+}
+
+impl IndependenceIndex {
+    /// Builds the index from a DTD and its derived relational schema.
+    pub fn new(dtd: &Dtd, schema: &RelSchema) -> IndependenceIndex {
+        let all_names: BTreeSet<String> =
+            dtd.elements().iter().map(|e| e.name.clone()).collect();
+        let mut children: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut parents: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for decl in dtd.elements() {
+            let mut kids = BTreeSet::new();
+            model_names(&decl.model, &all_names, &mut kids);
+            for k in &kids {
+                parents
+                    .entry(k.clone())
+                    .or_default()
+                    .insert(decl.name.clone());
+            }
+            children.insert(decl.name.clone(), kids);
+        }
+        // Reflexive transitive closure by fixpoint; DTDs are tiny.
+        let mut reach: BTreeMap<String, BTreeSet<String>> = all_names
+            .iter()
+            .map(|n| (n.clone(), BTreeSet::from([n.clone()])))
+            .collect();
+        loop {
+            let mut changed = false;
+            for name in &all_names {
+                let mut add = BTreeSet::new();
+                if let Some(kids) = children.get(name) {
+                    for k in kids {
+                        if let Some(below) = reach.get(k) {
+                            add.extend(below.iter().cloned());
+                        }
+                    }
+                }
+                let entry = reach.entry(name.clone()).or_default();
+                let before = entry.len();
+                entry.extend(add);
+                changed |= entry.len() != before;
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut owners: BTreeMap<String, BTreeSet<(String, usize)>> = BTreeMap::new();
+        let mut preds = BTreeSet::new();
+        for (name, info) in schema.preds() {
+            preds.insert(name.to_string());
+            for (i, col) in info.cols.iter().enumerate() {
+                owners
+                    .entry(col.clone())
+                    .or_default()
+                    .insert((name.to_string(), i + 3));
+            }
+        }
+        IndependenceIndex { children, parents, reach, owners, preds }
+    }
+
+    /// Over-approximates the relational cells `stmt` can write.
+    ///
+    /// `nesting_trusted` says whether every parent→child element edge in
+    /// the current document is known to be licensed by the DTD; without it
+    /// the reachability-based cases degrade to [`WriteFootprint::All`].
+    /// Multi-op statements apply sequentially, so trust is re-evaluated
+    /// after each op: once an op is not provably conformance-preserving,
+    /// the remaining ops are footprinted untrusted.
+    pub fn write_footprint(&self, stmt: &XUpdateDoc, nesting_trusted: bool) -> WriteFootprint {
+        let mut fp = WriteFootprint::empty();
+        let mut trusted = nesting_trusted;
+        for op in &stmt.ops {
+            fp = fp.union(self.op_write_footprint(op, trusted));
+            trusted = trusted && self.op_preserves_nesting(op);
+            if matches!(fp, WriteFootprint::All) {
+                return WriteFootprint::All;
+            }
+        }
+        fp
+    }
+
+    /// True if applying `stmt` to a DTD-edge-conformant document is
+    /// guaranteed to leave every parent→child element edge DTD-licensed.
+    /// Conservative: unknown select targets or undeclared names fail.
+    pub fn stmt_preserves_nesting(&self, stmt: &XUpdateDoc) -> bool {
+        stmt.ops.iter().all(|op| self.op_preserves_nesting(op))
+    }
+
+    /// True if every parent→child element edge in `doc` is licensed by
+    /// the DTD name graph — the O(n) walk that seeds the checker's nesting
+    /// trust.  Weaker than full DTD validation (no content-model
+    /// sequencing), which is exactly what the reachability arguments need:
+    /// a document that drifted from content-model validity under committed
+    /// updates can still be edge-conformant and keep precise footprints.
+    pub fn edges_conform(&self, doc: &xic_xml::Document) -> bool {
+        let doc_node = doc.document_node();
+        for id in doc.descendants(doc_node) {
+            let Some(name) = doc.name(id) else { continue };
+            let Some(pid) = doc.node(id).parent else { continue };
+            if pid == doc_node {
+                continue;
+            }
+            let Some(pname) = doc.name(pid) else { continue };
+            if !self
+                .children
+                .get(pname)
+                .is_some_and(|kids| kids.contains(name))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All data columns licensed to hold `name`'s compacted text.
+    fn owner_cells(&self, name: &str) -> BTreeSet<(String, usize)> {
+        self.owners.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Every (predicate, data column) pair in the schema — the fallback
+    /// when the affected container cannot be pinned down.
+    fn all_owner_cells(&self) -> BTreeSet<(String, usize)> {
+        self.owners.values().flatten().cloned().collect()
+    }
+
+    /// Predicates among the DTD children of any possible parent of `t` —
+    /// the relations whose `Pos` column a sibling insertion/removal at a
+    /// `t` node can shift.  `None` when `t` has no declared parent (only
+    /// the root, where no sibling shift is possible anyway).
+    fn sibling_shift(&self, t: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        if let Some(ps) = self.parents.get(t) {
+            for p in ps {
+                if let Some(kids) = self.children.get(p) {
+                    out.extend(kids.intersection(&self.preds).cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Footprint of the element fragments in inserted content: existence of
+    /// every predicate name, owner cells of every compacted name.  The
+    /// second component reports whether the content also carries top-level
+    /// text nodes, whose effect depends on the receiving parent and is
+    /// handled per-operation by the caller.
+    fn content_footprint(&self, content: &[Fragment]) -> (WriteSet, bool) {
+        let mut ws = WriteSet::default();
+        let mut names = BTreeSet::new();
+        let mut top_text = false;
+        for f in content {
+            match f {
+                Fragment::Text(_) => top_text = true,
+                Fragment::Element { .. } => collect_fragment_names(f, &mut names),
+            }
+        }
+        for n in &names {
+            if self.preds.contains(n) {
+                ws.existence.insert(n.clone());
+            }
+            ws.cells.extend(self.owner_cells(n));
+        }
+        (ws, top_text)
+    }
+
+    fn op_write_footprint(&self, op: &XUpdateOp, trusted: bool) -> WriteFootprint {
+        match op {
+            XUpdateOp::Append { select, child, content } => {
+                let target = select_target(select).map(|(t, _)| t);
+                let (mut ws, top_text) = self.content_footprint(content);
+                if top_text {
+                    // Text appended into the target changes a compacted
+                    // value only if the target itself is compacted.  The
+                    // name test pins the target's name regardless of
+                    // nesting trust.
+                    match &target {
+                        Some(t) => ws.cells.extend(self.owner_cells(t)),
+                        None => ws.cells.extend(self.all_owner_cells()),
+                    }
+                }
+                if child.is_some() {
+                    // Positional insert shifts later siblings inside the
+                    // target; at the end (`child: None`) nothing shifts.
+                    match (&target, trusted) {
+                        (Some(t), true) => {
+                            if let Some(kids) = self.children.get(t.as_str()) {
+                                ws.pos_shift
+                                    .extend(kids.intersection(&self.preds).cloned());
+                            }
+                        }
+                        _ => ws.pos_shift.extend(self.preds.iter().cloned()),
+                    }
+                }
+                WriteFootprint::Cells(ws)
+            }
+            XUpdateOp::InsertBefore { select, content }
+            | XUpdateOp::InsertAfter { select, content } => {
+                let parsed = select_target(select);
+                let (mut ws, top_text) = self.content_footprint(content);
+                // Text siblings land inside the target's parent.  Under
+                // trust, the parent of an element target licenses element
+                // content and is therefore never a compacted (PCDATA-only)
+                // container, so the text is relationally invisible.
+                if top_text && !(trusted && parsed.is_some()) {
+                    ws.cells.extend(self.all_owner_cells());
+                }
+                ws.pos_shift.extend(match (&parsed, trusted) {
+                    (Some((t, _)), true) => self.sibling_shift(t),
+                    _ => self.preds.clone(),
+                });
+                WriteFootprint::Cells(ws)
+            }
+            XUpdateOp::Remove { select } => {
+                let Some((t, _)) = select_target(select) else {
+                    return WriteFootprint::All;
+                };
+                if !trusted {
+                    return WriteFootprint::All;
+                }
+                let mut ws = WriteSet::default();
+                if let Some(below) = self.reach.get(&t) {
+                    for d in below {
+                        if self.preds.contains(d) {
+                            ws.existence.insert(d.clone());
+                        }
+                        ws.cells.extend(self.owner_cells(d));
+                    }
+                } else {
+                    return WriteFootprint::All;
+                }
+                ws.pos_shift.extend(self.sibling_shift(&t));
+                WriteFootprint::Cells(ws)
+            }
+            XUpdateOp::Update { select, .. } => {
+                let Some((t, _)) = select_target(select) else {
+                    return WriteFootprint::All;
+                };
+                if !trusted {
+                    return WriteFootprint::All;
+                }
+                // All children subtrees of the target are detached and
+                // replaced by a single text node.
+                let mut ws = WriteSet::default();
+                if let Some(below) = self.reach.get(&t) {
+                    for d in below {
+                        if d != &t && self.preds.contains(d) {
+                            ws.existence.insert(d.clone());
+                        }
+                        ws.cells.extend(self.owner_cells(d));
+                    }
+                } else {
+                    return WriteFootprint::All;
+                }
+                // The target keeps its tuple, but every data column of it
+                // may change (compacted children removed, text replaced).
+                if self.preds.contains(&t) {
+                    for cells in self.owners.values() {
+                        for (p, c) in cells {
+                            if p == &t {
+                                ws.cells.insert((p.clone(), *c));
+                            }
+                        }
+                    }
+                }
+                ws.cells.extend(self.owner_cells(&t));
+                WriteFootprint::Cells(ws)
+            }
+            XUpdateOp::Rename { select, name } => {
+                let Some((t, _)) = select_target(select) else {
+                    return WriteFootprint::All;
+                };
+                // Node ids, positions, and parent links are unchanged by a
+                // rename, so this is precise even without nesting trust.
+                let mut ws = WriteSet::default();
+                for n in [t.as_str(), name.as_str()] {
+                    if self.preds.contains(n) {
+                        ws.existence.insert(n.to_string());
+                    }
+                    ws.cells.extend(self.owner_cells(n));
+                }
+                // A renamed predicate node carries its data columns along:
+                // tuples move between relations, covered by existence; but
+                // compacted children of the target change owners.
+                for n in [t.as_str(), name.as_str()] {
+                    if self.preds.contains(n) {
+                        for cells in self.owners.values() {
+                            for (p, c) in cells {
+                                if p == n {
+                                    ws.cells.insert((p.clone(), *c));
+                                }
+                            }
+                        }
+                    }
+                }
+                WriteFootprint::Cells(ws)
+            }
+        }
+    }
+
+    fn op_preserves_nesting(&self, op: &XUpdateOp) -> bool {
+        match op {
+            XUpdateOp::Append { select, content, .. } => {
+                let Some((t, _)) = select_target(select) else {
+                    return false;
+                };
+                let Some(kids) = self.children.get(&t) else {
+                    return false;
+                };
+                content.iter().all(|f| match f {
+                    Fragment::Text(_) => true,
+                    Fragment::Element { name, .. } => {
+                        kids.contains(name) && self.fragment_conforms(f)
+                    }
+                })
+            }
+            XUpdateOp::InsertBefore { select, content }
+            | XUpdateOp::InsertAfter { select, content } => {
+                let Some((t, _)) = select_target(select) else {
+                    return false;
+                };
+                // The real parent is *some* parent of `t`; require the
+                // inserted roots to be licensed under every candidate.
+                let Some(ps) = self.parents.get(&t) else {
+                    return false;
+                };
+                if ps.is_empty() {
+                    return false;
+                }
+                content.iter().all(|f| match f {
+                    Fragment::Text(_) => true,
+                    Fragment::Element { name, .. } => {
+                        ps.iter().all(|p| {
+                            self.children
+                                .get(p)
+                                .is_some_and(|kids| kids.contains(name))
+                        }) && self.fragment_conforms(f)
+                    }
+                })
+            }
+            // Removing nodes only deletes edges.
+            XUpdateOp::Remove { .. } => true,
+            // Replacing children with a text node only deletes element
+            // edges.
+            XUpdateOp::Update { .. } => true,
+            XUpdateOp::Rename { select, name } => {
+                let Some((t, _)) = select_target(select) else {
+                    return false;
+                };
+                // Every possible parent must license the new name, and the
+                // new name must license every child the old name could
+                // have.
+                let parents_ok = self
+                    .parents
+                    .get(&t)
+                    .map(|ps| {
+                        ps.iter().all(|p| {
+                            self.children
+                                .get(p)
+                                .is_some_and(|kids| kids.contains(name))
+                        })
+                    })
+                    .unwrap_or(true);
+                let children_ok = match (self.children.get(&t), self.children.get(name)) {
+                    (Some(old), Some(new)) => old.is_subset(new),
+                    (Some(old), None) => old.is_empty(),
+                    (None, _) => false,
+                };
+                parents_ok && children_ok
+            }
+        }
+    }
+
+    /// True if every internal parent→child element edge of the fragment is
+    /// licensed by the DTD.
+    fn fragment_conforms(&self, f: &Fragment) -> bool {
+        match f {
+            Fragment::Text(_) => true,
+            Fragment::Element { name, children, .. } => {
+                let Some(kids) = self.children.get(name) else {
+                    return false;
+                };
+                children.iter().all(|c| match c {
+                    Fragment::Text(_) => true,
+                    Fragment::Element { name: cn, .. } => {
+                        kids.contains(cn) && self.fragment_conforms(c)
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Collects every element name occurring in the fragment tree.
+fn collect_fragment_names(f: &Fragment, out: &mut BTreeSet<String>) {
+    if let Fragment::Element { name, children, .. } = f {
+        out.insert(name.clone());
+        for c in children {
+            collect_fragment_names(c, out);
+        }
+    }
+}
+
+/// Collects the element names a content model can produce as children.
+/// `ContentModel::Any` licenses every declared name.
+fn model_names(model: &ContentModel, all: &BTreeSet<String>, out: &mut BTreeSet<String>) {
+    match model {
+        ContentModel::Empty | ContentModel::PcData => {}
+        ContentModel::Any => out.extend(all.iter().cloned()),
+        ContentModel::Mixed(names) => out.extend(names.iter().cloned()),
+        ContentModel::Name(n) => {
+            out.insert(n.clone());
+        }
+        ContentModel::Seq(parts) | ContentModel::Choice(parts) => {
+            for p in parts {
+                model_names(p, all, out);
+            }
+        }
+        ContentModel::Optional(inner)
+        | ContentModel::Star(inner)
+        | ContentModel::Plus(inner) => model_names(inner, all, out),
+    }
+}
+
+/// Extracts the element name a select expression targets, plus — when it
+/// can be read off syntactically — the name of the parent step.
+///
+/// Returns `None` for anything that is not a plain downward path ending in
+/// a name test (attribute steps, wildcards, functions, `.`/`..`), which
+/// makes callers fall back to the conservative footprint.  A trailing
+/// predicate (`item[2]`, `name[text()="x"]`) is stripped: whatever it
+/// filters, the matched nodes are still named by the name test.
+pub fn select_target(select: &str) -> Option<(String, Option<String>)> {
+    let segs = split_top_level(select);
+    let mut names: Vec<Option<String>> = segs.iter().map(|s| segment_name(s)).collect();
+    let last = names.pop()?;
+    let target = last?;
+    // `//name` leaves an empty segment before the target: the parent is
+    // statically unknown (descendant axis).
+    let parent = match names.last() {
+        Some(Some(p)) if !p.is_empty() => Some(p.clone()),
+        _ => None,
+    };
+    Some((target, parent))
+}
+
+/// Splits a path on `/` at nesting depth zero, respecting `[...]`
+/// predicates and string literals.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut segs = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    let mut quote: Option<char> = None;
+    for ch in s.chars() {
+        if let Some(q) = quote {
+            cur.push(ch);
+            if ch == q {
+                quote = None;
+            }
+            continue;
+        }
+        match ch {
+            '"' | '\'' => {
+                quote = Some(ch);
+                cur.push(ch);
+            }
+            '[' | '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' | ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            '/' if depth == 0 => {
+                segs.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    segs.push(cur);
+    segs
+}
+
+/// The element name a single path segment tests for, if it is a plain name
+/// test (optionally `child::`-prefixed, optionally followed by balanced
+/// `[...]` predicates).  Empty segments (from `//`) map to `Some("")` so
+/// the caller can tell "descendant step" apart from "unparseable".
+fn segment_name(seg: &str) -> Option<String> {
+    let s = seg.trim();
+    if s.is_empty() {
+        return Some(String::new());
+    }
+    let s = s.strip_prefix("child::").unwrap_or(s);
+    // Strip trailing balanced predicate groups.
+    let mut core = s;
+    while core.ends_with(']') {
+        let mut depth = 0usize;
+        let mut start = None;
+        for (i, ch) in core.char_indices().rev() {
+            match ch {
+                ']' => depth += 1,
+                '[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        start = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        match start {
+            Some(i) => core = core[..i].trim_end(),
+            None => return None,
+        }
+    }
+    if core.is_empty() {
+        return None;
+    }
+    let mut chars = core.chars();
+    let first = chars.next()?;
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return None;
+    }
+    if chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')) {
+        Some(core.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_mapping::RelSchema;
+
+    const DTD: &str = r#"
+<!ELEMENT db (region*, misc?)>
+<!ELEMENT region (name, item*)>
+<!ELEMENT item (name, qty)>
+<!ELEMENT misc (note*)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT qty (#PCDATA)>
+"#;
+
+    fn index() -> (Dtd, RelSchema, IndependenceIndex) {
+        let dtd = Dtd::parse(DTD).expect("test DTD parses");
+        let schema = RelSchema::from_dtd(&dtd).expect("schema derives");
+        let idx = IndependenceIndex::new(&dtd, &schema);
+        (dtd, schema, idx)
+    }
+
+    fn stmt(xml: &str) -> XUpdateDoc {
+        XUpdateDoc::parse(xml).expect("test statement parses")
+    }
+
+    #[test]
+    fn select_target_parses_plain_paths() {
+        assert_eq!(
+            select_target("/db/region/item"),
+            Some(("item".to_string(), Some("region".to_string())))
+        );
+        assert_eq!(
+            select_target("/db/region[2]/item[1]"),
+            Some(("item".to_string(), Some("region".to_string())))
+        );
+        // `//` hides the parent but still names the target.
+        assert_eq!(
+            select_target("//item"),
+            Some(("item".to_string(), None))
+        );
+        assert_eq!(select_target("/db/region/@id"), None);
+        assert_eq!(select_target("/db/*"), None);
+        assert_eq!(select_target("/db/.."), None);
+    }
+
+    #[test]
+    fn append_at_end_has_no_pos_shift() {
+        let (_, _, idx) = index();
+        let s = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/db/region"><item><name>n</name><qty>1</qty></item></xupdate:append>
+</xupdate:modifications>"#,
+        );
+        match idx.write_footprint(&s, true) {
+            WriteFootprint::Cells(ws) => {
+                assert!(ws.existence.contains("item"));
+                assert!(ws.pos_shift.is_empty());
+                assert!(!ws.existence.contains("misc"));
+            }
+            WriteFootprint::All => panic!("expected precise footprint"),
+        }
+    }
+
+    #[test]
+    fn positional_append_shifts_siblings() {
+        let (_, _, idx) = index();
+        let s = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/db/region" child="1"><item><name>n</name><qty>1</qty></item></xupdate:append>
+</xupdate:modifications>"#,
+        );
+        match idx.write_footprint(&s, true) {
+            WriteFootprint::Cells(ws) => {
+                assert!(ws.pos_shift.contains("item"));
+                assert!(!ws.pos_shift.contains("note"));
+            }
+            WriteFootprint::All => panic!("expected precise footprint"),
+        }
+    }
+
+    #[test]
+    fn remove_uses_descendant_closure_only_when_trusted() {
+        let (_, _, idx) = index();
+        let s = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:remove select="/db/region[1]"/>
+</xupdate:modifications>"#,
+        );
+        match idx.write_footprint(&s, true) {
+            WriteFootprint::Cells(ws) => {
+                assert!(ws.existence.contains("region"));
+                assert!(ws.existence.contains("item"));
+                assert!(!ws.existence.contains("misc"));
+                assert!(!ws.existence.contains("note"));
+            }
+            WriteFootprint::All => panic!("expected precise footprint"),
+        }
+        assert!(matches!(idx.write_footprint(&s, false), WriteFootprint::All));
+    }
+
+    #[test]
+    fn rename_is_precise_without_trust() {
+        let (_, _, idx) = index();
+        let s = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:rename select="/db/misc/note">name</xupdate:rename>
+</xupdate:modifications>"#,
+        );
+        match idx.write_footprint(&s, false) {
+            WriteFootprint::Cells(ws) => {
+                assert!(!ws.existence.contains("region"));
+            }
+            WriteFootprint::All => panic!("rename should stay precise untrusted"),
+        }
+    }
+
+    #[test]
+    fn attribute_select_falls_back_to_all() {
+        let (_, _, idx) = index();
+        let s = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:remove select="/db/region/@id"/>
+</xupdate:modifications>"#,
+        );
+        assert!(matches!(idx.write_footprint(&s, true), WriteFootprint::All));
+    }
+
+    #[test]
+    fn nesting_preservation_rules() {
+        let (_, _, idx) = index();
+        // Legal append: item under region.
+        let ok = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/db/region"><item><name>n</name><qty>1</qty></item></xupdate:append>
+</xupdate:modifications>"#,
+        );
+        assert!(idx.stmt_preserves_nesting(&ok));
+        // Illegal append: note under region.
+        let bad = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/db/region"><note>x</note></xupdate:append>
+</xupdate:modifications>"#,
+        );
+        assert!(!idx.stmt_preserves_nesting(&bad));
+        // Removals always preserve.
+        let rm = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:remove select="//item"/>
+</xupdate:modifications>"#,
+        );
+        assert!(idx.stmt_preserves_nesting(&rm));
+        // Rename note -> name is fine everywhere name is licensed; but
+        // note's parents (misc) do not license name, so it must fail.
+        let rn = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:rename select="/db/misc/note">name</xupdate:rename>
+</xupdate:modifications>"#,
+        );
+        assert!(!idx.stmt_preserves_nesting(&rn));
+    }
+
+    #[test]
+    fn descendant_select_over_approximates() {
+        let (_, _, idx) = index();
+        // `//name` could be under region or item: sibling shift must cover
+        // both parents' predicate children.
+        let s = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:remove select="//name"/>
+</xupdate:modifications>"#,
+        );
+        match idx.write_footprint(&s, true) {
+            WriteFootprint::Cells(ws) => {
+                assert!(ws.pos_shift.contains("item"));
+                assert!(!ws.existence.contains("region"));
+            }
+            WriteFootprint::All => panic!("expected precise footprint"),
+        }
+    }
+}

@@ -68,16 +68,19 @@
 
 pub mod checker;
 pub mod compile;
+pub mod footprint;
 pub mod protocol;
 pub mod resolver;
 pub mod service;
 
 pub use checker::{
-    default_ir_mode, set_default_ir_mode, Checker, CheckerError, CheckpointPolicy, IrMode,
-    RecoverOptions, RecoveryReport, Stats, Strategy, UpdateOutcome, Violation,
+    default_independence, default_ir_mode, set_default_independence, set_default_ir_mode, Checker,
+    CheckerError, CheckpointPolicy, IrMode, RecoverOptions, RecoveryReport, Stats, Strategy,
+    UpdateOutcome, Violation,
 };
 pub use service::{CheckerService, Executor, ReadSnapshot, ServiceError, SubmitOutcome};
-pub use compile::{compile_pattern, CompiledPattern};
+pub use compile::{compile_pattern, compile_pattern_with, CompiledPattern};
+pub use footprint::{select_target, IndependenceIndex};
 pub use resolver::xpath_resolver;
 
 // Re-exports for downstream users (examples, benches, tests).
@@ -85,11 +88,14 @@ pub use xic_obs as obs;
 
 pub use xic_datalog::{Database, Denial, Update, Value};
 pub use xic_mapping::{map_denials, shred, RelSchema};
-pub use xic_simplify::{freshness_hypotheses, simp, FreshSpec, SimpConfig};
+pub use xic_simplify::{
+    freshness_hypotheses, live_set, read_footprint, read_footprints, simp, simp_live,
+    update_write_footprint, FreshSpec, ReadFootprint, SimpConfig, WriteFootprint, WriteSet,
+};
 pub use xic_translate::QueryTemplate;
 pub use xic_xml::{
-    parse_document, Checkpoint, CheckpointError, Document, Dtd, Journal, JournalError, Store,
-    XUpdateDoc,
+    parse_document, serialize, serialize_equal, Checkpoint, CheckpointError, Document, Dtd,
+    Journal, JournalError, Store, XUpdateDoc,
 };
 pub use xic_xpath::EvalBudget;
 pub use xic_xpathlog::LDenial;

@@ -33,11 +33,13 @@
 //! [sync-now]: xic_xml::journal::Journal::sync_now
 
 use crate::checker::{Checker, CheckerError, IrMode, UpdateOutcome, Violation};
+use crate::footprint::IndependenceIndex;
 use crate::resolver::xpath_resolver;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use xic_simplify::{live_set, ReadFootprint};
 use xic_xml::{apply, serialize, undo, Document, XUpdateDoc};
 use xic_xquery::{eval_query_exists, XProgram, XQuery};
 
@@ -131,6 +133,13 @@ pub struct SubmitOutcome {
 struct CheckSet {
     entries: Vec<(String, String, XQuery, XProgram)>,
     mode: IrMode,
+    /// Whether the writer's checker ran the static independence analysis
+    /// at service start; snapshot decisions follow the same setting.
+    independence: bool,
+    /// Per-constraint read footprints, in `entries` order.
+    read_fps: Vec<ReadFootprint>,
+    /// DTD name-graph index for statement write footprints.
+    index: IndependenceIndex,
 }
 
 impl CheckSet {
@@ -143,7 +152,13 @@ impl CheckSet {
             .zip(checker.full_ir())
             .map(|(((d, q), p), ir)| (d.to_string(), q.text.clone(), p.clone(), ir.clone()))
             .collect();
-        CheckSet { entries, mode: checker.ir_mode() }
+        CheckSet {
+            entries,
+            mode: checker.ir_mode(),
+            independence: checker.independence(),
+            read_fps: checker.read_fps().to_vec(),
+            index: checker.indep_index().clone(),
+        }
     }
 
     /// Evaluates entry `entry` existentially against `doc` with the
@@ -171,6 +186,10 @@ pub struct ReadSnapshot {
     doc: Document,
     version: u64,
     checks: Arc<CheckSet>,
+    /// The writer's nesting-trust bit at publish time — the premise for
+    /// this snapshot's reachability-based write footprints (see
+    /// [`crate::footprint::IndependenceIndex`]).
+    nesting_trusted: bool,
 }
 
 impl ReadSnapshot {
@@ -217,6 +236,15 @@ impl ReadSnapshot {
     /// commit racing past it can invalidate the answer, exactly as with
     /// any read-your-writes-free read replica.
     pub fn decide_full(&self, stmt: &XUpdateDoc) -> Result<Option<Violation>, CheckerError> {
+        // The live mask comes from the snapshot's pre-state (trust bit
+        // captured at publish), mirroring the writer's baseline path.
+        let live = if self.checks.independence {
+            let _footprint = xic_obs::phase("footprint");
+            let wfp = self.checks.index.write_footprint(stmt, self.nesting_trusted);
+            Some(live_set(&self.checks.read_fps, &wfp))
+        } else {
+            None
+        };
         let mut doc = self.doc.clone();
         let applied = apply(&mut doc, stmt, &xpath_resolver).map_err(|(e, partial)| {
             undo(&mut doc, partial);
@@ -225,8 +253,19 @@ impl ReadSnapshot {
         let verdict = {
             let _check = xic_obs::phase("check");
             let _full = xic_obs::phase("snapshot_full");
+            if let Some(mask) = &live {
+                let total = self.checks.entries.len();
+                let retained = mask.iter().filter(|&&l| l).count().min(total);
+                xic_obs::add(xic_obs::Counter::ChecksSkippedStatic, (total - retained) as u64);
+                xic_obs::add(xic_obs::Counter::ChecksRetainedStatic, retained as u64);
+            }
             let mut found = None;
-            for entry in &self.checks.entries {
+            for (i, entry) in self.checks.entries.iter().enumerate() {
+                if let Some(mask) = &live {
+                    if !mask.get(i).copied().unwrap_or(true) {
+                        continue;
+                    }
+                }
                 if self.checks.eval_exists(entry, &doc)? {
                     found = Some(Violation { denial: entry.0.clone(), query: entry.1.clone() });
                     break;
@@ -279,6 +318,7 @@ impl CheckerService {
             doc: checker.doc().clone(),
             version: checker.committed(),
             checks: checks.clone(),
+            nesting_trusted: checker.nesting_trusted(),
         });
         // The service is created inside an `Arc` because the writer
         // thread and every client share it.
@@ -357,6 +397,7 @@ impl CheckerService {
             doc: checker.doc().clone(),
             version: checker.committed(),
             checks: self.checks.clone(),
+            nesting_trusted: checker.nesting_trusted(),
         });
         *self.snapshot.write().expect("snapshot slot poisoned") = snap;
         xic_obs::incr(xic_obs::Counter::SnapshotPublish);

@@ -1,0 +1,240 @@
+//! Checker-level tests of the static update/constraint independence
+//! analysis: skip counters over the multi-tenant workload, behavioral
+//! equality between masked and unmasked full checks, and the edge cases
+//! where the analysis must stay conservative (descendant axes,
+//! aggregates over renamed paths, loss of DTD-edge trust).
+//!
+//! These tests only use the per-checker [`Checker::set_independence`]
+//! override — never the process-global default, which would race with
+//! parallel tests in this binary.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xic_workload::multi::{
+    generate_multi, hostile_multi_statement, illegal_multi_insert, legal_multi_insert,
+    random_multi_statement, MultiConfig,
+};
+use xicheck::obs::{self, Counter};
+use xicheck::{serialize, Checker, Strategy, UpdateOutcome, XUpdateDoc};
+
+fn checker_for(w: &xic_workload::multi::MultiWorkload) -> Checker {
+    Checker::new(&w.xml, &w.dtd, &w.constraints_text()).expect("multi workload must assemble")
+}
+
+#[test]
+fn multi_workload_verdicts_and_skip_counters() {
+    let w = generate_multi(MultiConfig::with_regions(8, 1));
+    let mut c = checker_for(&w);
+    assert!(c.independence());
+    assert!(c.nesting_trusted(), "generated corpus conforms to its DTD");
+
+    obs::reset();
+    let ok = c.try_update_str(&legal_multi_insert(0, 1)).unwrap();
+    assert!(ok.applied(), "{ok:?}");
+    let dup = c.try_update_str(&illegal_multi_insert(0)).unwrap();
+    assert!(!dup.applied(), "duplicate key must be rejected");
+    let snap = obs::snapshot();
+    assert!(
+        snap.counter(Counter::ChecksSkippedStatic) > 0,
+        "disjoint regions must produce skips: {snap:?}"
+    );
+    assert!(snap.counter(Counter::ChecksRetainedStatic) > 0);
+}
+
+#[test]
+fn baseline_remove_skips_all_but_own_region() {
+    // A remove takes the baseline (apply + full check) path; with 8
+    // regions x 2 constraints, a region-local remove retains exactly the
+    // region's own pair and skips the other 14.
+    let w = generate_multi(MultiConfig::with_regions(8, 2));
+    let mut c = checker_for(&w);
+    obs::reset();
+    let stmt = "<xupdate:modifications version=\"1.0\" \
+         xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+         <xupdate:remove select=\"/db/region3/item3[1]\"/>\
+         </xupdate:modifications>";
+    let out = c.try_update_str(stmt).unwrap();
+    assert_eq!(out.strategy(), Strategy::FullWithRollback);
+    assert!(out.applied(), "{out:?}");
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter(Counter::ChecksRetainedStatic), 2);
+    assert_eq!(snap.counter(Counter::ChecksSkippedStatic), 14);
+}
+
+/// The independence oracle in miniature: the same random stream through
+/// a masked and an unmasked checker must produce identical verdicts,
+/// violation reports, and post-states.
+#[test]
+fn masked_and_unmasked_checkers_agree_on_random_stream() {
+    let w = generate_multi(MultiConfig::with_regions(6, 3));
+    let mut on = checker_for(&w);
+    let mut off = checker_for(&w);
+    off.set_independence(false);
+    assert!(!off.independence());
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut rejected = 0usize;
+    for step in 0..60 {
+        let text = if step % 17 == 16 {
+            // Occasionally break DTD conformance so the stream also
+            // compares the conservative-fallback regime.
+            hostile_multi_statement(&mut rng, &w)
+        } else {
+            random_multi_statement(&mut rng, &w)
+        };
+        let stmt = XUpdateDoc::parse(&text).unwrap();
+        // Statements may legitimately fail outright (e.g. a select that no
+        // longer matches after earlier removes); both checkers must fail
+        // the same way, so compare the whole `Result`.
+        let a = on.try_update(&stmt);
+        let b = off.try_update(&stmt);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "verdict divergence at step {step}: {text}"
+        );
+        if matches!(&a, Ok(out) if !out.applied()) {
+            rejected += 1;
+        }
+        assert_eq!(
+            serialize(on.doc()),
+            serialize(off.doc()),
+            "post-state divergence at step {step}: {text}"
+        );
+    }
+    // The stream must exercise both verdicts to mean anything.
+    assert!(rejected > 0, "no statement was ever rejected");
+}
+
+#[test]
+fn descendant_axis_constraint_still_catches_deep_violation() {
+    // `//name` reads every element that can own a name anywhere in the
+    // tree; the analysis must over-approximate the descendant axis and
+    // keep the constraint live for a deep update.
+    let dtd = "<!ELEMENT db (box)*>\n<!ELEMENT box (label, box*)>\n\
+               <!ELEMENT label (#PCDATA)>";
+    let doc = "<db><box><label>a</label><box><label>b</label></box></box></db>";
+    let constraint = "<- //box[label/text() -> N] -> P \
+                      & //box[label/text() -> M] -> Q & N = M & not P = Q";
+    let mut c = Checker::new(doc, dtd, constraint).unwrap();
+    assert!(c.independence());
+    // Rewriting the *nested* label to duplicate the outer one violates
+    // the uniqueness join; a sound mask must retain the constraint.
+    let out = c
+        .try_update_str(
+            "<xupdate:modifications version=\"1.0\" \
+             xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+             <xupdate:update select=\"/db/box[1]/box[1]/label\">a</xupdate:update>\
+             </xupdate:modifications>",
+        )
+        .unwrap();
+    assert!(!out.applied(), "{out:?}");
+}
+
+#[test]
+fn aggregate_constraint_retained_under_rename() {
+    // cnt{R/itemA} reads itemA existence; renaming an itemB *into* the
+    // counted name can push the aggregate over its bound, so the rename's
+    // write footprint must keep the aggregate constraint live. (`region`
+    // sits under a `db` root so it keeps a relational representation —
+    // a container-only root is dropped from the image.)
+    let dtd = "<!ELEMENT db (region)*>\n<!ELEMENT region (itemA | itemB)*>\n\
+               <!ELEMENT itemA (#PCDATA)>\n<!ELEMENT itemB (#PCDATA)>";
+    let doc =
+        "<db><region><itemA>1</itemA><itemA>2</itemA><itemB>3</itemB></region></db>";
+    let constraint = "<- //region -> R & cnt{R/itemA} > 2";
+    let mut c = Checker::new(doc, dtd, constraint).unwrap();
+    assert!(c.nesting_trusted());
+    let out = c
+        .try_update_str(
+            "<xupdate:modifications version=\"1.0\" \
+             xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+             <xupdate:rename select=\"/db/region[1]/itemB[1]\">itemA</xupdate:rename>\
+             </xupdate:modifications>",
+        )
+        .unwrap();
+    let UpdateOutcome::Rejected { violation, .. } = out else {
+        panic!("third itemA must violate the capacity aggregate: {out:?}");
+    };
+    assert!(violation.to_string().contains("cnt"), "{violation}");
+}
+
+#[test]
+fn hostile_rename_drops_trust_and_disables_skipping() {
+    let w = generate_multi(MultiConfig::with_regions(4, 5));
+    let mut c = checker_for(&w);
+    assert!(c.nesting_trusted());
+
+    // Rename region1's first item into region2's vocabulary: no parent
+    // licenses item2 under region1, so committing this must demote the
+    // checker to conservative footprints.
+    let out = c
+        .try_update_str(
+            "<xupdate:modifications version=\"1.0\" \
+             xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+             <xupdate:rename select=\"/db/region1/item1[1]\">item2</xupdate:rename>\
+             </xupdate:modifications>",
+        )
+        .unwrap();
+    assert!(out.applied(), "{out:?}");
+    assert!(!c.nesting_trusted(), "non-conforming commit must drop trust");
+
+    // With trust gone, a region-local remove can no longer prove
+    // disjointness: every constraint is retained.
+    obs::reset();
+    let out = c
+        .try_update_str(
+            "<xupdate:modifications version=\"1.0\" \
+             xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+             <xupdate:remove select=\"/db/region3/item3[1]\"/>\
+             </xupdate:modifications>",
+        )
+        .unwrap();
+    assert!(out.applied(), "{out:?}");
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter(Counter::ChecksSkippedStatic), 0);
+    assert_eq!(
+        snap.counter(Counter::ChecksRetainedStatic),
+        w.config.total_constraints() as u64
+    );
+
+    // The document genuinely fails edge conformance now, so a refresh
+    // cannot restore trust.
+    c.refresh_nesting_trust();
+    assert!(!c.nesting_trusted());
+}
+
+#[test]
+fn rejected_baseline_update_restores_trust() {
+    // A rename that *would* lose trust but is rejected by the full check
+    // must roll the trust bit back along with the document.
+    // `stray` is only licensed under the (absent) `attic`, so renaming an
+    // item into it breaks conformance; declaring the attic keeps the DTD
+    // single-rooted.
+    let dtd = "<!ELEMENT db (region*, attic?)>\n<!ELEMENT attic (stray)*>\n\
+               <!ELEMENT region (itemA | itemB)*>\n\
+               <!ELEMENT itemA (#PCDATA)>\n<!ELEMENT itemB (#PCDATA)>\n\
+               <!ELEMENT stray (#PCDATA)>";
+    let doc = "<db><region><itemA>1</itemA><itemA>2</itemA><itemA>3</itemA>\
+               <itemB>4</itemB></region></db>";
+    // Rejects any state where a `stray` exists... and also caps itemA.
+    let constraint = "<- //stray -> S . <- //region -> R & cnt{R/itemA} > 3";
+    let mut c = Checker::new(doc, dtd, constraint).unwrap();
+    assert!(c.nesting_trusted());
+    // `stray` is not licensed under region, so this rename breaks
+    // conformance *and* the first constraint: it must be rejected, and
+    // the pre-state trust must survive the rollback.
+    let out = c
+        .try_update_str(
+            "<xupdate:modifications version=\"1.0\" \
+             xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+             <xupdate:rename select=\"/db/region[1]/itemB[1]\">stray</xupdate:rename>\
+             </xupdate:modifications>",
+        )
+        .unwrap();
+    assert!(!out.applied(), "{out:?}");
+    assert!(
+        c.nesting_trusted(),
+        "rollback must restore the pre-statement trust bit"
+    );
+}

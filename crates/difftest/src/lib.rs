@@ -9,7 +9,7 @@
 //! operation kinds — insert-before, insert-after, append, remove, update,
 //! rename — including multi-operation batches.
 //!
-//! Five oracles run per case:
+//! Six oracles run per case:
 //!
 //! 1. **Decision equivalence** — the optimized pre-update check
 //!    ([`Checker::try_update`] / [`Strategy::Optimized`]) and the baseline
@@ -32,6 +32,14 @@
 //!    node multiset through the cached document-order ranks must agree
 //!    with a from-scratch path-key recomputation, on the pre-state, after
 //!    the statement mutates the tree, and after the compensating undo.
+//! 6. **Independence equivalence** — replaying the statement with the
+//!    static update/constraint independence mask forced *on* and forced
+//!    *off* ([`Checker::set_independence`]) must produce identical
+//!    verdicts, violation reports, and byte-identical post-states, for
+//!    both `try_update` and `decide_only(FullWithRollback)`. Difftest
+//!    cases never arm evaluation budgets, so the on/off comparison is
+//!    well-posed (a budget abort could otherwise depend on how many
+//!    checks run).
 //!
 //! Discrepancies are greedily minimized ([`shrink`]) and reported with a
 //! one-line replay command (`cargo run -p xic-difftest -- --seed N`).
@@ -113,7 +121,7 @@ pub struct Discrepancy {
     pub seed: u64,
     /// Which oracle tripped (`"decision"`, `"rollback"`,
     /// `"dtd-preservation"`, `"xpath-differential"`, `"order-cache"`,
-    /// `"setup"`, `"generator"`).
+    /// `"independence"`, `"setup"`, `"generator"`).
     pub oracle: &'static str,
     /// Human-readable mismatch description from the first failure.
     pub detail: String,
@@ -258,6 +266,44 @@ fn order_cache_oracle(doc: &Document) -> Result<(), String> {
             "rank-cached dedupe disagrees with path-key dedupe over {} refs",
             nodes.len()
         ));
+    }
+    Ok(())
+}
+
+/// The independence oracle: a fresh checker pair replays the statement
+/// with the static skip mask forced on and forced off. Soundness of the
+/// analysis means the mask is *observationally invisible*: decisions,
+/// violation reports and post-states must not depend on it — including
+/// after a statement that breaks DTD-edge conformance and demotes the
+/// masked checker to conservative footprints.
+fn independence_oracle(case: &Case, stmt: &XUpdateDoc) -> Result<(), String> {
+    let mut on = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| format!("masked checker setup failed: {e}"))?;
+    on.set_independence(true);
+    let mut off = Checker::new(&case.doc_xml, &case.dtd, &case.constraints)
+        .map_err(|e| format!("unmasked checker setup failed: {e}"))?;
+    off.set_independence(false);
+
+    // decide_only(FullWithRollback) exercises the masked full check
+    // without committing, so the subsequent try_update still sees the
+    // pristine document.
+    let da = on.decide_only(stmt, Strategy::FullWithRollback);
+    let db = off.decide_only(stmt, Strategy::FullWithRollback);
+    if format!("{da:?}") != format!("{db:?}") {
+        return Err(format!(
+            "decide_only verdict depends on the mask: on {da:?}, off {db:?}"
+        ));
+    }
+
+    let a = on.try_update(stmt);
+    let b = off.try_update(stmt);
+    if format!("{a:?}") != format!("{b:?}") {
+        return Err(format!(
+            "try_update outcome depends on the mask: on {a:?}, off {b:?}"
+        ));
+    }
+    if serialize(on.doc()) != serialize(off.doc()) {
+        return Err("post-state depends on the mask".to_string());
     }
     Ok(())
 }
@@ -440,6 +486,10 @@ pub fn check_case(case: &Case) -> Result<(), (&'static str, String)> {
             }
         }
     }
+
+    // Oracle 6: the static independence mask must be observationally
+    // invisible.
+    independence_oracle(case, &stmt).map_err(|d| ("independence", d))?;
     Ok(())
 }
 

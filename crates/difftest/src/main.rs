@@ -33,6 +33,7 @@ struct Args {
     crash_matrix: bool,
     sites: Option<String>,
     ir_mode: xicheck::IrMode,
+    independence: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut crash_matrix = false;
     let mut sites: Option<String> = None;
     let mut ir_mode = xicheck::IrMode::Compiled;
+    let mut independence = true;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     // Accept both `--key=value` and `--key value`.
@@ -87,6 +89,13 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--ir-mode: {other} (interpret|compiled)")),
                 };
             }
+            "--independence" => {
+                independence = match next_value(&mut i, inline.as_deref())?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--independence: {other} (on|off)")),
+                };
+            }
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -109,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
         crash_matrix,
         sites,
         ir_mode,
+        independence,
     })
 }
 
@@ -260,14 +270,19 @@ fn main() -> ExitCode {
             eprintln!("difftest: {e}");
             eprintln!(
                 "usage: difftest [--crash-matrix [--sites PAT,PAT…]] [--cases N] [--seed N] \
-                 [--ir-mode interpret|compiled] [--out FILE]"
+                 [--ir-mode interpret|compiled] [--independence on|off] [--out FILE]"
             );
             return ExitCode::from(2);
         }
     };
     // Every checker constructed anywhere below (oracles, crash twins,
-    // shrinker replays) starts in the requested engine mode.
+    // shrinker replays) starts in the requested engine mode and
+    // independence setting. The independence oracle itself overrides the
+    // default per checker, so the pin governs every *other* checker —
+    // catching code paths that consult the process default where they
+    // should not.
     xicheck::set_default_ir_mode(args.ir_mode);
+    xicheck::set_default_independence(args.independence);
     if args.crash_matrix {
         return run_crash_matrix(&args);
     }
@@ -296,11 +311,12 @@ fn main() -> ExitCode {
         eprintln!("{}", d.report());
     }
     println!(
-        "difftest: {} cases from seed {} (ir mode: {}) — {} discrepancies, {} shrink steps, \
-         {} three-way queries",
+        "difftest: {} cases from seed {} (ir mode: {}, independence default: {}) — \
+         {} discrepancies, {} shrink steps, {} three-way queries",
         args.cases,
         args.seed,
         ir_mode_name(args.ir_mode),
+        if args.independence { "on" } else { "off" },
         report.discrepancies.len(),
         snapshot.counter(obs::Counter::DifftestShrinkStep),
         snapshot.counter(obs::Counter::DifftestThreeWayQuery),
@@ -318,6 +334,10 @@ fn main() -> ExitCode {
         (
             "ir_mode".to_string(),
             Value::String(ir_mode_name(args.ir_mode).to_string()),
+        ),
+        (
+            "independence_default".to_string(),
+            Value::String(if args.independence { "on" } else { "off" }.to_string()),
         ),
         (
             "three_way_queries".to_string(),

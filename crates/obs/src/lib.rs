@@ -141,10 +141,18 @@ pub enum Counter {
     /// Generated queries cross-checked by the three-way engine oracle
     /// (interpreter vs compiled IR vs naive reference).
     DifftestThreeWayQuery,
+    /// Constraints skipped by the static independence analysis: their
+    /// read footprint provably misses the statement's write footprint,
+    /// so the check cannot change verdict and is not evaluated.
+    ChecksSkippedStatic,
+    /// Constraints retained (evaluated) after the static independence
+    /// analysis — the live subset, plus every constraint whenever the
+    /// analysis falls back to "all live".
+    ChecksRetainedStatic,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 36] = [
+pub const ALL_COUNTERS: [Counter; 38] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -181,6 +189,8 @@ pub const ALL_COUNTERS: [Counter; 36] = [
     Counter::SnapshotPublish,
     Counter::SnapshotRead,
     Counter::DifftestThreeWayQuery,
+    Counter::ChecksSkippedStatic,
+    Counter::ChecksRetainedStatic,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -225,6 +235,8 @@ impl Counter {
             Counter::SnapshotPublish => "snapshot_publishes",
             Counter::SnapshotRead => "snapshot_reads",
             Counter::DifftestThreeWayQuery => "three_way_queries",
+            Counter::ChecksSkippedStatic => "checks_skipped_static",
+            Counter::ChecksRetainedStatic => "checks_retained_static",
         }
     }
 

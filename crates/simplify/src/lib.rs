@@ -35,12 +35,17 @@
 //! In the system-inventory table of `DESIGN.md` this crate is item 9 (simplification engine — the paper's core contribution).
 
 pub mod after;
+pub mod footprint;
 pub mod hypotheses;
 pub mod optimize;
 pub mod reduce;
 pub mod subsume;
 
 pub use after::{after, AfterError};
+pub use footprint::{
+    live_set, read_footprint, read_footprints, update_write_footprint, ReadFootprint,
+    WriteFootprint, WriteSet,
+};
 pub use hypotheses::freshness_hypotheses;
 pub use optimize::optimize;
 pub use reduce::{reduce, Reduced};
@@ -112,9 +117,34 @@ pub fn simp(
     extra_delta: &[Denial],
     config: &SimpConfig,
 ) -> Result<Vec<Denial>, AfterError> {
+    simp_live(gamma, &[], update, extra_delta, config)
+}
+
+/// [`simp`] restricted to the constraints `live` marks `true` (missing
+/// entries count as live, so an empty slice means "all"): skipped
+/// constraints are not expanded — the compile-time saving of the static
+/// independence analysis — while the hypothesis set stays the **full**
+/// `Γ ∪ Δ`, since every constraint holds in the consistent pre-state
+/// whether or not the update affects it. A constraint the analysis skips
+/// never mentions an added predicate, so `After` would have returned it
+/// unchanged and hypothesis subsumption (against itself in Γ) would have
+/// eliminated it: the surviving clause set is the one [`simp`] computes.
+pub fn simp_live(
+    gamma: &[Denial],
+    live: &[bool],
+    update: &Update,
+    extra_delta: &[Denial],
+    config: &SimpConfig,
+) -> Result<Vec<Denial>, AfterError> {
+    let subset: Vec<Denial> = gamma
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| live.get(*i).copied().unwrap_or(true))
+        .map(|(_, d)| d.clone())
+        .collect();
     let expanded = {
         let _span = xic_obs::phase("after");
-        after(gamma, update, config)?
+        after(&subset, update, config)?
     };
     xic_obs::add(xic_obs::Counter::ClausesExpanded, expanded.len() as u64);
     let mut delta: Vec<Denial> = gamma.to_vec();

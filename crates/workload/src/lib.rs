@@ -16,6 +16,8 @@
 //!
 //! In the system-inventory table of `DESIGN.md` this crate is item 12 (workload generator).
 
+pub mod multi;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -78,7 +80,7 @@ pub struct Workload {
 
 /// Draws a pool index with a power-law skew (index 0 is the most frequent
 /// name — the "Ley effect" of DBLP).
-fn skewed(rng: &mut StdRng, pool: usize) -> usize {
+pub(crate) fn skewed(rng: &mut StdRng, pool: usize) -> usize {
     let r: f64 = rng.gen::<f64>();
     ((r * r) * pool as f64) as usize % pool.max(1)
 }
