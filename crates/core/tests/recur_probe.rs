@@ -1,0 +1,25 @@
+#[test]
+fn recursive_dtd_update_footprint() {
+    use xicheck::footprint::IndependenceIndex;
+    use xic_mapping::RelSchema;
+    use xic_xml::{Dtd, XUpdateDoc};
+    use xic_simplify::WriteFootprint;
+    let dtd = Dtd::parse(r#"
+<!ELEMENT db (part*)>
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+"#).expect("dtd parses");
+    let schema = RelSchema::from_dtd(&dtd).expect("recursive schema derives");
+    let idx = IndependenceIndex::new(&dtd, &schema);
+    let s = XUpdateDoc::parse(r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:update select="/db/part">zzz</xupdate:update>
+</xupdate:modifications>"#).expect("stmt parses");
+    match idx.write_footprint(&s, true) {
+        WriteFootprint::Cells(ws) => {
+            eprintln!("existence = {:?}", ws.existence);
+            assert!(ws.existence.contains("part"),
+                "update on recursive element must cover deletion of nested same-name tuples");
+        }
+        WriteFootprint::All => {}
+    }
+}
