@@ -87,6 +87,19 @@ cargo run --release -q -p xic-difftest -- --crash-matrix \
   --cases "${CRASH_GC_CASES:-40}" --seed 3 --sites journal,checker,xupdate \
   --out /tmp/BENCH_CRASH_GC_CI.json
 
+echo "== chaos pass (overload & failure resilience, seeded faults) =="
+# The PR9 gate (count overridable via CHAOS_CASES): each seeded case
+# drives batched traffic through the resilient group-commit path while a
+# single fault — error, transient, or panic, at a journal or checkpoint
+# site — fires mid-stream. Oracles: no acknowledged commit is lost on
+# recovery, degraded reads serve the committed prefix, fsync retry
+# absorbs transient failures, and the run always lands in a healthy,
+# recovered, or cleanly poisoned terminal state (replay:
+# difftest -- --chaos --seed N --cases 1).
+CHAOS_CASES="${CHAOS_CASES:-100}"
+cargo run --release -q -p xic-difftest -- --chaos --cases "$CHAOS_CASES" --seed 1 \
+  --out /tmp/BENCH_CHAOS_CI.json
+
 echo "== concurrency stress smoke (snapshot readers + group-commit writers) =="
 # The service stress oracle: concurrent writers and snapshot readers,
 # acknowledged commits replayed sequentially must reproduce the final

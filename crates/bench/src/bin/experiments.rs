@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache] [ir]
-//!             [journal] [budget] [checkpoint] [service] [independence] [all]
+//!             [journal] [budget] [checkpoint] [service] [independence]
+//!             [overload] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
 //!             [--out=BENCH_PR3.json]
 //! ```
@@ -32,7 +33,10 @@
 //! `independence` measures per-update latency against a growing
 //! multi-tenant constraint set with the static update/constraint
 //! independence mask on versus off, plus the masked run's skip rate
-//! (E12 — conventionally written to `BENCH_PR8.json` via `--out`).
+//! (E12 — conventionally written to `BENCH_PR8.json` via `--out`);
+//! `overload` sweeps closed-loop client counts against a small admission
+//! queue and reports offered load, goodput, shed rate and p99 latency
+//! (E13 — conventionally written to `BENCH_PR9.json` via `--out`).
 //!
 //! Every run also rewrites the JSON report: the sections just measured
 //! replace their previous versions, sections from earlier invocations are
@@ -82,7 +86,7 @@ fn parse_args() -> Args {
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig1a", "fig1b", "illegal", "simp", "exists", "ordercache", "ir", "journal",
-            "budget", "checkpoint", "service", "independence",
+            "budget", "checkpoint", "service", "independence", "overload",
         ]
         .iter()
         .map(std::string::ToString::to_string)
@@ -588,6 +592,55 @@ fn service_section(args: &Args) -> json::Value {
     ])
 }
 
+fn overload_section(args: &Args) -> json::Value {
+    println!("== Overload: offered load vs goodput under bounded admission (E13) ==");
+    const PER_CLIENT: usize = 32;
+    // A deliberately small queue so client counts past it actually shed;
+    // the production default (256) would just absorb this sweep.
+    const QUEUE_DEPTH: usize = 4;
+    let kib = args.sizes.first().copied().unwrap_or(32);
+    println!(
+        "{:>8} {:>7} {:>9} {:>7} {:>6} {:>8} {:>11} {:>11} {:>8}",
+        "clients", "depth", "offered", "acked", "shed", "shed/%", "offered/s", "goodput/s", "p99/ms"
+    );
+    let mut rows = Vec::new();
+    for &clients in &[1usize, 2, 4, 8, 16, 32] {
+        let r = xic_bench::measure_overload(kib, args.seed, clients, PER_CLIENT, QUEUE_DEPTH);
+        println!(
+            "{:>8} {:>7} {:>9} {:>7} {:>6} {:>8.1} {:>11.0} {:>11.0} {:>8.3}",
+            r.clients,
+            r.queue_depth,
+            r.offered,
+            r.acked,
+            r.shed,
+            r.shed_rate() * 100.0,
+            r.offered_per_s,
+            r.goodput_per_s,
+            r.p99_ms,
+        );
+        rows.push(json::Value::Object(vec![
+            ("clients".to_string(), num(r.clients as f64)),
+            ("queue_depth".to_string(), num(r.queue_depth as f64)),
+            ("offered".to_string(), num(r.offered as f64)),
+            ("acked".to_string(), num(r.acked as f64)),
+            ("shed".to_string(), num(r.shed as f64)),
+            ("shed_rate".to_string(), num(r.shed_rate())),
+            ("wall_ms".to_string(), num(r.wall_ms)),
+            ("offered_per_s".to_string(), num(r.offered_per_s)),
+            ("goodput_per_s".to_string(), num(r.goodput_per_s)),
+            ("p99_ms".to_string(), num(r.p99_ms)),
+        ]));
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("kib".to_string(), num(kib as f64)),
+        ("per_client".to_string(), num(PER_CLIENT as f64)),
+        ("queue_depth".to_string(), num(QUEUE_DEPTH as f64)),
+        ("rows".to_string(), json::Value::Array(rows)),
+    ])
+}
+
 /// Rewrites `path`, replacing the sections in `fresh` and keeping every
 /// other section from a previous run, so `experiments fig1a` followed by
 /// `experiments fig1b` accumulates both figures in one report.
@@ -657,10 +710,12 @@ fn main() {
             "checkpoint" => checkpoint_section(&args),
             "service" => service_section(&args),
             "independence" => independence_section(&args),
+            "overload" => overload_section(&args),
             other => {
                 eprintln!(
                     "unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp, \
-                     exists, ordercache, ir, journal, budget, checkpoint, service, independence)"
+                     exists, ordercache, ir, journal, budget, checkpoint, service, independence, \
+                     overload)"
                 );
                 failed = true;
                 continue;

@@ -740,7 +740,7 @@ pub fn measure_service(
         }
     });
     let wall = start.elapsed();
-    let live = service.shutdown();
+    let live = service.shutdown().expect("first shutdown succeeds");
     assert_eq!(live.committed(), (clients * per_client) as u64);
     let _ = std::fs::remove_file(&path);
 
@@ -755,6 +755,149 @@ pub fn measure_service(
         throughput_per_s: updates as f64 / wall.as_secs_f64(),
         p50_ms: pct(50),
         p99_ms: pct(99),
+    }
+}
+
+/// One point on the overload curve (E13): `clients` closed-loop writers
+/// against a service with a deliberately small admission queue, counting
+/// what the service sheds versus what it commits.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadRow {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Admission bound the service was configured with.
+    pub queue_depth: usize,
+    /// Submit attempts across all clients (acks + sheds = offered load).
+    pub offered: usize,
+    /// Acknowledged commits (the goodput numerator).
+    pub acked: usize,
+    /// Attempts refused with `Overloaded`.
+    pub shed: usize,
+    /// Wall-clock time for the whole run (ms).
+    pub wall_ms: f64,
+    /// Acknowledged commits per second.
+    pub goodput_per_s: f64,
+    /// Submit attempts per second (offered load).
+    pub offered_per_s: f64,
+    /// 99th-percentile latency of *successful* submits (ms).
+    pub p99_ms: f64,
+}
+
+impl OverloadRow {
+    /// Fraction of attempts shed, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Measures [`OverloadRow`]: each client submits `per_client` legal
+/// pattern-matching inserts and, when shed, retries after a
+/// seed-deterministic jittered exponential backoff (1–2, 2–4, 4–8 … ms,
+/// capped at 32 ms) — the protocol's documented client discipline. Every
+/// statement therefore commits exactly once; what the curve shows is how
+/// goodput plateaus and shed rate grows as clients outnumber the
+/// admission queue, instead of latency collapsing.
+pub fn measure_overload(
+    kib: usize,
+    seed: u64,
+    clients: usize,
+    per_client: usize,
+    queue_depth: usize,
+) -> OverloadRow {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xicheck::{ServiceConfig, ServiceError};
+
+    let w = generate(WorkloadConfig::sized_kib(kib, seed));
+    let constraints = xic_workload::conflict_constraint();
+    let mut checker = Checker::new(&w.xml, dtd_text(), constraints).expect("corpus loads");
+    let pattern =
+        XUpdateDoc::parse(&xic_workload::legal_insert(0, 0, 900_002)).expect("legal stmt");
+    checker.register_pattern(&pattern).expect("pattern registration");
+    let path = journal_tmp(&format!("ovl-{clients}"), kib, seed);
+    let _ = std::fs::remove_file(&path);
+    checker.attach_journal(&path, true).expect("journal attaches");
+    let service = CheckerService::with_config(
+        checker,
+        ServiceConfig {
+            queue_depth,
+            ..Default::default()
+        },
+    );
+
+    let start = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * per_client);
+    let mut offered = 0usize;
+    let mut shed = 0usize;
+    std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+                    let mut lats = Vec::with_capacity(per_client);
+                    let mut attempts = 0usize;
+                    let mut rejected = 0usize;
+                    for i in 0..per_client {
+                        let serial = 200_000 + c * per_client + i;
+                        let stmt = xic_workload::legal_insert(0, 0, serial);
+                        let mut backoff_ms = 1u64;
+                        loop {
+                            attempts += 1;
+                            let t = Instant::now();
+                            match service.submit(&stmt) {
+                                Ok(out) => {
+                                    assert!(out.outcome.applied());
+                                    lats.push(t.elapsed().as_secs_f64() * 1e3);
+                                    break;
+                                }
+                                Err(ServiceError::Overloaded { .. }) => {
+                                    rejected += 1;
+                                    let jitter =
+                                        rng.gen_range(backoff_ms..=backoff_ms.saturating_mul(2));
+                                    std::thread::sleep(Duration::from_millis(jitter));
+                                    backoff_ms = (backoff_ms * 2).min(32);
+                                }
+                                Err(e) => panic!("unexpected submit error: {e}"),
+                            }
+                        }
+                    }
+                    (lats, attempts, rejected)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lats, attempts, rejected) = h.join().expect("client thread");
+            latencies_ms.extend(lats);
+            offered += attempts;
+            shed += rejected;
+        }
+    });
+    let wall = start.elapsed();
+    let stats = service.stats();
+    assert_eq!(stats.requests_shed as usize, shed, "shed accounting disagrees");
+    let live = service.shutdown().expect("first shutdown succeeds");
+    let acked = clients * per_client;
+    assert_eq!(live.committed(), acked as u64);
+    let _ = std::fs::remove_file(&path);
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let p99 = latencies_ms[(latencies_ms.len() * 99 / 100).min(latencies_ms.len() - 1)];
+    OverloadRow {
+        clients,
+        queue_depth,
+        offered,
+        acked,
+        shed,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        goodput_per_s: acked as f64 / wall.as_secs_f64(),
+        offered_per_s: offered as f64 / wall.as_secs_f64(),
+        p99_ms: p99,
     }
 }
 

@@ -10,19 +10,25 @@
 //! xic-serve --xml doc.xml --dtd schema.dtd --constraints gamma.xpl \
 //!           [--journal FILE | --store DIR] [--no-sync] \
 //!           [--executor sync|group-commit] [--max-batch N] \
+//!           [--queue-depth N] [--deadline-ms N] [--fsync-attempts N] \
 //!           [--socket PATH]
 //! ```
 //!
 //! `--executor sync` is the ablation baseline (one fsync per commit);
-//! the default is the group-commit writer. See README.md, *Running as
-//! a service*, for a worked multi-client example.
+//! the default is the group-commit writer. `--queue-depth` bounds the
+//! admission queue (excess submissions get `ERR overloaded`),
+//! `--deadline-ms` sets a default per-request evaluation deadline
+//! (clients can override it per line, e.g. `UPDATE 250 <stmt>`), and
+//! `--fsync-attempts` bounds the group-commit fsync retry budget before
+//! the service degrades to read-only. See README.md, *Running as a
+//! service* and *Operating under failure*, for worked examples.
 
 use std::io::{BufReader, Write as _};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use xicheck::protocol::serve_connection;
-use xicheck::{Checker, CheckerService, Executor};
+use xicheck::{Checker, CheckerService, Executor, ServiceConfig};
 
 struct Args {
     xml: PathBuf,
@@ -32,6 +38,9 @@ struct Args {
     store: Option<PathBuf>,
     sync: bool,
     executor: Executor,
+    queue_depth: usize,
+    deadline_ms: Option<u64>,
+    fsync_attempts: u32,
     socket: Option<PathBuf>,
 }
 
@@ -44,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
     let mut sync = true;
     let mut executor_kind = "group-commit".to_string();
     let mut max_batch = xicheck::service::DEFAULT_MAX_BATCH;
+    let mut queue_depth = xicheck::service::DEFAULT_QUEUE_DEPTH;
+    let mut deadline_ms = None;
+    let mut fsync_attempts = xicheck::service::DEFAULT_FSYNC_ATTEMPTS;
     let mut socket = None;
 
     let mut args = std::env::args().skip(1);
@@ -71,6 +83,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-batch: {e}"))?;
             }
+            "--queue-depth" => {
+                queue_depth = value(&mut args)?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    value(&mut args)?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--fsync-attempts" => {
+                fsync_attempts = value(&mut args)?
+                    .parse()
+                    .map_err(|e| format!("--fsync-attempts: {e}"))?;
+            }
             "--socket" => socket = Some(PathBuf::from(value(&mut args)?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -91,6 +120,9 @@ fn parse_args() -> Result<Args, String> {
         store,
         sync,
         executor,
+        queue_depth,
+        deadline_ms,
+        fsync_attempts,
         socket,
     })
 }
@@ -107,7 +139,15 @@ fn run(args: &Args) -> Result<(), String> {
     if let Some(dir) = &args.store {
         checker.attach_store(dir, args.sync).map_err(|e| e.to_string())?;
     }
-    let service = CheckerService::new(checker, args.executor);
+    let service = CheckerService::with_config(
+        checker,
+        ServiceConfig {
+            executor: args.executor,
+            queue_depth: args.queue_depth,
+            default_deadline_ms: args.deadline_ms,
+            fsync_attempts: args.fsync_attempts,
+        },
+    );
 
     match &args.socket {
         None => {

@@ -1203,9 +1203,18 @@ impl Checker {
 
     fn check_full_seq(&self, indices: &[usize]) -> Result<Option<Violation>, CheckerError> {
         for &i in indices {
-            let violated = self
-                .eval_full_exists(i)
-                .map_err(|e| CheckerError::Query(format!("{}: {e}", self.full_queries[i].text)))?;
+            // A budget exhausted *here* can only be an externally armed
+            // one (a per-request deadline): the checker's own budget is
+            // scoped to the optimized pre-check. Keep it distinguishable
+            // so the service can answer "timeout" instead of "query
+            // error".
+            let violated = self.eval_full_exists(i).map_err(|e| {
+                if e.is_budget_exhausted() {
+                    CheckerError::BudgetExhausted
+                } else {
+                    CheckerError::Query(format!("{}: {e}", self.full_queries[i].text))
+                }
+            })?;
             if violated {
                 return Ok(Some(Violation {
                     denial: self.gamma[i].to_string(),
@@ -1659,11 +1668,25 @@ impl Checker {
         let live = self.statement_live_mask(stmt);
         let trusted_before = self.nesting_trusted;
         let applied = self.apply_or_abort(stmt)?;
-        // Degrade trust eagerly: if the check below errors out, the
-        // document stays modified and the conservative bit is the sound
-        // one. Restored on rollback.
         self.note_committed(stmt);
-        match self.check_full_masked(live.as_deref())? {
+        // A check *error* (an exhausted per-request deadline budget, an
+        // engine failure) rolls the applied update back before
+        // propagating: verdict-or-error, never a modified document with
+        // no commit record — the journal and the in-memory state must
+        // not diverge under the service's batch path.
+        let checked = match self.check_full_masked(live.as_deref()) {
+            Ok(verdict) => verdict,
+            Err(e) => {
+                {
+                    let _update = xic_obs::phase("update");
+                    let _rollback = xic_obs::phase("rollback");
+                    undo(&mut self.doc, applied);
+                }
+                self.nesting_trusted = trusted_before;
+                return Err(e);
+            }
+        };
+        match checked {
             None => {
                 self.commit_journal(stmt, applied)?;
                 Ok(UpdateOutcome::Applied {

@@ -181,6 +181,16 @@ impl IndependenceIndex {
         out
     }
 
+    /// True when `name` may appear as a *proper* descendant of itself (the
+    /// DTD name graph has a cycle through `name`). `reach` alone cannot
+    /// tell — it is reflexive by construction — so this asks whether any
+    /// declared child reaches back to `name`.
+    fn is_recursive(&self, name: &str) -> bool {
+        self.children.get(name).is_some_and(|kids| {
+            kids.iter().any(|k| self.reach.get(k).is_some_and(|r| r.contains(name)))
+        })
+    }
+
     /// Footprint of the element fragments in inserted content: existence of
     /// every predicate name, owner cells of every compacted name.  The
     /// second component reports whether the content also carries top-level
@@ -281,11 +291,14 @@ impl IndependenceIndex {
                     return WriteFootprint::All;
                 }
                 // All children subtrees of the target are detached and
-                // replaced by a single text node.
+                // replaced by a single text node. The target itself keeps
+                // its tuple — unless the DTD is recursive through it, in
+                // which case *nested* same-name tuples are deleted too and
+                // its existence column is live after all.
                 let mut ws = WriteSet::default();
                 if let Some(below) = self.reach.get(&t) {
                     for d in below {
-                        if d != &t && self.preds.contains(d) {
+                        if (d != &t || self.is_recursive(&t)) && self.preds.contains(d) {
                             ws.existence.insert(d.clone());
                         }
                         ws.cells.extend(self.owner_cells(d));
@@ -731,6 +744,42 @@ mod tests {
 </xupdate:modifications>"#,
         );
         assert!(!idx.stmt_preserves_nesting(&rn));
+    }
+
+    #[test]
+    fn update_on_recursive_element_covers_nested_same_name_tuples() {
+        // Under `<!ELEMENT part (name, part*)>`, updating a `part` node
+        // replaces its content with text — deleting nested `part`
+        // subtrees. The target's own tuple survives, but same-name tuples
+        // *below* it do not, so `part` existence must be in the write
+        // footprint (it was dropped by a `d != t` guard that could not
+        // see recursion through the reflexive closure).
+        let dtd = Dtd::parse(
+            r#"
+<!ELEMENT db (part*)>
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+"#,
+        )
+        .expect("recursive DTD parses");
+        let schema = RelSchema::from_dtd(&dtd).expect("recursive schema derives");
+        let idx = IndependenceIndex::new(&dtd, &schema);
+        let s = stmt(
+            r#"<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:update select="/db/part">zzz</xupdate:update>
+</xupdate:modifications>"#,
+        );
+        match idx.write_footprint(&s, true) {
+            WriteFootprint::Cells(ws) => {
+                assert!(
+                    ws.existence.contains("part"),
+                    "update on recursive element must cover deletion of \
+                     nested same-name tuples, got {:?}",
+                    ws.existence
+                );
+            }
+            WriteFootprint::All => {}
+        }
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub use checker::{
     CheckerError, CheckpointPolicy, IrMode, RecoverOptions, RecoveryReport, Stats, Strategy,
     UpdateOutcome, Violation,
 };
-pub use service::{CheckerService, Executor, ReadSnapshot, ServiceError, SubmitOutcome};
+pub use service::{
+    apply_batch, apply_batch_resilient, deadline_budget, BatchDisposition, BatchOutcome,
+    BatchStmt, CheckerService, Executor, Health, ReadSnapshot, ServiceConfig, ServiceError,
+    ServiceStats, SubmitOutcome, DEADLINE_STEPS_PER_MS,
+};
 pub use compile::{compile_pattern, compile_pattern_with, CompiledPattern};
 pub use footprint::{select_target, IndependenceIndex};
 pub use resolver::xpath_resolver;

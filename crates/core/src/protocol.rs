@@ -1,16 +1,18 @@
 //! Line-oriented service protocol (the front-end of
-//! [`crate::service::CheckerService`]; DESIGN.md row 19).
+//! [`crate::service::CheckerService`]; DESIGN.md rows 19 and 22).
 //!
 //! One request per line, one reply per line, UTF-8, no framing beyond
 //! `\n`. The grammar (also in README.md, *Running as a service*):
 //!
 //! ```text
-//! request  = "CHECK"                ; full check of the current snapshot
-//!          | "DECIDE" SP xupdate    ; hypothetical verdict, nothing committed
-//!          | "UPDATE" SP xupdate    ; checked, durable execution
-//!          | "VERSION"              ; committed version of the snapshot
-//!          | "STATS"                ; executor configuration + version
-//!          | "QUIT"                 ; close the connection
+//! request  = "CHECK" [SP deadline]          ; full check of the current snapshot
+//!          | "DECIDE" [SP deadline] SP xupdate ; hypothetical verdict, nothing committed
+//!          | "UPDATE" [SP deadline] SP xupdate ; checked, durable execution
+//!          | "VERSION"               ; committed version of the snapshot
+//!          | "STATS"                 ; executor configuration + resilience counters
+//!          | "HEALTH"                ; liveness state: ok | degraded | draining
+//!          | "QUIT"                  ; close the connection
+//! deadline = 1*DIGIT                 ; per-request budget in milliseconds
 //! xupdate  = single-line <xupdate:modifications> document
 //!
 //! reply    = "OK" SP version SP detail
@@ -22,6 +24,7 @@
 //!          | "REJECTED" SP strategy SP denial          ; UPDATE
 //!          | ""                                        ; VERSION
 //!          | config                                    ; STATS
+//!          | "ok" | "degraded" | "draining"            ; HEALTH
 //! strategy = "optimized" | "full-with-rollback"
 //! ```
 //!
@@ -31,31 +34,69 @@
 //! durable (in group-commit mode: until the shared batch fsync) and
 //! reports the version its statement left the service at.
 //!
+//! An XUpdate document cannot begin with a digit, so a leading
+//! all-digits token after `CHECK`/`DECIDE`/`UPDATE` is unambiguously a
+//! **deadline** in milliseconds: the request fails with `ERR timeout:
+//! …` instead of waiting (in the queue, for the ack, or mid-evaluation)
+//! past its budget. Overload and failure surface the same way —
+//! resilience `ERR` messages start with a stable machine-readable token
+//! (`overloaded:`, `timeout:`, `degraded:`, `too-long:`), so clients
+//! dispatch on the first word (the workload driver's backoff loop does
+//! exactly this; EXPERIMENTS.md E13).
+//!
 //! Keywords are case-sensitive (uppercase). Denial text is flattened to
-//! one line. Parsing and rendering live here, free of any I/O, so unit
-//! tests drive the protocol without sockets; [`serve_connection`] wires
-//! a [`BufRead`]/[`Write`] pair (stdin/stdout or a Unix socket — see
-//! the `xic-serve` binary) to a shared service.
+//! one line. Request lines are capped at [`MAX_LINE_BYTES`]; an
+//! oversized line is discarded as it streams in (bounded memory),
+//! answered with `ERR too-long: …`, and the connection stays open.
+//! Parsing and rendering live here, free of any I/O, so unit tests
+//! drive the protocol without sockets; [`serve_connection`] wires a
+//! [`BufRead`]/[`Write`] pair (stdin/stdout or a Unix socket — see the
+//! `xic-serve` binary) to a shared service.
 
 use crate::checker::{Strategy, UpdateOutcome, Violation};
-use crate::service::CheckerService;
+use crate::service::{CheckerService, Executor};
 use std::io::{BufRead, Write};
 
-/// A parsed protocol request.
+/// Cap on one request line (1 MiB). Generous for any realistic XUpdate
+/// statement, small enough that a misbehaving client cannot balloon the
+/// server's memory: past the cap the line streams to the discard path.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A parsed protocol request. The `Option<u64>` on the three checking
+/// verbs is the per-request deadline in milliseconds, if given.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// Full constraint check of the current snapshot.
-    Check,
+    Check(Option<u64>),
     /// Hypothetical verdict for a statement; commits nothing.
-    Decide(String),
+    Decide(String, Option<u64>),
     /// Checked, durable execution of a statement.
-    Update(String),
+    Update(String, Option<u64>),
     /// Version of the current snapshot.
     Version,
-    /// Executor configuration and version.
+    /// Executor configuration, resilience counters and version.
     Stats,
+    /// Liveness state: ok, degraded or draining.
+    Health,
     /// Close the connection.
     Quit,
+}
+
+/// Splits an optional leading deadline token (all ASCII digits) off
+/// `rest`. Digits that do not fit a `u64` are a parse error, not a
+/// statement (statements start with `<`).
+fn split_deadline(rest: &str) -> Result<(Option<u64>, &str), String> {
+    let (first, tail) = match rest.split_once(char::is_whitespace) {
+        Some((f, t)) => (f, t.trim()),
+        None => (rest, ""),
+    };
+    if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return Ok((None, rest));
+    }
+    match first.parse::<u64>() {
+        Ok(ms) => Ok((Some(ms), tail)),
+        Err(_) => Err(format!("deadline {first:?} out of range")),
+    }
 }
 
 /// Parses one request line.
@@ -65,7 +106,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         Some((k, r)) => (k, r.trim()),
         None => (line, ""),
     };
-    let arg_required = |cmd: &str| -> Result<String, String> {
+    let arg_required = |cmd: &str, rest: &str| -> Result<String, String> {
         if rest.is_empty() {
             Err(format!("{cmd} needs a single-line XUpdate document as argument"))
         } else {
@@ -73,11 +114,25 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
     };
     match keyword {
-        "CHECK" => Ok(Command::Check),
-        "DECIDE" => Ok(Command::Decide(arg_required("DECIDE")?)),
-        "UPDATE" => Ok(Command::Update(arg_required("UPDATE")?)),
+        "CHECK" => {
+            let (deadline, rest) = split_deadline(rest)?;
+            if rest.is_empty() {
+                Ok(Command::Check(deadline))
+            } else {
+                Err(format!("CHECK takes no argument beyond a deadline, got {rest:?}"))
+            }
+        }
+        "DECIDE" => {
+            let (deadline, rest) = split_deadline(rest)?;
+            Ok(Command::Decide(arg_required("DECIDE", rest)?, deadline))
+        }
+        "UPDATE" => {
+            let (deadline, rest) = split_deadline(rest)?;
+            Ok(Command::Update(arg_required("UPDATE", rest)?, deadline))
+        }
         "VERSION" => Ok(Command::Version),
         "STATS" => Ok(Command::Stats),
+        "HEALTH" => Ok(Command::Health),
         "QUIT" => Ok(Command::Quit),
         "" => Err("empty request".to_string()),
         other => Err(format!("unknown request {other:?}")),
@@ -128,85 +183,191 @@ fn violation_text(v: &Violation) -> String {
     one_line(&v.denial)
 }
 
+/// Renders a deadlined read's error, counting a timeout into the
+/// service's `requests_timed_out` stat on the way (snapshots are
+/// detached from the service and cannot count it themselves).
+fn read_error_text(service: &CheckerService, e: crate::service::ServiceError) -> String {
+    if matches!(e, crate::service::ServiceError::Timeout { .. }) {
+        service.note_read_timeout();
+    }
+    e.to_string()
+}
+
 /// Executes one command against the service and builds the reply.
 /// Returns `Reply::Bye` for [`Command::Quit`]; the caller closes the
 /// connection after writing it.
 pub fn execute(service: &CheckerService, command: &Command) -> Reply {
     match command {
-        Command::Check => {
+        Command::Check(deadline) => {
             let snap = service.snapshot();
-            match snap.check_full() {
+            let verdict = match deadline {
+                None => snap.check_full().map_err(|e| e.to_string()),
+                Some(ms) => snap
+                    .check_full_deadline(*ms)
+                    .map_err(|e| read_error_text(service, e)),
+            };
+            match verdict {
                 Ok(None) => Reply::Ok { version: snap.version(), detail: "CONSISTENT".to_string() },
                 Ok(Some(v)) => Reply::Ok {
                     version: snap.version(),
                     detail: format!("VIOLATION {}", violation_text(&v)),
                 },
-                Err(e) => Reply::Err(e.to_string()),
+                Err(e) => Reply::Err(e),
             }
         }
-        Command::Decide(stmt) => {
+        Command::Decide(stmt, deadline) => {
             let parsed = match xic_xml::XUpdateDoc::parse(stmt) {
                 Ok(p) => p,
                 Err(e) => return Reply::Err(format!("bad statement: {e}")),
             };
             let snap = service.snapshot();
-            match snap.decide_full(&parsed) {
+            let verdict = match deadline {
+                None => snap.decide_full(&parsed).map_err(|e| e.to_string()),
+                Some(ms) => snap
+                    .decide_full_deadline(&parsed, *ms)
+                    .map_err(|e| read_error_text(service, e)),
+            };
+            match verdict {
                 Ok(None) => Reply::Ok { version: snap.version(), detail: "LEGAL".to_string() },
                 Ok(Some(v)) => Reply::Ok {
                     version: snap.version(),
                     detail: format!("ILLEGAL {}", violation_text(&v)),
                 },
+                Err(e) => Reply::Err(e),
+            }
+        }
+        Command::Update(stmt, deadline) => {
+            let result = match deadline {
+                None => service.submit(stmt),
+                Some(ms) => service.submit_with(stmt, Some(*ms)),
+            };
+            match result {
+                Ok(out) => match &out.outcome {
+                    UpdateOutcome::Applied { strategy } => Reply::Ok {
+                        version: out.version,
+                        detail: format!("APPLIED {}", strategy_word(*strategy)),
+                    },
+                    UpdateOutcome::Rejected { strategy, violation } => Reply::Ok {
+                        version: out.version,
+                        detail: format!(
+                            "REJECTED {} {}",
+                            strategy_word(*strategy),
+                            violation_text(violation)
+                        ),
+                    },
+                },
                 Err(e) => Reply::Err(e.to_string()),
             }
         }
-        Command::Update(stmt) => match service.submit(stmt) {
-            Ok(out) => match &out.outcome {
-                UpdateOutcome::Applied { strategy } => Reply::Ok {
-                    version: out.version,
-                    detail: format!("APPLIED {}", strategy_word(*strategy)),
-                },
-                UpdateOutcome::Rejected { strategy, violation } => Reply::Ok {
-                    version: out.version,
-                    detail: format!(
-                        "REJECTED {} {}",
-                        strategy_word(*strategy),
-                        violation_text(violation)
-                    ),
-                },
-            },
-            Err(e) => Reply::Err(e.to_string()),
-        },
         Command::Version => Reply::Ok { version: service.version(), detail: String::new() },
         Command::Stats => {
-            let detail = match service.executor() {
-                crate::service::Executor::Sync => "executor=sync".to_string(),
-                crate::service::Executor::GroupCommit { max_batch } => {
+            let executor = match service.executor() {
+                Executor::Sync => "executor=sync".to_string(),
+                Executor::GroupCommit { max_batch } => {
                     format!("executor=group-commit max_batch={max_batch}")
                 }
             };
+            let stats = service.stats();
+            let detail = format!(
+                "{executor} queue_depth={} health={} requests_shed={} \
+                 requests_timed_out={} service_degraded={} fsync_retries={}",
+                service.config().queue_depth,
+                service.health().as_str(),
+                stats.requests_shed,
+                stats.requests_timed_out,
+                stats.service_degraded,
+                stats.fsync_retries,
+            );
             Reply::Ok { version: service.version(), detail }
         }
+        Command::Health => Reply::Ok {
+            version: service.version(),
+            detail: service.health().as_str().to_string(),
+        },
         Command::Quit => Reply::Bye,
     }
+}
+
+/// One capped read: `Ok(None)` at EOF, `Ok(Some(Ok(line)))` for a line
+/// within `max` bytes (terminator stripped), `Ok(Some(Err(())))` for an
+/// oversized line — which is consumed through its newline in bounded
+/// memory, never accumulated.
+fn read_capped_line(
+    input: &mut impl BufRead,
+    max: usize,
+) -> std::io::Result<Option<Result<String, ()>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() && !oversized {
+                return Ok(None); // clean EOF
+            }
+            break; // EOF terminates the final, unterminated line
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversized && buf.len() + pos <= max {
+                    buf.extend_from_slice(&chunk[..pos]);
+                } else {
+                    oversized = true;
+                }
+                input.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized && buf.len() + len <= max {
+                    buf.extend_from_slice(chunk);
+                } else {
+                    oversized = true;
+                    buf.clear();
+                }
+                input.consume(len);
+            }
+        }
+    }
+    if oversized {
+        return Ok(Some(Err(())));
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(Some(Ok(String::from_utf8_lossy(&buf).into_owned())))
 }
 
 /// Serves one client connection: reads request lines from `input`,
 /// writes one reply line each to `output`, and returns on `QUIT`, EOF
 /// or a write error. Malformed requests get an `ERR` reply and the
-/// connection stays open.
+/// connection stays open; so do oversized lines (`ERR too-long: …`),
+/// which are discarded in bounded memory as they stream in.
 pub fn serve_connection(
     service: &CheckerService,
     input: impl BufRead,
-    mut output: impl Write,
+    output: impl Write,
 ) -> std::io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = match parse_command(&line) {
-            Ok(command) => execute(service, &command),
-            Err(e) => Reply::Err(e),
+    serve_connection_capped(service, input, output, MAX_LINE_BYTES)
+}
+
+/// [`serve_connection`] with an explicit line cap (tests exercise the
+/// oversized path without forging megabyte requests).
+pub fn serve_connection_capped(
+    service: &CheckerService,
+    mut input: impl BufRead,
+    mut output: impl Write,
+    max_line: usize,
+) -> std::io::Result<()> {
+    while let Some(read) = read_capped_line(&mut input, max_line)? {
+        let reply = match read {
+            Err(()) => Reply::Err(format!(
+                "too-long: request exceeds {max_line} bytes; line discarded"
+            )),
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => match parse_command(&line) {
+                Ok(command) => execute(service, &command),
+                Err(e) => Reply::Err(e),
+            },
         };
         let done = reply == Reply::Bye;
         writeln!(output, "{}", reply.render())?;
@@ -222,7 +383,7 @@ pub fn serve_connection(
 mod tests {
     use super::*;
     use crate::checker::Checker;
-    use crate::service::{CheckerService, Executor};
+    use crate::service::{CheckerService, Executor, ServiceError};
     use std::io::Cursor;
 
     const DTD: &str = "<!ELEMENT collection (dblp, review)>\n<!ELEMENT dblp (pub)*>\n\
@@ -258,18 +419,43 @@ mod tests {
 
     #[test]
     fn parses_every_keyword() {
-        assert_eq!(parse_command("CHECK"), Ok(Command::Check));
+        assert_eq!(parse_command("CHECK"), Ok(Command::Check(None)));
         assert_eq!(parse_command(" VERSION "), Ok(Command::Version));
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("HEALTH"), Ok(Command::Health));
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
         assert_eq!(
             parse_command("UPDATE <x/>"),
-            Ok(Command::Update("<x/>".to_string()))
+            Ok(Command::Update("<x/>".to_string(), None))
         );
         assert_eq!(
             parse_command("DECIDE  <x a=\"1\"/> "),
-            Ok(Command::Decide("<x a=\"1\"/>".to_string()))
+            Ok(Command::Decide("<x a=\"1\"/>".to_string(), None))
         );
+    }
+
+    #[test]
+    fn parses_deadline_prefixes() {
+        assert_eq!(parse_command("CHECK 250"), Ok(Command::Check(Some(250))));
+        assert_eq!(
+            parse_command("UPDATE 250 <x/>"),
+            Ok(Command::Update("<x/>".to_string(), Some(250)))
+        );
+        assert_eq!(
+            parse_command("DECIDE 0 <x/>"),
+            Ok(Command::Decide("<x/>".to_string(), Some(0)))
+        );
+        // A statement starts with '<', never a digit, so no deadline is
+        // inferred from it…
+        assert_eq!(
+            parse_command("UPDATE <x>7</x>"),
+            Ok(Command::Update("<x>7</x>".to_string(), None))
+        );
+        // …a deadline with no statement is still a missing argument…
+        assert!(parse_command("UPDATE 250").is_err());
+        // …and out-of-range digits are an error, not a statement.
+        assert!(parse_command("UPDATE 99999999999999999999999 <x/>").is_err());
+        assert!(parse_command("CHECK 250 extra").is_err());
     }
 
     #[test]
@@ -291,48 +477,103 @@ mod tests {
     }
 
     #[test]
+    fn service_errors_render_with_stable_leading_tokens() {
+        // Clients dispatch on the first word of an ERR message; these
+        // prefixes are wire protocol, not prose.
+        let cases = [
+            (ServiceError::Overloaded { depth: 256 }, "ERR overloaded:"),
+            (ServiceError::Timeout { ms: 250 }, "ERR timeout:"),
+            (ServiceError::Degraded, "ERR degraded:"),
+        ];
+        for (err, prefix) in cases {
+            let line = Reply::Err(err.to_string()).render();
+            assert!(line.starts_with(prefix), "{line:?} should start with {prefix:?}");
+        }
+        assert_eq!(
+            Reply::Err(ServiceError::Timeout { ms: 250 }.to_string()).render(),
+            "ERR timeout: deadline of 250 ms exceeded"
+        );
+    }
+
+    #[test]
     fn execute_covers_the_grammar() {
         let service = service();
         assert_eq!(
-            execute(&service, &Command::Check).render(),
+            execute(&service, &Command::Check(None)).render(),
             "OK 0 CONSISTENT"
         );
         assert_eq!(execute(&service, &Command::Version).render(), "OK 0");
         assert_eq!(
             execute(&service, &Command::Stats).render(),
-            "OK 0 executor=sync"
+            "OK 0 executor=sync queue_depth=256 health=ok requests_shed=0 \
+             requests_timed_out=0 service_degraded=0 fsync_retries=0"
         );
+        assert_eq!(execute(&service, &Command::Health).render(), "OK 0 ok");
         // A legal update commits and bumps the version…
-        let r = execute(&service, &Command::Update(insert("dave")));
+        let r = execute(&service, &Command::Update(insert("dave"), None));
         assert_eq!(r.render(), "OK 1 APPLIED optimized");
         // …an illegal one (self-review by bob) is rejected at the same
         // version, leaving the document consistent.
-        let r = execute(&service, &Command::Update(insert("bob")));
+        let r = execute(&service, &Command::Update(insert("bob"), None));
         let line = r.render();
         assert!(
             line.starts_with("OK 1 REJECTED optimized "),
             "unexpected reply {line:?}"
         );
         assert_eq!(
-            execute(&service, &Command::Check).render(),
+            execute(&service, &Command::Check(None)).render(),
             "OK 1 CONSISTENT"
         );
         // DECIDE commits nothing.
-        let r = execute(&service, &Command::Decide(insert("bob")));
+        let r = execute(&service, &Command::Decide(insert("bob"), None));
         assert!(r.render().starts_with("OK 1 ILLEGAL "));
-        let r = execute(&service, &Command::Decide(insert("erin")));
+        let r = execute(&service, &Command::Decide(insert("erin"), None));
         assert_eq!(r.render(), "OK 1 LEGAL");
         assert_eq!(execute(&service, &Command::Version).render(), "OK 1");
         // Malformed XML is an ERR, not a crash.
-        let r = execute(&service, &Command::Update("<not-xupdate>".to_string()));
+        let r = execute(&service, &Command::Update("<not-xupdate>".to_string(), None));
         assert!(matches!(r, Reply::Err(_)));
+    }
+
+    #[test]
+    fn generous_deadlines_do_not_change_verdicts() {
+        let service = service();
+        assert_eq!(
+            execute(&service, &Command::Check(Some(10_000))).render(),
+            "OK 0 CONSISTENT"
+        );
+        let r = execute(&service, &Command::Update(insert("dave"), Some(10_000)));
+        assert_eq!(r.render(), "OK 1 APPLIED optimized");
+        let r = execute(&service, &Command::Decide(insert("erin"), Some(10_000)));
+        assert_eq!(r.render(), "OK 1 LEGAL");
+    }
+
+    #[test]
+    fn zero_deadline_reads_time_out() {
+        // A 0 ms deadline arms a zero-step budget: the read must report
+        // a timeout, never a wrong verdict or a hang.
+        let service = service();
+        let r = execute(&service, &Command::Check(Some(0)));
+        let line = r.render();
+        assert!(line.starts_with("ERR timeout:"), "unexpected reply {line:?}");
+        let r = execute(&service, &Command::Decide(insert("erin"), Some(0)));
+        let line = r.render();
+        assert!(line.starts_with("ERR timeout:"), "unexpected reply {line:?}");
+        // Read-path timeouts count into the service stats too.
+        let stats = execute(&service, &Command::Stats).render();
+        assert!(
+            stats.contains("requests_timed_out=2"),
+            "unexpected stats reply {stats:?}"
+        );
+        // The snapshot is untouched and later requests are unaffected.
+        assert_eq!(execute(&service, &Command::Check(None)).render(), "OK 0 CONSISTENT");
     }
 
     #[test]
     fn serve_connection_round_trips_a_session() {
         let service = service();
         let script = format!(
-            "CHECK\nUPDATE {}\n\nVERSION\nbogus\nQUIT\nUPDATE {}\n",
+            "CHECK\nUPDATE {}\n\nVERSION\nHEALTH\nbogus\nQUIT\nUPDATE {}\n",
             insert("dave"),
             insert("erin")
         );
@@ -346,10 +587,56 @@ mod tests {
                 "OK 0 CONSISTENT",
                 "OK 1 APPLIED optimized",
                 "OK 1",
+                "OK 1 ok",
                 "ERR unknown request \"bogus\"",
                 "BYE",
             ],
             "blank lines are skipped and nothing after QUIT is served"
         );
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_and_the_connection_survives() {
+        let service = service();
+        let long = format!("UPDATE {}", "x".repeat(200));
+        let script = format!("VERSION\n{long}\nVERSION\nQUIT\n");
+        let mut out = Vec::new();
+        serve_connection_capped(&service, Cursor::new(script), &mut out, 64).expect("serve");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "replies: {lines:?}");
+        assert_eq!(lines[0], "OK 0");
+        assert!(
+            lines[1].starts_with("ERR too-long:"),
+            "oversized line should be refused, got {:?}",
+            lines[1]
+        );
+        assert_eq!(lines[2], "OK 0", "connection stays usable after too-long");
+        assert_eq!(lines[3], "BYE");
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline_is_still_rejected() {
+        let service = service();
+        let script = format!("VERSION\n{}", "y".repeat(500));
+        let mut out = Vec::new();
+        serve_connection_capped(&service, Cursor::new(script), &mut out, 64).expect("serve");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "OK 0");
+        assert!(lines[1].starts_with("ERR too-long:"), "got {:?}", lines[1]);
+    }
+
+    #[test]
+    fn exact_cap_length_line_is_served() {
+        let service = service();
+        // "VERSION" padded with trailing spaces to exactly the cap.
+        let line = format!("VERSION{}", " ".repeat(64 - "VERSION".len()));
+        assert_eq!(line.len(), 64);
+        let script = format!("{line}\nQUIT\n");
+        let mut out = Vec::new();
+        serve_connection_capped(&service, Cursor::new(script), &mut out, 64).expect("serve");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        assert_eq!(text.lines().collect::<Vec<_>>(), vec!["OK 0", "BYE"]);
     }
 }

@@ -1,4 +1,5 @@
-//! Concurrent checker service: snapshot reads, group-commit writes.
+//! Concurrent checker service: snapshot reads, group-commit writes,
+//! bounded admission, per-request deadlines, degraded-mode survival.
 //!
 //! The [`Checker`] façade is single-threaded by construction — every
 //! mutating entry point takes `&mut self` and, with a journal attached,
@@ -19,6 +20,28 @@
 //!   ([`Journal::sync_now`][sync-now]) before any submitter is
 //!   acknowledged. A rejected statement appends no record and cannot
 //!   poison its batch-mates.
+//! * **Overload sheds instead of queueing without bound.** Admission is
+//!   bounded by [`ServiceConfig::queue_depth`]: once that many
+//!   submissions are waiting, further ones fail fast with
+//!   [`ServiceError::Overloaded`] (wire reply `ERR overloaded`) and the
+//!   client retries with jittered backoff. Goodput plateaus at
+//!   saturation instead of collapsing under unbounded queueing
+//!   (`BENCH_PR9.json`, EXPERIMENTS.md E13).
+//! * **Requests carry deadlines.** A `deadline_ms` budget (from the
+//!   protocol's optional `UPDATE 250 <stmt>` prefix, or
+//!   [`ServiceConfig::default_deadline_ms`]) bounds queue wait *and*
+//!   evaluation: expired requests are dropped with
+//!   [`ServiceError::Timeout`], and the remaining allowance is armed as
+//!   an [`EvalBudget`] around the check so a pathological
+//!   statement/constraint pair times out instead of hanging.
+//! * **A failed batch fsync degrades, it does not kill.** The shared
+//!   fsync is retried with bounded backoff (the journal's own
+//!   `Interrupted` retry policy plus [`ServiceConfig::fsync_attempts`]
+//!   service-level attempts); if the journal stays unwritable the
+//!   service enters read-only **degraded mode** — CHECK/DECIDE keep
+//!   serving the last *durably published* snapshot, UPDATE gets
+//!   [`ServiceError::Degraded`] — until an explicit
+//!   [`CheckerService::recover`] re-arms it after the journal heals.
 //! * **The sequential path survives as the ablation baseline.** The
 //!   [`Executor`] enum selects between `Sync` (caller-thread execution,
 //!   fsync per commit — the pre-service behavior) and `GroupCommit`;
@@ -26,9 +49,10 @@
 //!   (`BENCH_PR6.json`, EXPERIMENTS.md E10).
 //!
 //! The batching rules, the snapshot-handoff protocol (when readers
-//! observe a new version) and the interaction with journal rotation are
-//! specified in `DESIGN.md`'s *Concurrency architecture* section
-//! (system-inventory row 19).
+//! observe a new version) and the failure-mode state machine
+//! (ok → degraded → recovered, drain-on-shutdown) are specified in
+//! `DESIGN.md`'s *Concurrency architecture* section (system-inventory
+//! rows 19 and 22).
 //!
 //! [sync-now]: xic_xml::journal::Journal::sync_now
 
@@ -36,17 +60,39 @@ use crate::checker::{Checker, CheckerError, IrMode, UpdateOutcome, Violation};
 use crate::footprint::IndependenceIndex;
 use crate::resolver::xpath_resolver;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use xic_simplify::{live_set, ReadFootprint};
 use xic_xml::{apply, serialize, undo, Document, XUpdateDoc};
+use xic_xpath::EvalBudget;
 use xic_xquery::{eval_query_exists, XProgram, XQuery};
 
 /// Default cap on statements drained into one group-commit batch. Large
 /// enough that 16 concurrent submitters usually share one fsync, small
 /// enough that a slow statement cannot starve later submitters for long.
 pub const DEFAULT_MAX_BATCH: usize = 32;
+
+/// Default bound on submissions waiting for the writer (admission
+/// control): the 33rd concurrent waiter on a default-configured service
+/// is shed with [`ServiceError::Overloaded`] rather than queued. Sized
+/// to one full batch — queued work beyond a batch only adds latency.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Default service-level attempts for the shared batch fsync (the first
+/// try plus bounded-backoff retries) before the service declares the
+/// journal unwritable and degrades.
+pub const DEFAULT_FSYNC_ATTEMPTS: u32 = 3;
+
+/// Evaluation steps granted per deadline millisecond when a
+/// `deadline_ms` is converted into an [`EvalBudget`]. A *step* is one
+/// node visited or binding iterated (see `xic_xpath::budget`); 50k
+/// steps/ms is a conservative calibration of the compiled engine on the
+/// benchmark machine, so a deadline bounds evaluation work even where
+/// wall-clock checks cannot reach (mid-traversal).
+pub const DEADLINE_STEPS_PER_MS: u64 = 50_000;
 
 /// How the service executes submitted updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +118,61 @@ impl Executor {
     }
 }
 
+/// Full service configuration (the executor plus the resilience knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Sequential or group-commit execution (see [`Executor`]).
+    pub executor: Executor,
+    /// Bounded-admission depth: submissions beyond this many waiting are
+    /// shed with [`ServiceError::Overloaded`]. Clamped to at least 1.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// (`None`: no deadline — requests may wait and evaluate without
+    /// bound, the pre-PR9 behavior).
+    pub default_deadline_ms: Option<u64>,
+    /// Total attempts for the shared batch fsync (first try + retries
+    /// with exponential backoff) before the service degrades. Clamped to
+    /// at least 1.
+    pub fsync_attempts: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            executor: Executor::group_commit(),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            default_deadline_ms: None,
+            fsync_attempts: DEFAULT_FSYNC_ATTEMPTS,
+        }
+    }
+}
+
+/// The service's liveness state, reported by [`CheckerService::health`]
+/// and the protocol's `HEALTH` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Accepting reads and writes.
+    Ok,
+    /// Read-only: the journal stayed unwritable through the bounded
+    /// fsync retries. CHECK/DECIDE serve the last durably published
+    /// snapshot; UPDATE is refused with [`ServiceError::Degraded`] until
+    /// [`CheckerService::recover`] succeeds.
+    Degraded,
+    /// Shutting down: no new submissions, the in-flight queue drains.
+    Draining,
+}
+
+impl Health {
+    /// The lowercase wire word (`ok` / `degraded` / `draining`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Draining => "draining",
+        }
+    }
+}
+
 /// A service-level failure (wraps per-statement [`CheckerError`]s).
 #[derive(Debug, Clone)]
 pub enum ServiceError {
@@ -79,10 +180,26 @@ pub enum ServiceError {
     Checker(CheckerError),
     /// The shared batch fsync failed *after* this statement's record was
     /// appended: the commit may not be durable, so it is not
-    /// acknowledged. The service refuses further submissions.
+    /// acknowledged. The service transitions to degraded mode.
     SyncFailed(String),
-    /// The writer thread is gone (the service was shut down, or a prior
-    /// batch fsync failure wedged it).
+    /// Admission control shed this submission: `queue_depth` requests
+    /// were already waiting. Retry with backoff.
+    Overloaded {
+        /// The configured queue depth that was reached.
+        depth: usize,
+    },
+    /// The request's deadline elapsed — in the queue, waiting for the
+    /// ack, or mid-evaluation (its [`EvalBudget`] ran out). For an
+    /// UPDATE that timed out *waiting for the ack* the verdict is
+    /// unknown: the statement may still commit after the caller gave up.
+    Timeout {
+        /// The deadline that was exceeded, in milliseconds.
+        ms: u64,
+    },
+    /// The service is in read-only degraded mode (the journal stayed
+    /// unwritable); UPDATE is refused until [`CheckerService::recover`].
+    Degraded,
+    /// The writer thread is gone (the service was shut down).
     Stopped,
 }
 
@@ -93,6 +210,15 @@ impl fmt::Display for ServiceError {
             ServiceError::SyncFailed(m) => {
                 write!(f, "group-commit fsync failed (commit not acknowledged): {m}")
             }
+            ServiceError::Overloaded { depth } => {
+                write!(f, "overloaded: {depth} submissions already queued; retry with backoff")
+            }
+            ServiceError::Timeout { ms } => {
+                write!(f, "timeout: deadline of {ms} ms exceeded")
+            }
+            ServiceError::Degraded => f.write_str(
+                "degraded: journal unwritable, service is read-only until recovery",
+            ),
             ServiceError::Stopped => f.write_str("service stopped"),
         }
     }
@@ -123,6 +249,36 @@ pub struct SubmitOutcome {
     pub outcome: UpdateOutcome,
     /// Committed-statement count after this statement was decided.
     pub version: u64,
+}
+
+/// Point-in-time values of the service's resilience counters (also
+/// exported process-wide through `xic_obs`; these are the per-service
+/// atomics behind the protocol's `STATS` reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submissions shed by bounded admission.
+    pub requests_shed: u64,
+    /// Requests that exceeded their deadline.
+    pub requests_timed_out: u64,
+    /// Transitions into degraded mode since the service started.
+    pub service_degraded: u64,
+    /// Service-level batch-fsync retries.
+    pub fsync_retries: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    degraded_transitions: AtomicU64,
+    fsync_retries: AtomicU64,
+}
+
+/// Converts a deadline's remaining milliseconds into an [`EvalBudget`]
+/// (see [`DEADLINE_STEPS_PER_MS`]). A zero remainder yields a zero-step
+/// budget, which exhausts on the first charge.
+pub fn deadline_budget(remaining_ms: u64) -> EvalBudget {
+    EvalBudget::new(remaining_ms.saturating_mul(DEADLINE_STEPS_PER_MS))
 }
 
 /// The full-check inputs (Γ as denial text, query text, pre-parsed AST
@@ -162,7 +318,9 @@ impl CheckSet {
     }
 
     /// Evaluates entry `entry` existentially against `doc` with the
-    /// captured engine mode.
+    /// captured engine mode. An exhausted (deadline) budget stays
+    /// distinguishable from an engine error, mirroring
+    /// `Checker::check_full`.
     fn eval_exists(
         &self,
         entry: &(String, String, XQuery, XProgram),
@@ -173,7 +331,13 @@ impl CheckSet {
             IrMode::Interpret => eval_query_exists(parsed, doc),
             IrMode::Compiled => ir.eval_exists(doc, &[]),
         }
-        .map_err(|e| CheckerError::Query(format!("{text}: {e}")))
+        .map_err(|e| {
+            if e.is_budget_exhausted() {
+                CheckerError::BudgetExhausted
+            } else {
+                CheckerError::Query(format!("{text}: {e}"))
+            }
+        })
     }
 }
 
@@ -224,6 +388,18 @@ impl ReadSnapshot {
         Ok(None)
     }
 
+    /// [`ReadSnapshot::check_full`] bounded by `deadline_ms`: the
+    /// deadline's step budget is armed around the evaluation, and
+    /// exhaustion is reported as [`ServiceError::Timeout`] instead of
+    /// letting a pathological constraint/document pair hang the reader.
+    pub fn check_full_deadline(
+        &self,
+        deadline_ms: u64,
+    ) -> Result<Option<Violation>, ServiceError> {
+        let _budget = xic_xpath::budget::arm(deadline_budget(deadline_ms));
+        self.check_full().map_err(|e| timeout_or(e, deadline_ms))
+    }
+
     /// Decides — without committing — whether `stmt` would be legal in
     /// this snapshot's state: applies it to a private copy of the
     /// snapshot document, full-checks the result, and discards the
@@ -266,9 +442,17 @@ impl ReadSnapshot {
                         continue;
                     }
                 }
-                if self.checks.eval_exists(entry, &doc)? {
-                    found = Some(Violation { denial: entry.0.clone(), query: entry.1.clone() });
-                    break;
+                match self.checks.eval_exists(entry, &doc) {
+                    Ok(false) => {}
+                    Ok(true) => {
+                        found =
+                            Some(Violation { denial: entry.0.clone(), query: entry.1.clone() });
+                        break;
+                    }
+                    Err(e) => {
+                        undo(&mut doc, applied);
+                        return Err(e);
+                    }
                 }
             }
             found
@@ -276,43 +460,129 @@ impl ReadSnapshot {
         undo(&mut doc, applied); // symmetry only; the copy is dropped next
         Ok(verdict)
     }
+
+    /// [`ReadSnapshot::decide_full`] bounded by `deadline_ms` (see
+    /// [`ReadSnapshot::check_full_deadline`]).
+    pub fn decide_full_deadline(
+        &self,
+        stmt: &XUpdateDoc,
+        deadline_ms: u64,
+    ) -> Result<Option<Violation>, ServiceError> {
+        let _budget = xic_xpath::budget::arm(deadline_budget(deadline_ms));
+        self.decide_full(stmt).map_err(|e| timeout_or(e, deadline_ms))
+    }
+}
+
+/// True when `e` is (or wraps) an exhausted evaluation budget. The
+/// XUpdate `select` resolver stringifies its XPath error before the
+/// checker sees it, so exhaustion inside `apply` surfaces as a
+/// `Statement` (or `Query`) error carrying the engine's canonical
+/// budget message rather than the typed variant.
+fn is_budget_exhaustion(e: &CheckerError) -> bool {
+    match e {
+        CheckerError::BudgetExhausted => true,
+        CheckerError::Statement(m) | CheckerError::Query(m) => {
+            m.contains("step budget exhausted")
+        }
+        _ => false,
+    }
+}
+
+/// Maps a deadline-budget exhaustion to [`ServiceError::Timeout`]; any
+/// other checker error passes through.
+fn timeout_or(e: CheckerError, deadline_ms: u64) -> ServiceError {
+    if is_budget_exhaustion(&e) {
+        xic_obs::incr(xic_obs::Counter::RequestTimedOut);
+        ServiceError::Timeout { ms: deadline_ms }
+    } else {
+        ServiceError::Checker(e)
+    }
+}
+
+/// A request's deadline: the wall-clock expiry plus the originally
+/// requested budget (for error reporting).
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    expires: Instant,
+    ms: u64,
+}
+
+impl Deadline {
+    fn new(ms: u64) -> Deadline {
+        Deadline { expires: Instant::now() + Duration::from_millis(ms), ms }
+    }
+
+    /// Whole milliseconds left before expiry (0 once expired).
+    fn remaining_ms(&self, now: Instant) -> u64 {
+        self.expires.saturating_duration_since(now).as_millis() as u64
+    }
 }
 
 /// One queued submission awaiting the writer thread.
-struct Request {
+struct UpdateReq {
     stmt: String,
+    deadline: Option<Deadline>,
     reply: mpsc::SyncSender<Result<SubmitOutcome, ServiceError>>,
 }
 
+/// Queue messages for the writer thread: submissions, plus the
+/// control-plane recovery request (which bypasses admission).
+enum Request {
+    Update(UpdateReq),
+    Recover(mpsc::SyncSender<Result<(), ServiceError>>),
+}
+
 enum Inner {
-    // Boxed so the enum isn't sized by the whole Checker (the group
-    // variant is two pointers).
-    Sync(Box<Mutex<Checker>>),
+    // The checker is boxed so the enum isn't sized by it; the Option is
+    // taken by `shutdown`, which therefore needs no exclusive ownership
+    // of the service (live reader handles stay valid).
+    Sync(Mutex<Option<Box<Checker>>>),
     Group {
-        tx: Mutex<mpsc::Sender<Request>>,
-        handle: JoinHandle<Checker>,
+        tx: Mutex<Option<mpsc::Sender<Request>>>,
+        handle: Mutex<Option<JoinHandle<Checker>>>,
     },
 }
 
-/// The concurrent checker service (DESIGN.md row 19): one logical
-/// writer, any number of snapshot readers.
+/// The concurrent checker service (DESIGN.md rows 19 and 22): one
+/// logical writer, any number of snapshot readers, bounded admission,
+/// per-request deadlines, and a read-only degraded mode instead of
+/// permanent breakage when the journal stops accepting the batch fsync.
 ///
 /// Constructed over a fully-configured [`Checker`] (attach the journal
 /// or store, set policies and budgets *first* — the service takes
 /// ownership and, under [`Executor::GroupCommit`], hands the checker to
-/// its writer thread). [`CheckerService::shutdown`] drains the writer
-/// and gives the checker back.
+/// its writer thread). [`CheckerService::shutdown`] stops admission,
+/// drains the queue, and gives the checker back.
 pub struct CheckerService {
     snapshot: RwLock<Arc<ReadSnapshot>>,
     checks: Arc<CheckSet>,
-    executor: Executor,
-    broken: AtomicBool,
+    config: ServiceConfig,
+    /// Read-only mode: the batch fsync stayed failed after its bounded
+    /// retries. Cleared by [`CheckerService::recover`].
+    degraded: AtomicBool,
+    /// Set by [`CheckerService::shutdown`]: no new submissions.
+    draining: AtomicBool,
+    /// Submissions admitted but not yet picked up by the writer (group
+    /// mode) / in flight (sync mode); the admission bound.
+    queued: AtomicUsize,
+    stats: StatsCells,
     inner: Inner,
 }
 
 impl CheckerService {
-    /// Starts a service over `checker` with the given executor.
+    /// Starts a service over `checker` with the given executor and
+    /// default resilience knobs (see [`ServiceConfig`]).
     pub fn new(checker: Checker, executor: Executor) -> Arc<CheckerService> {
+        CheckerService::with_config(checker, ServiceConfig { executor, ..Default::default() })
+    }
+
+    /// Starts a service over `checker` with the full configuration.
+    pub fn with_config(checker: Checker, config: ServiceConfig) -> Arc<CheckerService> {
+        let config = ServiceConfig {
+            queue_depth: config.queue_depth.max(1),
+            fsync_attempts: config.fsync_attempts.max(1),
+            ..config
+        };
         let checks = Arc::new(CheckSet::from_checker(&checker));
         let initial = Arc::new(ReadSnapshot {
             doc: checker.doc().clone(),
@@ -323,23 +593,31 @@ impl CheckerService {
         // The service is created inside an `Arc` because the writer
         // thread and every client share it.
         Arc::new_cyclic(|weak: &std::sync::Weak<CheckerService>| {
-            let inner = match executor {
-                Executor::Sync => Inner::Sync(Box::new(Mutex::new(checker))),
+            let inner = match config.executor {
+                Executor::Sync => Inner::Sync(Mutex::new(Some(Box::new(checker)))),
                 Executor::GroupCommit { max_batch } => {
                     let (tx, rx) = mpsc::channel::<Request>();
                     let weak = weak.clone();
+                    let fsync_attempts = config.fsync_attempts;
+                    let max_batch = max_batch.max(1);
                     let handle = std::thread::Builder::new()
                         .name("xic-service-writer".to_string())
-                        .spawn(move || writer_loop(checker, rx, weak, max_batch.max(1)))
+                        .spawn(move || writer_loop(checker, rx, weak, max_batch, fsync_attempts))
                         .expect("spawn service writer thread");
-                    Inner::Group { tx: Mutex::new(tx), handle }
+                    Inner::Group {
+                        tx: Mutex::new(Some(tx)),
+                        handle: Mutex::new(Some(handle)),
+                    }
                 }
             };
             CheckerService {
                 snapshot: RwLock::new(initial),
                 checks,
-                executor,
-                broken: AtomicBool::new(false),
+                config,
+                degraded: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                queued: AtomicUsize::new(0),
+                stats: StatsCells::default(),
                 inner,
             }
         })
@@ -347,7 +625,33 @@ impl CheckerService {
 
     /// The executor this service was started with.
     pub fn executor(&self) -> Executor {
-        self.executor
+        self.config.executor
+    }
+
+    /// The full configuration this service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The service's liveness state (the protocol's `HEALTH` verb).
+    pub fn health(&self) -> Health {
+        if self.draining.load(Ordering::Acquire) {
+            Health::Draining
+        } else if self.degraded.load(Ordering::Acquire) {
+            Health::Degraded
+        } else {
+            Health::Ok
+        }
+    }
+
+    /// Point-in-time resilience counters (the protocol's `STATS` reply).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests_shed: self.stats.shed.load(Ordering::Relaxed),
+            requests_timed_out: self.stats.timed_out.load(Ordering::Relaxed),
+            service_degraded: self.stats.degraded_transitions.load(Ordering::Relaxed),
+            fsync_retries: self.stats.fsync_retries.load(Ordering::Relaxed),
+        }
     }
 
     /// The current read snapshot (an `Arc` clone; never blocks on
@@ -366,25 +670,144 @@ impl CheckerService {
     /// Submits one XUpdate statement for checked execution, blocking
     /// until its verdict is durable (group mode: until the shared batch
     /// fsync). Concurrent callers are safe; ordering between them is
-    /// the writer's arrival order.
+    /// the writer's arrival order. Applies the configured
+    /// [`ServiceConfig::default_deadline_ms`], if any.
     pub fn submit(&self, stmt: &str) -> Result<SubmitOutcome, ServiceError> {
-        if self.broken.load(Ordering::Acquire) {
+        self.submit_with(stmt, self.config.default_deadline_ms)
+    }
+
+    /// [`CheckerService::submit`] with an explicit deadline (overriding
+    /// the configured default; `None` waits without bound). The deadline
+    /// bounds queue wait and evaluation; an expired request fails with
+    /// [`ServiceError::Timeout`]. A timeout *while waiting for the ack*
+    /// leaves the verdict unknown — the statement may still commit.
+    pub fn submit_with(
+        &self,
+        stmt: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<SubmitOutcome, ServiceError> {
+        if self.draining.load(Ordering::Acquire) {
             return Err(ServiceError::Stopped);
         }
+        if self.degraded.load(Ordering::Acquire) {
+            return Err(ServiceError::Degraded);
+        }
+        let deadline = deadline_ms.map(Deadline::new);
+        // Bounded admission: shed before queueing, not after.
+        if self.queued.fetch_add(1, Ordering::AcqRel) >= self.config.queue_depth {
+            self.queued.fetch_sub(1, Ordering::AcqRel);
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            xic_obs::incr(xic_obs::Counter::RequestShed);
+            return Err(ServiceError::Overloaded { depth: self.config.queue_depth });
+        }
         match &self.inner {
-            Inner::Sync(checker) => {
-                let mut checker = checker.lock().expect("sync-executor checker poisoned");
-                let outcome = checker.try_update_str(stmt).map_err(ServiceError::Checker)?;
-                let result = SubmitOutcome { version: checker.committed(), outcome };
-                if result.outcome.applied() {
-                    self.publish(&checker);
-                }
-                Ok(result)
+            Inner::Sync(slot) => {
+                // The counter bounds concurrent submitters (queue wait =
+                // mutex wait under the sequential executor).
+                let result = self.submit_sync(slot, stmt, deadline);
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                result
             }
             Inner::Group { tx, .. } => {
-                let tx = tx.lock().expect("submit queue poisoned").clone();
+                let sender = match tx.lock().expect("submit queue poisoned").as_ref() {
+                    Some(sender) => sender.clone(),
+                    None => {
+                        self.queued.fetch_sub(1, Ordering::AcqRel);
+                        return Err(ServiceError::Stopped);
+                    }
+                };
                 let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-                tx.send(Request { stmt: stmt.to_string(), reply: reply_tx })
+                let req =
+                    UpdateReq { stmt: stmt.to_string(), deadline, reply: reply_tx };
+                if sender.send(Request::Update(req)).is_err() {
+                    self.queued.fetch_sub(1, Ordering::AcqRel);
+                    return Err(ServiceError::Stopped);
+                }
+                // The writer decrements `queued` when it dequeues.
+                match deadline {
+                    None => reply_rx.recv().map_err(|_| ServiceError::Stopped)?,
+                    Some(d) => {
+                        let wait = d.expires.saturating_duration_since(Instant::now());
+                        match reply_rx.recv_timeout(wait) {
+                            Ok(result) => result,
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                self.note_timeout();
+                                Err(ServiceError::Timeout { ms: d.ms })
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                Err(ServiceError::Stopped)
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sequential-executor submit path: mutex, optional deadline
+    /// budget, per-commit fsync inside the checker.
+    fn submit_sync(
+        &self,
+        slot: &Mutex<Option<Box<Checker>>>,
+        stmt: &str,
+        deadline: Option<Deadline>,
+    ) -> Result<SubmitOutcome, ServiceError> {
+        let mut guard = slot.lock().expect("sync-executor checker poisoned");
+        let checker = guard.as_mut().ok_or(ServiceError::Stopped)?;
+        let budget = match deadline {
+            None => None,
+            Some(d) => {
+                let left = d.remaining_ms(Instant::now());
+                if left == 0 {
+                    self.note_timeout();
+                    return Err(ServiceError::Timeout { ms: d.ms });
+                }
+                Some((deadline_budget(left), d.ms))
+            }
+        };
+        let _armed = budget.map(|(b, _)| xic_xpath::budget::arm(b));
+        let outcome = checker.try_update_str(stmt).map_err(|e| match budget {
+            Some((_, ms)) if is_budget_exhaustion(&e) => {
+                self.note_timeout();
+                ServiceError::Timeout { ms }
+            }
+            _ => ServiceError::Checker(e),
+        })?;
+        let result = SubmitOutcome { version: checker.committed(), outcome };
+        if result.outcome.applied() {
+            self.publish(checker);
+        }
+        Ok(result)
+    }
+
+    /// Re-arms a degraded service: flushes the journal (group mode: on
+    /// the writer thread, behind any in-flight batch), republishes the
+    /// writer state, and leaves degraded mode. A no-op flush on a
+    /// healthy service. Fails with the flush error if the journal is
+    /// still unwritable (the service stays degraded), or with
+    /// [`ServiceError::Stopped`] after shutdown.
+    pub fn recover(&self) -> Result<(), ServiceError> {
+        match &self.inner {
+            Inner::Sync(slot) => {
+                let mut guard = slot.lock().expect("sync-executor checker poisoned");
+                let checker = guard.as_mut().ok_or(ServiceError::Stopped)?;
+                checker
+                    .sync_journal()
+                    .map_err(|e| ServiceError::SyncFailed(e.to_string()))?;
+                self.publish(checker);
+                self.degraded.store(false, Ordering::Release);
+                Ok(())
+            }
+            Inner::Group { tx, .. } => {
+                let sender = tx
+                    .lock()
+                    .expect("submit queue poisoned")
+                    .as_ref()
+                    .cloned()
+                    .ok_or(ServiceError::Stopped)?;
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                sender
+                    .send(Request::Recover(reply_tx))
                     .map_err(|_| ServiceError::Stopped)?;
                 reply_rx.recv().map_err(|_| ServiceError::Stopped)?
             }
@@ -403,73 +826,249 @@ impl CheckerService {
         xic_obs::incr(xic_obs::Counter::SnapshotPublish);
     }
 
-    /// Marks the service broken (a batch fsync failed): further
-    /// submissions are refused with [`ServiceError::Stopped`].
-    fn mark_broken(&self) {
-        self.broken.store(true, Ordering::Release);
+    /// Enters read-only degraded mode (the batch fsync stayed failed).
+    fn enter_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            self.stats.degraded_transitions.fetch_add(1, Ordering::Relaxed);
+            xic_obs::incr(xic_obs::Counter::ServiceDegraded);
+        }
     }
 
-    /// Stops the service and returns the checker (group mode: joins the
-    /// writer thread after the queue drains).
-    pub fn shutdown(self: Arc<CheckerService>) -> Checker {
-        let this = Arc::try_unwrap(self).unwrap_or_else(|arc| {
-            panic!(
-                "shutdown with {} live service handles (drop readers first)",
-                Arc::strong_count(&arc)
-            )
-        });
-        match this.inner {
-            Inner::Sync(checker) => {
-                checker.into_inner().expect("sync-executor checker poisoned")
-            }
+    fn note_timeout(&self) {
+        self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+        xic_obs::incr(xic_obs::Counter::RequestTimedOut);
+    }
+
+    /// Counts a read-path (snapshot) deadline expiry. Snapshots are
+    /// detached from the service, so the protocol layer reports these;
+    /// the obs counter was already incremented where the exhaustion was
+    /// classified (`timeout_or`).
+    pub(crate) fn note_read_timeout(&self) {
+        self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_fsync_retries(&self, n: u32) {
+        if n > 0 {
+            self.stats.fsync_retries.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Stops the service and returns the checker: admission closes
+    /// ([`ServiceError::Stopped`] for new submissions), the queue
+    /// drains — every queued submission still gets its durable verdict
+    /// (or its degraded/timeout refusal) — and the writer thread joins.
+    /// Safe with any number of live service or snapshot handles; a
+    /// second call returns [`ServiceError::Stopped`].
+    pub fn shutdown(&self) -> Result<Checker, ServiceError> {
+        self.draining.store(true, Ordering::Release);
+        match &self.inner {
+            Inner::Sync(slot) => slot
+                .lock()
+                .expect("sync-executor checker poisoned")
+                .take()
+                .map(|boxed| *boxed)
+                .ok_or(ServiceError::Stopped),
             Inner::Group { tx, handle } => {
-                drop(tx); // closes the queue; the writer loop exits after draining
-                handle.join().expect("service writer thread panicked")
+                // Closing the queue lets the writer loop drain and exit.
+                drop(tx.lock().expect("submit queue poisoned").take());
+                let handle = handle
+                    .lock()
+                    .expect("writer handle poisoned")
+                    .take()
+                    .ok_or(ServiceError::Stopped)?;
+                // The writer contains batch panics, so a join error is
+                // unreachable short of a bug in the loop itself.
+                handle.join().map_err(|_| ServiceError::Stopped)
             }
         }
     }
 }
 
-/// The writer loop: drain a batch, apply it via [`apply_batch`],
-/// publish one snapshot, acknowledge every submitter.
+/// The writer loop: drain a batch, apply it via
+/// [`apply_batch_resilient`], publish one snapshot, acknowledge every
+/// submitter. A failed batch fsync (after its bounded retries) flips
+/// the service into degraded mode but keeps the loop alive, so queued
+/// submitters get answers and [`CheckerService::recover`] has a writer
+/// to talk to.
 fn writer_loop(
     mut checker: Checker,
     rx: mpsc::Receiver<Request>,
     service: std::sync::Weak<CheckerService>,
     max_batch: usize,
+    fsync_attempts: u32,
 ) -> Checker {
-    while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
+    let note_dequeued = |n: usize| {
+        if n > 0 {
+            if let Some(service) = service.upgrade() {
+                service.queued.fetch_sub(n, Ordering::AcqRel);
+            }
+        }
+    };
+    loop {
+        let first = match rx.recv() {
+            Ok(request) => request,
+            Err(_) => break, // queue closed and drained: shutdown
+        };
+        let mut batch: Vec<UpdateReq> = Vec::new();
+        let mut controls: Vec<mpsc::SyncSender<Result<(), ServiceError>>> = Vec::new();
+        match first {
+            Request::Update(req) => {
+                note_dequeued(1);
+                batch.push(req);
+            }
+            Request::Recover(reply) => controls.push(reply),
+        }
         while batch.len() < max_batch {
             match rx.try_recv() {
-                Ok(req) => batch.push(req),
+                Ok(Request::Update(req)) => {
+                    note_dequeued(1);
+                    batch.push(req);
+                }
+                // A recovery request acts as a batch boundary: it must
+                // observe the flush outcome of everything before it.
+                Ok(Request::Recover(reply)) => {
+                    controls.push(reply);
+                    break;
+                }
                 Err(_) => break,
             }
         }
-        let stmts: Vec<&str> = batch.iter().map(|r| r.stmt.as_str()).collect();
-        let before = checker.committed();
-        let results = apply_batch(&mut checker, &stmts);
-        let fsync_failed =
-            results.iter().any(|r| matches!(r, Err(ServiceError::SyncFailed(_))));
-        if let Some(service) = service.upgrade() {
-            if checker.committed() != before {
-                service.publish(&checker);
-            }
-            if fsync_failed {
-                service.mark_broken();
+        if !batch.is_empty() {
+            let degraded =
+                service.upgrade().is_some_and(|s| s.degraded.load(Ordering::Acquire));
+            if degraded {
+                // Read-only: refuse without touching the checker, so the
+                // in-memory state stays at the last (unflushed) batch.
+                for req in batch {
+                    let _ = req.reply.send(Err(ServiceError::Degraded));
+                }
+            } else {
+                run_batch(&mut checker, batch, &service, fsync_attempts);
             }
         }
-        // Acknowledge only now: every commit in the batch is durable
-        // (or reported as SyncFailed). A submitter that gave up waiting
-        // closes its reply channel; that is its loss, not an error here.
-        for (req, result) in batch.into_iter().zip(results) {
-            let _ = req.reply.send(result);
-        }
-        if fsync_failed {
-            break; // refuse further batches; queued submitters see Stopped
+        for reply in controls {
+            let _ = reply.send(writer_recover(&mut checker, &service));
         }
     }
     checker
+}
+
+/// Executes one admitted batch on the writer thread: expire overdue
+/// requests, run the resilient batch path, publish on success or
+/// degrade on a failed flush, acknowledge every submitter.
+fn run_batch(
+    checker: &mut Checker,
+    batch: Vec<UpdateReq>,
+    service: &std::sync::Weak<CheckerService>,
+    fsync_attempts: u32,
+) {
+    let now = Instant::now();
+    let mut live: Vec<UpdateReq> = Vec::with_capacity(batch.len());
+    for req in batch {
+        match req.deadline {
+            Some(d) if d.remaining_ms(now) == 0 => {
+                if let Some(service) = service.upgrade() {
+                    service.note_timeout();
+                }
+                let _ = req.reply.send(Err(ServiceError::Timeout { ms: d.ms }));
+            }
+            _ => live.push(req),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let items: Vec<BatchStmt> = live
+        .iter()
+        .map(|req| BatchStmt {
+            stmt: &req.stmt,
+            budget: req.deadline.map(|d| deadline_budget(d.remaining_ms(now))),
+        })
+        .collect();
+    let before = checker.committed();
+    let outcome = apply_batch_resilient(checker, &items, fsync_attempts);
+    if let Some(service) = service.upgrade() {
+        service.note_fsync_retries(outcome.fsync_retries);
+        match &outcome.disposition {
+            BatchDisposition::Committed => {
+                if checker.committed() != before {
+                    service.publish(checker);
+                }
+            }
+            // The batch's commits are not durable: readers keep the last
+            // published (durable) snapshot, the service goes read-only.
+            BatchDisposition::SyncFailed(_) => service.enter_degraded(),
+        }
+    }
+    // Acknowledge only now: every commit in the batch is durable (or
+    // reported as SyncFailed/Timeout). A submitter that gave up waiting
+    // closed its reply channel; that is its loss, not an error here.
+    for (req, result) in live.into_iter().zip(outcome.results) {
+        let result = match (result, req.deadline) {
+            // An exhausted deadline budget surfaces as a timeout, not a
+            // bare budget error.
+            (Err(ServiceError::Checker(e)), Some(d)) if is_budget_exhaustion(&e) => {
+                if let Some(service) = service.upgrade() {
+                    service.note_timeout();
+                }
+                Err(ServiceError::Timeout { ms: d.ms })
+            }
+            (result, _) => result,
+        };
+        let _ = req.reply.send(result);
+    }
+}
+
+/// The writer-side recovery step: flush the journal; on success,
+/// republish the writer state (now durable) and leave degraded mode.
+fn writer_recover(
+    checker: &mut Checker,
+    service: &std::sync::Weak<CheckerService>,
+) -> Result<(), ServiceError> {
+    checker
+        .sync_journal()
+        .map_err(|e| ServiceError::SyncFailed(e.to_string()))?;
+    if let Some(service) = service.upgrade() {
+        service.publish(checker);
+        service.degraded.store(false, Ordering::Release);
+    }
+    Ok(())
+}
+
+/// One statement of a resilient batch: the text plus an optional
+/// evaluation budget (a deadline's remaining allowance) armed around
+/// its check.
+pub struct BatchStmt<'a> {
+    /// The XUpdate statement.
+    pub stmt: &'a str,
+    /// Armed around this statement's evaluation; exhaustion surfaces as
+    /// [`CheckerError::BudgetExhausted`] in the statement's result.
+    pub budget: Option<EvalBudget>,
+}
+
+/// Terminal state of one batch through [`apply_batch_resilient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchDisposition {
+    /// The shared fsync succeeded: every `Applied` outcome is durable
+    /// and acknowledged.
+    Committed,
+    /// The shared fsync failed every attempt (the message is the last
+    /// failure): applied outcomes were downgraded to
+    /// [`ServiceError::SyncFailed`] and the service should degrade.
+    SyncFailed(String),
+}
+
+/// What [`apply_batch_resilient`] returns: per-statement results, the
+/// batch's terminal disposition, and how many service-level fsync
+/// retries it spent.
+pub struct BatchOutcome {
+    /// Per-statement results, in submission order.
+    pub results: Vec<Result<SubmitOutcome, ServiceError>>,
+    /// Whether the shared fsync eventually succeeded.
+    pub disposition: BatchDisposition,
+    /// Service-level fsync retries spent (0 when the first try
+    /// succeeded).
+    pub fsync_retries: u32,
 }
 
 /// Applies one group-commit batch to `checker`: every statement is
@@ -486,19 +1085,37 @@ fn writer_loop(
 /// its record may not have reached stable storage.
 ///
 /// This is a free function (not a writer-thread-only method) so the
-/// crash oracle in `xic-difftest` can drive the exact production batch
-/// path under thread-scoped fault injection.
+/// crash and chaos oracles in `xic-difftest` can drive the exact
+/// production batch path under thread-scoped fault injection.
 pub fn apply_batch(
     checker: &mut Checker,
     stmts: &[&str],
 ) -> Vec<Result<SubmitOutcome, ServiceError>> {
+    let items: Vec<BatchStmt> =
+        stmts.iter().map(|stmt| BatchStmt { stmt, budget: None }).collect();
+    apply_batch_resilient(checker, &items, 1).results
+}
+
+/// [`apply_batch`] with the service's resilience semantics: optional
+/// per-statement deadline budgets, and the shared fsync attempted up to
+/// `fsync_attempts` times (exponential backoff between attempts, capped
+/// at 16 ms; a panic during the flush is contained and counts as a
+/// failed attempt). This *is* the production write path — the writer
+/// thread calls it for every batch — so the difftest chaos pass drives
+/// it directly under fault injection.
+pub fn apply_batch_resilient(
+    checker: &mut Checker,
+    items: &[BatchStmt],
+    fsync_attempts: u32,
+) -> BatchOutcome {
     let prev_sync = checker.journal_sync();
     checker.set_journal_sync(false);
-    let mut results = Vec::with_capacity(stmts.len());
-    for stmt in stmts {
+    let mut results = Vec::with_capacity(items.len());
+    for item in items {
         xic_obs::incr(xic_obs::Counter::GroupCommitStatement);
+        let _budget = item.budget.map(xic_xpath::budget::arm);
         let result = checker
-            .try_update_str(stmt)
+            .try_update_str(item.stmt)
             .map(|outcome| SubmitOutcome { version: checker.committed(), outcome })
             .map_err(ServiceError::Checker);
         results.push(result);
@@ -508,13 +1125,55 @@ pub fn apply_batch(
     // store's own sync mode; restoring here converges the modes again.)
     checker.set_journal_sync(prev_sync);
     xic_obs::incr(xic_obs::Counter::GroupCommitBatch);
-    if let Err(e) = checker.sync_journal() {
-        let msg = e.to_string();
-        for result in results.iter_mut() {
-            if matches!(result, Ok(out) if out.outcome.applied()) {
-                *result = Err(ServiceError::SyncFailed(msg.clone()));
+    let attempts = fsync_attempts.max(1);
+    let mut retries = 0u32;
+    let mut flush: Result<(), String> = Ok(());
+    for attempt in 1..=attempts {
+        flush = match catch_unwind(AssertUnwindSafe(|| checker.sync_journal())) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(format!(
+                "panic during batch fsync: {}",
+                panic_text(payload.as_ref())
+            )),
+        };
+        if flush.is_ok() {
+            break;
+        }
+        if attempt < attempts {
+            retries += 1;
+            xic_obs::incr(xic_obs::Counter::FsyncRetry);
+            // 1, 2, 4, 8, 16 ms — bounded, so a drained shutdown with a
+            // dead disk still terminates promptly.
+            std::thread::sleep(Duration::from_millis(1 << (attempt - 1).min(4)));
+        }
+    }
+    match flush {
+        Ok(()) => BatchOutcome {
+            results,
+            disposition: BatchDisposition::Committed,
+            fsync_retries: retries,
+        },
+        Err(msg) => {
+            for result in results.iter_mut() {
+                if matches!(result, Ok(out) if out.outcome.applied()) {
+                    *result = Err(ServiceError::SyncFailed(msg.clone()));
+                }
+            }
+            BatchOutcome {
+                results,
+                disposition: BatchDisposition::SyncFailed(msg),
+                fsync_retries: retries,
             }
         }
     }
-    results
+}
+
+/// Best-effort text of a contained panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
 }

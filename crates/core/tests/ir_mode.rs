@@ -198,7 +198,7 @@ fn service_snapshots_check_with_the_writers_mode() {
             service.submit(&insert_sub("//rev[name/text() = 'dan']", "zoe")).unwrap().outcome.applied()
         );
         drop(snap);
-        service.shutdown();
+        service.shutdown().expect("first shutdown succeeds");
     }
 }
 

@@ -143,7 +143,7 @@ fn stress(executor: Executor, tag: &str) {
 
     let final_snapshot = service.snapshot();
     assert_eq!(final_snapshot.version(), applied.len() as u64);
-    let live = service.shutdown();
+    let live = service.shutdown().expect("first shutdown succeeds");
     assert_eq!(xic_xml::serialize(live.doc()), final_snapshot.serialize());
 
     // Sequential replay oracle: the same statements, one writer, no
@@ -244,5 +244,5 @@ fn old_snapshots_stay_immutable_while_commits_proceed() {
     let stmt = xicheck::XUpdateDoc::parse(&illegal()).expect("parse");
     assert!(old.decide_full(&stmt).expect("decide").is_some());
     assert_eq!(service.version(), 3);
-    service.shutdown();
+    service.shutdown().expect("first shutdown succeeds");
 }

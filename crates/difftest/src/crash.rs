@@ -131,7 +131,7 @@ pub fn crash_point_in(sites: &[&'static str], seed: u64) -> CrashPoint {
 /// True for sites that only fire while a checkpoint rotation is running;
 /// cases landing on one are forced into store mode so the site is
 /// reachable.
-fn is_rotation_site(site: &str) -> bool {
+pub(crate) fn is_rotation_site(site: &str) -> bool {
     site.starts_with("checkpoint.") || site.starts_with("rotation.")
 }
 
@@ -203,7 +203,7 @@ pub struct CrashReport {
 
 /// Wraps a single op back into a complete `<xupdate:modifications>`
 /// statement, so a case's ops become a batch of independent statements.
-fn wrap_op(op: &str) -> String {
+pub(crate) fn wrap_op(op: &str) -> String {
     format!(
         "<xupdate:modifications version=\"1.0\" \
          xmlns:xupdate=\"http://www.xmldb.org/xupdate\">{op}</xupdate:modifications>"
@@ -549,6 +549,11 @@ fn run_group_commit_case(
     xic_faults::disarm_all();
     xic_faults::arm(site, nth, FaultMode::Panic);
     let mut panicked = false;
+    // A panic during the shared fsync is contained by the batch path
+    // (`apply_batch_resilient`'s catch_unwind) instead of unwinding the
+    // checker: the batch is reported `SyncFailed` — never acknowledged —
+    // and the real service would degrade here.
+    let mut sync_failed = false;
     // Commits in batches whose shared fsync completed: acknowledged to
     // their submitters, so recovery must never drop them.
     let mut acked = 0usize;
@@ -560,6 +565,7 @@ fn run_group_commit_case(
             match result {
                 Ok(out) if out.outcome.applied() => batch_applied += 1,
                 Ok(_) => {}
+                Err(ServiceError::SyncFailed(_)) => sync_failed = true,
                 Err(ServiceError::Checker(
                     CheckerError::Statement(_) | CheckerError::Panicked(_) | CheckerError::Poisoned,
                 )) => {
@@ -577,14 +583,14 @@ fn run_group_commit_case(
                 }
             }
         }
-        if panicked {
-            break; // the crash: nothing after this batch ran
+        if panicked || sync_failed {
+            break; // the crash: nothing after this batch was acknowledged
         }
         acked += batch_applied;
     }
     let fired = xic_faults::hits(site) >= nth;
     xic_faults::disarm_all();
-    if fired && !panicked {
+    if fired && !panicked && !sync_failed {
         let _ = std::fs::remove_file(&journal);
         return Err(diverge(format!(
             "armed panic at {site} hit {nth} fired but was not contained as a crash"

@@ -49,6 +49,7 @@
 //!
 //! In the system-inventory table of `DESIGN.md` this crate is item 15 (differential fuzzer).
 
+pub mod chaos;
 pub mod crash;
 pub mod gen;
 pub mod reference;

@@ -6,12 +6,20 @@
 //! cargo run -p xic-difftest -- --crash-matrix --cases 100 --seed 1
 //! cargo run -p xic-difftest -- --crash-matrix --seed 17 --cases 1  # replay
 //! cargo run -p xic-difftest -- --crash-matrix --cases 50 --sites checkpoint,rotation
+//! cargo run -p xic-difftest -- --chaos --cases 100 --seed 1
 //! ```
 //!
 //! `--crash-matrix` switches to the crash-recovery oracle (the `crash`
 //! module in the library): each case injects a contained panic at a fault site
 //! derived from the seed and asserts that journal recovery reproduces the
 //! committed prefix of a never-crashed twin run, byte for byte.
+//!
+//! `--chaos` drives batched traffic through the resilient group-commit
+//! path while a seeded fault (error, transient, or panic) fires at a
+//! journal or checkpoint site, and asserts that no acknowledged commit is
+//! ever lost, that degraded reads match the committed prefix, and that
+//! the service always lands in a healthy, recovered, or cleanly poisoned
+//! terminal state.
 //!
 //! Exit code 0 means every case passed all four oracles (and, for runs of
 //! ≥ 100 cases, that all six XUpdate operation kinds were exercised);
@@ -31,6 +39,7 @@ struct Args {
     out: String,
     dump: bool,
     crash_matrix: bool,
+    chaos: bool,
     sites: Option<String>,
     ir_mode: xicheck::IrMode,
     independence: bool,
@@ -42,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = String::new();
     let mut dump = false;
     let mut crash_matrix = false;
+    let mut chaos = false;
     let mut sites: Option<String> = None;
     let mut ir_mode = xicheck::IrMode::Compiled;
     let mut independence = true;
@@ -79,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dump" => dump = true,
             "--crash-matrix" => crash_matrix = true,
+            "--chaos" => chaos = true,
             "--sites" => {
                 sites = Some(next_value(&mut i, inline.as_deref())?);
             }
@@ -100,9 +111,14 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
+    if crash_matrix && chaos {
+        return Err("--crash-matrix and --chaos are mutually exclusive".to_string());
+    }
     if out.is_empty() {
         out = if crash_matrix {
             "BENCH_CRASH.json".to_string()
+        } else if chaos {
+            "BENCH_CHAOS.json".to_string()
         } else {
             "BENCH_DIFFTEST.json".to_string()
         };
@@ -116,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         dump,
         crash_matrix,
+        chaos,
         sites,
         ir_mode,
         independence,
@@ -254,6 +271,87 @@ fn run_crash_matrix(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the chaos pass and writes its JSON report.
+fn run_chaos(args: &Args) -> ExitCode {
+    // Panic-mode faults are contained by the batch machinery; silence the
+    // default hook's backtrace spam like the crash matrix does.
+    std::panic::set_hook(Box::new(|_| {}));
+    obs::reset();
+    let report = xic_difftest::chaos::run_chaos(xic_difftest::chaos::ChaosConfig {
+        seed: args.seed,
+        cases: args.cases,
+    });
+    let _ = std::panic::take_hook();
+    let snapshot = obs::snapshot();
+    for d in &report.divergences {
+        eprintln!("{}", d.report());
+    }
+    println!(
+        "chaos: {} cases from seed {} — {} divergences, {} faults fired, \
+         {} degraded, {} absorbed by fsync retry, {} poisoned, \
+         {} store-mode cases, {} commits acked, {} commits replayed",
+        args.cases,
+        args.seed,
+        report.divergences.len(),
+        report.fired,
+        report.degraded,
+        report.retry_absorbed,
+        report.poisoned,
+        report.store_cases,
+        report.acked,
+        report.replayed,
+    );
+    let json = Value::Object(vec![
+        ("bench".to_string(), Value::String("chaos".to_string())),
+        ("seed".to_string(), Value::Number(args.seed as f64)),
+        ("cases".to_string(), Value::Number(args.cases as f64)),
+        (
+            "divergences".to_string(),
+            Value::Number(report.divergences.len() as f64),
+        ),
+        ("faults_fired".to_string(), Value::Number(report.fired as f64)),
+        ("degraded".to_string(), Value::Number(report.degraded as f64)),
+        (
+            "retry_absorbed".to_string(),
+            Value::Number(report.retry_absorbed as f64),
+        ),
+        ("poisoned".to_string(), Value::Number(report.poisoned as f64)),
+        (
+            "store_cases".to_string(),
+            Value::Number(report.store_cases as f64),
+        ),
+        ("commits_acked".to_string(), Value::Number(report.acked as f64)),
+        (
+            "commits_replayed".to_string(),
+            Value::Number(report.replayed as f64),
+        ),
+        (
+            "failing_seeds".to_string(),
+            Value::Array(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| Value::Number(d.seed as f64))
+                    .collect(),
+            ),
+        ),
+        ("obs".to_string(), snapshot.to_json_value()),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, json.render_pretty(2) + "\n") {
+        eprintln!("difftest: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", args.out);
+    if !report.divergences.is_empty() {
+        return ExitCode::from(1);
+    }
+    if args.cases >= 100 && report.fired == 0 {
+        eprintln!("chaos: no armed fault ever fired in {} cases", args.cases);
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 const OP_COUNTERS: [obs::Counter; 6] = [
     obs::Counter::DifftestOpInsertBefore,
     obs::Counter::DifftestOpInsertAfter,
@@ -269,8 +367,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("difftest: {e}");
             eprintln!(
-                "usage: difftest [--crash-matrix [--sites PAT,PAT…]] [--cases N] [--seed N] \
-                 [--ir-mode interpret|compiled] [--independence on|off] [--out FILE]"
+                "usage: difftest [--crash-matrix [--sites PAT,PAT…] | --chaos] [--cases N] \
+                 [--seed N] [--ir-mode interpret|compiled] [--independence on|off] [--out FILE]"
             );
             return ExitCode::from(2);
         }
@@ -285,6 +383,9 @@ fn main() -> ExitCode {
     xicheck::set_default_independence(args.independence);
     if args.crash_matrix {
         return run_crash_matrix(&args);
+    }
+    if args.chaos {
+        return run_chaos(&args);
     }
     if args.dump {
         // Print the generated artifacts for `--seed` without running any

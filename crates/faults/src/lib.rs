@@ -107,6 +107,11 @@ pub const SITES: &[&str] = &[
     "journal.append.post_write",
     // Journal append, after fsync: the record is durable.
     "journal.append.post_fsync",
+    // The shared batch fsync (`Journal::sync_now`), before the data
+    // reaches the disk: the group-commit durability point. Error and
+    // transient faults here exercise the service's bounded fsync retry
+    // and its read-only degraded mode.
+    "journal.sync",
     // Checker commit, after the update is applied and checked but before
     // the journal record is appended.
     "checker.commit.pre",
@@ -139,8 +144,11 @@ struct ArmedFault {
     nth: u64,
     hits: u64,
     mode: FaultMode,
-    /// Only hits from the arming thread count (see module docs).
+    /// Only hits from the arming thread count (see module docs), unless
+    /// the fault was armed with [`arm_any_thread`].
     thread: std::thread::ThreadId,
+    /// Armed via [`arm_any_thread`]: hits from every thread count.
+    any_thread: bool,
 }
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);
@@ -160,6 +168,18 @@ fn registry() -> std::sync::MutexGuard<'static, Vec<ArmedFault>> {
 /// Arming the same site twice stacks two independent triggers; use
 /// [`disarm_all`] between test cases.
 pub fn arm(site: &str, nth: u64, mode: FaultMode) {
+    arm_inner(site, nth, mode, false);
+}
+
+/// Like [`arm`], but hits from *every* thread count and trigger. Needed
+/// to fault code that runs on threads the harness does not own — e.g.
+/// the service writer thread's batch fsync. Use sparingly: concurrent
+/// tests arming the same site this way will consume each other's hits.
+pub fn arm_any_thread(site: &str, nth: u64, mode: FaultMode) {
+    arm_inner(site, nth, mode, true);
+}
+
+fn arm_inner(site: &str, nth: u64, mode: FaultMode, any_thread: bool) {
     let mut reg = registry();
     reg.push(ArmedFault {
         site: site.to_string(),
@@ -167,6 +187,7 @@ pub fn arm(site: &str, nth: u64, mode: FaultMode) {
         hits: 0,
         mode,
         thread: std::thread::current().id(),
+        any_thread,
     });
     ANY_ARMED.store(true, Ordering::Release);
 }
@@ -212,7 +233,10 @@ fn fire_slow(site: &'static str) -> Result<(), FaultError> {
     let mode = {
         let mut reg = registry();
         let mut triggered = None;
-        for f in reg.iter_mut().filter(|f| f.site == site && f.thread == me) {
+        for f in reg
+            .iter_mut()
+            .filter(|f| f.site == site && (f.any_thread || f.thread == me))
+        {
             f.hits += 1;
             if f.hits == f.nth {
                 triggered = Some(f.mode);

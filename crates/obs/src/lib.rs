@@ -149,10 +149,23 @@ pub enum Counter {
     /// analysis — the live subset, plus every constraint whenever the
     /// analysis falls back to "all live".
     ChecksRetainedStatic,
+    /// Submissions refused at admission because the service's bounded
+    /// queue was full (load shedding; the client should back off).
+    RequestShed,
+    /// Requests that exceeded their deadline — expired in the queue,
+    /// timed out waiting for the ack, or exhausted their deadline's
+    /// evaluation budget mid-check.
+    RequestTimedOut,
+    /// Service transitions into read-only degraded mode (the batch fsync
+    /// stayed failed after its bounded retries).
+    ServiceDegraded,
+    /// Batch-fsync attempts retried by the service after a failure,
+    /// before either succeeding or declaring the service degraded.
+    FsyncRetry,
 }
 
 /// All counters, in snapshot order.
-pub const ALL_COUNTERS: [Counter; 38] = [
+pub const ALL_COUNTERS: [Counter; 42] = [
     Counter::PatternCacheHit,
     Counter::PatternCacheMiss,
     Counter::NameIndexHit,
@@ -191,6 +204,10 @@ pub const ALL_COUNTERS: [Counter; 38] = [
     Counter::DifftestThreeWayQuery,
     Counter::ChecksSkippedStatic,
     Counter::ChecksRetainedStatic,
+    Counter::RequestShed,
+    Counter::RequestTimedOut,
+    Counter::ServiceDegraded,
+    Counter::FsyncRetry,
 ];
 
 const N_COUNTERS: usize = ALL_COUNTERS.len();
@@ -237,6 +254,10 @@ impl Counter {
             Counter::DifftestThreeWayQuery => "three_way_queries",
             Counter::ChecksSkippedStatic => "checks_skipped_static",
             Counter::ChecksRetainedStatic => "checks_retained_static",
+            Counter::RequestShed => "requests_shed",
+            Counter::RequestTimedOut => "requests_timed_out",
+            Counter::ServiceDegraded => "service_degraded",
+            Counter::FsyncRetry => "fsync_retries",
         }
     }
 

@@ -288,7 +288,28 @@ impl Journal {
     /// primitive (DESIGN.md row 19): a batch of appends runs with
     /// `set_sync(false)`, then one `sync_now` makes the whole batch
     /// durable before any of its submitters is acknowledged.
+    ///
+    /// A *transient* (`Interrupted`-class) failure is retried in place up
+    /// to [`MAX_APPEND_ATTEMPTS`] times — the same bounded-retry policy
+    /// as [`Journal::append`] — before being reported; permanent failures
+    /// surface immediately so the service can run its own backoff and
+    /// degrade if the journal stays unwritable.
     pub fn sync_now(&mut self) -> Result<(), JournalError> {
+        let mut attempt = 1;
+        loop {
+            match self.sync_now_inner() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < MAX_APPEND_ATTEMPTS => {
+                    attempt += 1;
+                    xic_obs::incr(xic_obs::Counter::JournalRetry);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn sync_now_inner(&mut self) -> Result<(), JournalError> {
+        xic_faults::fire("journal.sync")?;
         self.file.sync_data()?;
         xic_obs::incr(xic_obs::Counter::JournalFsync);
         Ok(())
