@@ -100,6 +100,29 @@ CHAOS_CASES="${CHAOS_CASES:-100}"
 cargo run --release -q -p xic-difftest -- --chaos --cases "$CHAOS_CASES" --seed 1 \
   --out /tmp/BENCH_CHAOS_CI.json
 
+echo "== shard crash matrix (fault-isolated shards, parallel recovery) =="
+# The PR10 gate (count overridable via SHARD_CRASH_CASES): each seeded
+# case drives distinct workloads into the shards of one ShardSet while a
+# contained panic crashes exactly one shard — mid-rotation cases
+# included (every shard rotates aggressively). Oracles: sibling shards
+# stay healthy, at their acked version, and byte-identical to their
+# per-shard twins; the victim's acked prefix survives whole-set
+# recovery; and the parallel recovery fan-out equals sequential
+# recovery byte for byte (replay: difftest -- --shard-matrix --seed N
+# --cases 1).
+SHARD_CRASH_CASES="${SHARD_CRASH_CASES:-60}"
+cargo run --release -q -p xic-difftest -- --shard-matrix --cases "$SHARD_CRASH_CASES" \
+  --seed 1 --out /tmp/BENCH_SHARD_CRASH_CI.json
+
+echo "== shard chaos pass (in-place shard rebuild while siblings commit) =="
+# Same isolation oracles with error/transient/panic faults and the
+# victim rebuilt in place via recover_shard while its siblings keep
+# committing — per-shard twins assert no cross-shard contamination in
+# either direction (replay: difftest -- --shard-chaos --seed N --cases 1).
+cargo run --release -q -p xic-difftest -- --shard-chaos \
+  --cases "${SHARD_CHAOS_CASES:-60}" --seed 1 \
+  --out /tmp/BENCH_SHARD_CHAOS_CI.json
+
 echo "== concurrency stress smoke (snapshot readers + group-commit writers) =="
 # The service stress oracle: concurrent writers and snapshot readers,
 # acknowledged commits replayed sequentially must reproduce the final
@@ -120,6 +143,13 @@ echo "== experiments smoke (ir section, small sizes) =="
 # report (BENCH_PR7.json) is regenerated with the default sizes.
 cargo run --release -q -p xic-bench --bin experiments -- ir \
   --sizes=8 --iters=1 --out=/tmp/BENCH_IR_SMOKE.json
+
+echo "== experiments smoke (shards section: E14 recovery + mixed traffic) =="
+# The sharded-store experiment must run end to end: whole-set recovery
+# at 1/4/16 shards (sequential vs parallel fan-out) plus the Zipf
+# mixed-traffic throughput panel. The real report is BENCH_PR10.json.
+cargo run --release -q -p xic-bench --bin experiments -- shards \
+  --iters=1 --out=/tmp/BENCH_SHARDS_SMOKE.json
 
 echo "== rustdoc (-D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -4,7 +4,7 @@
 //! ```text
 //! experiments [fig1a] [fig1b] [illegal] [simp] [exists] [ordercache] [ir]
 //!             [journal] [budget] [checkpoint] [service] [independence]
-//!             [overload] [all]
+//!             [overload] [shards] [all]
 //!             [--sizes=32,64,128,256,512] [--iters=3] [--seed=1]
 //!             [--out=BENCH_PR3.json]
 //! ```
@@ -36,7 +36,12 @@
 //! (E12 — conventionally written to `BENCH_PR8.json` via `--out`);
 //! `overload` sweeps closed-loop client counts against a small admission
 //! queue and reports offered load, goodput, shed rate and p99 latency
-//! (E13 — conventionally written to `BENCH_PR9.json` via `--out`).
+//! (E13 — conventionally written to `BENCH_PR9.json` via `--out`);
+//! `shards` measures whole-set crash recovery of a multi-document
+//! [`xicheck::ShardSet`] at 1/4/16 shards — sequential versus the
+//! scoped-thread parallel fan-out — plus Zipf-skewed mixed-traffic
+//! throughput with one writer per shard (E14 — conventionally written
+//! to `BENCH_PR10.json` via `--out`).
 //!
 //! Every run also rewrites the JSON report: the sections just measured
 //! replace their previous versions, sections from earlier invocations are
@@ -86,7 +91,7 @@ fn parse_args() -> Args {
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "fig1a", "fig1b", "illegal", "simp", "exists", "ordercache", "ir", "journal",
-            "budget", "checkpoint", "service", "independence", "overload",
+            "budget", "checkpoint", "service", "independence", "overload", "shards",
         ]
         .iter()
         .map(std::string::ToString::to_string)
@@ -641,6 +646,71 @@ fn overload_section(args: &Args) -> json::Value {
     ])
 }
 
+fn shards_section(args: &Args) -> json::Value {
+    println!("== Sharded store: parallel recovery and mixed traffic (E14) ==");
+    // The fan-out can only beat the sequential loop given real cores;
+    // record what this host offers so a ~1.0x speedup column is
+    // interpretable.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("(host offers {cores} core(s) to the parallel fan-out)");
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>9}",
+        "shards", "commits", "seq rec/ms", "par rec/ms", "speedup"
+    );
+    obs::reset();
+    let mut recovery_rows = Vec::new();
+    for &shards in &[1usize, 4, 16] {
+        let r = xic_bench::measure_shard_recovery(shards, args.seed, args.iters);
+        println!(
+            "{:>8} {:>9} {:>12.2} {:>12.2} {:>8.2}x",
+            r.shards,
+            r.commits,
+            r.seq_recover_ms,
+            r.par_recover_ms,
+            r.speedup()
+        );
+        recovery_rows.push(json::Value::Object(vec![
+            ("shards".to_string(), num(r.shards as f64)),
+            ("commits".to_string(), num(r.commits as f64)),
+            ("seq_recover_ms".to_string(), num(r.seq_recover_ms)),
+            ("par_recover_ms".to_string(), num(r.par_recover_ms)),
+            ("speedup".to_string(), num(r.speedup())),
+        ]));
+    }
+    println!("\n-- Zipf-skewed mixed traffic, one writer per shard --");
+    println!(
+        "{:>8} {:>9} {:>7} {:>9} {:>11}",
+        "shards", "offered", "acked", "wall/ms", "commits/s"
+    );
+    let mut throughput_rows = Vec::new();
+    for &shards in &[1usize, 4, 16] {
+        let r = xic_bench::measure_shard_throughput(shards, args.seed);
+        println!(
+            "{:>8} {:>9} {:>7} {:>9.1} {:>11.0}",
+            r.shards, r.offered, r.acked, r.wall_ms, r.throughput_per_s
+        );
+        throughput_rows.push(json::Value::Object(vec![
+            ("shards".to_string(), num(r.shards as f64)),
+            ("offered".to_string(), num(r.offered as f64)),
+            ("acked".to_string(), num(r.acked as f64)),
+            ("wall_ms".to_string(), num(r.wall_ms)),
+            ("throughput_per_s".to_string(), num(r.throughput_per_s)),
+        ]));
+    }
+    println!();
+    json::Value::Object(vec![
+        ("seed".to_string(), num(args.seed as f64)),
+        ("iters".to_string(), num(args.iters as f64)),
+        ("host_cores".to_string(), num(cores as f64)),
+        ("recovery_rows".to_string(), json::Value::Array(recovery_rows)),
+        (
+            "throughput_rows".to_string(),
+            json::Value::Array(throughput_rows),
+        ),
+        ("obs".to_string(), obs::snapshot().to_json_value()),
+    ])
+}
+
 /// Rewrites `path`, replacing the sections in `fresh` and keeping every
 /// other section from a previous run, so `experiments fig1a` followed by
 /// `experiments fig1b` accumulates both figures in one report.
@@ -711,11 +781,12 @@ fn main() {
             "service" => service_section(&args),
             "independence" => independence_section(&args),
             "overload" => overload_section(&args),
+            "shards" => shards_section(&args),
             other => {
                 eprintln!(
                     "unknown experiment {other} (expected all, fig1a, fig1b, illegal, simp, \
                      exists, ordercache, ir, journal, budget, checkpoint, service, independence, \
-                     overload)"
+                     overload, shards)"
                 );
                 failed = true;
                 continue;

@@ -1000,6 +1000,190 @@ pub fn measure_independence(constraints: usize, seed: u64, updates: usize) -> In
     }
 }
 
+/// One point on the E14 recovery curve: a K-shard store with committed
+/// history on every shard, recovered sequentially and in parallel.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRecoveryRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Commits durably applied across all shards before the recovery.
+    pub commits: usize,
+    /// Mean whole-set recovery time, one shard at a time (ms).
+    pub seq_recover_ms: f64,
+    /// Mean whole-set recovery time, scoped-thread fan-out (ms).
+    pub par_recover_ms: f64,
+}
+
+impl ShardRecoveryRow {
+    /// Sequential-over-parallel wall-clock ratio (> 1 means the fan-out
+    /// pays off).
+    pub fn speedup(&self) -> f64 {
+        if self.par_recover_ms == 0.0 {
+            0.0
+        } else {
+            self.seq_recover_ms / self.par_recover_ms
+        }
+    }
+}
+
+fn shard_root_tmp(tag: &str, shards: usize, seed: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "xic-bench-shards-{}-{tag}-{shards}-{seed}",
+        std::process::id()
+    ))
+}
+
+/// Measures [`ShardRecoveryRow`]: builds a K-shard set over distinct
+/// DBLP-style corpora, drives a Zipf-skewed event stream into it
+/// (organically refused statements are fine — only durable commits
+/// count), then times whole-set recovery with the sequential and the
+/// parallel fan-out. Recovery over a cleanly shut-down store is
+/// idempotent, so both timings replay identical bytes.
+pub fn measure_shard_recovery(shards: usize, seed: u64, iters: usize) -> ShardRecoveryRow {
+    use xic_workload::shards::{generate_corpora, shard_events, ShardTrafficConfig};
+    use xicheck::{ShardSet, ShardSetConfig};
+
+    // A heavier event budget than the throughput panel: recovery replay
+    // is what's under test, so give every shard a real journal suffix.
+    let corpora = generate_corpora(ShardTrafficConfig {
+        seed,
+        shards,
+        events: 192 * shards,
+    });
+    let bases = corpora.bases();
+    let constraints = xic_workload::conflict_constraint();
+    let cfg = ShardSetConfig {
+        service: xicheck::ServiceConfig {
+            executor: Executor::Sync,
+            ..Default::default()
+        },
+        sync: false,
+        ..Default::default()
+    };
+    let root = shard_root_tmp("recover", shards, seed);
+    let _ = std::fs::remove_dir_all(&root);
+    let set = ShardSet::create(&root, &bases, dtd_text(), constraints, cfg)
+        .expect("shard set creation");
+    let mut commits = 0usize;
+    for e in shard_events(&corpora) {
+        // A generated statement may no longer match after earlier events
+        // on its shard — that refusal is part of the workload's shape.
+        if let Ok(out) = set.submit(e.shard, &e.stmt) {
+            if out.outcome.applied() {
+                commits += 1;
+            }
+        }
+    }
+    set.shutdown().expect("clean shutdown");
+    drop(set);
+
+    let recover = |parallel: bool| {
+        let (set, report) =
+            ShardSet::recover(&root, &bases, dtd_text(), constraints, cfg, parallel)
+                .expect("shard set recovery");
+        assert_eq!(report.shards.len(), shards);
+        assert!(report.degraded_shards().is_empty());
+        let _ = set.shutdown();
+    };
+    let seq = time_mean(iters, || recover(false));
+    let par = time_mean(iters, || recover(true));
+    let _ = std::fs::remove_dir_all(&root);
+
+    ShardRecoveryRow {
+        shards,
+        commits,
+        seq_recover_ms: seq.as_secs_f64() * 1e3,
+        par_recover_ms: par.as_secs_f64() * 1e3,
+    }
+}
+
+/// K-shard mixed-traffic throughput (E14's second panel): one writer
+/// thread per shard drains that shard's slice of a Zipf-skewed event
+/// stream, all against one [`xicheck::ShardSet`] sharing a compiled Γ
+/// and pattern cache.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardThroughputRow {
+    /// Shard count (= writer threads).
+    pub shards: usize,
+    /// Events offered across all shards.
+    pub offered: usize,
+    /// Events acknowledged as applied.
+    pub acked: usize,
+    /// Wall-clock time for the whole run (ms).
+    pub wall_ms: f64,
+    /// Acknowledged commits per second across the set.
+    pub throughput_per_s: f64,
+}
+
+/// Measures [`ShardThroughputRow`]. Statement refusals (constraint
+/// violations or selects emptied by earlier traffic) are counted against
+/// `offered` but not `acked`; shard-level errors are a bug.
+pub fn measure_shard_throughput(shards: usize, seed: u64) -> ShardThroughputRow {
+    use xic_workload::shards::{
+        generate_corpora, per_shard_streams, shard_events, ShardTrafficConfig,
+    };
+    use xicheck::{ShardSet, ShardSetConfig};
+
+    let corpora = generate_corpora(ShardTrafficConfig::with_shards(shards, seed));
+    let bases = corpora.bases();
+    let constraints = xic_workload::conflict_constraint();
+    let cfg = ShardSetConfig {
+        service: xicheck::ServiceConfig {
+            executor: Executor::Sync,
+            ..Default::default()
+        },
+        sync: false,
+        ..Default::default()
+    };
+    let root = shard_root_tmp("throughput", shards, seed);
+    let _ = std::fs::remove_dir_all(&root);
+    let set = ShardSet::create(&root, &bases, dtd_text(), constraints, cfg)
+        .expect("shard set creation");
+    let events = shard_events(&corpora);
+    let streams = per_shard_streams(&events, shards);
+
+    let start = Instant::now();
+    let acked: usize = std::thread::scope(|scope| {
+        let set = &set;
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(id, stream)| {
+                scope.spawn(move || {
+                    let mut ok = 0usize;
+                    for stmt in stream {
+                        match set.submit(id, stmt) {
+                            Ok(out) if out.outcome.applied() => ok += 1,
+                            Ok(_) => {}
+                            Err(e) => {
+                                // Refused selects surface as statement
+                                // errors; anything else is a bug.
+                                assert!(
+                                    e.to_string().contains("bad statement"),
+                                    "shard {id}: {e}"
+                                );
+                            }
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("writer thread")).sum()
+    });
+    let wall = start.elapsed();
+    set.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+
+    ShardThroughputRow {
+        shards,
+        offered: events.len(),
+        acked,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_per_s: acked as f64 / wall.as_secs_f64(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1016,6 +1200,17 @@ mod tests {
             let out = inst.checker.try_update(&inst.illegal).unwrap();
             assert!(!out.applied(), "{exp:?}");
         }
+    }
+
+    #[test]
+    fn shard_rows_measure_recovery_and_throughput() {
+        let r = measure_shard_recovery(2, 5, 1);
+        assert_eq!(r.shards, 2);
+        assert!(r.commits > 0, "{r:?}");
+        assert!(r.seq_recover_ms > 0.0 && r.par_recover_ms > 0.0);
+        let t = measure_shard_throughput(2, 5);
+        assert_eq!(t.shards, 2);
+        assert!(t.acked > 0 && t.acked <= t.offered, "{t:?}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! ```text
 //! xic-serve --xml doc.xml --dtd schema.dtd --constraints gamma.xpl \
 //!           [--journal FILE | --store DIR] [--no-sync] \
-//!           [--executor sync|group-commit] [--max-batch N] \
+//!           [--shards K] [--executor sync|group-commit] [--max-batch N] \
 //!           [--queue-depth N] [--deadline-ms N] [--fsync-attempts N] \
 //!           [--socket PATH]
 //! ```
@@ -22,13 +22,21 @@
 //! `--fsync-attempts` bounds the group-commit fsync retry budget before
 //! the service degrades to read-only. See README.md, *Running as a
 //! service* and *Operating under failure*, for worked examples.
+//!
+//! `--shards K` hosts K independent documents (each seeded from
+//! `--xml`) under one process and one compiled constraint set
+//! (DESIGN.md row 24). It requires `--store DIR`: each shard keeps its
+//! own `shard-<id>/` journal+checkpoint directory under the root, and
+//! startup recovers all shards in parallel, so restarting the server
+//! over an existing root resumes every document where it left off.
+//! Clients route per-document requests with the `DOC <id>` prefix; see
+//! README.md, *Running many documents*.
 
 use std::io::{BufReader, Write as _};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
-use xicheck::protocol::serve_connection;
-use xicheck::{Checker, CheckerService, Executor, ServiceConfig};
+use xicheck::protocol::{serve_connection, serve_connection_sharded};
+use xicheck::{Checker, CheckerService, Executor, ServiceConfig, ShardSet, ShardSetConfig};
 
 struct Args {
     xml: PathBuf,
@@ -37,6 +45,7 @@ struct Args {
     journal: Option<PathBuf>,
     store: Option<PathBuf>,
     sync: bool,
+    shards: Option<usize>,
     executor: Executor,
     queue_depth: usize,
     deadline_ms: Option<u64>,
@@ -51,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
     let mut journal = None;
     let mut store = None;
     let mut sync = true;
+    let mut shards = None;
     let mut executor_kind = "group-commit".to_string();
     let mut max_batch = xicheck::service::DEFAULT_MAX_BATCH;
     let mut queue_depth = xicheck::service::DEFAULT_QUEUE_DEPTH;
@@ -77,6 +87,13 @@ fn parse_args() -> Result<Args, String> {
             "--journal" => journal = Some(PathBuf::from(value(&mut args)?)),
             "--store" => store = Some(PathBuf::from(value(&mut args)?)),
             "--no-sync" => sync = false,
+            "--shards" => {
+                shards = Some(
+                    value(&mut args)?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
+            }
             "--executor" => executor_kind = value(&mut args)?,
             "--max-batch" => {
                 max_batch = value(&mut args)?
@@ -112,6 +129,14 @@ fn parse_args() -> Result<Args, String> {
     if journal.is_some() && store.is_some() {
         return Err("--journal and --store are mutually exclusive".to_string());
     }
+    if let Some(k) = shards {
+        if k == 0 {
+            return Err("--shards must be at least 1".to_string());
+        }
+        if store.is_none() {
+            return Err("--shards requires --store DIR (one shard-<id>/ per document)".to_string());
+        }
+    }
     Ok(Args {
         xml: xml.ok_or("--xml FILE is required")?,
         dtd: dtd.ok_or("--dtd FILE is required")?,
@@ -119,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
         journal,
         store,
         sync,
+        shards,
         executor,
         queue_depth,
         deadline_ms,
@@ -127,33 +153,17 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    let read = |p: &PathBuf| {
-        std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
-    };
-    let mut checker = Checker::new(&read(&args.xml)?, &read(&args.dtd)?, &read(&args.constraints)?)
-        .map_err(|e| e.to_string())?;
-    if let Some(path) = &args.journal {
-        checker.attach_journal(path, args.sync).map_err(|e| e.to_string())?;
-    }
-    if let Some(dir) = &args.store {
-        checker.attach_store(dir, args.sync).map_err(|e| e.to_string())?;
-    }
-    let service = CheckerService::with_config(
-        checker,
-        ServiceConfig {
-            executor: args.executor,
-            queue_depth: args.queue_depth,
-            default_deadline_ms: args.deadline_ms,
-            fsync_attempts: args.fsync_attempts,
-        },
-    );
-
-    match &args.socket {
+/// Serves `session` once over stdio, or per-connection on a Unix
+/// socket with one thread per client.
+fn serve_sessions<F>(socket: &Option<PathBuf>, session: F) -> Result<(), String>
+where
+    F: Fn(&mut dyn std::io::BufRead, &mut dyn std::io::Write) -> std::io::Result<()> + Sync,
+{
+    match socket {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_connection(&service, stdin.lock(), stdout.lock())
+            session(&mut stdin.lock(), &mut stdout.lock())
                 .map_err(|e| format!("stdio session: {e}"))?;
         }
         Some(path) => {
@@ -165,17 +175,17 @@ fn run(args: &Args) -> Result<(), String> {
             std::thread::scope(|scope| {
                 for stream in listener.incoming() {
                     match stream {
-                        Ok(stream) => {
-                            let service = Arc::clone(&service);
+                        Ok(mut stream) => {
+                            let session = &session;
                             scope.spawn(move || {
-                                let reader = match stream.try_clone() {
+                                let mut reader = match stream.try_clone() {
                                     Ok(r) => BufReader::new(r),
                                     Err(e) => {
                                         eprintln!("xic-serve: clone stream: {e}");
                                         return;
                                     }
                                 };
-                                if let Err(e) = serve_connection(&service, reader, stream) {
+                                if let Err(e) = session(&mut reader, &mut stream) {
                                     eprintln!("xic-serve: session ended: {e}");
                                 }
                             });
@@ -187,6 +197,61 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let read = |p: &PathBuf| {
+        std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let xml = read(&args.xml)?;
+    let dtd = read(&args.dtd)?;
+    let constraints = read(&args.constraints)?;
+    let config = ServiceConfig {
+        executor: args.executor,
+        queue_depth: args.queue_depth,
+        default_deadline_ms: args.deadline_ms,
+        fsync_attempts: args.fsync_attempts,
+    };
+
+    if let Some(count) = args.shards {
+        let root = args.store.as_ref().ok_or("--shards requires --store DIR")?;
+        let bases: Vec<&str> = vec![xml.as_str(); count];
+        // Recovery doubles as creation: shards without a directory yet
+        // start fresh from the base document, existing ones replay
+        // their own generations — so restarts over the same root
+        // resume every document where it left off.
+        let (set, report) = ShardSet::recover(
+            root,
+            &bases,
+            &dtd,
+            &constraints,
+            ShardSetConfig { service: config, sync: args.sync, ..Default::default() },
+            true,
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!(
+            "xic-serve: {count} shards under {}, {} commits replayed",
+            root.display(),
+            report.total_replayed()
+        );
+        for id in report.degraded_shards() {
+            eprintln!("xic-serve: warning: shard {id} recovered degraded (read-only)");
+        }
+        return serve_sessions(&args.socket, |input, output| {
+            serve_connection_sharded(&set, input, output)
+        });
+    }
+
+    let mut checker =
+        Checker::new(&xml, &dtd, &constraints).map_err(|e| e.to_string())?;
+    if let Some(path) = &args.journal {
+        checker.attach_journal(path, args.sync).map_err(|e| e.to_string())?;
+    }
+    if let Some(dir) = &args.store {
+        checker.attach_store(dir, args.sync).map_err(|e| e.to_string())?;
+    }
+    let service = CheckerService::with_config(checker, config);
+    serve_sessions(&args.socket, |input, output| serve_connection(&service, input, output))
 }
 
 fn main() -> ExitCode {

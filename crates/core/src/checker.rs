@@ -8,6 +8,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, RwLock};
 use xic_datalog::{Denial, Value};
 use xic_mapping::{map_denials, map_update, pattern_key, RelSchema};
 use xic_simplify::{live_set, read_footprints, ReadFootprint};
@@ -96,6 +97,73 @@ struct IrTemplate {
     program: XProgram,
     /// Placeholder name and kind per program parameter, in parameter order.
     params: Vec<(String, ParamKind)>,
+}
+
+/// A compiled update pattern bundled with its IR precompilation: one
+/// program per template in `compiled.queries`, `None` where
+/// precompilation failed and interpreted instantiation is used instead.
+/// Entries are immutable once built, so they are shared (`Arc`) between
+/// a checker's local map and an optional cross-checker [`PatternCache`].
+struct PatternEntry {
+    compiled: CompiledPattern,
+    ir: Vec<Option<IrTemplate>>,
+}
+
+impl PatternEntry {
+    fn build(compiled: CompiledPattern) -> Arc<PatternEntry> {
+        let ir = compiled.queries.iter().map(compile_template_ir).collect();
+        Arc::new(PatternEntry { compiled, ir })
+    }
+}
+
+/// A pattern cache shared across checkers (DESIGN.md row 23): the shards
+/// of a [`crate::shards::ShardSet`] hand every checker the same cache,
+/// so an update pattern first seen on one shard is compiled (and IR-
+/// precompiled) exactly once — siblings adopt the entry instead of
+/// re-running Simp<sup>U</sup><sub>Δ</sub> and template compilation.
+///
+/// Patterns are keyed by [`xic_mapping::pattern_key`], which is a pure
+/// function of the statement shape and the relational schema — never of
+/// a document instance — so an entry compiled on one shard is valid on
+/// every sibling sharing the same [`SharedGamma`]. Like a checker's
+/// local map, entries are not recompiled when the independence flag
+/// flips (the templates are identical either way).
+#[derive(Default)]
+pub struct PatternCache {
+    entries: RwLock<HashMap<String, Arc<PatternEntry>>>,
+}
+
+impl PatternCache {
+    /// A fresh, empty cache behind an `Arc`, ready to hand to
+    /// [`Checker::set_pattern_cache`] on each sharing checker.
+    pub fn new() -> Arc<PatternCache> {
+        Arc::new(PatternCache::default())
+    }
+
+    /// Compiled patterns currently cached.
+    pub fn len(&self) -> usize {
+        self.read_entries().len()
+    }
+
+    /// True when no pattern has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<PatternEntry>>> {
+        // A poisoned lock only means a sibling panicked mid-insert; the
+        // map itself is always in a consistent state (single HashMap op).
+        self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<PatternEntry>> {
+        self.read_entries().get(key).cloned()
+    }
+
+    fn publish(&self, key: String, entry: Arc<PatternEntry>) {
+        let mut map = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(key).or_insert(entry);
+    }
 }
 
 /// Precompiles a query template for the IR engine. Returns `None` when
@@ -390,6 +458,119 @@ impl CheckpointPolicy {
     }
 }
 
+/// The compiled constraint-template set Γ plus everything derived from
+/// the DTD: relational schema, Datalog denials, translated full-check
+/// queries (parsed and IR-compiled), per-constraint read footprints and
+/// the DTD name-graph independence index.
+///
+/// None of it depends on a document *instance*, only on the schema and
+/// the constraints — so one `SharedGamma` is compiled once and shared
+/// (`Arc`) by every [`Checker`] over the same schema. This is what makes
+/// a [`crate::shards::ShardSet`] cheap: N shards hold N documents but
+/// one Γ; the mapping, translation, IR compilation and footprint
+/// analysis are paid once, not N times.
+pub struct SharedGamma {
+    dtd: Dtd,
+    schema: RelSchema,
+    /// Γ: the full constraint set as Datalog denials.
+    gamma: Vec<Denial>,
+    /// Closed XQuery checks for Γ (the "non-simplified" curve).
+    full_queries: Vec<QueryTemplate>,
+    /// `full_queries` pre-parsed once (they are closed, so the ASTs never
+    /// change): [`Checker::check_full`] never re-parses the constraint
+    /// set per statement.
+    full_parsed: Vec<XQuery>,
+    /// `full_parsed` compiled to the IR engine, in the same order.
+    full_ir: Vec<XProgram>,
+    /// Per-constraint read footprints, in `gamma` order.
+    read_fps: Vec<ReadFootprint>,
+    /// DTD name-graph index for statement-level write footprints.
+    indep_index: IndependenceIndex,
+}
+
+impl SharedGamma {
+    /// Compiles DTD text and an XPathLog constraint list (`.`-separated)
+    /// into a shareable Γ.
+    pub fn compile(dtd: &str, constraints: &str) -> Result<Arc<SharedGamma>, CheckerError> {
+        let dtd = Dtd::parse(dtd).map_err(CheckerError::Setup)?;
+        let ldenials = xic_xpathlog::parse_denials(constraints)
+            .map_err(|e| CheckerError::Setup(e.to_string()))?;
+        SharedGamma::from_parts(dtd, &ldenials)
+    }
+
+    /// Compiles a shareable Γ from parsed parts.
+    pub fn from_parts(
+        dtd: Dtd,
+        constraints: &[xic_xpathlog::LDenial],
+    ) -> Result<Arc<SharedGamma>, CheckerError> {
+        let schema = RelSchema::from_dtd(&dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let gamma =
+            map_denials(constraints, &schema, &dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let full_queries =
+            translate_denials(&gamma, &schema).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        let full_parsed = full_queries
+            .iter()
+            .map(|q| parse_query(&q.text).map_err(|e| CheckerError::Setup(format!("{}: {e}", q.text))))
+            .collect::<Result<Vec<_>, _>>()?;
+        let full_ir = full_parsed.iter().map(XProgram::compile).collect();
+        let (read_fps, indep_index) = {
+            let _compile = xic_obs::phase("compile");
+            let _footprint = xic_obs::phase("footprint");
+            (read_footprints(&gamma), IndependenceIndex::new(&dtd, &schema))
+        };
+        Ok(Arc::new(SharedGamma {
+            dtd,
+            schema,
+            gamma,
+            full_queries,
+            full_parsed,
+            full_ir,
+            read_fps,
+            indep_index,
+        }))
+    }
+
+    /// The DTD.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// The relational schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// The mapped constraint set Γ.
+    pub fn constraints(&self) -> &[Denial] {
+        &self.gamma
+    }
+
+    /// The translated full-check queries.
+    pub fn full_queries(&self) -> &[QueryTemplate] {
+        &self.full_queries
+    }
+
+    /// The pre-parsed ASTs for [`SharedGamma::full_queries`], in order.
+    pub(crate) fn full_parsed(&self) -> &[XQuery] {
+        &self.full_parsed
+    }
+
+    /// The IR-compiled programs for [`SharedGamma::full_queries`], in order.
+    pub(crate) fn full_ir(&self) -> &[XProgram] {
+        &self.full_ir
+    }
+
+    /// Per-constraint read footprints, in [`SharedGamma::constraints`] order.
+    pub(crate) fn read_fps(&self) -> &[ReadFootprint] {
+        &self.read_fps
+    }
+
+    /// The DTD name-graph index backing statement write footprints.
+    pub(crate) fn indep_index(&self) -> &IndependenceIndex {
+        &self.indep_index
+    }
+}
+
 /// The integrity checker: document + DTD + compiled constraints.
 /// The integrity-checking façade: document + DTD + compiled constraint
 /// set, with optional journal/store durability.
@@ -407,24 +588,16 @@ impl CheckpointPolicy {
 /// stall them (the service exists to avoid precisely that).
 pub struct Checker {
     doc: Document,
-    dtd: Dtd,
-    schema: RelSchema,
-    /// Γ: the full constraint set as Datalog denials.
-    gamma: Vec<Denial>,
-    /// Closed XQuery checks for Γ (the "non-simplified" curve).
-    full_queries: Vec<QueryTemplate>,
-    /// `full_queries` pre-parsed at construction (they are closed, so the
-    /// ASTs never change): [`Checker::check_full`] no longer re-parses the
-    /// constraint set on every statement.
-    full_parsed: Vec<XQuery>,
-    /// `full_parsed` compiled to the IR engine, in the same order.
-    full_ir: Vec<XProgram>,
+    /// The compiled constraint-template set Γ: everything derived from
+    /// the DTD and the constraints but independent of the document
+    /// instance. Shared (`Arc`) across every checker built over the same
+    /// schema — see [`SharedGamma`].
+    shared: Arc<SharedGamma>,
     /// Compiled update patterns, by pattern key.
-    patterns: HashMap<String, CompiledPattern>,
-    /// Per-pattern IR precompilation, keyed like `patterns`: one entry per
-    /// template in the pattern's `queries`, `None` where precompilation
-    /// failed and interpreted instantiation is used instead.
-    pattern_ir: HashMap<String, Vec<Option<IrTemplate>>>,
+    patterns: HashMap<String, Arc<PatternEntry>>,
+    /// Optional cross-checker pattern cache (see [`PatternCache`]): local
+    /// misses consult it before compiling, local compiles publish to it.
+    pattern_cache: Option<Arc<PatternCache>>,
     /// Which engine evaluates checks (seeded from [`default_ir_mode`] at
     /// construction).
     ir_mode: IrMode,
@@ -432,10 +605,6 @@ pub struct Checker {
     /// paths and pre-filters pattern compilation (seeded from
     /// [`default_independence`] at construction).
     independence: bool,
-    /// Per-constraint read footprints, in `gamma` order.
-    read_fps: Vec<ReadFootprint>,
-    /// DTD name-graph index for statement-level write footprints.
-    indep_index: IndependenceIndex,
     /// True while every parent→child element edge in `doc` is known to be
     /// DTD-licensed (see [`crate::footprint`]). Seeded by an edge walk at
     /// construction and degraded monotonically on commits that are not
@@ -492,52 +661,43 @@ impl Checker {
     ) -> Result<Checker, CheckerError> {
         dtd.validate(&doc)
             .map_err(|e| CheckerError::Setup(e.to_string()))?;
-        Checker::assemble(doc, dtd, constraints)
+        let shared = SharedGamma::from_parts(dtd, constraints)?;
+        Ok(Checker::assemble(doc, shared))
     }
 
-    /// [`Checker::from_parts`] minus the DTD validation pass: used when
-    /// rebuilding from a checkpoint snapshot, which records a *committed*
-    /// state. Updates are not required to preserve DTD validity, so a
-    /// snapshot may legitimately fail re-validation even though replaying
-    /// the same history from the base document would accept it; integrity
-    /// of the snapshot bytes is already guaranteed by its crc.
-    fn assemble(
-        doc: Document,
-        dtd: Dtd,
-        constraints: &[xic_xpathlog::LDenial],
-    ) -> Result<Checker, CheckerError> {
-        let schema = RelSchema::from_dtd(&dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
-        let gamma =
-            map_denials(constraints, &schema, &dtd).map_err(|e| CheckerError::Setup(e.to_string()))?;
-        let full_queries =
-            translate_denials(&gamma, &schema).map_err(|e| CheckerError::Setup(e.to_string()))?;
-        let full_parsed = full_queries
-            .iter()
-            .map(|q| parse_query(&q.text).map_err(|e| CheckerError::Setup(format!("{}: {e}", q.text))))
-            .collect::<Result<Vec<_>, _>>()?;
-        let full_ir = full_parsed.iter().map(XProgram::compile).collect();
-        let (read_fps, indep_index, nesting_trusted) = {
+    /// Builds a checker for `xml` over an already-compiled constraint set
+    /// (validating the document against Γ's DTD). This is the shard
+    /// constructor: N documents over one `Arc<SharedGamma>` pay Γ's
+    /// compilation once.
+    pub fn from_shared(xml: &str, shared: &Arc<SharedGamma>) -> Result<Checker, CheckerError> {
+        let (doc, _) = parse_document(xml).map_err(|e| CheckerError::Setup(e.to_string()))?;
+        shared
+            .dtd
+            .validate(&doc)
+            .map_err(|e| CheckerError::Setup(e.to_string()))?;
+        Ok(Checker::assemble(doc, Arc::clone(shared)))
+    }
+
+    /// [`Checker::from_parts`] / [`Checker::from_shared`] minus the DTD
+    /// validation pass: used when rebuilding from a checkpoint snapshot,
+    /// which records a *committed* state. Updates are not required to
+    /// preserve DTD validity, so a snapshot may legitimately fail
+    /// re-validation even though replaying the same history from the base
+    /// document would accept it; integrity of the snapshot bytes is
+    /// already guaranteed by its crc.
+    fn assemble(doc: Document, shared: Arc<SharedGamma>) -> Checker {
+        let nesting_trusted = {
             let _compile = xic_obs::phase("compile");
             let _footprint = xic_obs::phase("footprint");
-            let read_fps = read_footprints(&gamma);
-            let indep_index = IndependenceIndex::new(&dtd, &schema);
-            let nesting_trusted = indep_index.edges_conform(&doc);
-            (read_fps, indep_index, nesting_trusted)
+            shared.indep_index.edges_conform(&doc)
         };
-        Ok(Checker {
+        Checker {
             doc,
-            dtd,
-            schema,
-            gamma,
-            full_queries,
-            full_parsed,
-            full_ir,
+            shared,
             patterns: HashMap::new(),
-            pattern_ir: HashMap::new(),
+            pattern_cache: None,
             ir_mode: default_ir_mode(),
             independence: default_independence(),
-            read_fps,
-            indep_index,
             nesting_trusted,
             parallel_full: None,
             journal: None,
@@ -549,7 +709,22 @@ impl Checker {
             poisoned: false,
             eval_budget: None,
             stats: Stats::default(),
-        })
+        }
+    }
+
+    /// The compiled constraint set this checker evaluates (shareable
+    /// across checkers; see [`SharedGamma`]).
+    pub fn shared_gamma(&self) -> &Arc<SharedGamma> {
+        &self.shared
+    }
+
+    /// Attaches a cross-checker pattern cache: pattern compilations this
+    /// checker performs are published to it, and patterns a sibling
+    /// already compiled are adopted from it instead of recompiled. All
+    /// sharing checkers must be built over the same [`SharedGamma`]
+    /// (pattern keys are schema-scoped).
+    pub fn set_pattern_cache(&mut self, cache: Arc<PatternCache>) {
+        self.pattern_cache = Some(cache);
     }
 
     /// The document.
@@ -572,42 +747,27 @@ impl Checker {
     /// edges against the DTD name graph (used after direct mutation via
     /// [`Checker::doc_mut`]).
     pub fn refresh_nesting_trust(&mut self) {
-        self.nesting_trusted = self.indep_index.edges_conform(&self.doc);
+        self.nesting_trusted = self.shared.indep_index.edges_conform(&self.doc);
     }
 
     /// The DTD.
     pub fn dtd(&self) -> &Dtd {
-        &self.dtd
+        &self.shared.dtd
     }
 
     /// The relational schema.
     pub fn schema(&self) -> &RelSchema {
-        &self.schema
+        &self.shared.schema
     }
 
     /// The mapped constraint set Γ.
     pub fn constraints(&self) -> &[Denial] {
-        &self.gamma
+        &self.shared.gamma
     }
 
     /// The translated full-check queries.
     pub fn full_queries(&self) -> &[QueryTemplate] {
-        &self.full_queries
-    }
-
-    /// The pre-parsed ASTs for [`Checker::full_queries`], in the same
-    /// order — handed to [`crate::service::ReadSnapshot`] so concurrent
-    /// readers can run the full check without re-parsing Γ.
-    pub(crate) fn full_parsed(&self) -> &[XQuery] {
-        &self.full_parsed
-    }
-
-    /// The IR-compiled programs for [`Checker::full_queries`], in the same
-    /// order — handed to [`crate::service::ReadSnapshot`] alongside the
-    /// parsed ASTs so snapshot readers run whichever engine the writer
-    /// was configured with.
-    pub(crate) fn full_ir(&self) -> &[XProgram] {
-        &self.full_ir
+        &self.shared.full_queries
     }
 
     /// The engine mode (interpreted AST vs compiled IR) this checker
@@ -647,17 +807,6 @@ impl Checker {
         self.independence = enabled;
     }
 
-    /// Per-constraint read footprints, in [`Checker::constraints`] order —
-    /// handed to [`crate::service::CheckerService`] snapshots.
-    pub(crate) fn read_fps(&self) -> &[ReadFootprint] {
-        &self.read_fps
-    }
-
-    /// The DTD name-graph index backing statement write footprints.
-    pub(crate) fn indep_index(&self) -> &IndependenceIndex {
-        &self.indep_index
-    }
-
     /// Whether the document's element nesting is currently known to be
     /// DTD-licensed (see [`crate::footprint::IndependenceIndex`]).
     pub fn nesting_trusted(&self) -> bool {
@@ -674,14 +823,14 @@ impl Checker {
             return None;
         }
         let _footprint = xic_obs::phase("footprint");
-        let wfp = self.indep_index.write_footprint(stmt, self.nesting_trusted);
-        Some(live_set(&self.read_fps, &wfp))
+        let wfp = self.shared.indep_index.write_footprint(stmt, self.nesting_trusted);
+        Some(live_set(&self.shared.read_fps, &wfp))
     }
 
     /// Lowers the nesting-trust bit after committing `stmt` unless the
     /// statement is provably conformance-preserving.
     fn note_committed(&mut self, stmt: &XUpdateDoc) {
-        if self.nesting_trusted && !self.indep_index.stmt_preserves_nesting(stmt) {
+        if self.nesting_trusted && !self.shared.indep_index.stmt_preserves_nesting(stmt) {
             self.nesting_trusted = false;
         }
     }
@@ -711,15 +860,16 @@ impl Checker {
 
     /// Registered patterns.
     pub fn patterns(&self) -> impl Iterator<Item = &CompiledPattern> {
-        self.patterns.values()
+        self.patterns.values().map(|e| &e.compiled)
     }
 
     /// Registers (at schema design time) the update pattern exemplified by
     /// `stmt`, compiling its simplified checks. Returns the pattern key.
     pub fn register_pattern(&mut self, stmt: &XUpdateDoc) -> Result<String, CheckerError> {
-        let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
+        let mapped = map_update(&self.doc, &self.shared.schema, stmt, &xpath_resolver)
             .map_err(|e| CheckerError::Statement(e.to_string()))?;
-        let compiled = compile_pattern_with(&mapped, &self.gamma, &self.schema, self.independence);
+        let compiled =
+            compile_pattern_with(&mapped, &self.shared.gamma, &self.shared.schema, self.independence);
         let key = compiled.key.clone();
         self.insert_pattern(key.clone(), compiled);
         Ok(key)
@@ -727,11 +877,44 @@ impl Checker {
 
     /// Caches a compiled pattern together with its IR precompilation (one
     /// compiled program per template; `None` entries fall back to the
-    /// interpreter at check time).
+    /// interpreter at check time), publishing the entry to the shared
+    /// [`PatternCache`] when one is attached.
     fn insert_pattern(&mut self, key: String, compiled: CompiledPattern) {
-        let ir = compiled.queries.iter().map(compile_template_ir).collect();
-        self.pattern_ir.insert(key.clone(), ir);
-        self.patterns.insert(key, compiled);
+        let entry = PatternEntry::build(compiled);
+        if let Some(cache) = &self.pattern_cache {
+            cache.publish(key.clone(), Arc::clone(&entry));
+        }
+        self.patterns.insert(key, entry);
+    }
+
+    /// Local pattern lookup falling back to the shared cache (read-only;
+    /// `&self` paths cannot adopt the entry into the local map).
+    fn lookup_pattern(&self, key: &str) -> Option<Arc<PatternEntry>> {
+        if let Some(entry) = self.patterns.get(key) {
+            return Some(Arc::clone(entry));
+        }
+        self.pattern_cache.as_ref().and_then(|c| c.get(key))
+    }
+
+    /// Ensures `key`'s pattern is in the local map: adopts a sibling's
+    /// entry from the shared cache (a cache hit — no compilation runs) or
+    /// compiles it with `compile` and publishes the result. Returns true
+    /// on a hit (local or shared).
+    fn adopt_or_compile_pattern(
+        &mut self,
+        key: &str,
+        compile: impl FnOnce(&Checker) -> CompiledPattern,
+    ) -> bool {
+        if self.patterns.contains_key(key) {
+            return true;
+        }
+        if let Some(entry) = self.pattern_cache.as_ref().and_then(|c| c.get(key)) {
+            self.patterns.insert(key.to_string(), entry);
+            return true;
+        }
+        let compiled = compile(self);
+        self.insert_pattern(key.to_string(), compiled);
+        false
     }
 
     /// Registers a pattern from XUpdate text.
@@ -821,6 +1004,13 @@ impl Checker {
         if let Some(s) = self.store.as_mut() {
             s.set_retain(retain);
         }
+    }
+
+    /// The store's configured retention window ([`DEFAULT_RETAIN`] when
+    /// no store is attached) — what a recovery must restate to resume
+    /// under the same configuration (see [`RecoverOptions`]).
+    pub fn checkpoint_retain(&self) -> u64 {
+        self.store.as_ref().map_or(DEFAULT_RETAIN, Store::retain)
     }
 
     /// Takes an explicit checkpoint: durably snapshots the current
@@ -1026,7 +1216,9 @@ impl Checker {
     }
 
     /// [`Checker::recover_store`] with an explicit resume configuration
-    /// (journal sync mode and rotation retention window).
+    /// (journal sync mode and rotation retention window). Γ is compiled
+    /// **once** here and shared by every generation attempt (each used to
+    /// re-parse and re-compile the constraint set from text).
     pub fn recover_store_with(
         dir: &Path,
         base_xml: &str,
@@ -1034,11 +1226,26 @@ impl Checker {
         constraints: &str,
         opts: RecoverOptions,
     ) -> Result<(Checker, RecoveryReport), CheckerError> {
+        let shared = SharedGamma::compile(dtd, constraints)?;
+        Checker::recover_store_shared(dir, base_xml, &shared, opts)
+    }
+
+    /// [`Checker::recover_store_with`] over an already-compiled Γ — the
+    /// per-shard recovery entry point: a [`crate::shards::ShardSet`]
+    /// compiles Γ once and fans this out across its shard directories
+    /// (sequentially or in parallel), so recovery cost scales with the
+    /// journal suffixes, not with N × constraint compilation.
+    pub fn recover_store_shared(
+        dir: &Path,
+        base_xml: &str,
+        shared: &Arc<SharedGamma>,
+        opts: RecoverOptions,
+    ) -> Result<(Checker, RecoveryReport), CheckerError> {
         let mut fallback_reasons: Vec<String> = Vec::new();
         let mut candidates = Store::snapshot_generations(dir);
         candidates.push(0); // the external base document is the final fallback
         for g in candidates {
-            match Checker::recover_generation(dir, g, base_xml, dtd, constraints, opts) {
+            match Checker::recover_generation(dir, g, base_xml, shared, opts) {
                 Ok((checker, mut report)) => {
                     report.fallbacks = fallback_reasons.len() as u64;
                     report.fallback_reasons = fallback_reasons;
@@ -1053,7 +1260,7 @@ impl Checker {
         }
         // Every generation failed: serve the base document read-only
         // rather than refusing to come up at all.
-        let mut checker = Checker::new(base_xml, dtd, constraints)?;
+        let mut checker = Checker::from_shared(base_xml, shared)?;
         checker.degraded = true;
         xic_obs::incr(xic_obs::Counter::Recovery);
         let report = RecoveryReport {
@@ -1071,12 +1278,11 @@ impl Checker {
         dir: &Path,
         generation: u64,
         base_xml: &str,
-        dtd: &str,
-        constraints: &str,
+        shared: &Arc<SharedGamma>,
         opts: RecoverOptions,
     ) -> Result<(Checker, RecoveryReport), CheckerError> {
         let (mut checker, base_seq) = if generation == 0 {
-            (Checker::new(base_xml, dtd, constraints)?, 0)
+            (Checker::from_shared(base_xml, shared)?, 0)
         } else {
             let ckpt = xic_xml::checkpoint::read(&Store::ckpt_path(dir, generation))
                 .map_err(|e| CheckerError::Checkpoint(e.to_string()))?;
@@ -1086,11 +1292,7 @@ impl Checker {
             // document doesn't re-validate either).
             let (doc, _) = xic_xml::parse_document(&ckpt.doc_xml)
                 .map_err(|e| CheckerError::Checkpoint(e.to_string()))?;
-            let parsed_dtd =
-                xic_xml::Dtd::parse(dtd).map_err(CheckerError::Setup)?;
-            let ldenials = xic_xpathlog::parse_denials(constraints)
-                .map_err(|e| CheckerError::Setup(e.to_string()))?;
-            (Checker::assemble(doc, parsed_dtd, &ldenials)?, ckpt.commit_seq)
+            (Checker::assemble(doc, Arc::clone(shared)), ckpt.commit_seq)
         };
         let base_crc = crc32(serialize(&checker.doc).as_bytes());
         let wal = Store::wal_path(dir, generation);
@@ -1166,15 +1368,15 @@ impl Checker {
     fn check_full_masked(&self, live: Option<&[bool]>) -> Result<Option<Violation>, CheckerError> {
         let _check = xic_obs::phase("check");
         let _full = xic_obs::phase("full");
+        let n = self.shared.full_parsed.len();
         let indices: Vec<usize> = match live {
-            None => (0..self.full_parsed.len()).collect(),
+            None => (0..n).collect(),
             Some(mask) => {
-                let retained: Vec<usize> = (0..self.full_parsed.len())
-                    .filter(|&i| mask.get(i).copied().unwrap_or(true))
-                    .collect();
+                let retained: Vec<usize> =
+                    (0..n).filter(|&i| mask.get(i).copied().unwrap_or(true)).collect();
                 xic_obs::add(
                     xic_obs::Counter::ChecksSkippedStatic,
-                    (self.full_parsed.len() - retained.len()) as u64,
+                    (n - retained.len()) as u64,
                 );
                 xic_obs::add(xic_obs::Counter::ChecksRetainedStatic, retained.len() as u64);
                 retained
@@ -1196,8 +1398,8 @@ impl Checker {
     /// configured engine.
     fn eval_full_exists(&self, i: usize) -> Result<bool, XQueryError> {
         match self.ir_mode {
-            IrMode::Interpret => eval_query_exists(&self.full_parsed[i], &self.doc),
-            IrMode::Compiled => self.full_ir[i].eval_exists(&self.doc, &[]),
+            IrMode::Interpret => eval_query_exists(&self.shared.full_parsed[i], &self.doc),
+            IrMode::Compiled => self.shared.full_ir[i].eval_exists(&self.doc, &[]),
         }
     }
 
@@ -1212,13 +1414,13 @@ impl Checker {
                 if e.is_budget_exhausted() {
                     CheckerError::BudgetExhausted
                 } else {
-                    CheckerError::Query(format!("{}: {e}", self.full_queries[i].text))
+                    CheckerError::Query(format!("{}: {e}", self.shared.full_queries[i].text))
                 }
             })?;
             if violated {
                 return Ok(Some(Violation {
-                    denial: self.gamma[i].to_string(),
-                    query: self.full_queries[i].text.clone(),
+                    denial: self.shared.gamma[i].to_string(),
+                    query: self.shared.full_queries[i].text.clone(),
                 }));
             }
         }
@@ -1241,8 +1443,8 @@ impl Checker {
             .max(1);
         let chunk = indices.len().div_ceil(workers).max(1);
         let doc = &self.doc;
-        let parsed = &self.full_parsed;
-        let ir = &self.full_ir;
+        let parsed = &self.shared.full_parsed;
+        let ir = &self.shared.full_ir;
         let mode = self.ir_mode;
         let per_worker: Vec<WorkerResult> = std::thread::scope(|s| {
                 let handles: Vec<_> = indices
@@ -1269,7 +1471,7 @@ impl Checker {
                     .map(|h| h.join().expect("full-check worker panicked"))
                     .collect()
             });
-        let mut verdicts = Vec::with_capacity(self.full_parsed.len());
+        let mut verdicts = Vec::with_capacity(self.shared.full_parsed.len());
         for (vs, snapshot) in per_worker {
             xic_obs::merge(&snapshot);
             verdicts.extend(vs);
@@ -1278,12 +1480,15 @@ impl Checker {
         for (i, verdict) in verdicts {
             match verdict {
                 Err(e) => {
-                    return Err(CheckerError::Query(format!("{}: {e}", self.full_queries[i].text)))
+                    return Err(CheckerError::Query(format!(
+                        "{}: {e}",
+                        self.shared.full_queries[i].text
+                    )))
                 }
                 Ok(true) => {
                     return Ok(Some(Violation {
-                        denial: self.gamma[i].to_string(),
-                        query: self.full_queries[i].text.clone(),
+                        denial: self.shared.gamma[i].to_string(),
+                        query: self.shared.full_queries[i].text.clone(),
                     }))
                 }
                 Ok(false) => {}
@@ -1299,16 +1504,18 @@ impl Checker {
     pub fn check_full_materialized(&self) -> Result<Option<Violation>, CheckerError> {
         let _check = xic_obs::phase("check");
         let _full = xic_obs::phase("full_materialized");
-        for i in 0..self.full_parsed.len() {
+        for i in 0..self.shared.full_parsed.len() {
             let violated = match self.ir_mode {
-                IrMode::Interpret => eval_query_bool(&self.full_parsed[i], &self.doc),
-                IrMode::Compiled => self.full_ir[i].eval_bool(&self.doc, &[]),
+                IrMode::Interpret => eval_query_bool(&self.shared.full_parsed[i], &self.doc),
+                IrMode::Compiled => self.shared.full_ir[i].eval_bool(&self.doc, &[]),
             }
-            .map_err(|e| CheckerError::Query(format!("{}: {e}", self.full_queries[i].text)))?;
+            .map_err(|e| {
+                CheckerError::Query(format!("{}: {e}", self.shared.full_queries[i].text))
+            })?;
             if violated {
                 return Ok(Some(Violation {
-                    denial: self.gamma[i].to_string(),
-                    query: self.full_queries[i].text.clone(),
+                    denial: self.shared.gamma[i].to_string(),
+                    query: self.shared.full_queries[i].text.clone(),
                 }));
             }
         }
@@ -1359,14 +1566,16 @@ impl Checker {
     /// would violate `v`. Errors when the statement matches no compiled
     /// incremental pattern.
     pub fn check_optimized(&self, stmt: &XUpdateDoc) -> Result<Option<Violation>, CheckerError> {
-        let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
+        let mapped = map_update(&self.doc, &self.shared.schema, stmt, &xpath_resolver)
             .map_err(|e| CheckerError::Statement(e.to_string()))?;
         let key = pattern_key(&mapped.update);
-        let Some(pattern) = self.patterns.get(&key).filter(|p| p.is_incremental()) else {
+        let Some(entry) = self.lookup_pattern(&key).filter(|e| e.compiled.is_incremental())
+        else {
             return Err(CheckerError::Statement(format!(
                 "no compiled incremental pattern for key {key}"
             )));
         };
+        let pattern = &entry.compiled;
         // The compiled pattern's parameter names are positionally
         // identical to the freshly mapped ones (the mapping is
         // deterministic), so the new bindings apply directly.
@@ -1381,9 +1590,8 @@ impl Checker {
             );
         }
         let _budget = self.eval_budget.map(xic_xpath::budget::arm);
-        let ir = self.pattern_ir.get(&key);
         for (i, (q, d)) in pattern.queries.iter().zip(&pattern.simplified).enumerate() {
-            let ir_t = ir.and_then(|v| v.get(i)).and_then(|t| t.as_ref());
+            let ir_t = entry.ir.get(i).and_then(|t| t.as_ref());
             match self.eval_template(ir_t, q, &mapped.bindings)? {
                 TemplateVerdict::Pass => {}
                 TemplateVerdict::Violated(text) => {
@@ -1426,13 +1634,12 @@ impl Checker {
         self.refuse_if_poisoned()?;
         match strategy {
             Strategy::Optimized => {
-                let mapped = map_update(&self.doc, &self.schema, stmt, &xpath_resolver)
+                let mapped = map_update(&self.doc, &self.shared.schema, stmt, &xpath_resolver)
                     .map_err(|e| CheckerError::Statement(e.to_string()))?;
                 let key = pattern_key(&mapped.update);
-                if !self.patterns.contains_key(&key) {
-                    let compiled = compile_pattern_with(&mapped, &self.gamma, &self.schema, self.independence);
-                    self.insert_pattern(key, compiled);
-                }
+                self.adopt_or_compile_pattern(&key, |c| {
+                    compile_pattern_with(&mapped, &c.shared.gamma, &c.shared.schema, c.independence)
+                });
                 self.check_optimized(stmt)
             }
             Strategy::FullWithRollback => {
@@ -1584,20 +1791,25 @@ impl Checker {
             if !stmt.insertions_only() {
                 break 'optimized;
             }
-            let Ok(mapped) = map_update(&self.doc, &self.schema, stmt, &xpath_resolver) else {
+            let Ok(mapped) = map_update(&self.doc, &self.shared.schema, stmt, &xpath_resolver)
+            else {
                 break 'optimized;
             };
             let key = pattern_key(&mapped.update);
-            if self.patterns.contains_key(&key) {
+            let hit = self.adopt_or_compile_pattern(&key, |c| {
+                compile_pattern_with(&mapped, &c.shared.gamma, &c.shared.schema, c.independence)
+            });
+            if hit {
+                // A hit in the shared cache counts too: either way no
+                // compilation ran for this statement.
                 self.stats.pattern_cache_hits += 1;
                 xic_obs::incr(xic_obs::Counter::PatternCacheHit);
             } else {
                 self.stats.pattern_cache_misses += 1;
                 xic_obs::incr(xic_obs::Counter::PatternCacheMiss);
-                let compiled = compile_pattern_with(&mapped, &self.gamma, &self.schema, self.independence);
-                self.insert_pattern(key.clone(), compiled);
             }
-            let pattern = &self.patterns[&key];
+            let entry = Arc::clone(&self.patterns[&key]);
+            let pattern = &entry.compiled;
             if !pattern.is_incremental() {
                 break 'optimized;
             }
@@ -1613,11 +1825,10 @@ impl Checker {
                 );
             }
             let _budget = self.eval_budget.map(xic_xpath::budget::arm);
-            let ir = self.pattern_ir.get(&key);
             let mut violation = None;
             let mut exhausted = false;
             for (i, (q, d)) in pattern.queries.iter().zip(&pattern.simplified).enumerate() {
-                let ir_t = ir.and_then(|v| v.get(i)).and_then(|t| t.as_ref());
+                let ir_t = entry.ir.get(i).and_then(|t| t.as_ref());
                 match self.eval_template(ir_t, q, &mapped.bindings)? {
                     TemplateVerdict::Pass => {}
                     TemplateVerdict::Violated(text) => {
@@ -1800,7 +2011,7 @@ fn replay_into(
 
 /// Renders a caught panic payload (the `&str`/`String` cases cover every
 /// `panic!` in this workspace; anything else is reported generically).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

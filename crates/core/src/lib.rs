@@ -72,11 +72,15 @@ pub mod footprint;
 pub mod protocol;
 pub mod resolver;
 pub mod service;
+pub mod shards;
 
 pub use checker::{
     default_independence, default_ir_mode, set_default_independence, set_default_ir_mode, Checker,
-    CheckerError, CheckpointPolicy, IrMode, RecoverOptions, RecoveryReport, Stats, Strategy,
-    UpdateOutcome, Violation,
+    CheckerError, CheckpointPolicy, IrMode, PatternCache, RecoverOptions, RecoveryReport,
+    SharedGamma, Stats, Strategy, UpdateOutcome, Violation,
+};
+pub use shards::{
+    ShardHealth, ShardSet, ShardSetConfig, ShardSetError, ShardSetRecoveryReport, ShardStatus,
 };
 pub use service::{
     apply_batch, apply_batch_resilient, deadline_budget, BatchDisposition, BatchOutcome,

@@ -5,13 +5,15 @@
 //! `\n`. The grammar (also in README.md, *Running as a service*):
 //!
 //! ```text
-//! request  = "CHECK" [SP deadline]          ; full check of the current snapshot
+//! request  = ["DOC" SP index SP] verb     ; index routes to one shard (sharded server)
+//! verb     = "CHECK" [SP deadline]          ; full check of the current snapshot
 //!          | "DECIDE" [SP deadline] SP xupdate ; hypothetical verdict, nothing committed
 //!          | "UPDATE" [SP deadline] SP xupdate ; checked, durable execution
 //!          | "VERSION"               ; committed version of the snapshot
 //!          | "STATS"                 ; executor configuration + resilience counters
-//!          | "HEALTH"                ; liveness state: ok | degraded | draining
+//!          | "HEALTH"                ; liveness: ok | degraded | poisoned | draining
 //!          | "QUIT"                  ; close the connection
+//! index    = 1*DIGIT                 ; shard id (shard-<index> directory)
 //! deadline = 1*DIGIT                 ; per-request budget in milliseconds
 //! xupdate  = single-line <xupdate:modifications> document
 //!
@@ -24,9 +26,19 @@
 //!          | "REJECTED" SP strategy SP denial          ; UPDATE
 //!          | ""                                        ; VERSION
 //!          | config                                    ; STATS
-//!          | "ok" | "degraded" | "draining"            ; HEALTH
+//!          | health *( SP "shard-" index "=" health )  ; HEALTH
+//! health   = "ok" | "degraded" | "poisoned" | "draining"
 //! strategy = "optimized" | "full-with-rollback"
 //! ```
+//!
+//! A **sharded** server ([`serve_connection_sharded`] over a
+//! [`ShardSet`]) routes by the `DOC <index>` prefix: the verb behind it
+//! executes against that shard's service exactly as on a single-document
+//! server. Bare `HEALTH`/`STATS` aggregate across shards (overall state
+//! plus one `shard-<i>=<health>` field each; counters summed); the
+//! per-document verbs *require* the prefix and fail with `ERR
+//! doc-required: …` without it. A single-document server refuses the
+//! prefix with `ERR no-shard: …`.
 //!
 //! `CHECK`, `DECIDE` and `VERSION` are **snapshot reads**: they never
 //! queue behind the writer, and the version in their reply names the
@@ -55,6 +67,7 @@
 
 use crate::checker::{Strategy, UpdateOutcome, Violation};
 use crate::service::{CheckerService, Executor};
+use crate::shards::ShardSet;
 use std::io::{BufRead, Write};
 
 /// Cap on one request line (1 MiB). Generous for any realistic XUpdate
@@ -76,10 +89,13 @@ pub enum Command {
     Version,
     /// Executor configuration, resilience counters and version.
     Stats,
-    /// Liveness state: ok, degraded or draining.
+    /// Liveness state: ok, degraded, poisoned or draining.
     Health,
     /// Close the connection.
     Quit,
+    /// `DOC <index> <verb>`: route the inner verb to one shard of a
+    /// sharded server (never nests).
+    Doc(usize, Box<Command>),
 }
 
 /// Splits an optional leading deadline token (all ASCII digits) off
@@ -134,6 +150,25 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "STATS" => Ok(Command::Stats),
         "HEALTH" => Ok(Command::Health),
         "QUIT" => Ok(Command::Quit),
+        "DOC" => {
+            let (index, tail) = match rest.split_once(char::is_whitespace) {
+                Some((i, t)) => (i, t.trim()),
+                None => (rest, ""),
+            };
+            if index.is_empty() || !index.bytes().all(|b| b.is_ascii_digit()) {
+                return Err("DOC needs a numeric shard index".to_string());
+            }
+            let id: usize = index
+                .parse()
+                .map_err(|_| format!("shard index {index:?} out of range"))?;
+            if tail.is_empty() {
+                return Err("DOC <index> needs a verb to route".to_string());
+            }
+            match parse_command(tail)? {
+                Command::Doc(..) => Err("DOC does not nest".to_string()),
+                inner => Ok(Command::Doc(id, Box::new(inner))),
+            }
+        }
         "" => Err("empty request".to_string()),
         other => Err(format!("unknown request {other:?}")),
     }
@@ -285,6 +320,59 @@ pub fn execute(service: &CheckerService, command: &Command) -> Reply {
             detail: service.health().as_str().to_string(),
         },
         Command::Quit => Reply::Bye,
+        Command::Doc(id, _) => Reply::Err(format!(
+            "no-shard: this server hosts a single unnamed document, \
+             DOC {id} cannot be routed (start xic-serve with --shards)"
+        )),
+    }
+}
+
+/// Executes one command against a sharded server: `DOC <id> <verb>`
+/// routes to that shard's live service; bare `HEALTH`/`STATS` aggregate
+/// across shards; the per-document verbs require the prefix.
+pub fn execute_sharded(set: &ShardSet, command: &Command) -> Reply {
+    match command {
+        Command::Doc(id, inner) => match set.shard(*id) {
+            Ok(service) => execute(&service, inner),
+            Err(e) => Reply::Err(format!("no-shard: {e}")),
+        },
+        Command::Health => {
+            let health = set.health();
+            let version = health.shards.iter().map(|s| s.version).sum();
+            Reply::Ok { version, detail: health.summary() }
+        }
+        Command::Stats => {
+            let health = set.health();
+            let version: u64 = health.shards.iter().map(|s| s.version).sum();
+            let mut shed = 0u64;
+            let mut timed_out = 0u64;
+            let mut degraded = 0u64;
+            let mut retries = 0u64;
+            for id in 0..set.len() {
+                if let Ok(stats) = set.stats(id) {
+                    shed += stats.requests_shed;
+                    timed_out += stats.requests_timed_out;
+                    degraded += stats.service_degraded;
+                    retries += stats.fsync_retries;
+                }
+            }
+            let detail = format!(
+                "shards={} health={} requests_shed={shed} requests_timed_out={timed_out} \
+                 service_degraded={degraded} fsync_retries={retries}",
+                set.len(),
+                health.overall().as_str(),
+            );
+            Reply::Ok { version, detail }
+        }
+        Command::Quit => Reply::Bye,
+        Command::Check(_)
+        | Command::Decide(..)
+        | Command::Update(..)
+        | Command::Version => Reply::Err(
+            "doc-required: this server hosts multiple documents; \
+             prefix per-document requests with DOC <index>"
+                .to_string(),
+        ),
     }
 }
 
@@ -354,6 +442,37 @@ pub fn serve_connection(
 /// oversized path without forging megabyte requests).
 pub fn serve_connection_capped(
     service: &CheckerService,
+    input: impl BufRead,
+    output: impl Write,
+    max_line: usize,
+) -> std::io::Result<()> {
+    serve_lines(|command| execute(service, command), input, output, max_line)
+}
+
+/// Serves one client connection against a sharded server (see the
+/// module docs: `DOC <index>` routes, bare `HEALTH`/`STATS` aggregate).
+pub fn serve_connection_sharded(
+    set: &ShardSet,
+    input: impl BufRead,
+    output: impl Write,
+) -> std::io::Result<()> {
+    serve_connection_sharded_capped(set, input, output, MAX_LINE_BYTES)
+}
+
+/// [`serve_connection_sharded`] with an explicit line cap.
+pub fn serve_connection_sharded_capped(
+    set: &ShardSet,
+    input: impl BufRead,
+    output: impl Write,
+    max_line: usize,
+) -> std::io::Result<()> {
+    serve_lines(|command| execute_sharded(set, command), input, output, max_line)
+}
+
+/// The shared read-parse-execute-reply loop behind both connection
+/// flavors.
+fn serve_lines(
+    mut run: impl FnMut(&Command) -> Reply,
     mut input: impl BufRead,
     mut output: impl Write,
     max_line: usize,
@@ -365,7 +484,7 @@ pub fn serve_connection_capped(
             )),
             Ok(line) if line.trim().is_empty() => continue,
             Ok(line) => match parse_command(&line) {
-                Ok(command) => execute(service, &command),
+                Ok(command) => run(&command),
                 Err(e) => Reply::Err(e),
             },
         };
@@ -484,6 +603,7 @@ mod tests {
             (ServiceError::Overloaded { depth: 256 }, "ERR overloaded:"),
             (ServiceError::Timeout { ms: 250 }, "ERR timeout:"),
             (ServiceError::Degraded, "ERR degraded:"),
+            (ServiceError::Draining, "ERR draining:"),
         ];
         for (err, prefix) in cases {
             let line = Reply::Err(err.to_string()).render();
@@ -567,6 +687,138 @@ mod tests {
         );
         // The snapshot is untouched and later requests are unaffected.
         assert_eq!(execute(&service, &Command::Check(None)).render(), "OK 0 CONSISTENT");
+    }
+
+    #[test]
+    fn parses_doc_routing() {
+        assert_eq!(
+            parse_command("DOC 2 VERSION"),
+            Ok(Command::Doc(2, Box::new(Command::Version)))
+        );
+        assert_eq!(
+            parse_command("DOC 0 UPDATE 250 <x/>"),
+            Ok(Command::Doc(0, Box::new(Command::Update("<x/>".to_string(), Some(250)))))
+        );
+        assert!(parse_command("DOC").is_err(), "index required");
+        assert!(parse_command("DOC x VERSION").is_err(), "index is numeric");
+        assert!(parse_command("DOC 1").is_err(), "a verb must follow");
+        assert!(parse_command("DOC 1 DOC 2 VERSION").is_err(), "no nesting");
+    }
+
+    #[test]
+    fn single_document_server_refuses_doc() {
+        let service = service();
+        let r = execute(&service, &Command::Doc(0, Box::new(Command::Version)));
+        let line = r.render();
+        assert!(line.starts_with("ERR no-shard:"), "unexpected reply {line:?}");
+    }
+
+    /// While shutdown is draining, reads still answer from the last
+    /// published snapshot and UPDATE is refused with the distinct
+    /// `draining:` token (not `degraded:`, not a bare stop) — under
+    /// both executors.
+    #[test]
+    fn draining_service_answers_reads_and_refuses_updates() {
+        for executor in [Executor::Sync, Executor::group_commit()] {
+            let checker = Checker::new(XML, DTD, CONFLICT).expect("setup");
+            let service = CheckerService::new(checker, executor);
+            assert_eq!(
+                execute(&service, &Command::Update(insert("dave"), None)).render(),
+                "OK 1 APPLIED optimized"
+            );
+            service.shutdown().expect("shutdown");
+            assert_eq!(
+                execute(&service, &Command::Health).render(),
+                "OK 1 draining",
+                "({executor:?})"
+            );
+            assert_eq!(
+                execute(&service, &Command::Check(None)).render(),
+                "OK 1 CONSISTENT",
+                "reads answer while draining ({executor:?})"
+            );
+            assert_eq!(execute(&service, &Command::Version).render(), "OK 1");
+            let r = execute(&service, &Command::Decide(insert("erin"), None));
+            assert_eq!(r.render(), "OK 1 LEGAL", "snapshot decides while draining");
+            let line = execute(&service, &Command::Update(insert("erin"), None)).render();
+            assert!(
+                line.starts_with("ERR draining:"),
+                "UPDATE while draining should carry the draining token, got {line:?} \
+                 ({executor:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_execute_routes_and_aggregates() {
+        use crate::shards::{ShardSet, ShardSetConfig};
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let root = std::env::temp_dir()
+            .join(format!("xic-proto-shards-{}-{n}", std::process::id()));
+        let set = ShardSet::create(&root, &[XML, XML], DTD, CONFLICT, ShardSetConfig::default())
+            .expect("create shard set");
+
+        // Bare per-document verbs need the DOC prefix…
+        let line = execute_sharded(&set, &Command::Version).render();
+        assert!(line.starts_with("ERR doc-required:"), "got {line:?}");
+        // …and routing hits exactly the named shard.
+        let r = execute_sharded(
+            &set,
+            &Command::Doc(0, Box::new(Command::Update(insert("dave"), None))),
+        );
+        assert_eq!(r.render(), "OK 1 APPLIED optimized");
+        assert_eq!(
+            execute_sharded(&set, &Command::Doc(0, Box::new(Command::Version))).render(),
+            "OK 1"
+        );
+        assert_eq!(
+            execute_sharded(&set, &Command::Doc(1, Box::new(Command::Version))).render(),
+            "OK 0",
+            "the sibling shard saw nothing"
+        );
+        // Aggregate HEALTH sums versions and lists every shard.
+        assert_eq!(
+            execute_sharded(&set, &Command::Health).render(),
+            "OK 1 ok shard-0=ok shard-1=ok"
+        );
+        let stats = execute_sharded(&set, &Command::Stats).render();
+        assert!(stats.starts_with("OK 1 shards=2 health=ok"), "got {stats:?}");
+        // An out-of-range shard is an error, not a panic.
+        let line = execute_sharded(&set, &Command::Doc(9, Box::new(Command::Version))).render();
+        assert!(line.starts_with("ERR no-shard:"), "got {line:?}");
+
+        set.shutdown().expect("shutdown");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn serve_connection_sharded_round_trips() {
+        use crate::shards::{ShardSet, ShardSetConfig};
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let root = std::env::temp_dir()
+            .join(format!("xic-proto-shardserve-{}-{n}", std::process::id()));
+        let set = ShardSet::create(&root, &[XML, XML], DTD, CONFLICT, ShardSetConfig::default())
+            .expect("create shard set");
+        let script = format!(
+            "DOC 1 UPDATE {}\nDOC 1 CHECK\nHEALTH\nQUIT\n",
+            insert("dave")
+        );
+        let mut out = Vec::new();
+        serve_connection_sharded(&set, Cursor::new(script), &mut out).expect("serve");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        assert_eq!(
+            text.lines().collect::<Vec<_>>(),
+            vec![
+                "OK 1 APPLIED optimized",
+                "OK 1 CONSISTENT",
+                "OK 1 ok shard-0=ok shard-1=ok",
+                "BYE",
+            ]
+        );
+        set.shutdown().expect("shutdown");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

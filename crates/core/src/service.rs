@@ -56,8 +56,7 @@
 //!
 //! [sync-now]: xic_xml::journal::Journal::sync_now
 
-use crate::checker::{Checker, CheckerError, IrMode, UpdateOutcome, Violation};
-use crate::footprint::IndependenceIndex;
+use crate::checker::{Checker, CheckerError, IrMode, SharedGamma, UpdateOutcome, Violation};
 use crate::resolver::xpath_resolver;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -65,10 +64,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xic_simplify::{live_set, ReadFootprint};
+use xic_simplify::live_set;
 use xic_xml::{apply, serialize, undo, Document, XUpdateDoc};
 use xic_xpath::EvalBudget;
-use xic_xquery::{eval_query_exists, XProgram, XQuery};
+use xic_xquery::eval_query_exists;
 
 /// Default cap on statements drained into one group-commit batch. Large
 /// enough that 16 concurrent submitters usually share one fsync, small
@@ -158,16 +157,25 @@ pub enum Health {
     /// snapshot; UPDATE is refused with [`ServiceError::Degraded`] until
     /// [`CheckerService::recover`] succeeds.
     Degraded,
+    /// The writer's checker was poisoned by a contained panic
+    /// mid-statement: every further UPDATE fails with
+    /// [`CheckerError::Poisoned`]. Reads keep serving the last
+    /// published snapshot. A poisoned service cannot be re-armed in
+    /// place — replace it by recovering the shard from its store
+    /// (`ShardSet::recover_shard`).
+    Poisoned,
     /// Shutting down: no new submissions, the in-flight queue drains.
     Draining,
 }
 
 impl Health {
-    /// The lowercase wire word (`ok` / `degraded` / `draining`).
+    /// The lowercase wire word (`ok` / `degraded` / `poisoned` /
+    /// `draining`).
     pub fn as_str(self) -> &'static str {
         match self {
             Health::Ok => "ok",
             Health::Degraded => "degraded",
+            Health::Poisoned => "poisoned",
             Health::Draining => "draining",
         }
     }
@@ -199,6 +207,11 @@ pub enum ServiceError {
     /// The service is in read-only degraded mode (the journal stayed
     /// unwritable); UPDATE is refused until [`CheckerService::recover`].
     Degraded,
+    /// The service is draining for shutdown: the in-flight queue still
+    /// gets its verdicts, but no new submissions are admitted. Distinct
+    /// from [`ServiceError::Stopped`] so clients can tell an orderly
+    /// drain (reads still answer) from a writer that is simply gone.
+    Draining,
     /// The writer thread is gone (the service was shut down).
     Stopped,
 }
@@ -218,6 +231,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Degraded => f.write_str(
                 "degraded: journal unwritable, service is read-only until recovery",
+            ),
+            ServiceError::Draining => f.write_str(
+                "draining: service is shutting down, no new submissions",
             ),
             ServiceError::Stopped => f.write_str("service stopped"),
         }
@@ -281,61 +297,57 @@ pub fn deadline_budget(remaining_ms: u64) -> EvalBudget {
     EvalBudget::new(remaining_ms.saturating_mul(DEADLINE_STEPS_PER_MS))
 }
 
-/// The full-check inputs (Γ as denial text, query text, pre-parsed AST
-/// and IR-compiled program), shared immutably by every snapshot the
-/// service publishes. The engine mode is captured from the writer's
-/// checker at service start, so snapshot checks run the same engine the
-/// writer commits with.
+/// The full-check inputs, shared immutably by every snapshot the
+/// service publishes: the checker's [`SharedGamma`] (denials, query
+/// texts, pre-parsed ASTs, IR programs, footprints) plus the engine
+/// mode captured from the writer's checker at service start, so
+/// snapshot checks run the same engine the writer commits with. The
+/// gamma `Arc` is the same compiled set shared across every shard of a
+/// `ShardSet` — publishing a snapshot never re-compiles anything.
 struct CheckSet {
-    entries: Vec<(String, String, XQuery, XProgram)>,
+    gamma: Arc<SharedGamma>,
     mode: IrMode,
     /// Whether the writer's checker ran the static independence analysis
     /// at service start; snapshot decisions follow the same setting.
     independence: bool,
-    /// Per-constraint read footprints, in `entries` order.
-    read_fps: Vec<ReadFootprint>,
-    /// DTD name-graph index for statement write footprints.
-    index: IndependenceIndex,
 }
 
 impl CheckSet {
     fn from_checker(checker: &Checker) -> CheckSet {
-        let entries = checker
-            .constraints()
-            .iter()
-            .zip(checker.full_queries())
-            .zip(checker.full_parsed())
-            .zip(checker.full_ir())
-            .map(|(((d, q), p), ir)| (d.to_string(), q.text.clone(), p.clone(), ir.clone()))
-            .collect();
         CheckSet {
-            entries,
+            gamma: Arc::clone(checker.shared_gamma()),
             mode: checker.ir_mode(),
             independence: checker.independence(),
-            read_fps: checker.read_fps().to_vec(),
-            index: checker.indep_index().clone(),
         }
     }
 
-    /// Evaluates entry `entry` existentially against `doc` with the
+    /// Number of compiled constraints.
+    fn len(&self) -> usize {
+        self.gamma.full_parsed().len()
+    }
+
+    /// The violation report for constraint `i`.
+    fn violation(&self, i: usize) -> Violation {
+        Violation {
+            denial: self.gamma.constraints()[i].to_string(),
+            query: self.gamma.full_queries()[i].text.clone(),
+        }
+    }
+
+    /// Evaluates constraint `i` existentially against `doc` with the
     /// captured engine mode. An exhausted (deadline) budget stays
     /// distinguishable from an engine error, mirroring
     /// `Checker::check_full`.
-    fn eval_exists(
-        &self,
-        entry: &(String, String, XQuery, XProgram),
-        doc: &Document,
-    ) -> Result<bool, CheckerError> {
-        let (_, text, parsed, ir) = entry;
+    fn eval_exists(&self, i: usize, doc: &Document) -> Result<bool, CheckerError> {
         match self.mode {
-            IrMode::Interpret => eval_query_exists(parsed, doc),
-            IrMode::Compiled => ir.eval_exists(doc, &[]),
+            IrMode::Interpret => eval_query_exists(&self.gamma.full_parsed()[i], doc),
+            IrMode::Compiled => self.gamma.full_ir()[i].eval_exists(doc, &[]),
         }
         .map_err(|e| {
             if e.is_budget_exhausted() {
                 CheckerError::BudgetExhausted
             } else {
-                CheckerError::Query(format!("{text}: {e}"))
+                CheckerError::Query(format!("{}: {e}", self.gamma.full_queries()[i].text))
             }
         })
     }
@@ -380,9 +392,9 @@ impl ReadSnapshot {
     pub fn check_full(&self) -> Result<Option<Violation>, CheckerError> {
         let _check = xic_obs::phase("check");
         let _full = xic_obs::phase("snapshot_full");
-        for entry in &self.checks.entries {
-            if self.checks.eval_exists(entry, &self.doc)? {
-                return Ok(Some(Violation { denial: entry.0.clone(), query: entry.1.clone() }));
+        for i in 0..self.checks.len() {
+            if self.checks.eval_exists(i, &self.doc)? {
+                return Ok(Some(self.checks.violation(i)));
             }
         }
         Ok(None)
@@ -416,8 +428,8 @@ impl ReadSnapshot {
         // captured at publish), mirroring the writer's baseline path.
         let live = if self.checks.independence {
             let _footprint = xic_obs::phase("footprint");
-            let wfp = self.checks.index.write_footprint(stmt, self.nesting_trusted);
-            Some(live_set(&self.checks.read_fps, &wfp))
+            let wfp = self.checks.gamma.indep_index().write_footprint(stmt, self.nesting_trusted);
+            Some(live_set(self.checks.gamma.read_fps(), &wfp))
         } else {
             None
         };
@@ -430,23 +442,22 @@ impl ReadSnapshot {
             let _check = xic_obs::phase("check");
             let _full = xic_obs::phase("snapshot_full");
             if let Some(mask) = &live {
-                let total = self.checks.entries.len();
+                let total = self.checks.len();
                 let retained = mask.iter().filter(|&&l| l).count().min(total);
                 xic_obs::add(xic_obs::Counter::ChecksSkippedStatic, (total - retained) as u64);
                 xic_obs::add(xic_obs::Counter::ChecksRetainedStatic, retained as u64);
             }
             let mut found = None;
-            for (i, entry) in self.checks.entries.iter().enumerate() {
+            for i in 0..self.checks.len() {
                 if let Some(mask) = &live {
                     if !mask.get(i).copied().unwrap_or(true) {
                         continue;
                     }
                 }
-                match self.checks.eval_exists(entry, &doc) {
+                match self.checks.eval_exists(i, &doc) {
                     Ok(false) => {}
                     Ok(true) => {
-                        found =
-                            Some(Violation { denial: entry.0.clone(), query: entry.1.clone() });
+                        found = Some(self.checks.violation(i));
                         break;
                     }
                     Err(e) => {
@@ -560,8 +571,21 @@ pub struct CheckerService {
     /// Read-only mode: the batch fsync stayed failed after its bounded
     /// retries. Cleared by [`CheckerService::recover`].
     degraded: AtomicBool,
+    /// The writer's checker took a contained panic mid-statement and
+    /// refuses all further mutations. Sticky: only replacing the
+    /// service (shard-level recovery) clears it.
+    poisoned: AtomicBool,
     /// Set by [`CheckerService::shutdown`]: no new submissions.
     draining: AtomicBool,
+    /// The checker's journal sync mode at service construction;
+    /// [`CheckerService::recover`] restates it so a recovered writer
+    /// keeps its configured durability instead of whatever a failed
+    /// batch left armed (the `recover_store_with` hazard of PR 5, at
+    /// the service layer).
+    journal_sync: bool,
+    /// The checker's checkpoint retention at service construction,
+    /// restated by [`CheckerService::recover`] alongside the sync mode.
+    checkpoint_retain: u64,
     /// Submissions admitted but not yet picked up by the writer (group
     /// mode) / in flight (sync mode); the admission bound.
     queued: AtomicUsize,
@@ -584,6 +608,10 @@ impl CheckerService {
             ..config
         };
         let checks = Arc::new(CheckSet::from_checker(&checker));
+        // Captured before the checker is handed to the writer; recovery
+        // restates these configured settings (see the field docs).
+        let journal_sync = checker.journal_sync();
+        let checkpoint_retain = checker.checkpoint_retain();
         let initial = Arc::new(ReadSnapshot {
             doc: checker.doc().clone(),
             version: checker.committed(),
@@ -615,7 +643,10 @@ impl CheckerService {
                 checks,
                 config,
                 degraded: AtomicBool::new(false),
+                poisoned: AtomicBool::new(false),
                 draining: AtomicBool::new(false),
+                journal_sync,
+                checkpoint_retain,
                 queued: AtomicUsize::new(0),
                 stats: StatsCells::default(),
                 inner,
@@ -637,6 +668,8 @@ impl CheckerService {
     pub fn health(&self) -> Health {
         if self.draining.load(Ordering::Acquire) {
             Health::Draining
+        } else if self.poisoned.load(Ordering::Acquire) {
+            Health::Poisoned
         } else if self.degraded.load(Ordering::Acquire) {
             Health::Degraded
         } else {
@@ -687,7 +720,7 @@ impl CheckerService {
         deadline_ms: Option<u64>,
     ) -> Result<SubmitOutcome, ServiceError> {
         if self.draining.load(Ordering::Acquire) {
-            return Err(ServiceError::Stopped);
+            return Err(ServiceError::Draining);
         }
         if self.degraded.load(Ordering::Acquire) {
             return Err(ServiceError::Degraded);
@@ -766,7 +799,11 @@ impl CheckerService {
             }
         };
         let _armed = budget.map(|(b, _)| xic_xpath::budget::arm(b));
-        let outcome = checker.try_update_str(stmt).map_err(|e| match budget {
+        let attempted = checker.try_update_str(stmt);
+        if checker.poisoned() {
+            self.note_poisoned();
+        }
+        let outcome = attempted.map_err(|e| match budget {
             Some((_, ms)) if is_budget_exhaustion(&e) => {
                 self.note_timeout();
                 ServiceError::Timeout { ms }
@@ -791,6 +828,12 @@ impl CheckerService {
             Inner::Sync(slot) => {
                 let mut guard = slot.lock().expect("sync-executor checker poisoned");
                 let checker = guard.as_mut().ok_or(ServiceError::Stopped)?;
+                // Restate the configured durability settings before the
+                // flush: recovery must not leave the writer armed with
+                // whatever a failed batch (or a generation fallback)
+                // happened to set.
+                checker.set_journal_sync(self.journal_sync);
+                checker.set_checkpoint_retain(self.checkpoint_retain);
                 checker
                     .sync_journal()
                     .map_err(|e| ServiceError::SyncFailed(e.to_string()))?;
@@ -834,6 +877,12 @@ impl CheckerService {
         }
     }
 
+    /// Records that the writer's checker is poisoned (sticky; see
+    /// [`Health::Poisoned`]).
+    fn note_poisoned(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
     fn note_timeout(&self) {
         self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
         xic_obs::incr(xic_obs::Counter::RequestTimedOut);
@@ -854,7 +903,7 @@ impl CheckerService {
     }
 
     /// Stops the service and returns the checker: admission closes
-    /// ([`ServiceError::Stopped`] for new submissions), the queue
+    /// ([`ServiceError::Draining`] for new submissions), the queue
     /// drains — every queued submission still gets its durable verdict
     /// (or its degraded/timeout refusal) — and the writer thread joins.
     /// Safe with any number of live service or snapshot handles; a
@@ -989,6 +1038,9 @@ fn run_batch(
     let outcome = apply_batch_resilient(checker, &items, fsync_attempts);
     if let Some(service) = service.upgrade() {
         service.note_fsync_retries(outcome.fsync_retries);
+        if checker.poisoned() {
+            service.note_poisoned();
+        }
         match &outcome.disposition {
             BatchDisposition::Committed => {
                 if checker.committed() != before {
@@ -1025,6 +1077,12 @@ fn writer_recover(
     checker: &mut Checker,
     service: &std::sync::Weak<CheckerService>,
 ) -> Result<(), ServiceError> {
+    // Restate the configured durability settings before the flush (see
+    // the sync-executor path of [`CheckerService::recover`]).
+    if let Some(service) = service.upgrade() {
+        checker.set_journal_sync(service.journal_sync);
+        checker.set_checkpoint_retain(service.checkpoint_retain);
+    }
     checker
         .sync_journal()
         .map_err(|e| ServiceError::SyncFailed(e.to_string()))?;

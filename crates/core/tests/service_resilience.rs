@@ -219,6 +219,54 @@ fn persistent_fsync_failure_degrades_then_recovers() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Recovery restates the service's *originally configured* durability
+/// settings — journal sync mode and checkpoint retention — instead of
+/// leaving whatever the failure path had armed (the service-layer
+/// analogue of the `recover_store_with` fix for the bare checker).
+#[test]
+fn recover_restates_configured_sync_and_retention() {
+    let _guard = FAULTS.lock().expect("fault serialization");
+    let dir = {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("xic-resil-store-{}-{n}", std::process::id()))
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = checker();
+    // Deliberately non-default configuration: group-commit-only fsync
+    // (sync=false) and a widened retention window.
+    c.attach_store(&dir, false).expect("attach store");
+    c.set_checkpoint_retain(5);
+    let service = CheckerService::with_config(
+        c,
+        ServiceConfig { fsync_attempts: 1, ..Default::default() },
+    );
+    assert!(service.submit(&legal("pre")).expect("submit").outcome.applied());
+
+    xic_faults::arm_any_thread("journal.sync", 1, FaultMode::Error);
+    let err = service.submit(&legal("doomed")).expect_err("fsync must fail");
+    xic_faults::disarm_all();
+    assert!(matches!(err, ServiceError::SyncFailed(_)), "got {err:?}");
+    assert_eq!(service.health(), Health::Degraded);
+
+    service.recover().expect("recover");
+    assert_eq!(service.health(), Health::Ok);
+    let out = service.submit(&legal("after")).expect("post-recovery submit");
+    assert!(out.outcome.applied());
+
+    let recovered = service.shutdown().expect("shutdown");
+    assert!(
+        !recovered.journal_sync(),
+        "the configured no-sync mode must survive recovery, not revert to a default"
+    );
+    assert_eq!(
+        recovered.checkpoint_retain(),
+        5,
+        "the configured retention window must survive recovery"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `recover()` on a healthy service is a harmless journal flush.
 #[test]
 fn recover_is_a_no_op_when_healthy() {
@@ -231,8 +279,8 @@ fn recover_is_a_no_op_when_healthy() {
 
 /// Shutdown drains and returns the checker even with read handles still
 /// alive; those handles keep working afterwards, and every later call
-/// reports `Stopped` instead of panicking (the PR9 fix — this used to
-/// `Arc::try_unwrap` and die).
+/// reports `Draining`/`Stopped` instead of panicking (the PR9 fix —
+/// this used to `Arc::try_unwrap` and die).
 #[test]
 fn shutdown_survives_live_read_handles() {
     let service = CheckerService::new(checker(), Executor::group_commit());
@@ -252,7 +300,7 @@ fn shutdown_survives_live_read_handles() {
 
     // The drained service answers instead of panicking.
     assert_eq!(service.health(), Health::Draining);
-    assert!(matches!(service.submit(&legal("x")), Err(ServiceError::Stopped)));
+    assert!(matches!(service.submit(&legal("x")), Err(ServiceError::Draining)));
     assert!(matches!(service.recover(), Err(ServiceError::Stopped)));
     assert!(matches!(service.shutdown(), Err(ServiceError::Stopped)));
 }
@@ -264,6 +312,6 @@ fn sync_executor_shutdown_is_a_result_too() {
     service.submit(&legal("one")).expect("submit");
     let live = service.shutdown().expect("first shutdown succeeds");
     assert_eq!(live.committed(), 1);
-    assert!(matches!(service.submit(&legal("y")), Err(ServiceError::Stopped)));
+    assert!(matches!(service.submit(&legal("y")), Err(ServiceError::Draining)));
     assert!(matches!(service.shutdown(), Err(ServiceError::Stopped)));
 }

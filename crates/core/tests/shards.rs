@@ -1,0 +1,219 @@
+//! Shard-set robustness tests (DESIGN.md row 24): N documents share one
+//! compiled Γ; a shard that poisons or degrades is isolated from its
+//! siblings; per-shard recovery replays only the victim's generations;
+//! and parallel whole-set recovery equals the sequential fan-out
+//! byte-for-byte.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use xic_faults::FaultMode;
+use xicheck::{
+    Executor, Health, ServiceConfig, ShardSet, ShardSetConfig, ShardSetError,
+};
+
+const DTD: &str = "<!ELEMENT collection (dblp, review)>\n\
+    <!ELEMENT dblp (pub)*>\n<!ELEMENT pub (title, aut+)>\n\
+    <!ELEMENT aut (name)>\n<!ELEMENT review (track)+>\n\
+    <!ELEMENT track (name,rev+)>\n<!ELEMENT rev (name, sub+)>\n\
+    <!ELEMENT sub (title, auts+)>\n<!ELEMENT title (#PCDATA)>\n\
+    <!ELEMENT auts (name)>\n<!ELEMENT name (#PCDATA)>";
+
+const CORPUS: &str = "<collection><dblp>\
+    <pub><title>P1</title><aut><name>ann</name></aut><aut><name>bob</name></aut></pub>\
+    </dblp><review><track><name>T</name>\
+    <rev><name>ann</name><sub><title>S1</title><auts><name>cat</name></auts></sub></rev>\
+    <rev><name>dan</name><sub><title>S2</title><auts><name>eve</name></auts></sub></rev>\
+    </track></review></collection>";
+
+const CONFLICT: &str = "<- //rev[name/text() -> R]/sub/auts/name/text() -> A \
+    & (A = R | //pub[aut/name/text() -> A & aut/name/text() -> R])";
+
+/// Serializes tests that arm fault-injection sites.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn legal(tag: &str) -> String {
+    format!(
+        "<xupdate:modifications xmlns:xupdate=\"http://www.xmldb.org/xupdate\">\
+         <xupdate:append select=\"//rev[name/text() = 'dan']\">\
+         <sub><title>New</title><auts><name>fresh-{tag}</name></auts></sub>\
+         </xupdate:append></xupdate:modifications>"
+    )
+}
+
+fn root_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("xic-shards-{}-{tag}-{n}", std::process::id()))
+}
+
+/// A 3-shard set over the same corpus, sequential executor (so faults
+/// armed on the test thread hit exactly the shard we submit to).
+fn sync_config() -> ShardSetConfig {
+    ShardSetConfig {
+        service: ServiceConfig { executor: Executor::Sync, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn shards_commit_independently_and_share_the_pattern_cache() {
+    let root = root_dir("indep");
+    let set = ShardSet::create(&root, &[CORPUS, CORPUS, CORPUS], DTD, CONFLICT, sync_config())
+        .expect("create");
+    assert_eq!(set.len(), 3);
+
+    // Commits land only on the shard they were routed to.
+    assert!(set.submit(0, &legal("a")).expect("shard 0").outcome.applied());
+    assert!(set.submit(0, &legal("b")).expect("shard 0").outcome.applied());
+    assert!(set.submit(2, &legal("c")).expect("shard 2").outcome.applied());
+    let health = set.health();
+    let versions: Vec<u64> = health.shards.iter().map(|s| s.version).collect();
+    assert_eq!(versions, vec![2, 0, 1]);
+    assert_eq!(health.overall(), Health::Ok);
+
+    // All three submissions share one statement shape: the pattern was
+    // compiled once and adopted through the cross-shard cache, not
+    // recompiled per shard.
+    assert_eq!(set.patterns().len(), 1, "one compiled pattern shared by every shard");
+
+    // Out-of-range routing is a typed error.
+    assert!(matches!(
+        set.submit(7, &legal("x")),
+        Err(ShardSetError::NoSuchShard { id: 7, count: 3 })
+    ));
+    set.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn root_layout_refuses_foreign_entries() {
+    let root = root_dir("layout");
+    std::fs::create_dir_all(&root).expect("mk root");
+    std::fs::write(root.join("notes.txt"), b"scratch").expect("plant foreign file");
+    match ShardSet::create(&root, &[CORPUS], DTD, CONFLICT, sync_config()) {
+        Err(ShardSetError::ForeignEntry { dir, name }) => {
+            assert_eq!(dir, root);
+            assert_eq!(name, "notes.txt");
+        }
+        other => panic!("expected ForeignEntry, got {other:?}", other = other.err()),
+    }
+    std::fs::remove_file(root.join("notes.txt")).expect("clear");
+
+    // A shard directory beyond the configured count is foreign too: it
+    // would otherwise hold unreachable (silently ignored) data.
+    std::fs::create_dir_all(root.join("shard-5")).expect("plant stray shard");
+    match ShardSet::create(&root, &[CORPUS], DTD, CONFLICT, sync_config()) {
+        Err(ShardSetError::ForeignEntry { name, .. }) => assert_eq!(name, "shard-5"),
+        other => panic!("expected ForeignEntry, got {other:?}", other = other.err()),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The headline oracle: a contained panic poisons exactly one shard.
+/// Siblings keep committing, the aggregate health names the victim,
+/// and `recover_shard` rebuilds it from its own store — acknowledged
+/// commits intact — while the sibling services are untouched.
+#[test]
+fn poisoned_shard_is_isolated_and_recovered_in_place() {
+    let _guard = FAULTS.lock().expect("fault serialization");
+    let root = root_dir("poison");
+    let set = ShardSet::create(&root, &[CORPUS, CORPUS, CORPUS], DTD, CONFLICT, sync_config())
+        .expect("create");
+
+    // Two acknowledged commits on the future victim, one on a sibling.
+    assert!(set.submit(1, &legal("v1")).expect("victim").outcome.applied());
+    assert!(set.submit(1, &legal("v2")).expect("victim").outcome.applied());
+    assert!(set.submit(0, &legal("s1")).expect("sibling").outcome.applied());
+    let sibling_before = set.snapshot(0).expect("sibling snapshot").serialize();
+    let sibling_handle = set.shard(0).expect("sibling handle");
+
+    // Poison shard 1: the commit-path panic is contained by the checker,
+    // reported to the submitter, and sticky on that shard's service.
+    xic_faults::arm("checker.commit.pre", 1, FaultMode::Panic);
+    let err = set.submit(1, &legal("boom")).expect_err("poisoning submit fails");
+    xic_faults::disarm_all();
+    assert!(matches!(err, ShardSetError::Service { id: 1, .. }), "got {err:?}");
+    assert_eq!(set.status(1).expect("victim status").health, Health::Poisoned);
+
+    // Isolation: siblings are healthy and still writable; the aggregate
+    // reports the victim without infecting them.
+    assert_eq!(set.status(0).expect("s0").health, Health::Ok);
+    assert_eq!(set.status(2).expect("s2").health, Health::Ok);
+    assert!(set.submit(2, &legal("s2")).expect("sibling write").outcome.applied());
+    let health = set.health();
+    assert_eq!(health.overall(), Health::Poisoned);
+    assert_eq!(health.summary(), "poisoned shard-0=ok shard-1=poisoned shard-2=ok");
+
+    // Further writes to the victim are refused, reads still answer.
+    assert!(set.submit(1, &legal("refused")).is_err());
+    assert_eq!(set.snapshot(1).expect("victim read").version(), 2);
+
+    // Heavy recovery: replay the victim's own journal, swap the service.
+    let report = set.recover_shard(1).expect("recover victim");
+    assert_eq!(report.replayed, 2, "both acknowledged commits replay");
+    assert!(!report.degraded);
+    assert_eq!(set.status(1).expect("recovered").health, Health::Ok);
+    assert_eq!(set.status(1).expect("recovered").version, 2);
+    assert!(set.submit(1, &legal("v3")).expect("victim writes again").outcome.applied());
+
+    // The sibling service was never replaced, and its bytes never moved.
+    assert!(std::sync::Arc::ptr_eq(&sibling_handle, &set.shard(0).expect("sibling")));
+    assert_eq!(set.snapshot(0).expect("sibling snapshot").serialize(), sibling_before);
+
+    set.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Crash-and-recover the whole set: parallel fan-out must reconstruct
+/// exactly what the sequential fan-out does, shard by shard, byte for
+/// byte — including per-shard versions and fallback-free reports.
+#[test]
+fn parallel_recovery_equals_sequential_recovery() {
+    let root = root_dir("par");
+    let bases = [CORPUS, CORPUS, CORPUS, CORPUS];
+    let set = ShardSet::create(&root, &bases, DTD, CONFLICT, sync_config()).expect("create");
+    for (shard, commits) in [(0usize, 3usize), (1, 1), (3, 2)] {
+        for i in 0..commits {
+            assert!(set
+                .submit(shard, &legal(&format!("s{shard}c{i}")))
+                .expect("seed commit")
+                .outcome
+                .applied());
+        }
+    }
+    // Simulate a crash: drop the services without checkpointing.
+    set.shutdown().expect("shutdown");
+    drop(set);
+
+    let (seq, seq_report) =
+        ShardSet::recover(&root, &bases, DTD, CONFLICT, sync_config(), false).expect("sequential");
+    let seq_docs: Vec<String> =
+        (0..4).map(|i| seq.snapshot(i).expect("seq snapshot").serialize()).collect();
+    let seq_versions: Vec<u64> =
+        seq.health().shards.iter().map(|s| s.version).collect();
+    seq.shutdown().expect("shutdown sequential");
+    drop(seq);
+
+    let (par, par_report) =
+        ShardSet::recover(&root, &bases, DTD, CONFLICT, sync_config(), true).expect("parallel");
+    assert!(par_report.parallel && !seq_report.parallel);
+    assert_eq!(par_report.shards, seq_report.shards, "identical per-shard reports");
+    assert_eq!(par_report.total_replayed(), 6);
+    assert!(par_report.degraded_shards().is_empty());
+    let par_versions: Vec<u64> =
+        par.health().shards.iter().map(|s| s.version).collect();
+    assert_eq!(par_versions, seq_versions);
+    assert_eq!(par_versions, vec![3, 1, 0, 2]);
+    for (i, seq_doc) in seq_docs.iter().enumerate() {
+        assert_eq!(
+            &par.snapshot(i).expect("par snapshot").serialize(),
+            seq_doc,
+            "shard {i} diverged between parallel and sequential recovery"
+        );
+    }
+    // The recovered set keeps serving.
+    assert!(par.submit(2, &legal("post")).expect("post-recovery write").outcome.applied());
+    par.shutdown().expect("shutdown parallel");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -68,7 +68,7 @@ pub struct ChaosConfig {
 
 /// Sites the chaos pass arms in journal mode: the group-commit write
 /// path from statement apply to the shared fsync.
-const JOURNAL_SITES: &[&str] = &[
+pub(crate) const JOURNAL_SITES: &[&str] = &[
     "xupdate.apply.op",
     "journal.append.pre",
     "journal.append.mid",
@@ -81,7 +81,7 @@ const JOURNAL_SITES: &[&str] = &[
 
 /// Checkpoint/rotation sites, reachable only with a store attached
 /// (automatic rotation runs inside the commit path).
-const STORE_SITES: &[&str] = &[
+pub(crate) const STORE_SITES: &[&str] = &[
     "checkpoint.tmp.mid_write",
     "checkpoint.tmp.pre_fsync",
     "checkpoint.pre_rename",
@@ -113,7 +113,7 @@ pub struct ChaosPlan {
 /// make some (site, mode, attempts) combinations unreachable for every
 /// seed); hashing the seed with a per-field salt decorrelates them while
 /// staying a pure function of the seed.
-fn mix(seed: u64, salt: u64) -> u64 {
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

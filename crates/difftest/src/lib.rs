@@ -53,6 +53,7 @@ pub mod chaos;
 pub mod crash;
 pub mod gen;
 pub mod reference;
+pub mod shard;
 pub mod shrink;
 
 use rand::rngs::StdRng;

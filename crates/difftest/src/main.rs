@@ -7,6 +7,8 @@
 //! cargo run -p xic-difftest -- --crash-matrix --seed 17 --cases 1  # replay
 //! cargo run -p xic-difftest -- --crash-matrix --cases 50 --sites checkpoint,rotation
 //! cargo run -p xic-difftest -- --chaos --cases 100 --seed 1
+//! cargo run -p xic-difftest -- --shard-matrix --cases 60 --seed 1
+//! cargo run -p xic-difftest -- --shard-chaos --cases 60 --seed 1
 //! ```
 //!
 //! `--crash-matrix` switches to the crash-recovery oracle (the `crash`
@@ -20,6 +22,16 @@
 //! ever lost, that degraded reads match the committed prefix, and that
 //! the service always lands in a healthy, recovered, or cleanly poisoned
 //! terminal state.
+//!
+//! `--shard-matrix` and `--shard-chaos` run the multi-document isolation
+//! oracle (the `shard` module): each case drives distinct workloads into
+//! the shards of one `ShardSet` while a seeded fault crashes exactly one
+//! shard, and asserts that the siblings never notice (byte-identical to
+//! their twins, healthy, at their acked version), that the victim's acked
+//! prefix survives recovery, and that parallel recovery over the crashed
+//! store equals sequential recovery byte for byte. The matrix kills the
+//! victim for the rest of the case; the chaos variant rebuilds it in
+//! place with `recover_shard` while the siblings keep committing.
 //!
 //! Exit code 0 means every case passed all four oracles (and, for runs of
 //! ≥ 100 cases, that all six XUpdate operation kinds were exercised);
@@ -40,6 +52,8 @@ struct Args {
     dump: bool,
     crash_matrix: bool,
     chaos: bool,
+    shard_matrix: bool,
+    shard_chaos: bool,
     sites: Option<String>,
     ir_mode: xicheck::IrMode,
     independence: bool,
@@ -52,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
     let mut dump = false;
     let mut crash_matrix = false;
     let mut chaos = false;
+    let mut shard_matrix = false;
+    let mut shard_chaos = false;
     let mut sites: Option<String> = None;
     let mut ir_mode = xicheck::IrMode::Compiled;
     let mut independence = true;
@@ -90,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
             "--dump" => dump = true,
             "--crash-matrix" => crash_matrix = true,
             "--chaos" => chaos = true,
+            "--shard-matrix" => shard_matrix = true,
+            "--shard-chaos" => shard_chaos = true,
             "--sites" => {
                 sites = Some(next_value(&mut i, inline.as_deref())?);
             }
@@ -111,14 +129,23 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    if crash_matrix && chaos {
-        return Err("--crash-matrix and --chaos are mutually exclusive".to_string());
+    let modes =
+        [crash_matrix, chaos, shard_matrix, shard_chaos].iter().filter(|&&m| m).count();
+    if modes > 1 {
+        return Err(
+            "--crash-matrix, --chaos, --shard-matrix and --shard-chaos are mutually exclusive"
+                .to_string(),
+        );
     }
     if out.is_empty() {
         out = if crash_matrix {
             "BENCH_CRASH.json".to_string()
         } else if chaos {
             "BENCH_CHAOS.json".to_string()
+        } else if shard_matrix {
+            "BENCH_SHARD_CRASH.json".to_string()
+        } else if shard_chaos {
+            "BENCH_SHARD_CHAOS.json".to_string()
         } else {
             "BENCH_DIFFTEST.json".to_string()
         };
@@ -133,6 +160,8 @@ fn parse_args() -> Result<Args, String> {
         dump,
         crash_matrix,
         chaos,
+        shard_matrix,
+        shard_chaos,
         sites,
         ir_mode,
         independence,
@@ -352,6 +381,91 @@ fn run_chaos(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the shard isolation oracle (matrix or chaos) and writes its
+/// JSON report.
+fn run_shards(args: &Args) -> ExitCode {
+    let name = if args.shard_chaos { "shard-chaos" } else { "shard-matrix" };
+    // Panic-mode faults are contained by the shard service; silence the
+    // default hook's backtrace spam like the crash matrix does.
+    std::panic::set_hook(Box::new(|_| {}));
+    obs::reset();
+    let report = xic_difftest::shard::run_shards(xic_difftest::shard::ShardConfig {
+        seed: args.seed,
+        cases: args.cases,
+        chaos: args.shard_chaos,
+    });
+    let _ = std::panic::take_hook();
+    let snapshot = obs::snapshot();
+    for d in &report.divergences {
+        eprintln!("{}", d.report());
+    }
+    println!(
+        "{name}: {} cases from seed {} — {} divergences, {} faults fired, \
+         {} victims poisoned, {} in-place recoveries, {} fallback cases, \
+         {} commits acked, {} commits restored",
+        args.cases,
+        args.seed,
+        report.divergences.len(),
+        report.fired,
+        report.poisoned,
+        report.in_place_recoveries,
+        report.fallback_cases,
+        report.acked,
+        report.replayed,
+    );
+    let json = Value::Object(vec![
+        ("bench".to_string(), Value::String(name.to_string())),
+        ("seed".to_string(), Value::Number(args.seed as f64)),
+        ("cases".to_string(), Value::Number(args.cases as f64)),
+        (
+            "divergences".to_string(),
+            Value::Number(report.divergences.len() as f64),
+        ),
+        ("faults_fired".to_string(), Value::Number(report.fired as f64)),
+        (
+            "victims_poisoned".to_string(),
+            Value::Number(report.poisoned as f64),
+        ),
+        (
+            "in_place_recoveries".to_string(),
+            Value::Number(report.in_place_recoveries as f64),
+        ),
+        (
+            "fallback_cases".to_string(),
+            Value::Number(report.fallback_cases as f64),
+        ),
+        ("commits_acked".to_string(), Value::Number(report.acked as f64)),
+        (
+            "commits_replayed".to_string(),
+            Value::Number(report.replayed as f64),
+        ),
+        (
+            "failing_seeds".to_string(),
+            Value::Array(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| Value::Number(d.seed as f64))
+                    .collect(),
+            ),
+        ),
+        ("obs".to_string(), snapshot.to_json_value()),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, json.render_pretty(2) + "\n") {
+        eprintln!("difftest: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", args.out);
+    if !report.divergences.is_empty() {
+        return ExitCode::from(1);
+    }
+    if args.cases >= 60 && report.fired == 0 {
+        eprintln!("{name}: no armed fault ever fired in {} cases", args.cases);
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 const OP_COUNTERS: [obs::Counter; 6] = [
     obs::Counter::DifftestOpInsertBefore,
     obs::Counter::DifftestOpInsertAfter,
@@ -367,8 +481,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("difftest: {e}");
             eprintln!(
-                "usage: difftest [--crash-matrix [--sites PAT,PAT…] | --chaos] [--cases N] \
-                 [--seed N] [--ir-mode interpret|compiled] [--independence on|off] [--out FILE]"
+                "usage: difftest [--crash-matrix [--sites PAT,PAT…] | --chaos | \
+                 --shard-matrix | --shard-chaos] [--cases N] [--seed N] \
+                 [--ir-mode interpret|compiled] [--independence on|off] [--out FILE]"
             );
             return ExitCode::from(2);
         }
@@ -386,6 +501,9 @@ fn main() -> ExitCode {
     }
     if args.chaos {
         return run_chaos(&args);
+    }
+    if args.shard_matrix || args.shard_chaos {
+        return run_shards(&args);
     }
     if args.dump {
         // Print the generated artifacts for `--seed` without running any

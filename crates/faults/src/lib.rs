@@ -22,7 +22,13 @@
 //!   so concurrently running tests (each on its own harness thread) and
 //!   unrelated worker threads cannot consume or trip each other's
 //!   faults. Cross-process injection calls [`arm_from_env`] on the thread
-//!   that will drive the workload.
+//!   that will drive the workload. Thread scoping is also what makes
+//!   *shard-scoped* injection work: in a multi-shard set whose services
+//!   run the sync executor, a submission executes on the submitting
+//!   thread, so arming before a victim shard's submission (and disarming
+//!   after) faults exactly that shard while its siblings commit
+//!   untouched — the shard crash matrix and shard chaos pass in
+//!   `xic-difftest` are built on this.
 //! - **Cross-process.** [`arm_from_env`] arms sites from the `XIC_FAULTS`
 //!   environment variable (`site:nth:mode[,site:nth:mode...]`) so a parent
 //!   can inject a real `abort()` into a spawned child.

@@ -1,0 +1,183 @@
+//! K-shard multi-tenant traffic for the sharded store.
+//!
+//! A `xicheck::ShardSet` hosts `K` independent documents behind one
+//! compiled constraint set. Real multi-tenant traffic against such a
+//! store is *skewed*: a few hot tenants absorb most of the writes while
+//! the long tail idles. This module generates exactly that shape — one
+//! DBLP-style corpus per shard (each sized differently so cross-shard
+//! contamination is byte-observable) and a Zipf-skewed event stream that
+//! routes single-statement updates to shards with shard 0 hottest.
+//!
+//! Everything is deterministic under the seed; the bench harness and the
+//! shard difftest both replay identical streams from it.
+
+use crate::{generate, random_batch, skewed, Workload, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sizing knobs for a K-shard traffic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTrafficConfig {
+    /// RNG seed; corpora and the event stream are deterministic in it.
+    pub seed: u64,
+    /// Number of shards (tenant documents).
+    pub shards: usize,
+    /// Events (routed statements) to draw per [`shard_events`] call.
+    pub events: usize,
+}
+
+impl ShardTrafficConfig {
+    /// A configuration for `shards` tenants with a default event budget
+    /// proportional to the shard count.
+    pub fn with_shards(shards: usize, seed: u64) -> ShardTrafficConfig {
+        ShardTrafficConfig {
+            seed,
+            shards: shards.max(1),
+            events: 32 * shards.max(1),
+        }
+    }
+}
+
+/// Per-shard corpora for one traffic run. All shards share the checker's
+/// schema and constraint set (that is the `xicheck::ShardSet` premise);
+/// their documents differ in size and content.
+#[derive(Debug, Clone)]
+pub struct ShardCorpora {
+    /// One generated workload per shard, each with a distinct sub-seed
+    /// and sizing so no two shards start byte-identical.
+    pub workloads: Vec<Workload>,
+    /// The configuration that produced them.
+    pub config: ShardTrafficConfig,
+}
+
+impl ShardCorpora {
+    /// The serialized base documents, shard order, as `ShardSet::create`
+    /// consumes them.
+    pub fn bases(&self) -> Vec<&str> {
+        self.workloads.iter().map(|w| w.xml.as_str()).collect()
+    }
+}
+
+/// One routed event: a single-operation XUpdate statement addressed to a
+/// shard.
+#[derive(Debug, Clone)]
+pub struct ShardEvent {
+    /// Target shard id.
+    pub shard: usize,
+    /// The statement text.
+    pub stmt: String,
+}
+
+/// Generates one corpus per shard. Shard `i` gets sub-seed `seed + i`
+/// and sizing that grows with `i mod 4`, so every shard's document is
+/// distinct from its siblings' — a misrouted statement cannot land
+/// unnoticed.
+pub fn generate_corpora(config: ShardTrafficConfig) -> ShardCorpora {
+    let k = config.shards.max(1);
+    let mut workloads = Vec::with_capacity(k);
+    for i in 0..k {
+        let step = i % 4;
+        workloads.push(generate(WorkloadConfig {
+            seed: config.seed.wrapping_add(i as u64),
+            pubs: 4 + 2 * step,
+            tracks: 1 + step / 2,
+            revs_per_track: 1 + step % 2,
+            subs_per_rev: 2,
+            name_pool: 12,
+        }));
+    }
+    ShardCorpora {
+        workloads,
+        config,
+    }
+}
+
+/// Draws `config.events` routed events with a Zipf-like shard skew:
+/// shard 0 is the hottest tenant, the tail is cold. Each event is a
+/// single-operation statement drawn against *its* shard's corpus, so
+/// replaying the stream per shard reproduces a valid update history.
+pub fn shard_events(corpora: &ShardCorpora) -> Vec<ShardEvent> {
+    let config = corpora.config;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5a5a_5a5a_5a5a_5a5a);
+    let k = corpora.workloads.len().max(1);
+    (0..config.events)
+        .map(|_| {
+            let shard = skewed(&mut rng, k);
+            let stmt = random_batch(&mut rng, &corpora.workloads[shard], 1);
+            ShardEvent { shard, stmt }
+        })
+        .collect()
+}
+
+/// Splits an event stream into per-shard statement streams, preserving
+/// arrival order within each shard — the order a single-writer shard
+/// commits them in.
+pub fn per_shard_streams(events: &[ShardEvent], shards: usize) -> Vec<Vec<&str>> {
+    let mut streams: Vec<Vec<&str>> = vec![Vec::new(); shards];
+    for e in events {
+        if let Some(s) = streams.get_mut(e.shard) {
+            s.push(&e.stmt);
+        }
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_deterministic_and_distinct() {
+        let cfg = ShardTrafficConfig::with_shards(6, 11);
+        let a = generate_corpora(cfg);
+        let b = generate_corpora(cfg);
+        assert_eq!(a.bases(), b.bases());
+        let bases = a.bases();
+        for i in 0..bases.len() {
+            for j in i + 1..bases.len() {
+                assert_ne!(bases[i], bases[j], "shards {i} and {j} start identical");
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_skewed_toward_low_shards_and_parse() {
+        let corpora = generate_corpora(ShardTrafficConfig {
+            seed: 3,
+            shards: 8,
+            events: 400,
+        });
+        let events = shard_events(&corpora);
+        assert_eq!(events.len(), 400);
+        let mut counts = vec![0usize; 8];
+        for e in &events {
+            counts[e.shard] += 1;
+            xic_xml::XUpdateDoc::parse(&e.stmt)
+                .unwrap_or_else(|err| panic!("event statement must parse: {err}"));
+        }
+        let hot: usize = counts[..2].iter().sum();
+        let cold: usize = counts[6..].iter().sum();
+        assert!(
+            hot > cold,
+            "hot shards drew {hot} events, cold tail drew {cold}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "every shard sees traffic: {counts:?}");
+    }
+
+    #[test]
+    fn streams_preserve_per_shard_order() {
+        let corpora = generate_corpora(ShardTrafficConfig {
+            seed: 7,
+            shards: 3,
+            events: 60,
+        });
+        let events = shard_events(&corpora);
+        let streams = per_shard_streams(&events, 3);
+        assert_eq!(streams.iter().map(|s| s.len()).sum::<usize>(), 60);
+        let mut replayed: Vec<Vec<&str>> = vec![Vec::new(); 3];
+        for e in &events {
+            replayed[e.shard].push(e.stmt.as_str());
+        }
+        assert_eq!(streams, replayed);
+    }
+}

@@ -102,6 +102,17 @@ pub enum CheckpointError {
     Corrupt(String),
     /// A journal-segment operation inside the store failed.
     Journal(JournalError),
+    /// The store directory contains an entry that is not a recognized
+    /// store artifact (`gen-<g>.ckpt`, `gen-<g>.wal`, `gen-<g>.ckpt.tmp`).
+    /// Refusing to open is deliberate: silently coexisting with foreign
+    /// files invites two incarnations (or two subsystems) to interleave
+    /// in one directory, and recovery has no way to tell whose bytes win.
+    ForeignEntry {
+        /// The directory being opened as a store.
+        dir: PathBuf,
+        /// The offending entry's file name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -113,6 +124,12 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadHeader => write!(f, "not a checkpoint file (bad magic)"),
             CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
             CheckpointError::Journal(e) => write!(f, "journal segment error: {e}"),
+            CheckpointError::ForeignEntry { dir, name } => write!(
+                f,
+                "store directory {} contains unrecognized entry {name:?}; \
+                 refusing to open (a store directory must hold only gen-* artifacts)",
+                dir.display()
+            ),
         }
     }
 }
@@ -260,6 +277,16 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// the live one plus one fallback.
 pub const DEFAULT_RETAIN: u64 = 2;
 
+/// Whether `name` is a file the store itself writes: a generation
+/// snapshot, a journal segment, or a torn in-progress snapshot.
+/// [`Store::create`] clears these when reusing a directory and refuses
+/// anything else.
+pub fn is_store_artifact(name: &str) -> bool {
+    name.strip_prefix("gen-").is_some_and(|rest| {
+        rest.ends_with(".ckpt") || rest.ends_with(".wal") || rest.ends_with(".ckpt.tmp")
+    })
+}
+
 /// A checkpointed store directory: generation-numbered snapshot/segment
 /// pairs plus the rotation protocol over them.
 #[derive(Debug)]
@@ -286,18 +313,26 @@ impl Store {
     /// disk, and a stale pair is internally self-consistent, so leaving
     /// one behind would let a later [`recover`](crate::checkpoint::read)
     /// silently resurrect the old incarnation's document over this one.
+    ///
+    /// A directory containing anything *other* than recognized `gen-*`
+    /// artifacts is refused with [`CheckpointError::ForeignEntry`]: a
+    /// foreign file means the directory is shared with something else,
+    /// and neither clearing it nor coexisting with it is safe.
     pub fn create(dir: &Path, base_crc: u32, sync: bool) -> Result<(Store, Journal), CheckpointError> {
         std::fs::create_dir_all(dir)?;
+        let mut stale = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
-            let name = name.to_string_lossy();
-            let stale = name.strip_prefix("gen-").is_some_and(|rest| {
-                rest.ends_with(".ckpt") || rest.ends_with(".wal") || rest.ends_with(".ckpt.tmp")
-            });
-            if stale {
-                std::fs::remove_file(entry.path())?;
+            let name = name.to_string_lossy().into_owned();
+            if is_store_artifact(&name) {
+                stale.push(entry.path());
+            } else {
+                return Err(CheckpointError::ForeignEntry { dir: dir.to_path_buf(), name });
             }
+        }
+        for path in stale {
+            std::fs::remove_file(path)?;
         }
         let journal = Journal::create(&Self::wal_path(dir, 0), base_crc, sync)?;
         fsync_dir(dir)?;
@@ -324,6 +359,16 @@ impl Store {
     /// never unlinked).
     pub fn set_retain(&mut self, retain: u64) {
         self.retain = retain.max(1);
+    }
+
+    /// The configured retention window (generations kept, live included).
+    pub fn retain(&self) -> u64 {
+        self.retain
+    }
+
+    /// Whether journal segments created by rotations fsync per record.
+    pub fn sync(&self) -> bool {
+        self.sync
     }
 
     /// Sets whether journal segments created by future rotations fsync
@@ -544,6 +589,32 @@ mod tests {
         assert!(!Store::wal_path(&dir, 1).exists());
         assert!(!dir.join("gen-9.ckpt.tmp").exists());
         assert!(Store::wal_path(&dir, 0).exists());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn create_refuses_a_directory_with_foreign_entries() {
+        let dir = tmp_dir("foreign");
+        std::fs::write(dir.join("notes.txt"), b"not ours").expect("write");
+        let err = Store::create(&dir, 1, false).expect_err("foreign entry");
+        match &err {
+            CheckpointError::ForeignEntry { dir: d, name } => {
+                assert_eq!(d, &dir);
+                assert_eq!(name, "notes.txt");
+            }
+            other => panic!("expected ForeignEntry, got {other}"),
+        }
+        assert!(err.to_string().contains("notes.txt"), "error names the offender");
+        // Nothing was cleared or created: the refusal is a clean no-op.
+        assert!(dir.join("notes.txt").exists());
+        assert!(!Store::wal_path(&dir, 0).exists());
+        // Subdirectories are foreign too (a nested store is not ours).
+        std::fs::remove_file(dir.join("notes.txt")).expect("rm");
+        std::fs::create_dir(dir.join("shard-0")).expect("mkdir");
+        assert!(matches!(
+            Store::create(&dir, 1, false),
+            Err(CheckpointError::ForeignEntry { .. })
+        ));
         cleanup(&dir);
     }
 
